@@ -1,0 +1,87 @@
+//! Criterion micro-benchmarks for the cryptographic substrate:
+//! the §5.1 cost model (trapdoor seal/open at RSA-512) plus the
+//! primitives underneath it.
+
+use agr_crypto::bigint::BigUint;
+use agr_crypto::feistel::Feistel;
+use agr_crypto::rsa::RsaKeyPair;
+use agr_crypto::sha256::Sha256;
+use agr_crypto::trapdoor::{SymmetricTrapdoor, Trapdoor};
+use agr_geom::Point;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_sha256(c: &mut Criterion) {
+    let data_64 = vec![0xabu8; 64];
+    let data_4k = vec![0xabu8; 4096];
+    c.bench_function("sha256/64B", |b| {
+        b.iter(|| Sha256::digest(black_box(&data_64)))
+    });
+    c.bench_function("sha256/4KiB", |b| {
+        b.iter(|| Sha256::digest(black_box(&data_4k)))
+    });
+}
+
+fn bench_modpow(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let keys = RsaKeyPair::generate(512, &mut rng).unwrap();
+    let x = BigUint::from_u64(0x1234_5678_9abc_def0);
+    c.bench_function("rsa512/raw_encrypt(e=65537)", |b| {
+        b.iter(|| keys.public().raw_encrypt(black_box(&x)))
+    });
+    let y = keys.public().raw_encrypt(&x);
+    c.bench_function("rsa512/raw_decrypt(CRT)", |b| {
+        b.iter(|| keys.raw_decrypt(black_box(&y)))
+    });
+}
+
+fn bench_trapdoor(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let keys = RsaKeyPair::generate(512, &mut rng).unwrap();
+    let loc = Point::new(750.0, 150.0);
+    c.bench_function("trapdoor/seal(rsa512)", |b| {
+        b.iter(|| Trapdoor::seal(keys.public(), 7, loc, &mut rng).unwrap())
+    });
+    let td = Trapdoor::seal(keys.public(), 7, loc, &mut rng).unwrap();
+    c.bench_function("trapdoor/open(rsa512)", |b| {
+        b.iter(|| black_box(&td).try_open(&keys).unwrap())
+    });
+    let key = [7u8; 32];
+    c.bench_function("trapdoor/seal(symmetric)", |b| {
+        b.iter(|| SymmetricTrapdoor::seal(&key, 7, loc, &mut rng))
+    });
+    let std_td = SymmetricTrapdoor::seal(&key, 7, loc, &mut rng);
+    c.bench_function("trapdoor/open(symmetric)", |b| {
+        b.iter(|| black_box(&std_td).try_open(&key).unwrap())
+    });
+}
+
+fn bench_feistel(c: &mut Criterion) {
+    let cipher = Feistel::new([9; 32], 72);
+    let mut block = vec![0u8; 72];
+    c.bench_function("feistel/encrypt_72B_block", |b| {
+        b.iter(|| cipher.encrypt_block(black_box(&mut block)))
+    });
+}
+
+fn bench_keygen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("keygen");
+    group.sample_size(10);
+    group.bench_function("rsa512", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| RsaKeyPair::generate(512, &mut rng).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sha256,
+    bench_modpow,
+    bench_trapdoor,
+    bench_feistel,
+    bench_keygen
+);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion benchmarks for the §4 ring-signature cost discussion:
+//! sign/verify time as a function of ring size (the anonymity set).
+
+use agr_crypto::ring_sig::{ring_sign, ring_verify};
+use agr_crypto::rsa::{RsaKeyPair, RsaPublicKey};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn make_ring(size: usize) -> (Vec<RsaKeyPair>, Vec<RsaPublicKey>) {
+    let mut rng = StdRng::seed_from_u64(99);
+    let keys: Vec<RsaKeyPair> = (0..size)
+        .map(|_| RsaKeyPair::generate(512, &mut rng).unwrap())
+        .collect();
+    let pubs = keys.iter().map(|k| k.public().clone()).collect();
+    (keys, pubs)
+}
+
+fn bench_ring(c: &mut Criterion) {
+    let (keys, pubs) = make_ring(16);
+    let message = b"HELLO n loc ts";
+    let mut sign_group = c.benchmark_group("ring_sign");
+    for &k in &[2usize, 4, 8, 16] {
+        sign_group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let mut rng = StdRng::seed_from_u64(5);
+            b.iter(|| {
+                ring_sign(black_box(message), &pubs[..k], 0, &keys[0], &mut rng).unwrap()
+            })
+        });
+    }
+    sign_group.finish();
+
+    let mut verify_group = c.benchmark_group("ring_verify");
+    for &k in &[2usize, 4, 8, 16] {
+        let mut rng = StdRng::seed_from_u64(6);
+        let sig = ring_sign(message, &pubs[..k], 0, &keys[0], &mut rng).unwrap();
+        verify_group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| ring_verify(black_box(message), &pubs[..k], &sig).unwrap())
+        });
+    }
+    verify_group.finish();
+}
+
+criterion_group!(benches, bench_ring);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Criterion benchmarks for the simulator and routing hot paths:
+//! how much wall-clock a simulated second costs under each protocol.
+
+use agr_core::agfw::{Agfw, AgfwConfig};
+use agr_gpsr::{Gpsr, GpsrConfig};
+use agr_sim::{SimConfig, SimTime, World};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn paper_config(nodes: usize) -> SimConfig {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut config = SimConfig::default();
+    config.num_nodes = nodes;
+    config.duration = SimTime::from_secs(30);
+    config.with_cbr_traffic(30, 20, SimTime::from_secs(1), 64, &mut rng)
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_30s_50nodes");
+    group.sample_size(10);
+    group.bench_function("gpsr_greedy", |b| {
+        b.iter(|| {
+            let mut world = World::new(paper_config(50), |_, _, rng| {
+                Gpsr::new(GpsrConfig::greedy_only(), rng)
+            });
+            world.run()
+        })
+    });
+    group.bench_function("agfw_ack", |b| {
+        b.iter(|| {
+            let mut world = World::new(paper_config(50), |id, cfg, rng| {
+                Agfw::new(id, AgfwConfig::default(), cfg, rng)
+            });
+            world.run()
+        })
+    });
+    group.finish();
+}
+
+fn bench_selection(c: &mut Criterion) {
+    use agr_core::ant::SelectionStrategy;
+    use agr_core::{AnonymousNeighborTable, Pseudonym};
+    use agr_geom::Point;
+    let mut ant = AnonymousNeighborTable::new(
+        SimTime::from_millis(4500),
+        SimTime::from_millis(2200),
+    );
+    // A dense neighborhood with pseudonym aliases: 3 entries each for 40
+    // neighbors.
+    for i in 0..40u64 {
+        for gen in 0..3u64 {
+            ant.observe(
+                Pseudonym::derive(gen, i),
+                Point::new((i * 37 % 500) as f64, (i * 13 % 300) as f64),
+                SimTime::from_millis(1000 + gen * 800),
+            );
+        }
+    }
+    let now = SimTime::from_millis(3500);
+    c.bench_function("ant/next_hop_120_entries", |b| {
+        b.iter(|| {
+            ant.next_hop(
+                Point::new(0.0, 0.0),
+                Point::new(1500.0, 300.0),
+                now,
+                SelectionStrategy::FreshnessAware,
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_sim, bench_selection);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! §6 extension: perimeter-mode recovery.
+//!
+//! "To avoid a simple dead end when local maximum happens, recovery
+//! strategies like perimeter forwarding could be applied." This ablation
+//! quantifies what greedy-only forwarding loses at low density — where
+//! voids are common — by comparing GPSR-Greedy against GPSR with
+//! Gabriel-planarised perimeter recovery.
+//!
+//! ```text
+//! cargo run --release -p agr-bench --bin ablate_perimeter
+//! ```
+
+use agr_bench::{sweep, ProtocolKind, SweepParams, Table};
+use agr_core::agfw::AgfwConfig;
+
+fn main() {
+    let mut params = SweepParams::from_env();
+    if std::env::var("AGR_DURATION_S").is_err() {
+        params.duration = agr_sim::SimTime::from_secs(300);
+    }
+    // Sparser-than-paper densities, where greedy dead-ends matter.
+    let nodes = [25usize, 35, 50, 75];
+    let rows = [
+        sweep(&ProtocolKind::GpsrGreedy, &nodes, &params),
+        sweep(&ProtocolKind::GpsrPerimeter, &nodes, &params),
+        sweep(&ProtocolKind::Agfw(AgfwConfig::default()), &nodes, &params),
+        sweep(
+            &ProtocolKind::Agfw(AgfwConfig::with_recovery()),
+            &nodes,
+            &params,
+        ),
+    ];
+    let mut table = Table::new(vec![
+        "nodes",
+        "GPSR-Greedy",
+        "GPSR-Perimeter",
+        "AGFW-Greedy",
+        "AGFW-Recovery",
+        "GPSR gain",
+        "AGFW gain",
+    ]);
+    for (i, &n) in nodes.iter().enumerate() {
+        table.row(vec![
+            n.to_string(),
+            format!("{:.3}", rows[0][i].delivery_fraction),
+            format!("{:.3}", rows[1][i].delivery_fraction),
+            format!("{:.3}", rows[2][i].delivery_fraction),
+            format!("{:.3}", rows[3][i].delivery_fraction),
+            format!(
+                "{:+.3}",
+                rows[1][i].delivery_fraction - rows[0][i].delivery_fraction
+            ),
+            format!(
+                "{:+.3}",
+                rows[3][i].delivery_fraction - rows[2][i].delivery_fraction
+            ),
+        ]);
+    }
+    println!("Ablation: greedy-only vs perimeter recovery, GPSR and anonymous AGFW (paper S6 future work)");
+    println!("{table}");
+    let path = table.save_csv("ablate_perimeter");
+    eprintln!("saved {}", path.display());
+}

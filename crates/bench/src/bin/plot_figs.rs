@@ -1,0 +1,80 @@
+//! Renders the reproduced Figure 1 panels as SVGs from the CSVs written
+//! by `fig1a` and `fig1b`.
+//!
+//! ```text
+//! cargo run --release -p agr-bench --bin fig1a
+//! cargo run --release -p agr-bench --bin fig1b
+//! cargo run --release -p agr-bench --bin plot_figs
+//! ```
+
+use agr_bench::plot::{LineChart, Series};
+use std::fs;
+
+/// Minimal CSV reader: header + homogeneous numeric columns.
+fn read_csv(path: &str) -> Option<(Vec<String>, Vec<Vec<f64>>)> {
+    let text = fs::read_to_string(path).ok()?;
+    let mut lines = text.lines();
+    let headers: Vec<String> = lines.next()?.split(',').map(|h| h.trim().to_string()).collect();
+    let mut rows = Vec::new();
+    for line in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let row: Option<Vec<f64>> = line.split(',').map(|c| c.trim().parse().ok()).collect();
+        rows.push(row?);
+    }
+    Some((headers, rows))
+}
+
+fn series_from(headers: &[String], rows: &[Vec<f64>], columns: &[&str]) -> Vec<Series> {
+    columns
+        .iter()
+        .filter_map(|&name| {
+            let idx = headers.iter().position(|h| h == name)?;
+            Some(Series {
+                name: name.to_string(),
+                points: rows.iter().map(|r| (r[0], r[idx])).collect(),
+            })
+        })
+        .collect()
+}
+
+fn main() {
+    let mut rendered = 0;
+    if let Some((headers, rows)) = read_csv("results/fig1a.csv") {
+        let mut chart = LineChart::new(
+            "Figure 1(a): packet delivery fraction vs node count",
+            "number of nodes",
+            "packet delivery fraction",
+        )
+        .with_y_range(0.0, 1.05);
+        for s in series_from(&headers, &rows, &["GPSR-Greedy", "AGFW-noACK", "AGFW-ACK"]) {
+            chart = chart.with_series(s);
+        }
+        let path = chart.save_svg("fig1a");
+        println!("rendered {}", path.display());
+        rendered += 1;
+    } else {
+        eprintln!("results/fig1a.csv missing or malformed — run the fig1a binary first");
+    }
+
+    if let Some((headers, rows)) = read_csv("results/fig1b.csv") {
+        let mut chart = LineChart::new(
+            "Figure 1(b): end-to-end data packet latency vs node count",
+            "number of nodes",
+            "mean latency (ms)",
+        );
+        for s in series_from(&headers, &rows, &["GPSR-Greedy (ms)", "AGFW-ACK (ms)"]) {
+            chart = chart.with_series(s);
+        }
+        let path = chart.save_svg("fig1b");
+        println!("rendered {}", path.display());
+        rendered += 1;
+    } else {
+        eprintln!("results/fig1b.csv missing or malformed — run the fig1b binary first");
+    }
+
+    if rendered == 0 {
+        std::process::exit(1);
+    }
+}

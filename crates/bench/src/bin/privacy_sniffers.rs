@@ -1,0 +1,90 @@
+//! §2 threat 1) quantified: how much adversary *coverage* does tracking
+//! require?
+//!
+//! The paper's first threat source is a node that observes whatever is
+//! "inside the radio range" — a local sniffer. This sweep deploys grids
+//! of 1..24 stationary sniffers over the same GPSR and AGFW runs and
+//! reports, per coverage level: frames overheard, identity–location
+//! doublets harvested, and trajectory-tracking accuracy against node 0.
+//!
+//! ```text
+//! cargo run --release -p agr-bench --bin privacy_sniffers
+//! ```
+
+use agr_bench::runner::{env_u64, paper_config, SweepParams};
+use agr_bench::Table;
+use agr_core::agfw::{Agfw, AgfwConfig};
+use agr_gpsr::{Gpsr, GpsrConfig};
+use agr_privacy::exposure::{agfw_exposure, gpsr_exposure};
+use agr_privacy::sniffer::SnifferField;
+use agr_privacy::tracker::{
+    agfw_sightings, gpsr_sightings, link_tracks, tracking_accuracy, LinkingParams,
+};
+use agr_sim::{NodeId, SimTime, World};
+
+fn main() {
+    let mut params = SweepParams::from_env();
+    if env_u64("AGR_DURATION_S").is_none() {
+        params.duration = SimTime::from_secs(300);
+    }
+    let seed = 1;
+    let target = NodeId(0);
+
+    // One run per protocol; the sniffer fields post-process the trace.
+    let mut gpsr_cfg = paper_config(50, seed, &params);
+    gpsr_cfg.record_frames = true;
+    let area = gpsr_cfg.area;
+    let mut gpsr_world = World::new(gpsr_cfg, |_, _, rng| {
+        Gpsr::new(GpsrConfig::greedy_only(), rng)
+    });
+    let _ = gpsr_world.run();
+
+    let mut agfw_cfg = paper_config(50, seed, &params);
+    agfw_cfg.record_frames = true;
+    let mut agfw_world = World::new(agfw_cfg, |id, cfg, rng| {
+        Agfw::new(id, AgfwConfig::default(), cfg, rng)
+    });
+    let _ = agfw_world.run();
+
+    let mut table = Table::new(vec![
+        "sniffers",
+        "coverage (GPSR frames)",
+        "GPSR doublets",
+        "GPSR identities",
+        "GPSR tracking",
+        "AGFW doublets",
+        "AGFW tracking",
+    ]);
+    for count in [1usize, 2, 4, 8, 12, 24] {
+        let field = SnifferField::grid(count, area, 250.0);
+
+        let heard_gpsr = field.observe(gpsr_world.frames());
+        let coverage = field.coverage(gpsr_world.frames());
+        let g_report = gpsr_exposure(&heard_gpsr);
+        let g_tracks = link_tracks(&gpsr_sightings(&heard_gpsr), &LinkingParams::default());
+        let g_acc = tracking_accuracy(&g_tracks, target);
+
+        let heard_agfw = field.observe(agfw_world.frames());
+        let a_report = agfw_exposure(&heard_agfw);
+        let a_tracks = link_tracks(&agfw_sightings(&heard_agfw), &LinkingParams::default());
+        let a_acc = tracking_accuracy(&a_tracks, target);
+
+        table.row(vec![
+            count.to_string(),
+            format!("{:.0}%", coverage * 100.0),
+            g_report.identity_location_doublets.to_string(),
+            g_report.identities_exposed.to_string(),
+            format!("{g_acc:.2}"),
+            a_report.identity_location_doublets.to_string(),
+            format!("{a_acc:.2}"),
+        ]);
+    }
+    println!("Table: adversary coverage sweep (grid sniffers, 250 m range, 50-node runs)");
+    println!("{table}");
+    println!(
+        "GPSR tracking column uses id-blind spatio-temporal linking; with ids\n\
+         in the clear even ONE sniffer identifies every node it ever hears."
+    );
+    let path = table.save_csv("privacy_sniffers");
+    eprintln!("saved {}", path.display());
+}

@@ -1,0 +1,174 @@
+//! General-purpose simulation driver: one run, any protocol, chosen
+//! parameters, metrics on stdout.
+//!
+//! ```text
+//! cargo run --release -p agr-bench --bin simulate -- \
+//!     --protocol agfw --nodes 80 --duration 300 --seed 7 \
+//!     --flows 30 --senders 20 --speed 20 --counters
+//! ```
+//!
+//! Protocols: `gpsr` (greedy), `gpsr-perimeter`, `agfw` (NL-ACK),
+//! `agfw-noack`, `agfw-recovery`, `agfw-predictive`.
+
+use agr_core::agfw::{Agfw, AgfwConfig};
+use agr_gpsr::{Gpsr, GpsrConfig};
+use agr_sim::{SimConfig, SimTime, Stats, World};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[derive(Debug)]
+struct Args {
+    protocol: String,
+    nodes: usize,
+    duration_s: u64,
+    seed: u64,
+    flows: usize,
+    senders: usize,
+    interval_ms: u64,
+    payload: u32,
+    speed: f64,
+    pause_s: u64,
+    counters: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            protocol: "agfw".into(),
+            nodes: 50,
+            duration_s: 900,
+            seed: 1,
+            flows: 30,
+            senders: 20,
+            interval_ms: 1000,
+            payload: 64,
+            speed: 20.0,
+            pause_s: 60,
+            counters: false,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: simulate [--protocol gpsr|gpsr-perimeter|agfw|agfw-noack|agfw-recovery|agfw-predictive]\n\
+         \x20               [--nodes N] [--duration SECONDS] [--seed N]\n\
+         \x20               [--flows N] [--senders N] [--interval MS] [--payload BYTES]\n\
+         \x20               [--speed M_PER_S] [--pause SECONDS] [--counters]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--protocol" => args.protocol = value("--protocol"),
+            "--nodes" => args.nodes = value("--nodes").parse().unwrap_or_else(|_| usage()),
+            "--duration" => {
+                args.duration_s = value("--duration").parse().unwrap_or_else(|_| usage());
+            }
+            "--seed" => args.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--flows" => args.flows = value("--flows").parse().unwrap_or_else(|_| usage()),
+            "--senders" => args.senders = value("--senders").parse().unwrap_or_else(|_| usage()),
+            "--interval" => {
+                args.interval_ms = value("--interval").parse().unwrap_or_else(|_| usage());
+            }
+            "--payload" => args.payload = value("--payload").parse().unwrap_or_else(|_| usage()),
+            "--speed" => args.speed = value("--speed").parse().unwrap_or_else(|_| usage()),
+            "--pause" => args.pause_s = value("--pause").parse().unwrap_or_else(|_| usage()),
+            "--counters" => args.counters = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    args
+}
+
+fn run(args: &Args) -> Stats {
+    let mut traffic_rng = StdRng::seed_from_u64(args.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let mut config = SimConfig::default();
+    config.num_nodes = args.nodes;
+    config.duration = SimTime::from_secs(args.duration_s);
+    config.seed = args.seed;
+    config.mobility.max_speed = args.speed.max(0.2);
+    config.mobility.min_speed = (args.speed / 20.0).clamp(0.1, 1.0);
+    config.mobility.pause = SimTime::from_secs(args.pause_s);
+    let senders = args.senders.min(args.flows).min(args.nodes.saturating_sub(1)).max(1);
+    let config = config.with_cbr_traffic(
+        args.flows,
+        senders,
+        SimTime::from_millis(args.interval_ms),
+        args.payload,
+        &mut traffic_rng,
+    );
+    match args.protocol.as_str() {
+        "gpsr" => {
+            let mut w = World::new(config, |_, _, rng| Gpsr::new(GpsrConfig::greedy_only(), rng));
+            w.run()
+        }
+        "gpsr-perimeter" => {
+            let mut w =
+                World::new(config, |_, _, rng| Gpsr::new(GpsrConfig::with_perimeter(), rng));
+            w.run()
+        }
+        "agfw" | "agfw-noack" | "agfw-recovery" | "agfw-predictive" => {
+            let agfw_config = match args.protocol.as_str() {
+                "agfw-noack" => AgfwConfig::without_ack(),
+                "agfw-recovery" => AgfwConfig::with_recovery(),
+                "agfw-predictive" => AgfwConfig::predictive(),
+                _ => AgfwConfig::default(),
+            };
+            let mut w = World::new(config, move |id, cfg, rng| {
+                Agfw::new(id, agfw_config, cfg, rng)
+            });
+            w.run()
+        }
+        other => {
+            eprintln!("unknown protocol {other}");
+            usage()
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let started = std::time::Instant::now();
+    let stats = run(&args);
+    println!(
+        "protocol={} nodes={} duration={}s seed={}",
+        args.protocol, args.nodes, args.duration_s, args.seed
+    );
+    println!(
+        "sent={} delivered={} delivery_fraction={:.4}",
+        stats.data_sent,
+        stats.data_delivered,
+        stats.delivery_fraction()
+    );
+    println!(
+        "latency: mean={:.2}ms median={:.2}ms p95={:.2}ms",
+        stats.mean_latency().as_millis_f64(),
+        stats.latency_quantile(0.5).as_millis_f64(),
+        stats.latency_quantile(0.95).as_millis_f64()
+    );
+    println!(
+        "worst_flow_delivery={:.4}",
+        stats.worst_flow_delivery()
+    );
+    println!("wall_clock={:.2}s", started.elapsed().as_secs_f64());
+    if args.counters {
+        for (name, value) in stats.counters() {
+            println!("counter {name} = {value}");
+        }
+    }
+}

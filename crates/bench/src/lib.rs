@@ -1,0 +1,32 @@
+//! Benchmark harness regenerating every table and figure of the paper.
+//!
+//! Each paper artifact has a binary that prints the corresponding rows
+//! and writes a CSV next to it (under `results/`):
+//!
+//! | Artifact | Binary | What it reproduces |
+//! |----------|--------|--------------------|
+//! | Figure 1(a) | `fig1a` | delivery fraction vs node count: GPSR-Greedy, AGFW(no ACK), AGFW(ACK) |
+//! | Figure 1(b) | `fig1b` | end-to-end latency vs node count: GPSR-Greedy vs AGFW(ACK) |
+//! | §5.1 crypto claims | `table_crypto` | RSA-512 trapdoor size and timings |
+//! | §4 ring overhead | `table_ring` | hello bytes and sign/verify cost vs ring size |
+//! | §3.3 ALS overhead | `table_als` | DLM vs ALS vs ALS-no-index message costs |
+//! | §3.1.1 ablation | `ablate_pseudonym` | naive vs freshness-aware selection × rotation rate |
+//! | §6 extension | `ablate_perimeter` | greedy-only vs perimeter recovery at low density |
+//! | §4 quantified | `privacy_eval` | identity–location exposure and tracking, GPSR vs AGFW |
+//!
+//! Criterion micro-benches (`cargo bench -p agr-bench`) cover the
+//! cryptographic primitives and simulator hot paths.
+//!
+//! Environment knobs shared by the figure binaries: `AGR_SEEDS` (number
+//! of seeds averaged per point, default 5), `AGR_DURATION_S` (simulated
+//! seconds, default 900), `AGR_NODES` (comma-separated node counts).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod plot;
+pub mod report;
+pub mod runner;
+
+pub use report::Table;
+pub use runner::{run_point, sweep, PointResult, ProtocolKind, SweepParams};

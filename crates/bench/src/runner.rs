@@ -1,0 +1,270 @@
+//! Shared experiment driver: builds paper-configured worlds, runs them
+//! over several seeds, and aggregates the two §5 metrics.
+
+use agr_core::agfw::{Agfw, AgfwConfig};
+use agr_gpsr::{Gpsr, GpsrConfig};
+use agr_sim::{SimConfig, SimTime, Stats, World};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Which protocol a sweep point runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ProtocolKind {
+    /// GPSR with greedy forwarding only (the paper's baseline).
+    GpsrGreedy,
+    /// GPSR with perimeter recovery (§6 extension).
+    GpsrPerimeter,
+    /// AGFW with the given configuration.
+    Agfw(AgfwConfig),
+}
+
+impl ProtocolKind {
+    /// Short label used in tables and CSV headers.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            ProtocolKind::GpsrGreedy => "GPSR-Greedy",
+            ProtocolKind::GpsrPerimeter => "GPSR-Perimeter",
+            ProtocolKind::Agfw(c) if !c.nl_ack => "AGFW-noACK",
+            ProtocolKind::Agfw(c) if c.recovery => "AGFW-Recovery",
+            ProtocolKind::Agfw(c) if c.predictive => "AGFW-Predictive",
+            ProtocolKind::Agfw(_) => "AGFW-ACK",
+        }
+    }
+}
+
+/// Parameters of one sweep (the paper's §5.1 scenario by default).
+#[derive(Debug, Clone)]
+pub struct SweepParams {
+    /// Simulated duration (paper: 900 s; override with `AGR_DURATION_S`).
+    pub duration: SimTime,
+    /// Number of CBR flows (paper: 30).
+    pub flows: usize,
+    /// Number of sending nodes (paper: 20).
+    pub senders: usize,
+    /// CBR packet interval.
+    pub interval: SimTime,
+    /// CBR payload bytes.
+    pub payload: u32,
+    /// Seeds to average over.
+    pub seeds: u64,
+}
+
+impl Default for SweepParams {
+    fn default() -> Self {
+        SweepParams {
+            duration: SimTime::from_secs(900),
+            flows: 30,
+            senders: 20,
+            interval: SimTime::from_secs(1),
+            payload: 64,
+            seeds: 5,
+        }
+    }
+}
+
+impl SweepParams {
+    /// Applies the `AGR_SEEDS` / `AGR_DURATION_S` environment overrides.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let mut p = SweepParams::default();
+        if let Some(s) = env_u64("AGR_SEEDS") {
+            p.seeds = s.max(1);
+        }
+        if let Some(d) = env_u64("AGR_DURATION_S") {
+            p.duration = SimTime::from_secs(d.max(60));
+        }
+        p
+    }
+}
+
+/// Reads a `u64` environment variable.
+#[must_use]
+pub fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+/// Node counts for the density sweep: the paper's x-axis runs from the
+/// 50-node baseline to a high-density regime past the 112-node point it
+/// singles out. Override with `AGR_NODES=50,75,...`.
+#[must_use]
+pub fn node_counts() -> Vec<usize> {
+    if let Ok(list) = std::env::var("AGR_NODES") {
+        let parsed: Vec<usize> = list
+            .split(',')
+            .filter_map(|x| x.trim().parse().ok())
+            .collect();
+        if !parsed.is_empty() {
+            return parsed;
+        }
+    }
+    vec![50, 75, 100, 112, 125, 150]
+}
+
+/// Aggregated result of one sweep point (one protocol × one node count).
+#[derive(Debug, Clone)]
+pub struct PointResult {
+    /// Protocol label.
+    pub protocol: &'static str,
+    /// Node count.
+    pub nodes: usize,
+    /// Mean delivery fraction across seeds.
+    pub delivery_fraction: f64,
+    /// Mean end-to-end latency (ms) across seeds.
+    pub latency_ms: f64,
+    /// Per-seed delivery fractions (for dispersion reporting).
+    pub per_seed_delivery: Vec<f64>,
+    /// Per-seed mean latencies in ms.
+    pub per_seed_latency_ms: Vec<f64>,
+    /// Summed named counters across seeds.
+    pub stats: Vec<Stats>,
+}
+
+impl PointResult {
+    /// Sample standard deviation of the per-seed delivery fractions.
+    #[must_use]
+    pub fn delivery_stddev(&self) -> f64 {
+        stddev(&self.per_seed_delivery)
+    }
+
+    /// Sample standard deviation of the per-seed latencies (ms).
+    #[must_use]
+    pub fn latency_stddev(&self) -> f64 {
+        stddev(&self.per_seed_latency_ms)
+    }
+}
+
+fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Builds the paper's §5.1 simulation config for `nodes` nodes and `seed`.
+#[must_use]
+pub fn paper_config(nodes: usize, seed: u64, params: &SweepParams) -> SimConfig {
+    let mut traffic_rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let mut config = SimConfig::default();
+    config.num_nodes = nodes;
+    config.duration = params.duration;
+    config.seed = seed;
+    config.with_cbr_traffic(
+        params.flows,
+        params.senders,
+        params.interval,
+        params.payload,
+        &mut traffic_rng,
+    )
+}
+
+/// Runs one protocol at one density for one seed.
+#[must_use]
+pub fn run_point(kind: &ProtocolKind, nodes: usize, seed: u64, params: &SweepParams) -> Stats {
+    let config = paper_config(nodes, seed, params);
+    match kind {
+        ProtocolKind::GpsrGreedy => {
+            let mut world = World::new(config, |_, _, rng| {
+                Gpsr::new(GpsrConfig::greedy_only(), rng)
+            });
+            world.run()
+        }
+        ProtocolKind::GpsrPerimeter => {
+            let mut world = World::new(config, |_, _, rng| {
+                Gpsr::new(GpsrConfig::with_perimeter(), rng)
+            });
+            world.run()
+        }
+        ProtocolKind::Agfw(agfw_config) => {
+            let agfw_config = *agfw_config;
+            let mut world =
+                World::new(config, move |id, cfg, rng| Agfw::new(id, agfw_config, cfg, rng));
+            world.run()
+        }
+    }
+}
+
+/// Runs a full density sweep for one protocol, averaging over seeds.
+#[must_use]
+pub fn sweep(kind: &ProtocolKind, nodes_list: &[usize], params: &SweepParams) -> Vec<PointResult> {
+    nodes_list
+        .iter()
+        .map(|&nodes| {
+            let mut per_seed_delivery = Vec::new();
+            let mut per_seed_latency = Vec::new();
+            let mut stats = Vec::new();
+            for seed in 1..=params.seeds {
+                let s = run_point(kind, nodes, seed, params);
+                per_seed_delivery.push(s.delivery_fraction());
+                per_seed_latency.push(s.mean_latency().as_millis_f64());
+                stats.push(s);
+            }
+            let delivery_fraction =
+                per_seed_delivery.iter().sum::<f64>() / per_seed_delivery.len() as f64;
+            let latency_ms =
+                per_seed_latency.iter().sum::<f64>() / per_seed_latency.len() as f64;
+            PointResult {
+                protocol: kind.label(),
+                nodes,
+                delivery_fraction,
+                latency_ms,
+                per_seed_delivery,
+                per_seed_latency_ms: per_seed_latency,
+                stats,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(ProtocolKind::GpsrGreedy.label(), "GPSR-Greedy");
+        assert_eq!(
+            ProtocolKind::Agfw(AgfwConfig::default()).label(),
+            "AGFW-ACK"
+        );
+        assert_eq!(
+            ProtocolKind::Agfw(AgfwConfig::without_ack()).label(),
+            "AGFW-noACK"
+        );
+    }
+
+    #[test]
+    fn stddev_of_constant_is_zero() {
+        assert_eq!(stddev(&[0.5, 0.5, 0.5]), 0.0);
+        assert_eq!(stddev(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn paper_config_respects_params() {
+        let params = SweepParams {
+            duration: SimTime::from_secs(120),
+            seeds: 1,
+            ..SweepParams::default()
+        };
+        let cfg = paper_config(75, 3, &params);
+        assert_eq!(cfg.num_nodes, 75);
+        assert_eq!(cfg.duration, SimTime::from_secs(120));
+        assert_eq!(cfg.flows.len(), 30);
+        assert_eq!(cfg.seed, 3);
+    }
+
+    #[test]
+    fn short_sweep_produces_points() {
+        let params = SweepParams {
+            duration: SimTime::from_secs(60),
+            seeds: 1,
+            ..SweepParams::default()
+        };
+        let points = sweep(&ProtocolKind::GpsrGreedy, &[50], &params);
+        assert_eq!(points.len(), 1);
+        assert!(points[0].delivery_fraction > 0.0);
+        assert_eq!(points[0].per_seed_delivery.len(), 1);
+    }
+}

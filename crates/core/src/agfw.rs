@@ -1,0 +1,1481 @@
+//! AGFW — Anonymous Greedy Forwarding (§3.2).
+//!
+//! The protocol in one paragraph: every transmission is a **local
+//! broadcast with no source MAC address**. Hellos advertise a fresh
+//! pseudonym and position, building the [`AnonymousNeighborTable`]. Data
+//! packets name their committed next relay by *pseudonym* and their
+//! destination by *location plus trapdoor*. A committed forwarder
+//! acknowledges at the network layer (the MAC cannot acknowledge an
+//! anonymous broadcast), then — only inside the *last-hop region*, where
+//! the destination location is within radio range — spends the
+//! trapdoor-opening cost to check whether it is itself the destination.
+//! If forwarding stalls inside the last-hop region, the node emits the
+//! *last forwarding attempt* (`n = 0`), asking every receiver to try the
+//! trapdoor.
+//!
+//! Packet handling mirrors the paper's Algorithm 3.2; the network-layer
+//! ACK + retransmission scheme and piggybacked ACKs implement the §3.2
+//! reliability discussion; the cryptographic processing-cost model
+//! implements §5.1 ("Our simulations include a proper processing delay
+//! for where it applies": 0.5 ms per trapdoor seal, 8.5 ms per open
+//! attempt, the paper's measured RSA-512 timings).
+
+use crate::aant::{Aant, AantConfig};
+use crate::als::{self, AlsRequest, AlsServer, AlsUpdate};
+use crate::ant::{AnonymousNeighborTable, SelectionStrategy};
+use crate::dlm::ServerSelection;
+use crate::keys::KeyDirectory;
+use crate::packet::{
+    AckRef, AgfwData, AgfwMode, AgfwPacket, AlsNetKind, AlsNetMessage, AlsPair, TrapdoorWire,
+};
+use crate::pseudonym::{Pseudonym, PseudonymGenerator};
+use agr_crypto::rsa::RsaKeyPair;
+use agr_crypto::trapdoor::Trapdoor;
+use agr_sim::{Ctx, FlowTag, MacAddr, MacOutcome, NodeId, Protocol, SimConfig, SimTime};
+use rand::Rng;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// How trapdoor cryptography is realised.
+///
+/// Either way the *timing* cost is injected into the simulation, exactly
+/// as the paper did in NS-2 (§5.1). `Real` additionally performs the
+/// actual RSA-512 operations (used by integration tests and the crypto
+/// benches); `Modeled` is the default for large simulation sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CryptoMode {
+    /// Model the cost, skip the arithmetic.
+    Modeled {
+        /// Time to seal a trapdoor at the source (paper: 0.5 ms).
+        encrypt_delay: SimTime,
+        /// Time per trapdoor-opening attempt (paper: 8.5 ms).
+        decrypt_delay: SimTime,
+    },
+    /// Perform genuine RSA trapdoor operations *and* model the paper's
+    /// device timings (2026 hardware is far faster than a 2005 laptop, so
+    /// wall-clock crypto time must not leak into simulated latency).
+    Real {
+        /// Simulated seal time.
+        encrypt_delay: SimTime,
+        /// Simulated open-attempt time.
+        decrypt_delay: SimTime,
+    },
+}
+
+impl CryptoMode {
+    /// The paper's measured RSA-512 timings: 0.5 ms encrypt, 8.5 ms
+    /// decrypt "for a portable computer processor".
+    #[must_use]
+    pub fn paper_modeled() -> Self {
+        CryptoMode::Modeled {
+            encrypt_delay: SimTime::from_micros(500),
+            decrypt_delay: SimTime::from_micros(8_500),
+        }
+    }
+
+    /// Real RSA with the paper's timing model.
+    #[must_use]
+    pub fn paper_real() -> Self {
+        CryptoMode::Real {
+            encrypt_delay: SimTime::from_micros(500),
+            decrypt_delay: SimTime::from_micros(8_500),
+        }
+    }
+
+    fn encrypt_delay(self) -> SimTime {
+        match self {
+            CryptoMode::Modeled { encrypt_delay, .. } | CryptoMode::Real { encrypt_delay, .. } => {
+                encrypt_delay
+            }
+        }
+    }
+
+    fn decrypt_delay(self) -> SimTime {
+        match self {
+            CryptoMode::Modeled { decrypt_delay, .. } | CryptoMode::Real { decrypt_delay, .. } => {
+                decrypt_delay
+            }
+        }
+    }
+}
+
+/// How sources learn destination locations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LocationMode {
+    /// A location oracle — what the paper's §5 evaluation (and the
+    /// original GPSR evaluation) grants sources.
+    Oracle,
+    /// The §3.3 anonymous location service, geo-routed over the live
+    /// network: the integration the paper expected to "elegantly degrade
+    /// a bit" but did not simulate. Requires key material
+    /// ([`Agfw::with_keys`]).
+    Als(AlsNetParams),
+}
+
+/// Parameters of the networked anonymous location service.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlsNetParams {
+    /// DLM grid cell size in metres (a radio range is the natural pick).
+    pub cell_size: f64,
+    /// Remote-location-update period (the update is skipped when the node
+    /// has moved less than `min_move` since its last one — random-waypoint
+    /// nodes pause for 60 s, so most periods need no refresh).
+    pub update_interval: SimTime,
+    /// Minimum movement since the last update to justify a new one.
+    pub min_move: f64,
+    /// How long a cached destination location stays usable.
+    pub cache_lifetime: SimTime,
+    /// How long a query waits for its LREP before retrying.
+    pub query_timeout: SimTime,
+    /// Query retries before the queued packets are dropped.
+    pub max_query_retries: u32,
+    /// Hop budget of service messages.
+    pub ttl: u8,
+}
+
+impl Default for AlsNetParams {
+    fn default() -> Self {
+        AlsNetParams {
+            cell_size: 250.0,
+            update_interval: SimTime::from_secs(4),
+            min_move: 0.0,
+            cache_lifetime: SimTime::from_secs(8),
+            query_timeout: SimTime::from_millis(400),
+            max_query_retries: 4,
+            ttl: 32,
+        }
+    }
+}
+
+/// AGFW configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AgfwConfig {
+    /// Hello (anonymous beacon) interval.
+    pub hello_interval: SimTime,
+    /// ANT entry lifetime.
+    pub ant_timeout: SimTime,
+    /// Freshness window for [`SelectionStrategy::FreshnessAware`];
+    /// should cover the pseudonym-memory horizon (2 hello intervals).
+    pub fresh_window: SimTime,
+    /// Next-hop selection strategy.
+    pub selection: SelectionStrategy,
+    /// How many of its own recent pseudonyms a node answers to (paper: 2).
+    pub pseudonym_memory: usize,
+    /// Rotate the pseudonym every `rotate_every`-th hello (paper: 1 =
+    /// every hello; larger values are the privacy/efficiency ablation).
+    pub rotate_every: u32,
+    /// Enable network-layer acknowledgments and retransmission. Off is
+    /// the paper's "simple form of AGFW" lower bound in Figure 1(a).
+    pub nl_ack: bool,
+    /// How long a forwarder waits for the next hop's NL-ACK after its
+    /// broadcast leaves the MAC.
+    pub ack_timeout: SimTime,
+    /// Retransmissions before giving up on a hop.
+    pub max_retransmits: u32,
+    /// Piggyback ACKs on outgoing data packets when possible (§3.2).
+    pub piggyback_acks: bool,
+    /// With piggybacking on, flush ACKs as an explicit packet if no data
+    /// packet has carried them within this delay.
+    pub ack_flush_delay: SimTime,
+    /// Initial TTL of data packets.
+    pub ttl: u8,
+    /// Trapdoor cryptography realisation.
+    pub crypto: CryptoMode,
+    /// Anonymous perimeter recovery at greedy dead ends — the paper's §6
+    /// future-work extension, face-routing over the pseudonymous ANT.
+    /// Off reproduces the paper's greedy-only AGFW.
+    pub recovery: bool,
+    /// Advertise velocity in hellos and extrapolate neighbor positions at
+    /// selection time — §3.1.1's "forwarding could be better if the node
+    /// movement is predictable" refinement. Costs 8 bytes per hello.
+    pub predictive: bool,
+    /// How destination locations are learned.
+    pub location: LocationMode,
+}
+
+impl Default for AgfwConfig {
+    fn default() -> Self {
+        AgfwConfig {
+            hello_interval: SimTime::from_secs(1),
+            ant_timeout: SimTime::from_millis(4500),
+            fresh_window: SimTime::from_millis(2200),
+            selection: SelectionStrategy::FreshnessAware,
+            pseudonym_memory: 2,
+            rotate_every: 1,
+            nl_ack: true,
+            ack_timeout: SimTime::from_millis(25),
+            max_retransmits: 5,
+            piggyback_acks: false,
+            ack_flush_delay: SimTime::from_millis(5),
+            ttl: 64,
+            crypto: CryptoMode::paper_modeled(),
+            recovery: false,
+            predictive: false,
+            location: LocationMode::Oracle,
+        }
+    }
+}
+
+impl AgfwConfig {
+    /// The paper's "simple form of AGFW with no packet acknowledgment" —
+    /// the lower curve of Figure 1(a).
+    #[must_use]
+    pub fn without_ack() -> Self {
+        AgfwConfig {
+            nl_ack: false,
+            ..AgfwConfig::default()
+        }
+    }
+
+    /// AGFW with anonymous perimeter recovery (§6 extension).
+    #[must_use]
+    pub fn with_recovery() -> Self {
+        AgfwConfig {
+            recovery: true,
+            ..AgfwConfig::default()
+        }
+    }
+
+    /// AGFW with velocity-predictive neighbor tables (§3.1.1 refinement).
+    #[must_use]
+    pub fn predictive() -> Self {
+        AgfwConfig {
+            predictive: true,
+            ..AgfwConfig::default()
+        }
+    }
+
+    /// AGFW resolving destinations through the networked anonymous
+    /// location service instead of an oracle.
+    #[must_use]
+    pub fn with_als() -> Self {
+        AgfwConfig {
+            location: LocationMode::Als(AlsNetParams::default()),
+            ..AgfwConfig::default()
+        }
+    }
+}
+
+const TIMER_HELLO: u64 = 0;
+const TIMER_ACK_FLUSH: u64 = 1;
+const TIMER_ALS_UPDATE: u64 = 2;
+const OP_BASE: u64 = 16;
+
+/// Deferred work completing after a modelled processing delay.
+#[derive(Debug)]
+enum PendingOp {
+    /// The source finished sealing the trapdoor; send the packet.
+    SendAfterEncrypt { data: AgfwData },
+    /// A trapdoor-opening attempt finished.
+    AfterDecrypt {
+        data: AgfwData,
+        opened: bool,
+        last_attempt: bool,
+    },
+    /// The NL-ACK timer for `uid` (at send generation `generation`)
+    /// expired.
+    AckTimeout { uid: u64, generation: u32 },
+    /// A location query's LREP did not arrive in time.
+    QueryTimeout { dest: NodeId, generation: u32 },
+}
+
+/// Something this node transmitted and may have to retransmit.
+#[derive(Debug, Clone)]
+enum Outbound {
+    Data(AgfwData),
+    Als(AlsNetMessage),
+}
+
+/// A hop transmission awaiting its network-layer ACK.
+#[derive(Debug)]
+struct PendingAck {
+    packet: Outbound,
+    retries_left: u32,
+    generation: u32,
+    /// Every pseudonym this packet has been addressed to from this node;
+    /// an ACK matches if it echoes any of them.
+    used_next: Vec<Pseudonym>,
+}
+
+/// Duplicate-suppression record for a packet this node has accepted.
+#[derive(Debug, Clone, Copy)]
+struct HandledState {
+    when: SimTime,
+    /// True once the packet was delivered to the application here.
+    delivered: bool,
+}
+
+/// A location query in flight, with the application packets waiting on
+/// its answer.
+#[derive(Debug)]
+struct PendingQuery {
+    queued: Vec<FlowTag>,
+    retries_left: u32,
+    generation: u32,
+}
+
+/// Per-node state of the networked anonymous location service.
+#[derive(Debug)]
+struct AlsState {
+    params: AlsNetParams,
+    ssa: ServerSelection,
+    /// Server role: records stored per cell while this node sits in (or
+    /// is the surrogate for) that cell. Records are handed off when the
+    /// node leaves the cell.
+    servers: HashMap<agr_geom::CellId, AlsServer>,
+    /// Requester role: decrypted locations, with their retrieval time.
+    loc_cache: HashMap<NodeId, (agr_geom::Point, SimTime)>,
+    pending_queries: HashMap<NodeId, PendingQuery>,
+    /// Duplicate suppression for geo-routed service messages.
+    seen: HashMap<u64, SimTime>,
+    /// Position advertised by the last remote location update.
+    last_update_pos: Option<agr_geom::Point>,
+    /// Who might query this node — "the updating node has to identify
+    /// all its possible senders" (§3.3, the paper's stated limitation).
+    anticipated: Vec<NodeId>,
+}
+
+/// An AGFW node.
+///
+/// See the [crate documentation](crate) for a runnable example.
+#[derive(Debug)]
+pub struct Agfw {
+    my_id: NodeId,
+    config: AgfwConfig,
+    comm_range: f64,
+    ant: AnonymousNeighborTable,
+    pseudonyms: PseudonymGenerator,
+    hellos_sent: u32,
+    keys: Option<Arc<RsaKeyPair>>,
+    directory: Option<Arc<KeyDirectory>>,
+    aant: Option<Aant>,
+    pending_ops: HashMap<u64, PendingOp>,
+    next_op: u64,
+    pending_acks: HashMap<u64, PendingAck>,
+    /// Packets this node has taken responsibility for (forwarded and/or
+    /// delivered), for duplicate suppression and re-ACKing.
+    handled: HashMap<u64, HandledState>,
+    ack_backlog: Vec<AckRef>,
+    ack_flush_scheduled: bool,
+    als: Option<AlsState>,
+}
+
+impl Agfw {
+    /// Seals a trapdoor and launches a data packet towards a resolved
+    /// destination location.
+    fn originate(
+        &mut self,
+        ctx: &mut Ctx<'_, AgfwPacket>,
+        dest: NodeId,
+        dst_loc: agr_geom::Point,
+        tag: FlowTag,
+    ) {
+        let src_loc = ctx.my_pos();
+        let Some(trapdoor) = self.seal_trapdoor(ctx, dest, src_loc) else {
+            ctx.count("agfw.drop.seal_failed");
+            return;
+        };
+        ctx.count("agfw.trapdoor_sealed");
+        let data = AgfwData {
+            dst_loc,
+            next: Pseudonym::LAST_ATTEMPT, // placeholder until selection
+            trapdoor,
+            uid: ctx.rng().random(),
+            ttl: self.config.ttl,
+            payload_bytes: ctx.config().flows[tag.flow as usize].payload_bytes,
+            acks: Vec::new(),
+            mode: AgfwMode::Greedy,
+            tag,
+        };
+        let delay = self.config.crypto.encrypt_delay();
+        self.schedule_op(ctx, delay, PendingOp::SendAfterEncrypt { data });
+    }
+
+    /// Creates an AGFW node with modelled cryptography.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.crypto` is [`CryptoMode::Real`] — real
+    /// cryptography needs key material; use [`Agfw::with_keys`].
+    #[must_use]
+    pub fn new(
+        id: NodeId,
+        config: AgfwConfig,
+        sim: &SimConfig,
+        _rng: &mut impl Rng,
+    ) -> Self {
+        assert!(
+            matches!(config.crypto, CryptoMode::Modeled { .. }),
+            "CryptoMode::Real requires Agfw::with_keys"
+        );
+        Self::build(id, config, sim, None, None, None)
+    }
+
+    /// Creates an AGFW node holding real key material: genuine RSA
+    /// trapdoors, and — when `auth` is given — ring-signed hellos (AANT).
+    #[must_use]
+    pub fn with_keys(
+        id: NodeId,
+        config: AgfwConfig,
+        sim: &SimConfig,
+        keypair: Arc<RsaKeyPair>,
+        directory: Arc<KeyDirectory>,
+        auth: Option<AantConfig>,
+    ) -> Self {
+        let aant = auth.map(|a| {
+            Aant::new(
+                u64::from(id.0),
+                Arc::clone(&keypair),
+                Arc::clone(&directory),
+                a,
+            )
+        });
+        Self::build(id, config, sim, Some(keypair), Some(directory), aant)
+    }
+
+    fn build(
+        id: NodeId,
+        config: AgfwConfig,
+        sim: &SimConfig,
+        keys: Option<Arc<RsaKeyPair>>,
+        directory: Option<Arc<KeyDirectory>>,
+        aant: Option<Aant>,
+    ) -> Self {
+        let als = match config.location {
+            LocationMode::Oracle => None,
+            LocationMode::Als(params) => {
+                assert!(
+                    keys.is_some() && directory.is_some(),
+                    "LocationMode::Als requires Agfw::with_keys (real key material)"
+                );
+                // Anticipate the configured traffic sources (§3.3: the
+                // updater must identify its possible senders).
+                let mut anticipated: Vec<NodeId> =
+                    sim.flows.iter().map(|f| f.src).collect();
+                anticipated.sort_unstable();
+                anticipated.dedup();
+                anticipated.retain(|&s| s != id);
+                Some(AlsState {
+                    params,
+                    ssa: ServerSelection::new(sim.area, params.cell_size),
+                    servers: HashMap::new(),
+                    loc_cache: HashMap::new(),
+                    pending_queries: HashMap::new(),
+                    seen: HashMap::new(),
+                    last_update_pos: None,
+                    anticipated,
+                })
+            }
+        };
+        Agfw {
+            my_id: id,
+            config,
+            comm_range: sim.radio.comm_range,
+            ant: AnonymousNeighborTable::new(config.ant_timeout, config.fresh_window),
+            pseudonyms: PseudonymGenerator::new(u64::from(id.0), config.pseudonym_memory),
+            hellos_sent: 0,
+            keys,
+            directory,
+            aant,
+            pending_ops: HashMap::new(),
+            next_op: 0,
+            pending_acks: HashMap::new(),
+            handled: HashMap::new(),
+            ack_backlog: Vec::new(),
+            ack_flush_scheduled: false,
+            als,
+        }
+    }
+
+    /// Read access to the node's ANT (tests and analysis).
+    #[must_use]
+    pub fn ant(&self) -> &AnonymousNeighborTable {
+        &self.ant
+    }
+
+    fn schedule_op(&mut self, ctx: &mut Ctx<'_, AgfwPacket>, delay: SimTime, op: PendingOp) {
+        let id = self.next_op;
+        self.next_op += 1;
+        self.pending_ops.insert(id, op);
+        ctx.set_timer(delay, OP_BASE + id);
+    }
+
+    fn trapdoor_opens(&self, trapdoor: &TrapdoorWire) -> bool {
+        match trapdoor {
+            TrapdoorWire::Modeled { dest, .. } => *dest == self.my_id,
+            TrapdoorWire::Real(t) => {
+                let keys = self.keys.as_ref().expect("Real mode has keys");
+                t.try_open(keys).is_some()
+            }
+        }
+    }
+
+    fn seal_trapdoor(
+        &self,
+        ctx: &mut Ctx<'_, AgfwPacket>,
+        dest: NodeId,
+        src_loc: agr_geom::Point,
+    ) -> Option<TrapdoorWire> {
+        match self.config.crypto {
+            CryptoMode::Modeled { .. } => Some(TrapdoorWire::Modeled {
+                dest,
+                nonce: ctx.rng().random(),
+            }),
+            CryptoMode::Real { .. } => {
+                let dir = self.directory.as_ref().expect("Real mode has directory");
+                let dest_key = dir.public_key(u64::from(dest.0))?.clone();
+                Trapdoor::seal(&dest_key, u64::from(self.my_id.0), src_loc, ctx.rng())
+                    .ok()
+                    .map(TrapdoorWire::Real)
+            }
+        }
+    }
+
+    /// Queues an ACK for `uid` as received under pseudonym `to`, flushing
+    /// according to the piggyback policy.
+    fn queue_ack(&mut self, ctx: &mut Ctx<'_, AgfwPacket>, uid: u64, to: Pseudonym) {
+        if !self.config.nl_ack {
+            return;
+        }
+        self.ack_backlog.push(AckRef { uid, to });
+        if self.config.piggyback_acks {
+            if !self.ack_flush_scheduled {
+                self.ack_flush_scheduled = true;
+                ctx.set_timer(self.config.ack_flush_delay, TIMER_ACK_FLUSH);
+            }
+        } else {
+            self.flush_acks(ctx);
+        }
+    }
+
+    fn flush_acks(&mut self, ctx: &mut Ctx<'_, AgfwPacket>) {
+        if self.ack_backlog.is_empty() {
+            return;
+        }
+        let packet = AgfwPacket::NlAck {
+            acks: std::mem::take(&mut self.ack_backlog),
+        };
+        ctx.count("agfw.nl_ack_sent");
+        let bytes = packet.wire_bytes();
+        ctx.mac_broadcast(packet, bytes);
+    }
+
+    /// Broadcasts a data packet, registering the pending NL-ACK.
+    fn send_data(&mut self, ctx: &mut Ctx<'_, AgfwPacket>, mut data: AgfwData) {
+        if self.config.piggyback_acks && !self.ack_backlog.is_empty() {
+            data.acks = std::mem::take(&mut self.ack_backlog);
+            ctx.count_n("agfw.acks_piggybacked", data.acks.len() as u64);
+        }
+        if self.config.nl_ack {
+            let max_retx = self.config.max_retransmits;
+            let entry = self
+                .pending_acks
+                .entry(data.uid)
+                .or_insert_with(|| PendingAck {
+                    packet: Outbound::Data(data.clone()),
+                    retries_left: max_retx,
+                    generation: 0,
+                    used_next: Vec::new(),
+                });
+            entry.generation += 1;
+            entry.packet = Outbound::Data(data.clone());
+            if !entry.used_next.contains(&data.next) {
+                entry.used_next.push(data.next);
+            }
+        }
+        ctx.count("agfw.data_broadcast");
+        let bytes = data.wire_bytes();
+        ctx.mac_broadcast(AgfwPacket::Data(data), bytes);
+    }
+
+    /// Routes `data` one hop: greedy, perimeter recovery (if enabled), the
+    /// last forwarding attempt, or a drop. `decrement_ttl` is false for
+    /// retransmissions of an already-committed hop.
+    fn forward_or_last_attempt(
+        &mut self,
+        ctx: &mut Ctx<'_, AgfwPacket>,
+        mut data: AgfwData,
+        decrement_ttl: bool,
+    ) {
+        if decrement_ttl {
+            if data.ttl == 0 {
+                ctx.count("agfw.drop.ttl");
+                self.pending_acks.remove(&data.uid);
+                return;
+            }
+            data.ttl -= 1;
+        }
+        let me = ctx.my_pos();
+        let now = ctx.now();
+
+        // Perimeter mode: resume greedy as soon as we are closer to the
+        // destination than the point where recovery started.
+        if let AgfwMode::Perimeter { entry, prev } = data.mode {
+            if me.distance_sq(data.dst_loc) < entry.distance_sq(data.dst_loc) {
+                data.mode = AgfwMode::Greedy;
+            } else {
+                self.perimeter_step(ctx, data, entry, prev);
+                return;
+            }
+        }
+
+        match self
+            .ant
+            .next_hop(me, data.dst_loc, now, self.config.selection)
+        {
+            Some(hop) => {
+                data.next = hop.pseudonym;
+                ctx.count("agfw.forward");
+                self.send_data(ctx, data);
+            }
+            None if me.within_range(data.dst_loc, self.comm_range) => {
+                // "The last forwarding attempt": n = 0, everyone tries the
+                // trapdoor, no further forwarding.
+                data.next = Pseudonym::LAST_ATTEMPT;
+                ctx.count("agfw.last_attempt");
+                self.send_data(ctx, data);
+            }
+            None if self.config.recovery => {
+                // §6 extension: enter anonymous perimeter mode. The first
+                // right-hand sweep starts from the destination direction,
+                // exactly as in GPSR — but over pseudonymous ANT entries.
+                ctx.count("agfw.perimeter_enter");
+                let dst_loc = data.dst_loc;
+                self.perimeter_step(ctx, data, me, dst_loc);
+            }
+            None => {
+                // Forwarding stops; "recovery mode could be further
+                // considered" (Algorithm 3.2).
+                self.pending_acks.remove(&data.uid);
+                ctx.count("agfw.drop.local_max");
+            }
+        }
+    }
+
+    /// One hop of anonymous perimeter routing: right-hand rule over the
+    /// Gabriel-planarised fresh ANT.
+    fn perimeter_step(
+        &mut self,
+        ctx: &mut Ctx<'_, AgfwPacket>,
+        mut data: AgfwData,
+        entry: agr_geom::Point,
+        prev: agr_geom::Point,
+    ) {
+        let me = ctx.my_pos();
+        let now = ctx.now();
+        let planar_set = self.ant.planar_fresh(me, now);
+        let positions: Vec<agr_geom::Point> = planar_set.iter().map(|e| e.loc).collect();
+        match agr_geom::planar::right_hand_next(me, prev, &positions) {
+            Some(i) => {
+                data.next = planar_set[i].pseudonym;
+                data.mode = AgfwMode::Perimeter { entry, prev: me };
+                ctx.count("agfw.forward.perimeter");
+                self.send_data(ctx, data);
+            }
+            None if me.within_range(data.dst_loc, self.comm_range) => {
+                data.next = Pseudonym::LAST_ATTEMPT;
+                ctx.count("agfw.last_attempt");
+                self.send_data(ctx, data);
+            }
+            None => {
+                self.pending_acks.remove(&data.uid);
+                ctx.count("agfw.drop.no_planar");
+            }
+        }
+    }
+
+    /// Runs the committed-forwarder logic of Algorithm 3.2 on `data`.
+    ///
+    /// `allow_open` is false at the original source (it knows it is not
+    /// the destination).
+    fn dispatch_packet(
+        &mut self,
+        ctx: &mut Ctx<'_, AgfwPacket>,
+        data: AgfwData,
+        allow_open: bool,
+    ) {
+        let me = ctx.my_pos();
+        let in_last_hop_region = me.within_range(data.dst_loc, self.comm_range);
+        if in_last_hop_region && allow_open {
+            // Spend a trapdoor-open attempt (8.5 ms of modelled RSA).
+            ctx.count("agfw.trapdoor_attempt");
+            let opened = self.trapdoor_opens(&data.trapdoor);
+            let delay = self.config.crypto.decrypt_delay();
+            self.schedule_op(
+                ctx,
+                delay,
+                PendingOp::AfterDecrypt {
+                    data,
+                    opened,
+                    last_attempt: false,
+                },
+            );
+        } else {
+            self.forward_or_last_attempt(ctx, data, true);
+        }
+    }
+
+    fn accept_delivery(&mut self, ctx: &mut Ctx<'_, AgfwPacket>, data: &AgfwData) {
+        self.handled.insert(
+            data.uid,
+            HandledState {
+                when: ctx.now(),
+                delivered: true,
+            },
+        );
+        ctx.count("agfw.delivered");
+        ctx.deliver_data(data.tag);
+    }
+
+    fn handle_op(&mut self, ctx: &mut Ctx<'_, AgfwPacket>, op: PendingOp) {
+        match op {
+            PendingOp::SendAfterEncrypt { data } => {
+                // The source is a committed forwarder that skips the
+                // trapdoor check on its own packet.
+                let me = ctx.my_pos();
+                let in_region = me.within_range(data.dst_loc, self.comm_range);
+                let _ = in_region;
+                self.forward_or_last_attempt(ctx, data, true);
+            }
+            PendingOp::AfterDecrypt {
+                data,
+                opened,
+                last_attempt,
+            } => {
+                if opened {
+                    ctx.count("agfw.trapdoor_opened");
+                    if last_attempt {
+                        // Only now do we know the packet was for us: mark,
+                        // deliver, and acknowledge the last-attempt sender.
+                        self.accept_delivery(ctx, &data);
+                        self.queue_ack(ctx, data.uid, Pseudonym::LAST_ATTEMPT);
+                    } else {
+                        // Committed forwarder turned out to be the
+                        // destination; the hop ACK already went out when
+                        // we accepted the packet.
+                        self.accept_delivery(ctx, &data);
+                    }
+                } else if last_attempt {
+                    ctx.count("agfw.last_attempt_miss");
+                } else {
+                    self.forward_or_last_attempt(ctx, data, true);
+                }
+            }
+            PendingOp::QueryTimeout { dest, generation } => {
+                self.als_query_timeout(ctx, dest, generation);
+            }
+            PendingOp::AckTimeout { uid, generation } => {
+                let Some(pending) = self.pending_acks.get_mut(&uid) else {
+                    return; // acknowledged in the meantime
+                };
+                if pending.generation != generation {
+                    return; // stale timer from an earlier transmission
+                }
+                if pending.retries_left == 0 {
+                    let dropped = self.pending_acks.remove(&uid).expect("checked above");
+                    match dropped.packet {
+                        Outbound::Data(_) => ctx.count("agfw.drop.retries"),
+                        Outbound::Als(msg) => {
+                            ctx.count("als.drop.retries");
+                            if matches!(msg.kind, AlsNetKind::Reply { .. }) {
+                                ctx.count("als.drop.retries.reply");
+                            }
+                        }
+                    }
+                    return;
+                }
+                pending.retries_left -= 1;
+                let retries_left = pending.retries_left;
+                ctx.count("agfw.retransmit");
+                let packet = pending.packet.clone();
+                // First silence is usually a collision — retry the same
+                // relay. Repeated silence means the relay moved away or
+                // has forgotten this pseudonym (§3.1.1 keeps only the two
+                // latest): evict the dead entry so re-selection explores a
+                // different alias.
+                match packet {
+                    Outbound::Data(data) => {
+                        if retries_left + 1 < self.config.max_retransmits {
+                            self.ant.remove(data.next);
+                        }
+                        self.forward_or_last_attempt(ctx, data, false);
+                    }
+                    Outbound::Als(msg) => {
+                        if retries_left + 1 < self.config.max_retransmits {
+                            self.ant.remove(msg.next);
+                        }
+                        self.als_route_hop(ctx, msg);
+                    }
+                }
+            }
+        }
+    }
+
+    fn process_ack(&mut self, ctx: &mut Ctx<'_, AgfwPacket>, ack: AckRef) {
+        // Only an ACK echoing a pseudonym *we* addressed clears our
+        // pending transmission — an overheard ACK for another hop of the
+        // same packet must not.
+        let ours = self
+            .pending_acks
+            .get(&ack.uid)
+            .is_some_and(|p| p.used_next.contains(&ack.to));
+        if ours {
+            self.pending_acks.remove(&ack.uid);
+            ctx.count("agfw.hop_acked");
+        }
+    }
+
+    fn handle_data(&mut self, ctx: &mut Ctx<'_, AgfwPacket>, data: AgfwData) {
+        for &ack in &data.acks {
+            self.process_ack(ctx, ack);
+        }
+        if data.next == Pseudonym::LAST_ATTEMPT {
+            if self.handled.get(&data.uid).is_some_and(|h| h.delivered) {
+                // We already delivered this packet (we are its
+                // destination) and our ACK was lost: re-acknowledge.
+                self.queue_ack(ctx, data.uid, Pseudonym::LAST_ATTEMPT);
+                return;
+            }
+            // Everyone hearing the last attempt tries the trapdoor.
+            ctx.count("agfw.trapdoor_attempt");
+            let opened = self.trapdoor_opens(&data.trapdoor);
+            let delay = self.config.crypto.decrypt_delay();
+            self.schedule_op(
+                ctx,
+                delay,
+                PendingOp::AfterDecrypt {
+                    data,
+                    opened,
+                    last_attempt: true,
+                },
+            );
+        } else if self.pseudonyms.owns(data.next) {
+            if self.handled.contains_key(&data.uid) {
+                // Duplicate (the previous hop missed our ACK): re-ACK,
+                // do not re-forward.
+                ctx.count("agfw.duplicate");
+                self.queue_ack(ctx, data.uid, data.next);
+                return;
+            }
+            self.handled.insert(
+                data.uid,
+                HandledState {
+                    when: ctx.now(),
+                    delivered: false,
+                },
+            );
+            if self.config.piggyback_acks {
+                // Queue first so the ACK rides on the forwarded packet.
+                self.queue_ack(ctx, data.uid, data.next);
+                self.dispatch_packet(ctx, data, true);
+            } else {
+                // Forward first: the explicit ACK otherwise sits ahead of
+                // the data in the MAC queue and delays every hop.
+                let uid = data.uid;
+                let to = data.next;
+                self.dispatch_packet(ctx, data, true);
+                self.queue_ack(ctx, uid, to);
+            }
+        } else {
+            // "If n is not the pseudonym of the node, it will simply
+            // discard the packet."
+            ctx.count("agfw.overheard");
+        }
+    }
+
+ // ---------------------------------------------------------------
+    // Networked anonymous location service (§3.3 over the live network)
+    // ---------------------------------------------------------------
+
+    /// Periodic RLU: seal one `(index, record)` pair per anticipated
+    /// requester and geo-route the batch to `ssa(me)`.
+    fn als_send_update(&mut self, ctx: &mut Ctx<'_, AgfwPacket>) {
+        let Some(als) = &self.als else { return };
+        let me = u64::from(self.my_id.0);
+        let my_pos = ctx.my_pos();
+        let now = ctx.now();
+        if let Some(prev) = als.last_update_pos {
+            if prev.distance(my_pos) < als.params.min_move {
+                ctx.count("als.update_skipped");
+                return;
+            }
+        }
+        let ttl = als.params.ttl;
+        let cell = als.ssa.cell_for(me);
+        let target_loc = als.ssa.grid().cell_center(cell);
+        let directory = self.directory.as_ref().expect("Als mode has directory");
+        let ssa = als.ssa;
+        let anticipated = als.anticipated.clone();
+        let mut pairs = Vec::new();
+        for requester in anticipated {
+            let Some(key) = directory.public_key(u64::from(requester.0)) else {
+                continue;
+            };
+            let key = key.clone();
+            if let Ok(update) =
+                als::make_update(me, my_pos, now, u64::from(requester.0), &key, &ssa, ctx.rng())
+            {
+                pairs.push(AlsPair {
+                    index: update.index,
+                    payload: update.payload,
+                });
+            }
+        }
+        if pairs.is_empty() {
+            return;
+        }
+        if let Some(als) = &mut self.als {
+            als.last_update_pos = Some(my_pos);
+        }
+        // Split into modest frames: a 20-pair batch is a ~2.6 KB frame
+        // whose airtime invites collisions.
+        for chunk in pairs.chunks(8) {
+            ctx.count("als.update_sent");
+            let msg = AlsNetMessage {
+                target_loc,
+                next: Pseudonym::LAST_ATTEMPT,
+                uid: ctx.rng().random(),
+                ttl,
+                kind: AlsNetKind::Update {
+                    cell,
+                    pairs: chunk.to_vec(),
+                },
+            };
+            self.als_route(ctx, msg);
+        }
+    }
+
+    /// DLM server handoff: when mobility makes some neighbor closer to a
+    /// held cell's anchor than this node, the records are re-routed so
+    /// they keep homing to the canonical server.
+    fn als_handoff(&mut self, ctx: &mut Ctx<'_, AgfwPacket>) {
+        let my_pos = ctx.my_pos();
+        let now = ctx.now();
+        let selection = self.config.selection;
+        let Some(als) = &mut self.als else { return };
+        let ttl = als.params.ttl;
+        let mut outgoing = Vec::new();
+        for (&cell, server) in als.servers.iter_mut() {
+            if server.is_empty() {
+                continue;
+            }
+            let target_loc = als.ssa.grid().cell_center(cell);
+            // Still the local maximum for this anchor: records stay put.
+            if self
+                .ant
+                .next_hop(my_pos, target_loc, now, selection)
+                .is_none()
+            {
+                continue;
+            }
+            let records = server.take_records();
+            for chunk in records.chunks(8) {
+                outgoing.push(AlsNetMessage {
+                    target_loc,
+                    next: Pseudonym::LAST_ATTEMPT,
+                    uid: 0, // assigned below (needs the RNG)
+                    ttl,
+                    kind: AlsNetKind::Update {
+                        cell,
+                        pairs: chunk
+                            .iter()
+                            .map(|(index, payload)| AlsPair {
+                                index: index.clone(),
+                                payload: payload.clone(),
+                            })
+                            .collect(),
+                    },
+                });
+            }
+        }
+        als.servers.retain(|_, s| !s.is_empty());
+        for mut msg in outgoing {
+            msg.uid = ctx.rng().random();
+            ctx.count("als.handoff");
+            self.als_route(ctx, msg);
+        }
+    }
+
+    /// Queues an application packet behind a location query, sending the
+    /// LREQ if this destination has no query in flight yet.
+    fn als_enqueue_query(&mut self, ctx: &mut Ctx<'_, AgfwPacket>, dest: NodeId, tag: FlowTag) {
+        let Some(als) = &mut self.als else {
+            ctx.count("agfw.drop.no_location");
+            return;
+        };
+        let retries = als.params.max_query_retries;
+        let entry = als.pending_queries.entry(dest);
+        let fresh = matches!(entry, std::collections::hash_map::Entry::Vacant(_));
+        let pq = entry.or_insert_with(|| PendingQuery {
+            queued: Vec::new(),
+            retries_left: retries,
+            generation: 0,
+        });
+        pq.queued.push(tag);
+        if fresh {
+            self.als_send_request(ctx, dest);
+        }
+    }
+
+    /// Builds and geo-routes the LREQ for `dest`, scheduling its timeout.
+    fn als_send_request(&mut self, ctx: &mut Ctx<'_, AgfwPacket>, dest: NodeId) {
+        let Some(als) = &mut self.als else { return };
+        let me = u64::from(self.my_id.0);
+        let ssa = als.ssa;
+        let ttl = als.params.ttl;
+        let timeout = als.params.query_timeout;
+        let generation = match als.pending_queries.get_mut(&dest) {
+            Some(pq) => {
+                pq.generation += 1;
+                pq.generation
+            }
+            None => return,
+        };
+        let my_pos = ctx.my_pos();
+        let keys = self.keys.as_ref().expect("Als mode has keys");
+        let Ok(request) =
+            als::make_request(me, keys.public(), u64::from(dest.0), my_pos, &ssa)
+        else {
+            ctx.count("als.request_failed");
+            return;
+        };
+        ctx.count("als.request_sent");
+        let msg = AlsNetMessage {
+            target_loc: ssa.anchor_for(u64::from(dest.0)),
+            next: Pseudonym::LAST_ATTEMPT,
+            uid: ctx.rng().random(),
+            ttl,
+            kind: AlsNetKind::Request {
+                cell: request.server_cell,
+                index: request.index,
+                reply_loc: my_pos,
+            },
+        };
+        self.als_route(ctx, msg);
+        self.schedule_op(ctx, timeout, PendingOp::QueryTimeout { dest, generation });
+    }
+
+    fn als_query_timeout(&mut self, ctx: &mut Ctx<'_, AgfwPacket>, dest: NodeId, generation: u32) {
+        let Some(als) = &mut self.als else { return };
+        let Some(pq) = als.pending_queries.get_mut(&dest) else {
+            return; // answered in the meantime
+        };
+        if pq.generation != generation {
+            return;
+        }
+        if pq.retries_left == 0 {
+            let dropped = als.pending_queries.remove(&dest).expect("checked above");
+            ctx.count_n("agfw.drop.no_location", dropped.queued.len() as u64);
+            return;
+        }
+        pq.retries_left -= 1;
+        ctx.count("als.request_retry");
+        self.als_send_request(ctx, dest);
+    }
+
+    /// Consumes `msg` at this node if it is the canonical server for the
+    /// target cell (`at_local_max`: greedy routing towards the cell's
+    /// anchor can make no further progress — a unique node per
+    /// neighborhood, so updates and requests meet) or the matching
+    /// requester; returns whether consumed.
+    fn als_try_consume(
+        &mut self,
+        ctx: &mut Ctx<'_, AgfwPacket>,
+        msg: &AlsNetMessage,
+        at_local_max: bool,
+    ) -> bool {
+        let now = ctx.now();
+        let Some(als) = &mut self.als else { return false };
+        match &msg.kind {
+            AlsNetKind::Update { cell, pairs } => {
+                if !at_local_max {
+                    return false;
+                }
+                let server = als.servers.entry(*cell).or_default();
+                for pair in pairs {
+                    server.handle_update(AlsUpdate {
+                        server_cell: *cell,
+                        index: pair.index.clone(),
+                        payload: pair.payload.clone(),
+                    });
+                }
+                ctx.count("als.server_stored");
+                true
+            }
+            AlsNetKind::Request { cell, index, reply_loc } => {
+                if !at_local_max {
+                    return false;
+                }
+                let reply = als.servers.get(cell).and_then(|server| {
+                    server.handle_request(&AlsRequest {
+                        server_cell: *cell,
+                        index: index.clone(),
+                        reply_loc: *reply_loc,
+                    })
+                });
+                let ttl = als.params.ttl;
+                match reply {
+                    Some(r) => {
+                        ctx.count("als.reply_sent");
+                        let msg = AlsNetMessage {
+                            target_loc: *reply_loc,
+                            next: Pseudonym::LAST_ATTEMPT,
+                            uid: ctx.rng().random(),
+                            ttl,
+                            kind: AlsNetKind::Reply {
+                                payload: r.payloads.into_iter().next().expect("one record"),
+                            },
+                        };
+                        self.als_route(ctx, msg);
+                    }
+                    None => ctx.count("als.server_miss"),
+                }
+                true // the request terminates at the server either way
+            }
+            AlsNetKind::Reply { payload } => {
+                let keys = self.keys.as_ref().expect("Als mode has keys");
+                let Some(record) = als::open_record(payload, keys) else {
+                    return false; // sealed for someone else
+                };
+                let dest = NodeId(record.updater as u32);
+                als.loc_cache.insert(dest, (record.loc, now));
+                ctx.count("als.reply_received");
+                if let Some(pq) = als.pending_queries.remove(&dest) {
+                    for tag in pq.queued {
+                        self.originate(ctx, dest, record.loc, tag);
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    /// Geo-routes a service message: consume here if eligible, otherwise
+    /// greedy-forward by pseudonym with the last-attempt fallback.
+    /// Service messages are unacknowledged — periodic refresh and query
+    /// retry provide the reliability.
+    fn als_route(&mut self, ctx: &mut Ctx<'_, AgfwPacket>, msg: AlsNetMessage) {
+        // Replies may be claimed anywhere by the matching requester;
+        // updates/requests only terminate at the canonical server (the
+        // local maximum towards the cell anchor), found in als_route_hop.
+        if self.als_try_consume(ctx, &msg, false) {
+            return;
+        }
+        self.als_route_hop(ctx, msg);
+    }
+
+    /// Selects the next hop for a service message and broadcasts it with
+    /// NL-ACK protection; falls back to surrogate consumption or the last
+    /// forwarding attempt at local maxima.
+    fn als_route_hop(&mut self, ctx: &mut Ctx<'_, AgfwPacket>, mut msg: AlsNetMessage) {
+        let me = ctx.my_pos();
+        let now = ctx.now();
+        match self
+            .ant
+            .next_hop(me, msg.target_loc, now, self.config.selection)
+        {
+            Some(hop) => {
+                msg.next = hop.pseudonym;
+                ctx.count("als.forward");
+                self.send_als(ctx, msg);
+            }
+            None => match msg.kind {
+                // Nobody is closer to the cell anchor: this node is the
+                // canonical server for the cell (updates and requests
+                // converge here because both geo-route to the same anchor
+                // point — GLS-style closest-node server semantics).
+                AlsNetKind::Update { .. } | AlsNetKind::Request { .. } => {
+                    self.pending_acks.remove(&msg.uid);
+                    let _ = self.als_try_consume(ctx, &msg, true);
+                }
+                // A reply terminates at the requester: give nearby nodes
+                // one chance to claim it, mirroring the data path's last
+                // forwarding attempt.
+                AlsNetKind::Reply { .. } if me.within_range(msg.target_loc, self.comm_range) => {
+                    msg.next = Pseudonym::LAST_ATTEMPT;
+                    ctx.count("als.last_attempt");
+                    self.send_als(ctx, msg);
+                }
+                AlsNetKind::Reply { .. } => {
+                    self.pending_acks.remove(&msg.uid);
+                    ctx.count("als.drop.local_max");
+                }
+            },
+        }
+    }
+
+    /// True if a service message deserves NL-ACK protection: query
+    /// round-trips are valuable and small; bulk updates are redundant by
+    /// design (the next periodic refresh heals any loss) and ACKing them
+    /// would saturate the channel.
+    fn als_acked(kind: &AlsNetKind) -> bool {
+        matches!(kind, AlsNetKind::Request { .. } | AlsNetKind::Reply { .. })
+    }
+
+    /// Broadcasts a service message, with NL-ACK protection for queries
+    /// and replies (location-service round-trips would otherwise compound
+    /// per-hop broadcast loss).
+    fn send_als(&mut self, ctx: &mut Ctx<'_, AgfwPacket>, msg: AlsNetMessage) {
+        if self.config.nl_ack && Self::als_acked(&msg.kind) {
+            let max_retx = self.config.max_retransmits;
+            let entry = self
+                .pending_acks
+                .entry(msg.uid)
+                .or_insert_with(|| PendingAck {
+                    packet: Outbound::Als(msg.clone()),
+                    retries_left: max_retx,
+                    generation: 0,
+                    used_next: Vec::new(),
+                });
+            entry.generation += 1;
+            entry.packet = Outbound::Als(msg.clone());
+            if !entry.used_next.contains(&msg.next) {
+                entry.used_next.push(msg.next);
+            }
+        }
+        let bytes = msg.wire_bytes();
+        ctx.mac_broadcast(AgfwPacket::Als(msg), bytes);
+    }
+
+    /// Receive path for geo-routed service messages.
+    fn handle_als(&mut self, ctx: &mut Ctx<'_, AgfwPacket>, mut msg: AlsNetMessage) {
+        if self.als.is_none() {
+            return; // service disabled at this node
+        }
+        let now = ctx.now();
+        let committed = self.pseudonyms.owns(msg.next);
+        let last_attempt = msg.next == Pseudonym::LAST_ATTEMPT;
+        if !committed && !last_attempt {
+            return; // not addressed to us
+        }
+        let als = self.als.as_mut().expect("checked above");
+        if als.seen.insert(msg.uid, now).is_some() {
+            // Duplicate: if we accepted it earlier our ACK was lost —
+            // re-acknowledge committed copies of ACK-protected kinds;
+            // stay silent otherwise.
+            if committed && Self::als_acked(&msg.kind) {
+                self.queue_ack(ctx, msg.uid, msg.next);
+            }
+            return;
+        }
+        if last_attempt {
+            if self.als_try_consume(ctx, &msg, false) && Self::als_acked(&msg.kind) {
+                self.queue_ack(ctx, msg.uid, Pseudonym::LAST_ATTEMPT);
+            }
+            return;
+        }
+        // Committed relay: take responsibility, acknowledging the hop for
+        // ACK-protected kinds.
+        let uid = msg.uid;
+        let to = msg.next;
+        let wants_ack = Self::als_acked(&msg.kind);
+        if msg.ttl == 0 {
+            ctx.count("als.drop.ttl");
+            if wants_ack {
+                self.queue_ack(ctx, uid, to);
+            }
+            return;
+        }
+        msg.ttl -= 1;
+        self.als_route(ctx, msg);
+        if wants_ack {
+            self.queue_ack(ctx, uid, to);
+        }
+    }
+}
+
+impl Protocol for Agfw {
+    type Packet = AgfwPacket;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, AgfwPacket>) {
+        let base = self.config.hello_interval.as_nanos().max(1);
+        let delay = SimTime::from_nanos(ctx.rng().random_range(0..base));
+        ctx.set_timer(delay, TIMER_HELLO);
+        if let Some(als) = &self.als {
+            // First update after the neighborhood has formed.
+            let base = als.params.update_interval.as_nanos().max(1);
+            let delay = SimTime::from_nanos(
+                SimTime::from_secs(2).as_nanos() + ctx.rng().random_range(0..base),
+            );
+            ctx.set_timer(delay, TIMER_ALS_UPDATE);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, AgfwPacket>, kind: u64) {
+        match kind {
+            TIMER_HELLO => {
+                if self.hellos_sent.is_multiple_of(self.config.rotate_every.max(1))
+                    || self.pseudonyms.current().is_none()
+                {
+                    self.pseudonyms.rotate(ctx.rng());
+                }
+                self.hellos_sent += 1;
+                let n = self.pseudonyms.current().expect("rotated above");
+                let loc = ctx.my_pos();
+                let vel = self.config.predictive.then(|| ctx.my_velocity());
+                let ts = ctx.now();
+                let auth = self.aant.as_ref().map(|a| {
+                    ctx.count("aant.sign");
+                    a.sign_hello(n, loc, ts, ctx.rng())
+                });
+                let hello = AgfwPacket::Hello { n, loc, vel, ts, auth };
+                ctx.count("agfw.hello");
+                let bytes = hello.wire_bytes();
+                ctx.mac_broadcast(hello, bytes);
+                let now = ctx.now();
+                self.ant.prune(now);
+                self.handled
+                    .retain(|_, h| now.saturating_sub(h.when) < SimTime::from_secs(5));
+                if let Some(als) = &mut self.als {
+                    als.seen
+                        .retain(|_, &mut t| now.saturating_sub(t) < SimTime::from_secs(5));
+                }
+                self.als_handoff(ctx);
+                let base = self.config.hello_interval.as_nanos();
+                let jitter = ctx.rng().random_range((base * 3 / 4)..=(base * 5 / 4));
+                ctx.set_timer(SimTime::from_nanos(jitter), TIMER_HELLO);
+            }
+            TIMER_ACK_FLUSH => {
+                self.ack_flush_scheduled = false;
+                self.flush_acks(ctx);
+            }
+            TIMER_ALS_UPDATE => {
+                self.als_send_update(ctx);
+                if let Some(als) = &self.als {
+                    let base = als.params.update_interval.as_nanos().max(1);
+                    let jitter = ctx.rng().random_range((base * 3 / 4)..=(base * 5 / 4));
+                    ctx.set_timer(SimTime::from_nanos(jitter), TIMER_ALS_UPDATE);
+                }
+            }
+            op_kind => {
+                if let Some(op) = self.pending_ops.remove(&(op_kind - OP_BASE)) {
+                    self.handle_op(ctx, op);
+                }
+            }
+        }
+    }
+
+    fn on_app_send(&mut self, ctx: &mut Ctx<'_, AgfwPacket>, dest: NodeId, tag: FlowTag) {
+        match self.config.location {
+            LocationMode::Oracle => {
+                // The paper's simulations (§5.1: "we did not incorporate
+                // ALS") grant sources destination locations, like the
+                // GPSR baseline.
+                let dst_loc = ctx.oracle_position(dest);
+                self.originate(ctx, dest, dst_loc, tag);
+            }
+            LocationMode::Als(params) => {
+                let now = ctx.now();
+                let cached = self.als.as_ref().and_then(|a| {
+                    a.loc_cache.get(&dest).and_then(|&(loc, at)| {
+                        (now.saturating_sub(at) < params.cache_lifetime).then_some(loc)
+                    })
+                });
+                if let Some(loc) = cached {
+                    ctx.count("als.cache_hit");
+                    self.originate(ctx, dest, loc, tag);
+                } else {
+                    self.als_enqueue_query(ctx, dest, tag);
+                }
+            }
+        }
+    }
+
+    fn on_receive(
+        &mut self,
+        ctx: &mut Ctx<'_, AgfwPacket>,
+        packet: AgfwPacket,
+        from: Option<MacAddr>,
+    ) {
+        debug_assert!(from.is_none(), "AGFW frames must be anonymous broadcasts");
+        match packet {
+            AgfwPacket::Hello { n, loc, vel, ts, auth } => {
+                if let Some(aant) = &self.aant {
+                    ctx.count("aant.verify");
+                    let ok = auth
+                        .as_ref()
+                        .is_some_and(|a| aant.verify_hello(n, loc, ts, a));
+                    if !ok {
+                        ctx.count("aant.reject");
+                        return;
+                    }
+                }
+                self.ant.observe_with_velocity(n, loc, vel, ctx.now());
+            }
+            AgfwPacket::NlAck { acks } => {
+                for ack in acks {
+                    self.process_ack(ctx, ack);
+                }
+            }
+            AgfwPacket::Data(data) => self.handle_data(ctx, data),
+            AgfwPacket::Als(msg) => self.handle_als(ctx, msg),
+        }
+    }
+
+    fn on_mac_result(&mut self, ctx: &mut Ctx<'_, AgfwPacket>, outcome: MacOutcome<AgfwPacket>) {
+        // Start the ACK timer only once the broadcast actually left the
+        // MAC (queueing under contention would otherwise eat the timeout
+        // budget). Data and location-service messages share the machinery.
+        let uid = match outcome {
+            MacOutcome::Sent {
+                packet: AgfwPacket::Data(d),
+                ..
+            } => d.uid,
+            MacOutcome::Sent {
+                packet: AgfwPacket::Als(m),
+                ..
+            } => m.uid,
+            _ => return,
+        };
+        if let Some(p) = self.pending_acks.get(&uid) {
+            let generation = p.generation;
+            let delay = self.config.ack_timeout;
+            self.schedule_op(ctx, delay, PendingOp::AckTimeout { uid, generation });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_matches_paper() {
+        let c = AgfwConfig::default();
+        assert_eq!(c.hello_interval, SimTime::from_secs(1));
+        assert_eq!(c.pseudonym_memory, 2);
+        assert_eq!(c.rotate_every, 1);
+        assert!(c.nl_ack);
+        assert_eq!(
+            c.crypto,
+            CryptoMode::Modeled {
+                encrypt_delay: SimTime::from_micros(500),
+                decrypt_delay: SimTime::from_micros(8500),
+            }
+        );
+    }
+
+    #[test]
+    fn without_ack_preset() {
+        assert!(!AgfwConfig::without_ack().nl_ack);
+    }
+
+    #[test]
+    #[should_panic(expected = "Real requires")]
+    fn real_crypto_needs_keys() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let config = AgfwConfig {
+            crypto: CryptoMode::paper_real(),
+            ..AgfwConfig::default()
+        };
+        let _ = Agfw::new(NodeId(0), config, &SimConfig::default(), &mut rng);
+    }
+
+    #[test]
+    fn crypto_mode_delays() {
+        let m = CryptoMode::paper_modeled();
+        assert_eq!(m.encrypt_delay(), SimTime::from_micros(500));
+        assert_eq!(m.decrypt_delay(), SimTime::from_micros(8500));
+    }
+}

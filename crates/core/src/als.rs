@@ -1,0 +1,443 @@
+//! ALS — the Anonymous Location Service (§3.3, Algorithm 3.3).
+//!
+//! The message sequence reproduced exactly:
+//!
+//! ```text
+//! A -> S: ⟨RLU, ssa(A), E_KB(A,B), E_KB(A, loc_A, ts)⟩
+//! S:      store(E_KB(A,B) -> E_KB(A, loc_A, ts))
+//! B -> S: ⟨LREQ, ssa(A), E_KB(A,B), loc_B⟩
+//! S -> B: ⟨LREP, loc_B, E_KB(A, loc_A, ts)⟩
+//! ```
+//!
+//! The updater `A` is named (updater anonymity is explicitly out of
+//! scope) but its **location** is ciphertext under each anticipated
+//! requester `B`'s public key; the requester never reveals its
+//! **identity**; the server stores and matches opaque blobs. The index
+//! `E_KB(A,B)` must be *the same bytes* at A and B, hence deterministic
+//! encryption ([`agr_crypto::rsa::RsaPublicKey::encrypt_deterministic`])
+//! — which is also precisely why §3.3 warns the index invites dictionary
+//! attacks, motivating the no-index variant
+//! ([`AlsServer::handle_request_all`]) that trades bandwidth for
+//! requester anonymity.
+
+use agr_crypto::rsa::{RsaKeyPair, RsaPublicKey};
+use agr_crypto::CryptoError;
+use agr_geom::{CellId, Point};
+use agr_sim::SimTime;
+use rand::Rng;
+use std::collections::BTreeMap;
+
+use crate::dlm::ServerSelection;
+use crate::packet::NET_HEADER_BYTES;
+
+/// An anonymous remote location update.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlsUpdate {
+    /// `ssa(A)` — where this update is geo-routed (public knowledge).
+    pub server_cell: CellId,
+    /// `E_KB(A, B)`, the deterministic lookup index.
+    pub index: Vec<u8>,
+    /// `E_KB(A, loc_A, ts)`, the sealed location record.
+    pub payload: Vec<u8>,
+}
+
+impl AlsUpdate {
+    /// Network-layer bytes: header + cell + two RSA blocks.
+    #[must_use]
+    pub fn wire_bytes(&self) -> u32 {
+        NET_HEADER_BYTES + 2 + self.index.len() as u32 + self.payload.len() as u32
+    }
+}
+
+/// An anonymous location request (indexed variant).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlsRequest {
+    /// `ssa(A)` of the target.
+    pub server_cell: CellId,
+    /// `E_KB(A, B)` — proves nothing about B to anyone without a
+    /// dictionary.
+    pub index: Vec<u8>,
+    /// Where to geo-route the reply (a location, not an identity).
+    pub reply_loc: Point,
+}
+
+impl AlsRequest {
+    /// Network-layer bytes.
+    #[must_use]
+    pub fn wire_bytes(&self) -> u32 {
+        NET_HEADER_BYTES + 2 + self.index.len() as u32 + 8
+    }
+}
+
+/// The no-index request variant: the server returns *all* records for the
+/// cell and the requester trial-decrypts. Stronger anonymity, linear
+/// reply size (§3.3's stated trade-off).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlsRequestAll {
+    /// Target cell.
+    pub server_cell: CellId,
+    /// Reply location.
+    pub reply_loc: Point,
+}
+
+impl AlsRequestAll {
+    /// Network-layer bytes.
+    #[must_use]
+    pub fn wire_bytes(&self) -> u32 {
+        NET_HEADER_BYTES + 2 + 8
+    }
+}
+
+/// An anonymous location reply.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlsReply {
+    /// Geo-routing target (the requester's advertised location).
+    pub reply_loc: Point,
+    /// The sealed records — one for the indexed variant, all stored
+    /// records for the no-index variant.
+    pub payloads: Vec<Vec<u8>>,
+}
+
+impl AlsReply {
+    /// Network-layer bytes.
+    #[must_use]
+    pub fn wire_bytes(&self) -> u32 {
+        NET_HEADER_BYTES + 8 + self.payloads.iter().map(|p| p.len() as u32).sum::<u32>()
+    }
+}
+
+/// What a requester recovers from a sealed record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlsRecord {
+    /// The updater's identity (sealed to this requester).
+    pub updater: u64,
+    /// The updater's location.
+    pub loc: Point,
+    /// Update timestamp (whole seconds on the wire).
+    pub ts: SimTime,
+}
+
+/// Builds `A`'s update addressed to anticipated requester `B`.
+///
+/// "The updating node has to identify all its possible senders and has to
+/// update the location server accordingly" (§3.3) — call this once per
+/// anticipated sender.
+///
+/// # Errors
+///
+/// Propagates RSA block-size errors (requesters need ≥320-bit keys).
+pub fn make_update<R: Rng + ?Sized>(
+    updater: u64,
+    updater_loc: Point,
+    ts: SimTime,
+    requester: u64,
+    requester_key: &RsaPublicKey,
+    ssa: &ServerSelection,
+    rng: &mut R,
+) -> Result<AlsUpdate, CryptoError> {
+    let index = requester_key.encrypt_deterministic(&index_plaintext(updater, requester))?;
+    let payload = requester_key.encrypt(&record_plaintext(updater, updater_loc, ts), rng)?;
+    Ok(AlsUpdate {
+        server_cell: ssa.cell_for(updater),
+        index,
+        payload,
+    })
+}
+
+/// Builds `B`'s request for `A`'s location.
+///
+/// `reply_loc` needs **no** relation to B's identity; geographic routing
+/// delivers the reply to whatever location is quoted.
+///
+/// # Errors
+///
+/// Propagates RSA block-size errors.
+pub fn make_request(
+    requester: u64,
+    requester_key: &RsaPublicKey,
+    target: u64,
+    reply_loc: Point,
+    ssa: &ServerSelection,
+) -> Result<AlsRequest, CryptoError> {
+    let index = requester_key.encrypt_deterministic(&index_plaintext(target, requester))?;
+    Ok(AlsRequest {
+        server_cell: ssa.cell_for(target),
+        index,
+        reply_loc,
+    })
+}
+
+/// Opens a sealed record with the requester's private key.
+///
+/// Returns `None` when the record was not sealed for this requester —
+/// which is how the no-index variant filters the bulk reply.
+#[must_use]
+pub fn open_record(payload: &[u8], keys: &RsaKeyPair) -> Option<AlsRecord> {
+    let plain = keys.decrypt(payload).ok()?;
+    if plain.len() != 20 {
+        return None;
+    }
+    let updater = u64::from_be_bytes(plain[..8].try_into().ok()?);
+    let x = f32::from_be_bytes(plain[8..12].try_into().ok()?);
+    let y = f32::from_be_bytes(plain[12..16].try_into().ok()?);
+    let secs = u32::from_be_bytes(plain[16..20].try_into().ok()?);
+    Some(AlsRecord {
+        updater,
+        loc: Point::new(f64::from(x), f64::from(y)),
+        ts: SimTime::from_secs(u64::from(secs)),
+    })
+}
+
+fn index_plaintext(updater: u64, requester: u64) -> Vec<u8> {
+    let mut m = Vec::with_capacity(16);
+    m.extend_from_slice(&updater.to_be_bytes());
+    m.extend_from_slice(&requester.to_be_bytes());
+    m
+}
+
+fn record_plaintext(updater: u64, loc: Point, ts: SimTime) -> Vec<u8> {
+    let mut m = Vec::with_capacity(20);
+    m.extend_from_slice(&updater.to_be_bytes());
+    m.extend_from_slice(&(loc.x as f32).to_be_bytes());
+    m.extend_from_slice(&(loc.y as f32).to_be_bytes());
+    m.extend_from_slice(&(ts.as_secs_f64() as u32).to_be_bytes());
+    m
+}
+
+/// The anonymous location server: a pure blob store.
+///
+/// It "does know where it is stored" but can read neither identity nor
+/// location from what it stores.
+#[derive(Debug, Clone, Default)]
+pub struct AlsServer {
+    records: BTreeMap<Vec<u8>, Vec<u8>>,
+}
+
+impl AlsServer {
+    /// Creates an empty server.
+    #[must_use]
+    pub fn new() -> Self {
+        AlsServer::default()
+    }
+
+    /// Stores an update, replacing any record under the same index.
+    pub fn handle_update(&mut self, update: AlsUpdate) {
+        self.records.insert(update.index, update.payload);
+    }
+
+    /// Answers an indexed request: `⟨LREP, loc_B, E_KB(A, loc_A, ts)⟩`.
+    #[must_use]
+    pub fn handle_request(&self, request: &AlsRequest) -> Option<AlsReply> {
+        self.records.get(&request.index).map(|payload| AlsReply {
+            reply_loc: request.reply_loc,
+            payloads: vec![payload.clone()],
+        })
+    }
+
+    /// Answers a no-index request with every stored record; the requester
+    /// trial-decrypts. Returns `None` when nothing is stored.
+    #[must_use]
+    pub fn handle_request_all(&self, request: &AlsRequestAll) -> Option<AlsReply> {
+        if self.records.is_empty() {
+            return None;
+        }
+        Some(AlsReply {
+            reply_loc: request.reply_loc,
+            payloads: self.records.values().cloned().collect(),
+        })
+    }
+
+    /// Number of stored records.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if nothing is stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Removes and returns all `(index, payload)` records — used by a
+    /// departing server to hand its records off towards the cell.
+    pub fn take_records(&mut self) -> Vec<(Vec<u8>, Vec<u8>)> {
+        std::mem::take(&mut self.records).into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agr_geom::Rect;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::OnceLock;
+
+    struct Fixture {
+        a_loc: Point,
+        b_keys: RsaKeyPair,
+        c_keys: RsaKeyPair,
+        ssa: ServerSelection,
+    }
+
+    fn fixture() -> &'static Fixture {
+        static FIX: OnceLock<Fixture> = OnceLock::new();
+        FIX.get_or_init(|| {
+            let mut rng = StdRng::seed_from_u64(77);
+            Fixture {
+                a_loc: Point::new(321.0, 111.0),
+                b_keys: RsaKeyPair::generate(512, &mut rng).unwrap(),
+                c_keys: RsaKeyPair::generate(512, &mut rng).unwrap(),
+                ssa: ServerSelection::new(Rect::with_size(1500.0, 300.0), 250.0),
+            }
+        })
+    }
+
+    const A: u64 = 1;
+    const B: u64 = 2;
+
+    #[test]
+    fn algorithm_3_3_roundtrip() {
+        let f = fixture();
+        let mut rng = StdRng::seed_from_u64(1);
+        let ts = SimTime::from_secs(10);
+        // A -> S
+        let update =
+            make_update(A, f.a_loc, ts, B, f.b_keys.public(), &f.ssa, &mut rng).unwrap();
+        assert_eq!(update.server_cell, f.ssa.cell_for(A));
+        let mut server = AlsServer::new();
+        server.handle_update(update);
+        // B -> S (note: request carries only a location for the reply)
+        let reply_loc = Point::new(900.0, 200.0);
+        let request = make_request(B, f.b_keys.public(), A, reply_loc, &f.ssa).unwrap();
+        let reply = server.handle_request(&request).unwrap();
+        assert_eq!(reply.reply_loc, reply_loc);
+        // B opens the record.
+        let record = open_record(&reply.payloads[0], &f.b_keys).unwrap();
+        assert_eq!(record.updater, A);
+        assert!(record.loc.distance(f.a_loc) < 0.01);
+        assert_eq!(record.ts, ts);
+    }
+
+    #[test]
+    fn server_cannot_read_location() {
+        let f = fixture();
+        let mut rng = StdRng::seed_from_u64(2);
+        let update = make_update(
+            A,
+            f.a_loc,
+            SimTime::ZERO,
+            B,
+            f.b_keys.public(),
+            &f.ssa,
+            &mut rng,
+        )
+        .unwrap();
+        // The stored bytes contain neither the plaintext identity nor the
+        // raw coordinates.
+        let plain = record_plaintext(A, f.a_loc, SimTime::ZERO);
+        assert!(!update
+            .payload
+            .windows(plain.len())
+            .any(|w| w == plain.as_slice()));
+        // And a non-recipient (the server or any third party C) cannot
+        // decrypt the record.
+        assert!(open_record(&update.payload, &f.c_keys).is_none());
+    }
+
+    #[test]
+    fn wrong_requester_index_misses() {
+        let f = fixture();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut server = AlsServer::new();
+        server.handle_update(
+            make_update(A, f.a_loc, SimTime::ZERO, B, f.b_keys.public(), &f.ssa, &mut rng)
+                .unwrap(),
+        );
+        // C was not anticipated by A: its index matches nothing — the
+        // paper's stated limitation of the scheme.
+        let req_c = make_request(3, f.c_keys.public(), A, Point::ORIGIN, &f.ssa).unwrap();
+        assert!(server.handle_request(&req_c).is_none());
+    }
+
+    #[test]
+    fn no_index_variant_trial_decrypts() {
+        let f = fixture();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut server = AlsServer::new();
+        // Records for B and for C from two updaters.
+        server.handle_update(
+            make_update(A, f.a_loc, SimTime::ZERO, B, f.b_keys.public(), &f.ssa, &mut rng)
+                .unwrap(),
+        );
+        server.handle_update(
+            make_update(9, Point::new(5.0, 5.0), SimTime::ZERO, 3, f.c_keys.public(), &f.ssa, &mut rng)
+                .unwrap(),
+        );
+        let reply = server
+            .handle_request_all(&AlsRequestAll {
+                server_cell: f.ssa.cell_for(A),
+                reply_loc: Point::ORIGIN,
+            })
+            .unwrap();
+        assert_eq!(reply.payloads.len(), 2);
+        // B can open exactly one of them.
+        let opened: Vec<_> = reply
+            .payloads
+            .iter()
+            .filter_map(|p| open_record(p, &f.b_keys))
+            .collect();
+        assert_eq!(opened.len(), 1);
+        assert_eq!(opened[0].updater, A);
+        // The trade-off: the bulk reply is larger than the indexed one.
+        let indexed = server
+            .handle_request(&make_request(B, f.b_keys.public(), A, Point::ORIGIN, &f.ssa).unwrap())
+            .unwrap();
+        assert!(reply.wire_bytes() > indexed.wire_bytes());
+    }
+
+    #[test]
+    fn update_refresh_replaces_record() {
+        let f = fixture();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut server = AlsServer::new();
+        for (secs, x) in [(1u64, 10.0f64), (2, 20.0)] {
+            server.handle_update(
+                make_update(
+                    A,
+                    Point::new(x, 0.0),
+                    SimTime::from_secs(secs),
+                    B,
+                    f.b_keys.public(),
+                    &f.ssa,
+                    &mut rng,
+                )
+                .unwrap(),
+            );
+        }
+        assert_eq!(server.len(), 1, "same index must replace, not accumulate");
+        let req = make_request(B, f.b_keys.public(), A, Point::ORIGIN, &f.ssa).unwrap();
+        let rec = open_record(&server.handle_request(&req).unwrap().payloads[0], &f.b_keys)
+            .unwrap();
+        assert_eq!(rec.loc.x, 20.0);
+    }
+
+    #[test]
+    fn als_messages_cost_more_than_dlm() {
+        // §5: "With extra message bits and limited cryptographic
+        // operations involved, one might also expect it to elegantly
+        // degrade a bit." Quantify the bits.
+        let f = fixture();
+        let mut rng = StdRng::seed_from_u64(6);
+        let als_update =
+            make_update(A, f.a_loc, SimTime::ZERO, B, f.b_keys.public(), &f.ssa, &mut rng)
+                .unwrap();
+        let dlm_update = crate::dlm::DlmUpdate {
+            id: A,
+            loc: f.a_loc,
+            ts: SimTime::ZERO,
+        };
+        assert!(als_update.wire_bytes() > dlm_update.wire_bytes());
+    }
+}

@@ -1,0 +1,375 @@
+//! ANT — the Anonymous Neighbor Table (§3.1).
+//!
+//! Entries are `⟨n, loc, ts, to⟩`: pseudonym, advertised location, beacon
+//! timestamp, timeout. Because pseudonyms rotate per hello, "a snapshot of
+//! ANT at certain moment may have more than one entry for the same
+//! neighbor ... which is also a desirable feature we expect for
+//! anonymity". The cost is that the *best-positioned* entry may be a
+//! stale alias of a neighbor that has since advertised a fresher position
+//! under a new pseudonym, so §3.1.1 amends the forwarding rule: "It's
+//! preferable to choose a fresher position rather than the best one."
+//! Both strategies are implemented ([`SelectionStrategy`]) so the choice
+//! can be ablated.
+
+use crate::pseudonym::Pseudonym;
+use agr_geom::{planar, Point, Vec2};
+use agr_sim::SimTime;
+use std::collections::HashMap;
+
+/// Next-hop selection strategy over the ANT.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelectionStrategy {
+    /// Pick the entry whose position is closest to the destination —
+    /// the unmodified greedy rule, vulnerable to stale aliases.
+    NaiveClosest,
+    /// Prefer entries heard within the freshness window; fall back to all
+    /// live entries only when no fresh one makes progress (the paper's
+    /// §3.1.1 recommendation).
+    #[default]
+    FreshnessAware,
+}
+
+/// One anonymous neighbor table entry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AntEntry {
+    /// The pseudonym the neighbor used in this hello.
+    pub pseudonym: Pseudonym,
+    /// Advertised position.
+    pub loc: Point,
+    /// Advertised velocity, when the sender included one ("forwarding
+    /// could be better if the node movement is predictable", §3.1.1).
+    pub velocity: Option<Vec2>,
+    /// When the hello was heard.
+    pub heard_at: SimTime,
+}
+
+impl AntEntry {
+    /// The entry's position extrapolated to `now` along its advertised
+    /// velocity (or the raw position when none was advertised).
+    #[must_use]
+    pub fn predicted_loc(&self, now: SimTime) -> Point {
+        match self.velocity {
+            Some(v) => self.loc + v * now.saturating_sub(self.heard_at).as_secs_f64(),
+            None => self.loc,
+        }
+    }
+}
+
+/// The anonymous neighbor table.
+///
+/// # Examples
+///
+/// ```
+/// use agr_core::{AnonymousNeighborTable, Pseudonym};
+/// use agr_core::ant::SelectionStrategy;
+/// use agr_geom::Point;
+/// use agr_sim::SimTime;
+///
+/// let mut ant = AnonymousNeighborTable::new(
+///     SimTime::from_millis(4500),
+///     SimTime::from_millis(1500),
+/// );
+/// let n = Pseudonym::derive(1, 2);
+/// ant.observe(n, Point::new(100.0, 0.0), SimTime::from_secs(1));
+/// let next = ant.next_hop(
+///     Point::ORIGIN,
+///     Point::new(200.0, 0.0),
+///     SimTime::from_secs(2),
+///     SelectionStrategy::FreshnessAware,
+/// );
+/// assert_eq!(next.unwrap().pseudonym, n);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AnonymousNeighborTable {
+    entries: HashMap<Pseudonym, AntEntry>,
+    timeout: SimTime,
+    fresh_window: SimTime,
+}
+
+impl AnonymousNeighborTable {
+    /// Creates a table with the given entry `timeout` and freshness
+    /// window (entries younger than `fresh_window` are preferred by
+    /// [`SelectionStrategy::FreshnessAware`]).
+    #[must_use]
+    pub fn new(timeout: SimTime, fresh_window: SimTime) -> Self {
+        AnonymousNeighborTable {
+            entries: HashMap::new(),
+            timeout,
+            fresh_window,
+        }
+    }
+
+    /// Records a hello `⟨n, loc, ts⟩`.
+    ///
+    /// A repeated pseudonym refreshes its entry; distinct pseudonyms from
+    /// the same (unknown) neighbor simply coexist.
+    pub fn observe(&mut self, pseudonym: Pseudonym, loc: Point, now: SimTime) {
+        self.observe_with_velocity(pseudonym, loc, None, now);
+    }
+
+    /// Records a hello that also advertised a velocity (the §3.1.1
+    /// predictive extension).
+    pub fn observe_with_velocity(
+        &mut self,
+        pseudonym: Pseudonym,
+        loc: Point,
+        velocity: Option<Vec2>,
+        now: SimTime,
+    ) {
+        self.entries.insert(
+            pseudonym,
+            AntEntry {
+                pseudonym,
+                loc,
+                velocity,
+                heard_at: now,
+            },
+        );
+    }
+
+    /// Removes an entry, e.g. after repeated delivery failures to it.
+    pub fn remove(&mut self, pseudonym: Pseudonym) -> Option<AntEntry> {
+        self.entries.remove(&pseudonym)
+    }
+
+    /// Live (non-expired) entries.
+    pub fn live(&self, now: SimTime) -> impl Iterator<Item = AntEntry> + '_ {
+        self.entries
+            .values()
+            .filter(move |e| now.saturating_sub(e.heard_at) < self.timeout)
+            .copied()
+    }
+
+    /// Number of live entries (may exceed the number of physical
+    /// neighbors — that multiplicity is the anonymity working).
+    #[must_use]
+    pub fn live_count(&self, now: SimTime) -> usize {
+        self.live(now).count()
+    }
+
+    /// Drops expired entries.
+    pub fn prune(&mut self, now: SimTime) {
+        let timeout = self.timeout;
+        self.entries
+            .retain(|_, e| now.saturating_sub(e.heard_at) < timeout);
+    }
+
+    /// The Gabriel-planarised subset of *fresh* entries, for anonymous
+    /// perimeter recovery (the §6 extension): fresh entries only, so that
+    /// a neighbor's stale aliases do not witness away its live edge.
+    #[must_use]
+    pub fn planar_fresh(&self, self_pos: Point, now: SimTime) -> Vec<AntEntry> {
+        let fresh: Vec<AntEntry> = self
+            .live(now)
+            .filter(|e| now.saturating_sub(e.heard_at) < self.fresh_window)
+            .collect();
+        let mut kept: Vec<AntEntry> = fresh
+            .iter()
+            .filter(|candidate| {
+                let witnesses = fresh
+                    .iter()
+                    .filter(|w| w.pseudonym != candidate.pseudonym)
+                    .map(|w| w.loc);
+                planar::gabriel_edge(self_pos, candidate.loc, witnesses)
+            })
+            .copied()
+            .collect();
+        kept.sort_by_key(|a| a.pseudonym); // determinism
+        kept
+    }
+
+    /// Chooses the next-hop entry for a packet at `self_pos` heading to
+    /// `dst_loc`: strictly closer to the destination than the forwarder,
+    /// per greedy forwarding, refined by `strategy`.
+    #[must_use]
+    pub fn next_hop(
+        &self,
+        self_pos: Point,
+        dst_loc: Point,
+        now: SimTime,
+        strategy: SelectionStrategy,
+    ) -> Option<AntEntry> {
+        let my_dist = self_pos.distance_sq(dst_loc);
+        // Entries that advertised a velocity are judged at their
+        // *predicted* position (§3.1.1's movement-prediction refinement).
+        let progressing =
+            |e: &AntEntry| e.predicted_loc(now).distance_sq(dst_loc) < my_dist;
+        let closest = |it: &mut dyn Iterator<Item = AntEntry>| {
+            // Tie-break on the pseudonym so selection is independent of
+            // hash-map iteration order (bit-for-bit reproducible runs).
+            it.min_by(|a, b| {
+                a.predicted_loc(now)
+                    .distance_sq(dst_loc)
+                    .partial_cmp(&b.predicted_loc(now).distance_sq(dst_loc))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| a.pseudonym.cmp(&b.pseudonym))
+            })
+        };
+        match strategy {
+            SelectionStrategy::NaiveClosest => {
+                closest(&mut self.live(now).filter(progressing))
+            }
+            SelectionStrategy::FreshnessAware => {
+                let fresh = closest(&mut self.live(now).filter(progressing).filter(|e| {
+                    now.saturating_sub(e.heard_at) < self.fresh_window
+                }));
+                fresh.or_else(|| closest(&mut self.live(now).filter(progressing)))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(b: u8) -> Pseudonym {
+        Pseudonym([b; 6])
+    }
+
+    fn ant() -> AnonymousNeighborTable {
+        AnonymousNeighborTable::new(SimTime::from_millis(4500), SimTime::from_millis(1500))
+    }
+
+    #[test]
+    fn multiple_entries_for_one_neighbor_coexist() {
+        // The same physical neighbor beacons twice under different
+        // pseudonyms; the table cannot (and must not) merge them.
+        let mut t = ant();
+        t.observe(n(1), Point::new(10.0, 0.0), SimTime::from_secs(1));
+        t.observe(n(2), Point::new(12.0, 0.0), SimTime::from_secs(2));
+        assert_eq!(t.live_count(SimTime::from_secs(2)), 2);
+    }
+
+    #[test]
+    fn entries_expire_and_prune() {
+        let mut t = ant();
+        t.observe(n(1), Point::ORIGIN, SimTime::from_secs(1));
+        assert_eq!(t.live_count(SimTime::from_secs(6)), 0);
+        t.prune(SimTime::from_secs(6));
+        assert!(t.remove(n(1)).is_none());
+    }
+
+    #[test]
+    fn naive_picks_globally_closest() {
+        let mut t = ant();
+        let dst = Point::new(100.0, 0.0);
+        // Old entry closer to destination than a fresh one.
+        t.observe(n(1), Point::new(80.0, 0.0), SimTime::from_secs(1));
+        t.observe(n(2), Point::new(50.0, 0.0), SimTime::from_millis(3900));
+        let got = t
+            .next_hop(Point::ORIGIN, dst, SimTime::from_secs(4), SelectionStrategy::NaiveClosest)
+            .unwrap();
+        assert_eq!(got.pseudonym, n(1));
+    }
+
+    #[test]
+    fn freshness_aware_prefers_recent_entries() {
+        let mut t = ant();
+        let dst = Point::new(100.0, 0.0);
+        t.observe(n(1), Point::new(80.0, 0.0), SimTime::from_secs(1)); // stale alias
+        t.observe(n(2), Point::new(50.0, 0.0), SimTime::from_millis(3900)); // fresh
+        let got = t
+            .next_hop(
+                Point::ORIGIN,
+                dst,
+                SimTime::from_secs(4),
+                SelectionStrategy::FreshnessAware,
+            )
+            .unwrap();
+        assert_eq!(got.pseudonym, n(2), "fresh entry must win over stale-but-closer");
+    }
+
+    #[test]
+    fn freshness_aware_falls_back_to_stale_progress() {
+        let mut t = ant();
+        let dst = Point::new(100.0, 0.0);
+        // Only a stale entry makes progress.
+        t.observe(n(1), Point::new(80.0, 0.0), SimTime::from_secs(1));
+        let got = t
+            .next_hop(
+                Point::ORIGIN,
+                dst,
+                SimTime::from_secs(4),
+                SelectionStrategy::FreshnessAware,
+            )
+            .unwrap();
+        assert_eq!(got.pseudonym, n(1));
+    }
+
+    #[test]
+    fn strict_progress_required() {
+        let mut t = ant();
+        let dst = Point::new(100.0, 0.0);
+        t.observe(n(1), Point::new(-10.0, 0.0), SimTime::from_secs(1));
+        for s in [SelectionStrategy::NaiveClosest, SelectionStrategy::FreshnessAware] {
+            assert!(t
+                .next_hop(Point::ORIGIN, dst, SimTime::from_secs(1), s)
+                .is_none());
+        }
+    }
+
+    #[test]
+    fn velocity_extrapolation_changes_selection() {
+        use agr_geom::Vec2;
+        let mut t = ant();
+        let dst = Point::new(200.0, 0.0);
+        // Entry A is closer now but moving away; entry B is farther but
+        // closing fast. Two seconds later B's predicted position wins.
+        t.observe_with_velocity(
+            n(1),
+            Point::new(100.0, 0.0),
+            Some(Vec2::new(-20.0, 0.0)),
+            SimTime::from_secs(1),
+        );
+        t.observe_with_velocity(
+            n(2),
+            Point::new(80.0, 0.0),
+            Some(Vec2::new(20.0, 0.0)),
+            SimTime::from_secs(1),
+        );
+        let got = t
+            .next_hop(
+                Point::ORIGIN,
+                dst,
+                SimTime::from_secs(3),
+                SelectionStrategy::NaiveClosest,
+            )
+            .unwrap();
+        assert_eq!(got.pseudonym, n(2), "prediction must prefer the approaching node");
+        // Without velocities the stale snapshot would have picked n(1).
+        let mut t2 = ant();
+        t2.observe(n(1), Point::new(100.0, 0.0), SimTime::from_secs(1));
+        t2.observe(n(2), Point::new(80.0, 0.0), SimTime::from_secs(1));
+        let got2 = t2
+            .next_hop(
+                Point::ORIGIN,
+                dst,
+                SimTime::from_secs(3),
+                SelectionStrategy::NaiveClosest,
+            )
+            .unwrap();
+        assert_eq!(got2.pseudonym, n(1));
+    }
+
+    #[test]
+    fn predicted_loc_identity_without_velocity() {
+        let e = AntEntry {
+            pseudonym: n(1),
+            loc: Point::new(5.0, 5.0),
+            velocity: None,
+            heard_at: SimTime::ZERO,
+        };
+        assert_eq!(e.predicted_loc(SimTime::from_secs(100)), e.loc);
+    }
+
+    #[test]
+    fn repeated_pseudonym_refreshes_entry() {
+        let mut t = ant();
+        t.observe(n(1), Point::new(1.0, 0.0), SimTime::from_secs(1));
+        t.observe(n(1), Point::new(2.0, 0.0), SimTime::from_secs(2));
+        assert_eq!(t.live_count(SimTime::from_secs(2)), 1);
+        let e = t.live(SimTime::from_secs(2)).next().unwrap();
+        assert_eq!(e.loc, Point::new(2.0, 0.0));
+    }
+}

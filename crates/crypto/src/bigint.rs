@@ -1,0 +1,968 @@
+//! Arbitrary-precision unsigned integers sized for RSA-512 work.
+//!
+//! [`BigUint`] stores little-endian `u64` limbs. The two hot paths for this
+//! reproduction are modular exponentiation (RSA, Miller–Rabin) — handled by
+//! a Montgomery CIOS multiplier — and key generation (division, gcd,
+//! modular inverse), handled by straightforward shift-subtract algorithms
+//! that are easy to audit and fast enough at 512 bits.
+
+// Limb arithmetic with explicit carries reads more clearly with indexed
+// loops than with iterator chains.
+#![allow(clippy::needless_range_loop)]
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Mul, Rem, Shl, Shr, Sub};
+
+/// An arbitrary-precision unsigned integer.
+///
+/// # Examples
+///
+/// ```
+/// use agr_crypto::BigUint;
+///
+/// let a = BigUint::from_u64(1u64 << 63);
+/// let b = &a + &a;
+/// assert_eq!(b.bits(), 65);
+/// assert_eq!(&b % &BigUint::from_u64(1000), BigUint::from_u64(616));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    /// Little-endian limbs with no trailing zero limbs (zero = empty).
+    limbs: Vec<u64>,
+}
+
+impl BigUint {
+    /// The value `0`.
+    pub const ZERO: BigUint = BigUint { limbs: Vec::new() };
+
+    /// Creates the value `1`.
+    #[must_use]
+    pub fn one() -> Self {
+        BigUint::from_u64(1)
+    }
+
+    /// Creates a `BigUint` from a `u64`.
+    #[must_use]
+    pub fn from_u64(v: u64) -> Self {
+        if v == 0 {
+            BigUint::ZERO
+        } else {
+            BigUint { limbs: vec![v] }
+        }
+    }
+
+    /// Creates a `BigUint` from big-endian bytes. Leading zero bytes are
+    /// permitted and ignored.
+    #[must_use]
+    pub fn from_bytes_be(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len() / 8 + 1);
+        let mut cur: u64 = 0;
+        let mut shift = 0u32;
+        for &b in bytes.iter().rev() {
+            cur |= u64::from(b) << shift;
+            shift += 8;
+            if shift == 64 {
+                limbs.push(cur);
+                cur = 0;
+                shift = 0;
+            }
+        }
+        if cur != 0 {
+            limbs.push(cur);
+        }
+        let mut n = BigUint { limbs };
+        n.normalize();
+        n
+    }
+
+    /// Minimal big-endian byte representation; the value `0` yields an
+    /// empty vector.
+    #[must_use]
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        if self.is_zero() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() * 8);
+        for (i, &limb) in self.limbs.iter().enumerate().rev() {
+            let bytes = limb.to_be_bytes();
+            if i == self.limbs.len() - 1 {
+                // Skip leading zeros of the most significant limb.
+                let skip = bytes.iter().take_while(|&&b| b == 0).count();
+                out.extend_from_slice(&bytes[skip..]);
+            } else {
+                out.extend_from_slice(&bytes);
+            }
+        }
+        out
+    }
+
+    /// Big-endian bytes left-padded with zeros to exactly `len` bytes.
+    ///
+    /// Returns `None` if the value does not fit.
+    #[must_use]
+    pub fn to_bytes_be_padded(&self, len: usize) -> Option<Vec<u8>> {
+        let raw = self.to_bytes_be();
+        if raw.len() > len {
+            return None;
+        }
+        let mut out = vec![0u8; len - raw.len()];
+        out.extend_from_slice(&raw);
+        Some(out)
+    }
+
+    /// True if the value is `0`.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// True if the value is odd.
+    #[must_use]
+    pub fn is_odd(&self) -> bool {
+        self.limbs.first().is_some_and(|l| l & 1 == 1)
+    }
+
+    /// True if the value is even (zero counts as even).
+    #[must_use]
+    pub fn is_even(&self) -> bool {
+        !self.is_odd()
+    }
+
+    /// Number of significant bits; `0` has zero bits.
+    #[must_use]
+    pub fn bits(&self) -> u32 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => (self.limbs.len() as u32 - 1) * 64 + (64 - top.leading_zeros()),
+        }
+    }
+
+    /// The bit at position `i` (bit 0 is the least significant).
+    #[must_use]
+    pub fn bit(&self, i: u32) -> bool {
+        let limb = (i / 64) as usize;
+        self.limbs
+            .get(limb)
+            .is_some_and(|&l| l >> (i % 64) & 1 == 1)
+    }
+
+    /// Sets the bit at position `i` to 1.
+    pub fn set_bit(&mut self, i: u32) {
+        let limb = (i / 64) as usize;
+        if limb >= self.limbs.len() {
+            self.limbs.resize(limb + 1, 0);
+        }
+        self.limbs[limb] |= 1u64 << (i % 64);
+    }
+
+    /// The value as a `u64`, if it fits.
+    #[must_use]
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// `self + other`.
+    #[must_use]
+    pub fn add_ref(&self, other: &BigUint) -> BigUint {
+        let (long, short) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..long.len() {
+            let b = short.get(i).copied().unwrap_or(0);
+            let (s1, c1) = long[i].overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.push(s2);
+            carry = u64::from(c1) + u64::from(c2);
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// `self - other`, or `None` on underflow.
+    #[must_use]
+    pub fn checked_sub(&self, other: &BigUint) -> Option<BigUint> {
+        if self < other {
+            return None;
+        }
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = self.limbs[i].overflowing_sub(b);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out.push(d2);
+            borrow = u64::from(b1) + u64::from(b2);
+        }
+        debug_assert_eq!(borrow, 0);
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        Some(n)
+    }
+
+    /// `self * other` (schoolbook).
+    #[must_use]
+    pub fn mul_ref(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::ZERO;
+        }
+        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u128;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let cur = u128::from(out[i + j]) + u128::from(a) * u128::from(b) + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut k = i + other.limbs.len();
+            while carry != 0 {
+                let cur = u128::from(out[k]) + carry;
+                out[k] = cur as u64;
+                carry = cur >> 64;
+                k += 1;
+            }
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// `self << bits`.
+    #[must_use]
+    pub fn shl_bits(&self, bits: u32) -> BigUint {
+        if self.is_zero() || bits == 0 {
+            let mut c = self.clone();
+            c.normalize();
+            return c;
+        }
+        let limb_shift = (bits / 64) as usize;
+        let bit_shift = bits % 64;
+        let mut out = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (64 - bit_shift);
+            }
+            if carry != 0 {
+                out.push(carry);
+            }
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// `self >> bits`.
+    #[must_use]
+    pub fn shr_bits(&self, bits: u32) -> BigUint {
+        let limb_shift = (bits / 64) as usize;
+        if limb_shift >= self.limbs.len() {
+            return BigUint::ZERO;
+        }
+        let bit_shift = bits % 64;
+        let src = &self.limbs[limb_shift..];
+        let mut out = Vec::with_capacity(src.len());
+        if bit_shift == 0 {
+            out.extend_from_slice(src);
+        } else {
+            for i in 0..src.len() {
+                let hi = src.get(i + 1).copied().unwrap_or(0);
+                out.push((src[i] >> bit_shift) | (hi << (64 - bit_shift)));
+            }
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Division with remainder: returns `(quotient, remainder)`.
+    ///
+    /// Shift-subtract binary long division — O(bits · limbs), plenty for
+    /// the ≤1024-bit operands used in key generation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    #[must_use]
+    pub fn div_rem(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        assert!(!divisor.is_zero(), "division by zero");
+        if self < divisor {
+            return (BigUint::ZERO, self.clone());
+        }
+        let shift = self.bits() - divisor.bits();
+        let mut d = divisor.shl_bits(shift);
+        let mut q = BigUint::ZERO;
+        let mut r = self.clone();
+        for i in (0..=shift).rev() {
+            if let Some(nr) = r.checked_sub(&d) {
+                r = nr;
+                q.set_bit(i);
+            }
+            d = d.shr_bits(1);
+        }
+        (q, r)
+    }
+
+    /// Fast division by a single-limb divisor: `(quotient, remainder)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    #[must_use]
+    pub fn div_rem_u64(&self, divisor: u64) -> (BigUint, u64) {
+        assert!(divisor != 0, "division by zero");
+        let mut out = vec![0u64; self.limbs.len()];
+        let mut rem: u128 = 0;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (rem << 64) | u128::from(self.limbs[i]);
+            out[i] = (cur / u128::from(divisor)) as u64;
+            rem = cur % u128::from(divisor);
+        }
+        let mut q = BigUint { limbs: out };
+        q.normalize();
+        (q, rem as u64)
+    }
+
+    /// Greatest common divisor (binary GCD).
+    #[must_use]
+    pub fn gcd(&self, other: &BigUint) -> BigUint {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        if a.is_zero() {
+            return b;
+        }
+        if b.is_zero() {
+            return a;
+        }
+        let mut shift = 0u32;
+        while a.is_even() && b.is_even() {
+            a = a.shr_bits(1);
+            b = b.shr_bits(1);
+            shift += 1;
+        }
+        while a.is_even() {
+            a = a.shr_bits(1);
+        }
+        loop {
+            while b.is_even() {
+                b = b.shr_bits(1);
+            }
+            if a > b {
+                std::mem::swap(&mut a, &mut b);
+            }
+            b = b.checked_sub(&a).expect("b >= a after swap");
+            if b.is_zero() {
+                return a.shl_bits(shift);
+            }
+        }
+    }
+
+    /// Modular inverse: the `x` with `self * x ≡ 1 (mod m)`, if it exists.
+    ///
+    /// Uses the extended Euclidean algorithm with values reduced mod `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    #[must_use]
+    pub fn mod_inverse(&self, m: &BigUint) -> Option<BigUint> {
+        assert!(!m.is_zero(), "modulus must be non-zero");
+        if m == &BigUint::one() {
+            return Some(BigUint::ZERO);
+        }
+        // Extended Euclid tracking only the coefficient of `self`,
+        // represented mod m to stay unsigned: invariant r_i ≡ t_i * self (mod m).
+        let mut r0 = m.clone();
+        let mut r1 = self.div_rem(m).1;
+        let mut t0 = BigUint::ZERO;
+        let mut t1 = BigUint::one();
+        while !r1.is_zero() {
+            let (q, r2) = r0.div_rem(&r1);
+            let qt = q.mul_ref(&t1).div_rem(m).1;
+            // t2 = t0 - q*t1 (mod m)
+            let t2 = if t0 >= qt {
+                t0.checked_sub(&qt).expect("t0 >= qt")
+            } else {
+                m.checked_sub(&qt).expect("qt < m").add_ref(&t0)
+            };
+            r0 = r1;
+            r1 = r2;
+            t0 = t1;
+            t1 = t2;
+        }
+        if r0 == BigUint::one() {
+            Some(t0.div_rem(m).1)
+        } else {
+            None
+        }
+    }
+
+    /// Modular exponentiation: `self^exp mod modulus`.
+    ///
+    /// Odd moduli (the only kind that occur in RSA and primality testing)
+    /// go through a Montgomery CIOS multiplier; even moduli fall back to
+    /// square-and-multiply with division-based reduction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is zero.
+    #[must_use]
+    pub fn modpow(&self, exp: &BigUint, modulus: &BigUint) -> BigUint {
+        assert!(!modulus.is_zero(), "modulus must be non-zero");
+        if modulus == &BigUint::one() {
+            return BigUint::ZERO;
+        }
+        if exp.is_zero() {
+            return BigUint::one();
+        }
+        if modulus.is_odd() {
+            Montgomery::new(modulus).pow(self, exp)
+        } else {
+            // Slow path, kept for generality; not used by RSA.
+            let mut base = self.div_rem(modulus).1;
+            let mut result = BigUint::one();
+            for i in 0..exp.bits() {
+                if exp.bit(i) {
+                    result = result.mul_ref(&base).div_rem(modulus).1;
+                }
+                base = base.mul_ref(&base).div_rem(modulus).1;
+            }
+            result
+        }
+    }
+
+    /// `self mod modulus` — convenience for `div_rem(...).1`.
+    #[must_use]
+    pub fn rem_ref(&self, modulus: &BigUint) -> BigUint {
+        self.div_rem(modulus).1
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {
+                for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+                    match a.cmp(b) {
+                        Ordering::Equal => continue,
+                        o => return o,
+                    }
+                }
+                Ordering::Equal
+            }
+            o => o,
+        }
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        BigUint::from_u64(v)
+    }
+}
+
+impl Add for &BigUint {
+    type Output = BigUint;
+
+    fn add(self, other: &BigUint) -> BigUint {
+        self.add_ref(other)
+    }
+}
+
+impl Sub for &BigUint {
+    type Output = BigUint;
+
+    /// # Panics
+    ///
+    /// Panics on underflow; use [`BigUint::checked_sub`] when the ordering
+    /// is not statically known.
+    fn sub(self, other: &BigUint) -> BigUint {
+        self.checked_sub(other)
+            .expect("BigUint subtraction underflow")
+    }
+}
+
+impl Mul for &BigUint {
+    type Output = BigUint;
+
+    fn mul(self, other: &BigUint) -> BigUint {
+        self.mul_ref(other)
+    }
+}
+
+impl Rem for &BigUint {
+    type Output = BigUint;
+
+    fn rem(self, other: &BigUint) -> BigUint {
+        self.rem_ref(other)
+    }
+}
+
+impl Shl<u32> for &BigUint {
+    type Output = BigUint;
+
+    fn shl(self, bits: u32) -> BigUint {
+        self.shl_bits(bits)
+    }
+}
+
+impl Shr<u32> for &BigUint {
+    type Output = BigUint;
+
+    fn shr(self, bits: u32) -> BigUint {
+        self.shr_bits(bits)
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        // Peel off 19 decimal digits at a time.
+        let mut chunks = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = cur.div_rem_u64(10_000_000_000_000_000_000);
+            chunks.push(r);
+            cur = q;
+        }
+        let mut s = String::new();
+        for (i, chunk) in chunks.iter().rev().enumerate() {
+            if i == 0 {
+                s.push_str(&chunk.to_string());
+            } else {
+                s.push_str(&format!("{chunk:019}"));
+            }
+        }
+        f.pad_integral(true, "", &s)
+    }
+}
+
+impl fmt::LowerHex for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut s = String::new();
+        for (i, &limb) in self.limbs.iter().enumerate().rev() {
+            if i == self.limbs.len() - 1 {
+                s.push_str(&format!("{limb:x}"));
+            } else {
+                s.push_str(&format!("{limb:016x}"));
+            }
+        }
+        f.pad_integral(true, "0x", &s)
+    }
+}
+
+/// Montgomery multiplication context for a fixed odd modulus.
+struct Montgomery {
+    n: Vec<u64>,
+    n0inv: u64,
+    r2: Vec<u64>,
+}
+
+impl Montgomery {
+    fn new(modulus: &BigUint) -> Self {
+        debug_assert!(modulus.is_odd());
+        let n = modulus.limbs.clone();
+        let len = n.len();
+        // n0inv = -n[0]^{-1} mod 2^64 via Newton iteration.
+        let mut inv: u64 = 1;
+        for _ in 0..6 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(n[0].wrapping_mul(inv)));
+        }
+        let n0inv = inv.wrapping_neg();
+        // R^2 mod n where R = 2^(64*len): start from R mod n, double len*64 times.
+        let r = BigUint::one().shl_bits(64 * len as u32).rem_ref(modulus);
+        let mut r2 = r;
+        for _ in 0..(64 * len) {
+            r2 = r2.shl_bits(1);
+            if &r2 >= modulus {
+                r2 = r2.checked_sub(modulus).expect("r2 >= modulus");
+            }
+        }
+        let mut r2_limbs = r2.limbs;
+        r2_limbs.resize(len, 0);
+        Montgomery {
+            n,
+            n0inv,
+            r2: r2_limbs,
+        }
+    }
+
+    /// CIOS Montgomery product: `a * b * R^{-1} mod n`.
+    fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let len = self.n.len();
+        let mut t = vec![0u64; len + 2];
+        for &ai in a.iter().take(len) {
+            // t += ai * b
+            let mut carry: u64 = 0;
+            for j in 0..len {
+                let cur = u128::from(t[j]) + u128::from(ai) * u128::from(b[j]) + u128::from(carry);
+                t[j] = cur as u64;
+                carry = (cur >> 64) as u64;
+            }
+            let cur = u128::from(t[len]) + u128::from(carry);
+            t[len] = cur as u64;
+            t[len + 1] += (cur >> 64) as u64;
+            // m = t[0] * n0inv mod 2^64; t += m * n; t >>= 64
+            let m = t[0].wrapping_mul(self.n0inv);
+            let cur = u128::from(t[0]) + u128::from(m) * u128::from(self.n[0]);
+            let mut carry = (cur >> 64) as u64;
+            for j in 1..len {
+                let cur =
+                    u128::from(t[j]) + u128::from(m) * u128::from(self.n[j]) + u128::from(carry);
+                t[j - 1] = cur as u64;
+                carry = (cur >> 64) as u64;
+            }
+            let cur = u128::from(t[len]) + u128::from(carry);
+            t[len - 1] = cur as u64;
+            let cur2 = u128::from(t[len + 1]) + (cur >> 64);
+            t[len] = cur2 as u64;
+            t[len + 1] = (cur2 >> 64) as u64;
+        }
+        // Conditional final subtraction: result in t[0..=len], < 2n.
+        let mut result: Vec<u64> = t[..len].to_vec();
+        let overflow = t[len] != 0;
+        if overflow || ge(&result, &self.n) {
+            sub_in_place(&mut result, &self.n, overflow);
+        }
+        result
+    }
+
+    fn pow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        let len = self.n.len();
+        let modulus = BigUint {
+            limbs: self.n.clone(),
+        };
+        let mut base_limbs = base.rem_ref(&modulus).limbs;
+        base_limbs.resize(len, 0);
+        // Convert to Montgomery domain.
+        let base_m = self.mont_mul(&base_limbs, &self.r2);
+        // one_m = R mod n = mont_mul(1, R^2)
+        let mut one = vec![0u64; len];
+        one[0] = 1;
+        let mut acc = self.mont_mul(&one, &self.r2);
+        for i in (0..exp.bits()).rev() {
+            acc = self.mont_mul(&acc, &acc);
+            if exp.bit(i) {
+                acc = self.mont_mul(&acc, &base_m);
+            }
+        }
+        // Convert out of Montgomery domain.
+        let out = self.mont_mul(&acc, &one);
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+}
+
+/// `a >= b` for equal-length little-endian limb slices (b may be shorter).
+fn ge(a: &[u64], b: &[u64]) -> bool {
+    debug_assert!(a.len() >= b.len());
+    for i in (0..a.len()).rev() {
+        let bv = b.get(i).copied().unwrap_or(0);
+        match a[i].cmp(&bv) {
+            Ordering::Greater => return true,
+            Ordering::Less => return false,
+            Ordering::Equal => {}
+        }
+    }
+    true
+}
+
+/// `a -= b` in place; `extra` adds 2^(64*len) to `a` first (for the
+/// Montgomery overflow limb).
+fn sub_in_place(a: &mut [u64], b: &[u64], extra: bool) {
+    let mut borrow = 0u64;
+    for i in 0..a.len() {
+        let bv = b.get(i).copied().unwrap_or(0);
+        let (d1, b1) = a[i].overflowing_sub(bv);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        a[i] = d2;
+        borrow = u64::from(b1) + u64::from(b2);
+    }
+    debug_assert_eq!(borrow, u64::from(extra), "montgomery subtraction borrow");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big(v: u64) -> BigUint {
+        BigUint::from_u64(v)
+    }
+
+    #[test]
+    fn zero_properties() {
+        assert!(BigUint::ZERO.is_zero());
+        assert!(BigUint::ZERO.is_even());
+        assert_eq!(BigUint::ZERO.bits(), 0);
+        assert_eq!(BigUint::ZERO.to_bytes_be(), Vec::<u8>::new());
+        assert_eq!(BigUint::default(), BigUint::ZERO);
+    }
+
+    #[test]
+    fn add_with_carry_across_limbs() {
+        let a = big(u64::MAX);
+        let b = big(1);
+        let c = &a + &b;
+        assert_eq!(c.bits(), 65);
+        assert_eq!(c.to_bytes_be(), vec![1, 0, 0, 0, 0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn sub_borrows() {
+        let a = BigUint::one().shl_bits(64); // 2^64
+        let b = big(1);
+        let c = &a - &b;
+        assert_eq!(c, big(u64::MAX));
+        assert!(b.checked_sub(&a).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = &big(1) - &big(2);
+    }
+
+    #[test]
+    fn mul_small_and_cross_limb() {
+        assert_eq!(&big(7) * &big(6), big(42));
+        let a = big(u64::MAX);
+        let sq = &a * &a;
+        // (2^64-1)^2 = 2^128 - 2^65 + 1
+        let expected = BigUint::one()
+            .shl_bits(128)
+            .checked_sub(&BigUint::one().shl_bits(65))
+            .unwrap()
+            .add_ref(&BigUint::one());
+        assert_eq!(sq, expected);
+    }
+
+    #[test]
+    fn mul_zero() {
+        assert_eq!(&big(5) * &BigUint::ZERO, BigUint::ZERO);
+    }
+
+    #[test]
+    fn shifts_roundtrip() {
+        let a = BigUint::from_bytes_be(&[0xde, 0xad, 0xbe, 0xef, 0x01, 0x23]);
+        assert_eq!(a.shl_bits(67).shr_bits(67), a);
+        assert_eq!(a.shl_bits(0), a);
+        assert_eq!(a.shr_bits(1000), BigUint::ZERO);
+    }
+
+    #[test]
+    fn div_rem_basic() {
+        let (q, r) = big(100).div_rem(&big(7));
+        assert_eq!((q, r), (big(14), big(2)));
+        let (q, r) = big(5).div_rem(&big(7));
+        assert_eq!((q, r), (BigUint::ZERO, big(5)));
+    }
+
+    #[test]
+    fn div_rem_multi_limb() {
+        // (2^200 + 12345) / 2^100
+        let a = BigUint::one().shl_bits(200).add_ref(&big(12345));
+        let b = BigUint::one().shl_bits(100);
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(q, BigUint::one().shl_bits(100));
+        assert_eq!(r, big(12345));
+        // Reconstruct: q*b + r == a
+        assert_eq!(q.mul_ref(&b).add_ref(&r), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = big(1).div_rem(&BigUint::ZERO);
+    }
+
+    #[test]
+    fn div_rem_u64_matches_div_rem() {
+        let a = BigUint::from_bytes_be(&[7; 23]);
+        let (q1, r1) = a.div_rem(&big(10_007));
+        let (q2, r2) = a.div_rem_u64(10_007);
+        assert_eq!(q1, q2);
+        assert_eq!(r1, big(r2));
+    }
+
+    #[test]
+    fn gcd_cases() {
+        assert_eq!(big(48).gcd(&big(36)), big(12));
+        assert_eq!(big(17).gcd(&big(13)), big(1));
+        assert_eq!(BigUint::ZERO.gcd(&big(5)), big(5));
+        assert_eq!(big(5).gcd(&BigUint::ZERO), big(5));
+        assert_eq!(big(24).gcd(&big(24)), big(24));
+    }
+
+    #[test]
+    fn mod_inverse_small() {
+        // 3 * 7 = 21 ≡ 1 (mod 10)
+        assert_eq!(big(3).mod_inverse(&big(10)), Some(big(7)));
+        // gcd(4, 10) = 2: no inverse.
+        assert_eq!(big(4).mod_inverse(&big(10)), None);
+        // Inverse of value larger than modulus.
+        assert_eq!(big(13).mod_inverse(&big(10)), Some(big(7)));
+    }
+
+    #[test]
+    fn mod_inverse_verifies() {
+        let m = big(1_000_000_007);
+        for v in [2u64, 3, 65_537, 999_999_999] {
+            let inv = big(v).mod_inverse(&m).unwrap();
+            assert_eq!(big(v).mul_ref(&inv).rem_ref(&m), BigUint::one());
+        }
+    }
+
+    #[test]
+    fn modpow_small_known() {
+        // 4^13 mod 497 = 445 (classic example)
+        assert_eq!(big(4).modpow(&big(13), &big(497)), big(445));
+        // Fermat: 2^(p-1) ≡ 1 mod p
+        let p = big(1_000_000_007);
+        assert_eq!(big(2).modpow(&big(1_000_000_006), &p), BigUint::one());
+    }
+
+    #[test]
+    fn modpow_even_modulus_fallback() {
+        // 3^5 mod 16 = 243 mod 16 = 3
+        assert_eq!(big(3).modpow(&big(5), &big(16)), big(3));
+    }
+
+    #[test]
+    fn modpow_edge_cases() {
+        assert_eq!(big(5).modpow(&BigUint::ZERO, &big(7)), BigUint::one());
+        assert_eq!(big(5).modpow(&big(3), &BigUint::one()), BigUint::ZERO);
+        // Base larger than modulus.
+        assert_eq!(big(10).modpow(&big(2), &big(7)), big(2));
+    }
+
+    #[test]
+    fn montgomery_matches_naive_multi_limb() {
+        // 128-bit odd modulus.
+        let m = BigUint::from_bytes_be(&[
+            0xf3, 0x52, 0x11, 0x98, 0x44, 0x01, 0xcd, 0xab, 0x33, 0x77, 0x19, 0x28, 0x3b, 0x4c,
+            0x5d, 0x6f,
+        ]);
+        assert!(m.is_odd());
+        let base = BigUint::from_bytes_be(&[0xab; 16]);
+        let exp = BigUint::from_bytes_be(&[0x17, 0x29, 0x33, 0x47]);
+        // Naive square-and-multiply with division reduction.
+        let mut naive = BigUint::one();
+        let mut b = base.rem_ref(&m);
+        for i in 0..exp.bits() {
+            if exp.bit(i) {
+                naive = naive.mul_ref(&b).rem_ref(&m);
+            }
+            b = b.mul_ref(&b).rem_ref(&m);
+        }
+        assert_eq!(base.modpow(&exp, &m), naive);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let cases: Vec<Vec<u8>> = vec![
+            vec![1],
+            vec![0xff; 8],
+            vec![1, 0, 0, 0, 0, 0, 0, 0, 0],
+            vec![0x12, 0x34, 0x56, 0x78, 0x9a, 0xbc, 0xde, 0xf0, 0x11, 0x22, 0x33],
+        ];
+        for bytes in cases {
+            let n = BigUint::from_bytes_be(&bytes);
+            assert_eq!(n.to_bytes_be(), bytes, "roundtrip failed for {bytes:?}");
+        }
+        // Leading zeros are dropped.
+        assert_eq!(
+            BigUint::from_bytes_be(&[0, 0, 5]).to_bytes_be(),
+            vec![5u8]
+        );
+    }
+
+    #[test]
+    fn padded_bytes() {
+        let n = big(0x1234);
+        assert_eq!(n.to_bytes_be_padded(4), Some(vec![0, 0, 0x12, 0x34]));
+        assert_eq!(n.to_bytes_be_padded(1), None);
+        assert_eq!(BigUint::ZERO.to_bytes_be_padded(2), Some(vec![0, 0]));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(big(2) < big(3));
+        assert!(BigUint::one().shl_bits(64) > big(u64::MAX));
+        assert_eq!(big(7).cmp(&big(7)), Ordering::Equal);
+    }
+
+    #[test]
+    fn bit_accessors() {
+        let mut n = BigUint::ZERO;
+        n.set_bit(0);
+        n.set_bit(100);
+        assert!(n.bit(0));
+        assert!(n.bit(100));
+        assert!(!n.bit(50));
+        assert_eq!(n.bits(), 101);
+    }
+
+    #[test]
+    fn display_decimal() {
+        assert_eq!(BigUint::ZERO.to_string(), "0");
+        assert_eq!(big(12345).to_string(), "12345");
+        // 2^64 = 18446744073709551616
+        assert_eq!(
+            BigUint::one().shl_bits(64).to_string(),
+            "18446744073709551616"
+        );
+        // 2^128
+        assert_eq!(
+            BigUint::one().shl_bits(128).to_string(),
+            "340282366920938463463374607431768211456"
+        );
+    }
+
+    #[test]
+    fn lower_hex() {
+        assert_eq!(format!("{:x}", BigUint::ZERO), "0");
+        assert_eq!(format!("{:x}", big(0xdeadbeef)), "deadbeef");
+        let n = BigUint::one().shl_bits(64).add_ref(&big(0xf));
+        assert_eq!(format!("{n:x}"), "1000000000000000f");
+    }
+
+    #[test]
+    fn to_u64() {
+        assert_eq!(BigUint::ZERO.to_u64(), Some(0));
+        assert_eq!(big(42).to_u64(), Some(42));
+        assert_eq!(BigUint::one().shl_bits(64).to_u64(), None);
+    }
+}

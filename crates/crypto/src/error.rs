@@ -1,0 +1,51 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the cryptographic substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CryptoError {
+    /// A plaintext was too long for the key's modulus (RSA block limit).
+    MessageTooLong {
+        /// Bytes supplied by the caller.
+        got: usize,
+        /// Maximum bytes the key can encrypt in one block.
+        max: usize,
+    },
+    /// A ciphertext or signature did not match the key's modulus size.
+    BlockSizeMismatch {
+        /// Bytes supplied by the caller.
+        got: usize,
+        /// Expected block size in bytes.
+        expected: usize,
+    },
+    /// Decryption succeeded numerically but the padding was malformed —
+    /// in AGFW terms, the trapdoor did not open.
+    BadPadding,
+    /// A signature failed verification.
+    BadSignature,
+    /// Key generation could not satisfy its constraints
+    /// (e.g. requested key size too small).
+    KeyGeneration(&'static str),
+    /// A ring-signature ring was malformed (empty, or signer out of range).
+    BadRing(&'static str),
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::MessageTooLong { got, max } => {
+                write!(f, "message of {got} bytes exceeds the {max}-byte block limit")
+            }
+            CryptoError::BlockSizeMismatch { got, expected } => {
+                write!(f, "block of {got} bytes where {expected} bytes were expected")
+            }
+            CryptoError::BadPadding => write!(f, "invalid padding after decryption"),
+            CryptoError::BadSignature => write!(f, "signature verification failed"),
+            CryptoError::KeyGeneration(msg) => write!(f, "key generation failed: {msg}"),
+            CryptoError::BadRing(msg) => write!(f, "malformed ring: {msg}"),
+        }
+    }
+}
+
+impl Error for CryptoError {}

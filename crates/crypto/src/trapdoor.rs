@@ -1,0 +1,295 @@
+//! The AGFW destination-detection trapdoor.
+//!
+//! AGFW data packets carry `⟨DATA, loc_d, n, trapdoor⟩` where the trapdoor
+//! is "a value that can only be opened by the intended destination"
+//! (§3.2). The paper's realisation is
+//!
+//! ```text
+//! trapdoor = KU_d(src, loc_s, tag_d)
+//! ```
+//!
+//! — the source identity, source location, and a recognisable tag,
+//! encrypted under the destination's public key. A node knows it is the
+//! destination iff decryption yields the tag. §5.1 fixes the size: "the
+//! size of trapdoor does not exceed 64-byte since it is obtained from the
+//! RSA encryption with a 512-bit public key".
+//!
+//! The paper also suggests "a lower cost symmetric encryption if a proper
+//! key exchange scheme is in place"; [`SymmetricTrapdoor`] implements that
+//! variant with a SHA-256-CTR stream cipher plus MAC tag.
+
+use crate::error::CryptoError;
+use crate::rsa::{RsaKeyPair, RsaPublicKey};
+use crate::sha256::Sha256;
+use agr_geom::Point;
+use rand::Rng;
+
+/// The `tag_d` constant — the paper's "Hey! You are the destination!".
+const TAG: [u8; 8] = *b"URDEST!!";
+
+/// What the destination learns by opening a trapdoor: who sent the packet
+/// and from where (so it can reply without a location-service lookup).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrapdoorContents {
+    /// Source node identity.
+    pub src: u64,
+    /// Source location at send time.
+    pub src_loc: Point,
+}
+
+impl TrapdoorContents {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(24);
+        out.extend_from_slice(&TAG);
+        out.extend_from_slice(&self.src.to_be_bytes());
+        out.extend_from_slice(&(self.src_loc.x as f32).to_be_bytes());
+        out.extend_from_slice(&(self.src_loc.y as f32).to_be_bytes());
+        out
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != 24 || bytes[..8] != TAG {
+            return None;
+        }
+        let src = u64::from_be_bytes(bytes[8..16].try_into().ok()?);
+        let x = f32::from_be_bytes(bytes[16..20].try_into().ok()?);
+        let y = f32::from_be_bytes(bytes[20..24].try_into().ok()?);
+        Some(TrapdoorContents {
+            src,
+            src_loc: Point::new(f64::from(x), f64::from(y)),
+        })
+    }
+}
+
+/// An RSA trapdoor: the paper's `KU_d(src, loc_s, tag_d)`.
+///
+/// Only the holder of the destination's private key can open it; everyone
+/// else sees an opaque blob, which is also what makes same-flow packets
+/// *linkable* to an eavesdropper (the route-untraceability caveat of §4 —
+/// AGFW deliberately does not hide the route, only identities).
+///
+/// # Examples
+///
+/// ```
+/// use agr_crypto::rsa::RsaKeyPair;
+/// use agr_crypto::trapdoor::Trapdoor;
+/// use agr_geom::Point;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let dest = RsaKeyPair::generate(512, &mut rng)?;
+/// let td = Trapdoor::seal(dest.public(), 9, Point::new(10.0, 20.0), &mut rng)?;
+/// assert!(td.encoded_len() <= 64); // paper §5.1
+/// let contents = td.try_open(&dest).expect("destination opens its trapdoor");
+/// assert_eq!(contents.src, 9);
+/// # Ok::<(), agr_crypto::CryptoError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Trapdoor {
+    ciphertext: Vec<u8>,
+}
+
+impl Trapdoor {
+    /// Seals a trapdoor for the destination owning `dest_key`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::MessageTooLong`] if the destination key is
+    /// too small to hold the 24-byte payload (keys below ~280 bits).
+    pub fn seal<R: Rng + ?Sized>(
+        dest_key: &RsaPublicKey,
+        src: u64,
+        src_loc: Point,
+        rng: &mut R,
+    ) -> Result<Self, CryptoError> {
+        let plain = TrapdoorContents { src, src_loc }.encode();
+        let ciphertext = dest_key.encrypt(&plain, rng)?;
+        Ok(Trapdoor { ciphertext })
+    }
+
+    /// Attempts to open the trapdoor with `keys`.
+    ///
+    /// Returns `Some` iff `keys` is the destination's key pair — this is
+    /// the `OPEN(trapdoor)` predicate of the paper's Algorithm 3.2.
+    #[must_use]
+    pub fn try_open(&self, keys: &RsaKeyPair) -> Option<TrapdoorContents> {
+        let plain = keys.decrypt(&self.ciphertext).ok()?;
+        TrapdoorContents::decode(&plain)
+    }
+
+    /// Wire size in bytes (equals the destination key's modulus size:
+    /// 64 bytes for the paper's RSA-512).
+    #[must_use]
+    pub fn encoded_len(&self) -> usize {
+        self.ciphertext.len()
+    }
+
+    /// The raw ciphertext — the value an eavesdropper sees, used by the
+    /// privacy analysis to correlate packets of the same flow.
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.ciphertext
+    }
+}
+
+/// The symmetric-key trapdoor variant suggested in §5.1.
+///
+/// Stream-encrypts the payload with SHA-256 in counter mode under a shared
+/// pairwise key and appends an 8-byte MAC; opening checks the MAC. Wire
+/// size is 8 (nonce) + 24 (payload) + 8 (MAC) = 40 bytes versus RSA-512's
+/// 64, and costs two hashes instead of a modular exponentiation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SymmetricTrapdoor {
+    nonce: [u8; 8],
+    ciphertext: Vec<u8>,
+    mac: [u8; 8],
+}
+
+impl SymmetricTrapdoor {
+    /// Seals a trapdoor under the pairwise `key` shared with the
+    /// destination.
+    pub fn seal<R: Rng + ?Sized>(
+        key: &[u8; 32],
+        src: u64,
+        src_loc: Point,
+        rng: &mut R,
+    ) -> Self {
+        let mut nonce = [0u8; 8];
+        rng.fill(&mut nonce);
+        let mut data = TrapdoorContents { src, src_loc }.encode();
+        xor_keystream(key, &nonce, &mut data);
+        let mac = compute_mac(key, &nonce, &data);
+        SymmetricTrapdoor {
+            nonce,
+            ciphertext: data,
+            mac,
+        }
+    }
+
+    /// Attempts to open with the pairwise `key`; `Some` iff the MAC
+    /// verifies.
+    #[must_use]
+    pub fn try_open(&self, key: &[u8; 32]) -> Option<TrapdoorContents> {
+        if compute_mac(key, &self.nonce, &self.ciphertext) != self.mac {
+            return None;
+        }
+        let mut data = self.ciphertext.clone();
+        xor_keystream(key, &self.nonce, &mut data);
+        TrapdoorContents::decode(&data)
+    }
+
+    /// Wire size in bytes.
+    #[must_use]
+    pub fn encoded_len(&self) -> usize {
+        self.nonce.len() + self.ciphertext.len() + self.mac.len()
+    }
+}
+
+fn xor_keystream(key: &[u8; 32], nonce: &[u8; 8], data: &mut [u8]) {
+    let mut counter: u32 = 0;
+    let mut offset = 0;
+    while offset < data.len() {
+        let block = Sha256::digest_parts(&[b"TDKS", key, nonce, &counter.to_le_bytes()]);
+        for (d, k) in data[offset..].iter_mut().zip(&block) {
+            *d ^= k;
+        }
+        offset += 32;
+        counter += 1;
+    }
+}
+
+fn compute_mac(key: &[u8; 32], nonce: &[u8; 8], ciphertext: &[u8]) -> [u8; 8] {
+    let digest = Sha256::digest_parts(&[b"TDMAC", key, nonce, ciphertext]);
+    digest[..8].try_into().expect("8-byte prefix")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn dest_keys() -> RsaKeyPair {
+        RsaKeyPair::generate(512, &mut rng(50)).unwrap()
+    }
+
+    #[test]
+    fn destination_opens_trapdoor() {
+        let dest = dest_keys();
+        let loc = Point::new(123.5, 67.25);
+        let td = Trapdoor::seal(dest.public(), 42, loc, &mut rng(1)).unwrap();
+        let contents = td.try_open(&dest).unwrap();
+        assert_eq!(contents.src, 42);
+        assert!(contents.src_loc.distance(loc) < 0.01); // f32 rounding
+    }
+
+    #[test]
+    fn non_destination_cannot_open() {
+        let dest = dest_keys();
+        let other = RsaKeyPair::generate(512, &mut rng(51)).unwrap();
+        let td = Trapdoor::seal(dest.public(), 42, Point::ORIGIN, &mut rng(2)).unwrap();
+        assert!(td.try_open(&other).is_none());
+    }
+
+    #[test]
+    fn rsa512_trapdoor_is_64_bytes() {
+        // The paper's §5.1 size claim.
+        let dest = dest_keys();
+        let td = Trapdoor::seal(dest.public(), 1, Point::ORIGIN, &mut rng(3)).unwrap();
+        assert_eq!(td.encoded_len(), 64);
+    }
+
+    #[test]
+    fn trapdoors_are_unlinkable_across_seals() {
+        // Each seal randomises the padding, so two packets to the same
+        // destination carry different trapdoors unless the source reuses
+        // one (flow linkability is a *choice* in AGFW).
+        let dest = dest_keys();
+        let t1 = Trapdoor::seal(dest.public(), 1, Point::ORIGIN, &mut rng(4)).unwrap();
+        let t2 = Trapdoor::seal(dest.public(), 1, Point::ORIGIN, &mut rng(5)).unwrap();
+        assert_ne!(t1, t2);
+    }
+
+    #[test]
+    fn small_key_rejected() {
+        let small = RsaKeyPair::generate(128, &mut rng(52)).unwrap();
+        assert!(matches!(
+            Trapdoor::seal(small.public(), 1, Point::ORIGIN, &mut rng(6)),
+            Err(CryptoError::MessageTooLong { .. })
+        ));
+    }
+
+    #[test]
+    fn symmetric_roundtrip() {
+        let key = [9u8; 32];
+        let td = SymmetricTrapdoor::seal(&key, 7, Point::new(5.0, 6.0), &mut rng(7));
+        let contents = td.try_open(&key).unwrap();
+        assert_eq!(contents.src, 7);
+        assert!(contents.src_loc.distance(Point::new(5.0, 6.0)) < 0.01);
+    }
+
+    #[test]
+    fn symmetric_wrong_key_fails() {
+        let td = SymmetricTrapdoor::seal(&[1; 32], 7, Point::ORIGIN, &mut rng(8));
+        assert!(td.try_open(&[2; 32]).is_none());
+    }
+
+    #[test]
+    fn symmetric_is_smaller_than_rsa() {
+        let td = SymmetricTrapdoor::seal(&[1; 32], 7, Point::ORIGIN, &mut rng(9));
+        assert_eq!(td.encoded_len(), 40);
+        assert!(td.encoded_len() < 64);
+    }
+
+    #[test]
+    fn tampered_symmetric_trapdoor_fails() {
+        let key = [3u8; 32];
+        let mut td = SymmetricTrapdoor::seal(&key, 7, Point::ORIGIN, &mut rng(10));
+        td.ciphertext[0] ^= 1;
+        assert!(td.try_open(&key).is_none());
+    }
+}

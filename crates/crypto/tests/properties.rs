@@ -1,0 +1,217 @@
+//! Property-based tests for the cryptographic substrate.
+
+use agr_crypto::bigint::BigUint;
+use agr_crypto::feistel::Feistel;
+use agr_crypto::rsa::RsaKeyPair;
+use agr_crypto::sha256::Sha256;
+use agr_crypto::trapdoor::{SymmetricTrapdoor, Trapdoor};
+use agr_geom::Point;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::OnceLock;
+
+/// One shared key pair: RSA keygen is too slow to run per proptest case.
+fn shared_keys() -> &'static RsaKeyPair {
+    static KEYS: OnceLock<RsaKeyPair> = OnceLock::new();
+    KEYS.get_or_init(|| {
+        RsaKeyPair::generate(512, &mut StdRng::seed_from_u64(0xfeed)).unwrap()
+    })
+}
+
+fn arb_biguint() -> impl Strategy<Value = BigUint> {
+    proptest::collection::vec(any::<u8>(), 0..40).prop_map(|b| BigUint::from_bytes_be(&b))
+}
+
+proptest! {
+    #[test]
+    fn add_sub_roundtrip(a in arb_biguint(), b in arb_biguint()) {
+        let sum = a.add_ref(&b);
+        prop_assert_eq!(sum.checked_sub(&b).unwrap(), a.clone());
+        prop_assert_eq!(sum.checked_sub(&a).unwrap(), b);
+    }
+
+    #[test]
+    fn add_commutes(a in arb_biguint(), b in arb_biguint()) {
+        prop_assert_eq!(a.add_ref(&b), b.add_ref(&a));
+    }
+
+    #[test]
+    fn mul_commutes_and_distributes(a in arb_biguint(), b in arb_biguint(), c in arb_biguint()) {
+        prop_assert_eq!(a.mul_ref(&b), b.mul_ref(&a));
+        prop_assert_eq!(
+            a.mul_ref(&b.add_ref(&c)),
+            a.mul_ref(&b).add_ref(&a.mul_ref(&c))
+        );
+    }
+
+    #[test]
+    fn div_rem_reconstructs(a in arb_biguint(), b in arb_biguint()) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(&b);
+        prop_assert!(r < b);
+        prop_assert_eq!(q.mul_ref(&b).add_ref(&r), a);
+    }
+
+    #[test]
+    fn bytes_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let n = BigUint::from_bytes_be(&data);
+        let back = n.to_bytes_be();
+        // Minimal encoding: equal to input with leading zeros stripped.
+        let stripped: Vec<u8> = data.iter().copied().skip_while(|&b| b == 0).collect();
+        prop_assert_eq!(back, stripped);
+    }
+
+    #[test]
+    fn shifts_are_mul_div_by_powers(a in arb_biguint(), s in 0u32..100) {
+        let shifted = a.shl_bits(s);
+        let two_s = BigUint::one().shl_bits(s);
+        prop_assert_eq!(shifted.clone(), a.mul_ref(&two_s));
+        prop_assert_eq!(shifted.shr_bits(s), a);
+    }
+
+    #[test]
+    fn modpow_matches_naive(base in 0u64..1000, exp in 0u64..40, m in 3u64..5000) {
+        prop_assume!(m % 2 == 1);
+        let expected = {
+            let mut acc: u128 = 1;
+            for _ in 0..exp {
+                acc = acc * u128::from(base) % u128::from(m);
+            }
+            acc as u64
+        };
+        let got = BigUint::from_u64(base)
+            .modpow(&BigUint::from_u64(exp), &BigUint::from_u64(m));
+        prop_assert_eq!(got, BigUint::from_u64(expected));
+    }
+
+    #[test]
+    fn mod_inverse_is_inverse(a in 1u64..10_000, m in 2u64..10_000) {
+        let a_big = BigUint::from_u64(a);
+        let m_big = BigUint::from_u64(m);
+        match a_big.mod_inverse(&m_big) {
+            Some(inv) => {
+                prop_assert_eq!(
+                    a_big.mul_ref(&inv).rem_ref(&m_big),
+                    BigUint::one().rem_ref(&m_big)
+                );
+            }
+            None => {
+                prop_assert!(a_big.gcd(&m_big) != BigUint::one());
+            }
+        }
+    }
+
+    #[test]
+    fn sha256_incremental_matches_oneshot(
+        data in proptest::collection::vec(any::<u8>(), 0..500),
+        split in 0usize..500,
+    ) {
+        let split = split.min(data.len());
+        let mut h = Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), Sha256::digest(&data));
+    }
+
+    #[test]
+    fn feistel_roundtrip(key in any::<[u8; 32]>(),
+                         data in proptest::collection::vec(any::<u8>(), 1..64)) {
+        let mut block = data.clone();
+        if block.len() % 2 == 1 {
+            block.push(0);
+        }
+        let cipher = Feistel::new(key, block.len());
+        let original = block.clone();
+        cipher.encrypt_block(&mut block);
+        cipher.decrypt_block(&mut block);
+        prop_assert_eq!(block, original);
+    }
+
+    #[test]
+    fn rsa_encrypt_decrypt_roundtrip(msg in proptest::collection::vec(any::<u8>(), 0..53),
+                                     seed in any::<u64>()) {
+        let keys = shared_keys();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ct = keys.public().encrypt(&msg, &mut rng).unwrap();
+        prop_assert_eq!(ct.len(), 64);
+        prop_assert_eq!(keys.decrypt(&ct).unwrap(), msg);
+    }
+
+    #[test]
+    fn rsa_sign_verify(msg in proptest::collection::vec(any::<u8>(), 0..100)) {
+        let keys = shared_keys();
+        let sig = keys.sign(&msg);
+        prop_assert!(keys.public().verify(&msg, &sig).is_ok());
+        // Any flipped byte in the message defeats the signature.
+        if !msg.is_empty() {
+            let mut bad = msg.clone();
+            bad[0] ^= 1;
+            prop_assert!(keys.public().verify(&bad, &sig).is_err());
+        }
+    }
+
+    #[test]
+    fn trapdoor_roundtrip(src in any::<u64>(), x in 0.0..1500.0f64, y in 0.0..300.0f64,
+                          seed in any::<u64>()) {
+        let keys = shared_keys();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let loc = Point::new(x, y);
+        let td = Trapdoor::seal(keys.public(), src, loc, &mut rng).unwrap();
+        prop_assert!(td.encoded_len() <= 64);
+        let contents = td.try_open(keys).unwrap();
+        prop_assert_eq!(contents.src, src);
+        prop_assert!(contents.src_loc.distance(loc) < 0.1);
+    }
+
+    #[test]
+    fn symmetric_trapdoor_roundtrip(key in any::<[u8; 32]>(), src in any::<u64>(),
+                                    seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let td = SymmetricTrapdoor::seal(&key, src, Point::new(1.0, 2.0), &mut rng);
+        let contents = td.try_open(&key).unwrap();
+        prop_assert_eq!(contents.src, src);
+        // A different key must not open it.
+        let mut other = key;
+        other[0] ^= 1;
+        prop_assert!(td.try_open(&other).is_none());
+    }
+}
+
+mod ring_properties {
+    use super::*;
+    use agr_crypto::ring_sig::{ring_sign, ring_verify};
+
+    fn shared_ring() -> &'static (Vec<RsaKeyPair>, Vec<agr_crypto::rsa::RsaPublicKey>) {
+        static RING: OnceLock<(Vec<RsaKeyPair>, Vec<agr_crypto::rsa::RsaPublicKey>)> =
+            OnceLock::new();
+        RING.get_or_init(|| {
+            let mut rng = StdRng::seed_from_u64(0xabcd);
+            let keys: Vec<RsaKeyPair> = (0..4)
+                .map(|_| RsaKeyPair::generate(128, &mut rng).unwrap())
+                .collect();
+            let pubs = keys.iter().map(|k| k.public().clone()).collect();
+            (keys, pubs)
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn any_member_can_sign_any_message(
+            msg in proptest::collection::vec(any::<u8>(), 0..64),
+            signer in 0usize..4,
+            seed in any::<u64>(),
+        ) {
+            let (keys, pubs) = shared_ring();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let sig = ring_sign(&msg, pubs, signer, &keys[signer], &mut rng).unwrap();
+            prop_assert!(ring_verify(&msg, pubs, &sig).is_ok());
+            // Different message must not verify.
+            let mut other = msg.clone();
+            other.push(0xff);
+            prop_assert!(ring_verify(&other, pubs, &sig).is_err());
+        }
+    }
+}

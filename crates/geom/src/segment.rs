@@ -1,0 +1,130 @@
+use crate::Point;
+use std::fmt;
+
+/// A line segment between two points.
+///
+/// Perimeter-mode routing (GPSR's recovery strategy, the paper's §6
+/// future-work extension) needs segment–segment intersection tests to
+/// detect when a perimeter walk crosses the source–destination line.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// Start point.
+    pub a: Point,
+    /// End point.
+    pub b: Point,
+}
+
+impl Segment {
+    /// Creates the segment from `a` to `b`.
+    #[must_use]
+    pub const fn new(a: Point, b: Point) -> Self {
+        Segment { a, b }
+    }
+
+    /// Length in metres.
+    #[must_use]
+    pub fn length(&self) -> f64 {
+        self.a.distance(self.b)
+    }
+
+    /// True if this segment *properly* intersects `other`.
+    ///
+    /// Proper intersection means the segments cross at a single interior
+    /// point of both. Shared endpoints and collinear overlap return
+    /// `false`; perimeter mode treats those as "no crossing", matching the
+    /// GPSR reference behaviour where the walk starts *on* the
+    /// source–destination line.
+    #[must_use]
+    pub fn properly_intersects(&self, other: &Segment) -> bool {
+        let d1 = orient(other.a, other.b, self.a);
+        let d2 = orient(other.a, other.b, self.b);
+        let d3 = orient(self.a, self.b, other.a);
+        let d4 = orient(self.a, self.b, other.b);
+        ((d1 > 0.0 && d2 < 0.0) || (d1 < 0.0 && d2 > 0.0))
+            && ((d3 > 0.0 && d4 < 0.0) || (d3 < 0.0 && d4 > 0.0))
+    }
+
+    /// The point of intersection with `other`, if the segments properly
+    /// intersect.
+    #[must_use]
+    pub fn intersection(&self, other: &Segment) -> Option<Point> {
+        if !self.properly_intersects(other) {
+            return None;
+        }
+        let r = self.a.vector_to(self.b);
+        let s = other.a.vector_to(other.b);
+        let denom = r.cross(s);
+        if denom.abs() < 1e-12 {
+            return None;
+        }
+        let qp = self.a.vector_to(other.a);
+        let t = qp.cross(s) / denom;
+        Some(self.a.lerp(self.b, t))
+    }
+}
+
+/// Twice the signed area of triangle `(a, b, c)`.
+///
+/// Positive when `c` is to the left of the directed line `a -> b`.
+fn orient(a: Point, b: Point, c: Point) -> f64 {
+    a.vector_to(b).cross(a.vector_to(c))
+}
+
+impl fmt::Display for Segment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {}", self.a, self.b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(ax: f64, ay: f64, bx: f64, by: f64) -> Segment {
+        Segment::new(Point::new(ax, ay), Point::new(bx, by))
+    }
+
+    #[test]
+    fn crossing_segments_intersect() {
+        let s1 = seg(0.0, 0.0, 10.0, 10.0);
+        let s2 = seg(0.0, 10.0, 10.0, 0.0);
+        assert!(s1.properly_intersects(&s2));
+        let p = s1.intersection(&s2).unwrap();
+        assert!(p.distance(Point::new(5.0, 5.0)) < 1e-9);
+    }
+
+    #[test]
+    fn parallel_segments_do_not_intersect() {
+        let s1 = seg(0.0, 0.0, 10.0, 0.0);
+        let s2 = seg(0.0, 1.0, 10.0, 1.0);
+        assert!(!s1.properly_intersects(&s2));
+        assert!(s1.intersection(&s2).is_none());
+    }
+
+    #[test]
+    fn shared_endpoint_is_not_proper() {
+        let s1 = seg(0.0, 0.0, 10.0, 0.0);
+        let s2 = seg(10.0, 0.0, 10.0, 10.0);
+        assert!(!s1.properly_intersects(&s2));
+    }
+
+    #[test]
+    fn touching_midpoint_is_not_proper() {
+        // s2 ends exactly on s1's interior: an improper (touching) contact.
+        let s1 = seg(0.0, 0.0, 10.0, 0.0);
+        let s2 = seg(5.0, 0.0, 5.0, 10.0);
+        assert!(!s1.properly_intersects(&s2));
+    }
+
+    #[test]
+    fn disjoint_segments() {
+        let s1 = seg(0.0, 0.0, 1.0, 1.0);
+        let s2 = seg(5.0, 5.0, 6.0, 6.0);
+        assert!(!s1.properly_intersects(&s2));
+    }
+
+    #[test]
+    fn length_is_euclidean() {
+        assert_eq!(seg(0.0, 0.0, 3.0, 4.0).length(), 5.0);
+    }
+}

@@ -1,0 +1,290 @@
+//! The GPSR protocol state machine for `agr-sim`.
+
+use crate::greedy;
+use crate::neighbor::NeighborTable;
+use crate::packet::{DataHeader, GpsrPacket, RoutingMode, BEACON_BYTES};
+use crate::perimeter::{self, PlanarGraph};
+use agr_sim::{Ctx, FlowTag, MacAddr, MacDst, MacOutcome, NodeId, Protocol, SimTime};
+use rand::Rng;
+
+/// Re-exported planarisation choice for perimeter mode.
+pub type Planarization = PlanarGraph;
+
+/// GPSR configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpsrConfig {
+    /// Beacon (local location update) interval; GPSR default 1 s.
+    pub beacon_interval: SimTime,
+    /// Neighbor entry lifetime; GPSR default 4.5 × beacon interval.
+    pub neighbor_timeout: SimTime,
+    /// Initial TTL of data packets.
+    pub ttl: u8,
+    /// Enable perimeter-mode recovery (off = the paper's GPSR-Greedy
+    /// baseline, which "usually ... has a satisfactory delivery
+    /// performance even in a modest-density network", §6).
+    pub perimeter: bool,
+    /// Planarisation used by perimeter mode.
+    pub planarization: Planarization,
+}
+
+impl Default for GpsrConfig {
+    fn default() -> Self {
+        GpsrConfig {
+            beacon_interval: SimTime::from_secs(1),
+            neighbor_timeout: SimTime::from_millis(4500),
+            ttl: 64,
+            perimeter: false,
+            planarization: Planarization::Gabriel,
+        }
+    }
+}
+
+impl GpsrConfig {
+    /// The baseline of the paper's Figure 1: greedy-only GPSR.
+    #[must_use]
+    pub fn greedy_only() -> Self {
+        GpsrConfig::default()
+    }
+
+    /// Greedy + perimeter recovery (the full GPSR of Karp & Kung).
+    #[must_use]
+    pub fn with_perimeter() -> Self {
+        GpsrConfig {
+            perimeter: true,
+            ..GpsrConfig::default()
+        }
+    }
+}
+
+const TIMER_BEACON: u64 = 1;
+
+/// A GPSR node.
+///
+/// See the [crate documentation](crate) for the protocol description and
+/// a runnable example.
+#[derive(Debug)]
+pub struct Gpsr {
+    config: GpsrConfig,
+    table: NeighborTable,
+}
+
+impl Gpsr {
+    /// Creates a GPSR node. The `rng` parameter mirrors the
+    /// `World::new` factory signature; GPSR itself draws its jitter from
+    /// the simulation RNG at runtime.
+    #[must_use]
+    pub fn new(config: GpsrConfig, _rng: &mut impl Rng) -> Self {
+        Gpsr {
+            config,
+            table: NeighborTable::new(config.neighbor_timeout),
+        }
+    }
+
+    /// Read access to the neighbor table (for tests and analysis).
+    #[must_use]
+    pub fn neighbor_table(&self) -> &NeighborTable {
+        &self.table
+    }
+
+    fn schedule_beacon(&self, ctx: &mut Ctx<'_, GpsrPacket>, first: bool) {
+        let base = self.config.beacon_interval.as_nanos();
+        let delay = if first {
+            // Stagger initial beacons across one interval.
+            ctx.rng().random_range(0..base.max(1))
+        } else {
+            // GPSR jitters beacons uniformly over [0.75B, 1.25B] to avoid
+            // synchronisation.
+            ctx.rng().random_range((base * 3 / 4)..=(base * 5 / 4))
+        };
+        ctx.set_timer(SimTime::from_nanos(delay), TIMER_BEACON);
+    }
+
+    fn forward(&mut self, ctx: &mut Ctx<'_, GpsrPacket>, mut header: DataHeader) {
+        let me = ctx.my_id();
+        let my_pos = ctx.my_pos();
+        let now = ctx.now();
+
+        // Direct neighbor shortcut: if the destination itself is a live
+        // neighbor, hand the packet over regardless of geometry (its
+        // advertised position is fresher than the source's snapshot).
+        if let Some(dest) = self.table.get(header.dst, now) {
+            ctx.count("gpsr.forward.direct");
+            ctx.mac_unicast(
+                MacAddr::from(dest.id),
+                GpsrPacket::Data(header),
+                header.wire_bytes(),
+            );
+            return;
+        }
+
+        if let RoutingMode::Perimeter { entry, prev, first_edge } = header.mode {
+            if perimeter::can_resume_greedy(my_pos, entry, header.dst_loc) {
+                header.mode = RoutingMode::Greedy;
+            } else {
+                let mut neighbors: Vec<_> = self.table.live(now).collect();
+                neighbors.sort_by_key(|n| n.id);
+                let Some(next) =
+                    perimeter::next_hop(my_pos, prev, &neighbors, self.config.planarization)
+                else {
+                    ctx.count("gpsr.drop.no_route");
+                    return;
+                };
+                let edge = (me, next.id);
+                if perimeter::is_loop(edge, first_edge) {
+                    ctx.count("gpsr.drop.unreachable");
+                    return;
+                }
+                header.mode = RoutingMode::Perimeter {
+                    entry,
+                    prev: my_pos,
+                    first_edge: Some(first_edge.unwrap_or(edge)),
+                };
+                ctx.count("gpsr.forward.perimeter");
+                ctx.mac_unicast(
+                    MacAddr::from(next.id),
+                    GpsrPacket::Data(header),
+                    header.wire_bytes(),
+                );
+                return;
+            }
+        }
+
+        // Greedy mode.
+        match greedy::next_hop(my_pos, header.dst_loc, self.table.live(now)) {
+            Some(next) => {
+                ctx.count("gpsr.forward.greedy");
+                ctx.mac_unicast(
+                    MacAddr::from(next.id),
+                    GpsrPacket::Data(header),
+                    header.wire_bytes(),
+                );
+            }
+            None if self.config.perimeter => {
+                // Local maximum: enter perimeter mode. The right-hand rule
+                // for the first perimeter hop sweeps from the direction of
+                // the destination.
+                let mut neighbors: Vec<_> = self.table.live(now).collect();
+                neighbors.sort_by_key(|n| n.id);
+                let Some(next) = perimeter::next_hop(
+                    my_pos,
+                    header.dst_loc,
+                    &neighbors,
+                    self.config.planarization,
+                ) else {
+                    ctx.count("gpsr.drop.no_route");
+                    return;
+                };
+                header.mode = RoutingMode::Perimeter {
+                    entry: my_pos,
+                    prev: my_pos,
+                    first_edge: Some((me, next.id)),
+                };
+                ctx.count("gpsr.forward.perimeter_enter");
+                ctx.mac_unicast(
+                    MacAddr::from(next.id),
+                    GpsrPacket::Data(header),
+                    header.wire_bytes(),
+                );
+            }
+            None => {
+                ctx.count("gpsr.drop.local_max");
+            }
+        }
+    }
+}
+
+impl Protocol for Gpsr {
+    type Packet = GpsrPacket;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, GpsrPacket>) {
+        self.schedule_beacon(ctx, true);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, GpsrPacket>, kind: u64) {
+        debug_assert_eq!(kind, TIMER_BEACON);
+        let beacon = GpsrPacket::Beacon {
+            id: ctx.my_id(),
+            pos: ctx.my_pos(),
+        };
+        ctx.count("gpsr.beacons");
+        ctx.mac_broadcast(beacon, BEACON_BYTES);
+        let now = ctx.now();
+        self.table.prune(now);
+        self.schedule_beacon(ctx, false);
+    }
+
+    fn on_app_send(&mut self, ctx: &mut Ctx<'_, GpsrPacket>, dest: NodeId, tag: FlowTag) {
+        // Geographic routing needs the destination's location; the paper's
+        // simulations (like the original GPSR evaluation) grant sources
+        // that knowledge rather than simulating the location service.
+        let dst_loc = ctx.oracle_position(dest);
+        let header = DataHeader {
+            tag,
+            dst: dest,
+            dst_loc,
+            ttl: self.config.ttl,
+            mode: RoutingMode::Greedy,
+            payload_bytes: ctx.config().flows[tag.flow as usize].payload_bytes,
+        };
+        self.forward(ctx, header);
+    }
+
+    fn on_receive(
+        &mut self,
+        ctx: &mut Ctx<'_, GpsrPacket>,
+        packet: GpsrPacket,
+        _from: Option<MacAddr>,
+    ) {
+        match packet {
+            GpsrPacket::Beacon { id, pos } => {
+                self.table.update(id, pos, ctx.now());
+            }
+            GpsrPacket::Data(mut header) => {
+                if header.dst == ctx.my_id() {
+                    ctx.deliver_data(header.tag);
+                    return;
+                }
+                if header.ttl == 0 {
+                    ctx.count("gpsr.drop.ttl");
+                    return;
+                }
+                header.ttl -= 1;
+                self.forward(ctx, header);
+            }
+        }
+    }
+
+    fn on_mac_result(&mut self, ctx: &mut Ctx<'_, GpsrPacket>, outcome: MacOutcome<GpsrPacket>) {
+        if let MacOutcome::Failed {
+            dst: MacDst::Unicast(addr),
+            packet: GpsrPacket::Data(header),
+        } = outcome
+        {
+            // The chosen neighbor never acknowledged: it has moved away or
+            // died. Evict it and re-route the packet (GPSR's reaction to
+            // MAC-layer feedback).
+            self.table.remove(NodeId(addr.0));
+            ctx.count("gpsr.neighbor_evicted");
+            self.forward(ctx, header);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_matches_gpsr_paper() {
+        let c = GpsrConfig::default();
+        assert_eq!(c.beacon_interval, SimTime::from_secs(1));
+        assert_eq!(c.neighbor_timeout, SimTime::from_millis(4500));
+        assert!(!c.perimeter);
+    }
+
+    #[test]
+    fn config_presets() {
+        assert!(!GpsrConfig::greedy_only().perimeter);
+        assert!(GpsrConfig::with_perimeter().perimeter);
+    }
+}

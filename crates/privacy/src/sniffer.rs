@@ -1,0 +1,200 @@
+//! Bounded-coverage adversaries.
+//!
+//! §2's threat 1) is a node that observes whatever "happens to be inside
+//! the radio range" — a *local* sniffer, not the global eavesdropper of
+//! the worst case. This module filters a full frame trace down to what a
+//! field of stationary sniffers actually overhears, so exposure and
+//! tracking can be evaluated as a function of adversary coverage: how
+//! many sniffers does it take to track a GPSR node? And how little does
+//! even full coverage help against AGFW?
+
+use agr_geom::{Point, Rect};
+use agr_sim::FrameRecord;
+use rand::Rng;
+
+/// A field of stationary passive sniffers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnifferField {
+    positions: Vec<Point>,
+    range: f64,
+}
+
+impl SnifferField {
+    /// Creates a field from explicit sniffer positions with the given
+    /// overhearing `range` in metres.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is not strictly positive.
+    #[must_use]
+    pub fn new(positions: Vec<Point>, range: f64) -> Self {
+        assert!(range > 0.0, "sniffer range must be positive");
+        SnifferField { positions, range }
+    }
+
+    /// Places `count` sniffers uniformly at random in `area` — the cheap
+    /// adversary who scatters receivers and waits.
+    #[must_use]
+    pub fn random<R: Rng + ?Sized>(count: usize, area: Rect, range: f64, rng: &mut R) -> Self {
+        let positions = (0..count)
+            .map(|_| area.point_at(rng.random_range(0.0..=1.0), rng.random_range(0.0..=1.0)))
+            .collect();
+        SnifferField::new(positions, range)
+    }
+
+    /// Places sniffers on a regular grid covering `area` with roughly
+    /// `count` sensors — the systematic adversary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    #[must_use]
+    pub fn grid(count: usize, area: Rect, range: f64) -> Self {
+        assert!(count > 0, "need at least one sniffer");
+        let aspect = area.width() / area.height();
+        let rows = ((count as f64 / aspect).sqrt().round() as usize).max(1);
+        let cols = count.div_ceil(rows);
+        let mut positions = Vec::with_capacity(cols * rows);
+        for r in 0..rows {
+            for c in 0..cols {
+                if positions.len() == count {
+                    break;
+                }
+                positions.push(area.point_at(
+                    (c as f64 + 0.5) / cols as f64,
+                    (r as f64 + 0.5) / rows as f64,
+                ));
+            }
+        }
+        SnifferField::new(positions, range)
+    }
+
+    /// Number of sniffers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// True if the field has no sniffers.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// The sniffer positions.
+    #[must_use]
+    pub fn positions(&self) -> &[Point] {
+        &self.positions
+    }
+
+    /// True if a transmission at `tx_pos` is overheard by any sniffer.
+    #[must_use]
+    pub fn hears(&self, tx_pos: Point) -> bool {
+        self.positions
+            .iter()
+            .any(|s| s.within_range(tx_pos, self.range))
+    }
+
+    /// Filters a frame trace down to the frames this field overhears —
+    /// feed the result to [`crate::exposure`] and [`crate::tracker`].
+    #[must_use]
+    pub fn observe<PKT: Clone>(&self, frames: &[FrameRecord<PKT>]) -> Vec<FrameRecord<PKT>> {
+        frames
+            .iter()
+            .filter(|f| self.hears(f.tx_pos))
+            .cloned()
+            .collect()
+    }
+
+    /// Fraction of the trace this field overhears.
+    #[must_use]
+    pub fn coverage<PKT>(&self, frames: &[FrameRecord<PKT>]) -> f64 {
+        if frames.is_empty() {
+            return 0.0;
+        }
+        let heard = frames.iter().filter(|f| self.hears(f.tx_pos)).count();
+        heard as f64 / frames.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agr_sim::{FrameType, NodeId, SimTime};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn frame_at(x: f64, y: f64) -> FrameRecord<u32> {
+        FrameRecord {
+            time: SimTime::ZERO,
+            tx_node: NodeId(0),
+            tx_pos: Point::new(x, y),
+            src_mac: None,
+            dst_mac: None,
+            frame_type: FrameType::Data,
+            packet: Some(7),
+        }
+    }
+
+    #[test]
+    fn hears_within_range_only() {
+        let field = SnifferField::new(vec![Point::new(0.0, 0.0)], 100.0);
+        assert!(field.hears(Point::new(99.0, 0.0)));
+        assert!(field.hears(Point::new(100.0, 0.0)));
+        assert!(!field.hears(Point::new(101.0, 0.0)));
+    }
+
+    #[test]
+    fn observe_filters_frames() {
+        let field = SnifferField::new(vec![Point::new(0.0, 0.0)], 100.0);
+        let frames = vec![frame_at(50.0, 0.0), frame_at(500.0, 0.0), frame_at(0.0, 80.0)];
+        let heard = field.observe(&frames);
+        assert_eq!(heard.len(), 2);
+        assert!((field.coverage(&frames) - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_field_hears_nothing() {
+        let field = SnifferField::new(vec![], 100.0);
+        assert!(field.is_empty());
+        assert!(!field.hears(Point::ORIGIN));
+        assert_eq!(field.coverage(&[frame_at(0.0, 0.0)]), 0.0);
+    }
+
+    #[test]
+    fn grid_covers_area_with_requested_count() {
+        let area = Rect::with_size(1500.0, 300.0);
+        for count in [1usize, 4, 6, 12, 25] {
+            let field = SnifferField::grid(count, area, 250.0);
+            assert_eq!(field.len(), count, "count {count}");
+            for p in field.positions() {
+                assert!(area.contains(*p));
+            }
+        }
+    }
+
+    #[test]
+    fn dense_grid_hears_everything_in_area() {
+        let area = Rect::with_size(1500.0, 300.0);
+        let field = SnifferField::grid(24, area, 250.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let p = area.point_at(rng.random_range(0.0..=1.0), rng.random_range(0.0..=1.0));
+            assert!(field.hears(p), "uncovered point {p}");
+        }
+    }
+
+    #[test]
+    fn random_field_is_seed_deterministic() {
+        let area = Rect::with_size(1500.0, 300.0);
+        let f1 = SnifferField::random(5, area, 250.0, &mut StdRng::seed_from_u64(9));
+        let f2 = SnifferField::random(5, area, 250.0, &mut StdRng::seed_from_u64(9));
+        assert_eq!(f1, f2);
+    }
+
+    #[test]
+    #[should_panic(expected = "range must be positive")]
+    fn zero_range_rejected() {
+        let _ = SnifferField::new(vec![Point::ORIGIN], 0.0);
+    }
+}

@@ -1,0 +1,968 @@
+//! The simulation world: owns all state and drives the event loop.
+//!
+//! Layering per event:
+//!
+//! ```text
+//! event ──> Inner (PHY + MAC logic, pure state) ──> Upcall queue
+//!                                                        │
+//! protocols[i].on_receive / on_mac_result  <── drained ──┘
+//! ```
+//!
+//! Protocol callbacks get a [`Ctx`] borrowing `Inner`, so they can enqueue
+//! frames and timers but never re-enter other protocols — the classic
+//! sans-I/O layering that keeps the borrow checker and the causality story
+//! aligned.
+
+use crate::config::SimConfig;
+use crate::engine::{Event, EventQueue};
+use crate::mac::{Mac, MacFrame, MacFrameKind, MacState, OutPkt, TxKind};
+use crate::mobility::MobilityState;
+use crate::phy::Phy;
+use crate::protocol::{FlowTag, MacDst, MacOutcome, Protocol};
+use crate::stats::Stats;
+use crate::time::SimTime;
+use crate::{MacAddr, NodeId};
+use agr_geom::Point;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// What kind of frame a [`FrameRecord`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameType {
+    /// Request-to-send.
+    Rts,
+    /// Clear-to-send.
+    Cts,
+    /// MAC acknowledgment.
+    Ack,
+    /// Data frame (carries a protocol packet).
+    Data,
+}
+
+/// One transmission as seen by a global passive eavesdropper.
+///
+/// Recorded when [`crate::SimConfig::record_frames`] is on. `tx_node` and
+/// `tx_pos` are *ground truth* (an adversary with direction-finding
+/// hardware can localise any transmitter); `src_mac` is what the frame
+/// itself discloses — `None` for AGFW's anonymous broadcasts.
+#[derive(Debug, Clone)]
+pub struct FrameRecord<PKT> {
+    /// Transmission start time.
+    pub time: SimTime,
+    /// Ground-truth transmitter identity.
+    pub tx_node: NodeId,
+    /// Ground-truth transmitter position.
+    pub tx_pos: Point,
+    /// Source MAC address disclosed by the frame, if any.
+    pub src_mac: Option<MacAddr>,
+    /// Destination MAC address, `None` for broadcast.
+    pub dst_mac: Option<MacAddr>,
+    /// Frame type.
+    pub frame_type: FrameType,
+    /// The network-layer packet, for data frames.
+    pub packet: Option<PKT>,
+}
+
+/// Deferred protocol callback produced while processing an event.
+#[derive(Debug)]
+enum Upcall<PKT> {
+    Receive {
+        node: usize,
+        packet: PKT,
+        from: Option<MacAddr>,
+    },
+    MacResult {
+        node: usize,
+        outcome: MacOutcome<PKT>,
+    },
+}
+
+/// Everything except the protocol instances.
+pub(crate) struct Inner<PKT> {
+    now: SimTime,
+    queue: EventQueue,
+    rng: StdRng,
+    stats: Stats,
+    config: SimConfig,
+    mobility: Vec<MobilityState>,
+    phy: Phy<PKT>,
+    macs: Vec<Mac<PKT>>,
+    upcalls: VecDeque<Upcall<PKT>>,
+    frames: Vec<FrameRecord<PKT>>,
+}
+
+impl<PKT: Clone + std::fmt::Debug + 'static> Inner<PKT> {
+    fn new(config: SimConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let n = config.num_nodes;
+        if let Some(pos) = &config.initial_positions {
+            assert_eq!(
+                pos.len(),
+                n,
+                "initial_positions length must equal num_nodes"
+            );
+        }
+        let mobility = (0..n)
+            .map(|i| {
+                let p = match &config.initial_positions {
+                    Some(pos) => pos[i],
+                    None => config
+                        .area
+                        .point_at(rng.random_range(0.0..=1.0), rng.random_range(0.0..=1.0)),
+                };
+                MobilityState::new(p)
+            })
+            .collect();
+        let phy = Phy::new(config.radio.comm_range, config.radio.cs_range, n);
+        let macs = (0..n)
+            .map(|i| Mac::new(MacAddr(i as u32), config.mac.cw_min))
+            .collect();
+        Inner {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            rng,
+            stats: Stats::new(),
+            config,
+            mobility,
+            phy,
+            macs,
+            upcalls: VecDeque::new(),
+            frames: Vec::new(),
+        }
+    }
+
+    fn position_of(&mut self, i: usize) -> Point {
+        self.mobility[i].position_at(
+            self.now,
+            &self.config.mobility,
+            self.config.area,
+            &mut self.rng,
+        )
+    }
+
+    fn velocity_of(&mut self, i: usize) -> agr_geom::Vec2 {
+        let _ = self.position_of(i); // advance the leg state machine
+        self.mobility[i].velocity_at(self.now)
+    }
+
+    fn positions_now(&mut self) -> Vec<Point> {
+        (0..self.config.num_nodes)
+            .map(|i| self.position_of(i))
+            .collect()
+    }
+
+    // ---------------------------------------------------------------
+    // MAC logic (event-driven 802.11 DCF)
+    // ---------------------------------------------------------------
+
+    fn mac_enqueue(&mut self, n: usize, payload: PKT, dst: MacDst, bytes: u32) {
+        let seq = self.macs[n].next_seq;
+        self.macs[n].next_seq = self.macs[n].next_seq.wrapping_add(1);
+        self.macs[n].queue.push_back(OutPkt {
+            payload,
+            dst,
+            bytes,
+            seq,
+        });
+        if self.macs[n].state == MacState::Idle {
+            self.mac_begin_contention(n);
+        }
+    }
+
+    fn draw_backoff(&mut self, n: usize) -> SimTime {
+        let cw = self.macs[n].cw;
+        let slots = self.rng.random_range(0..=cw);
+        self.config.mac.slot.mul(u64::from(slots))
+    }
+
+    fn mac_begin_contention(&mut self, n: usize) {
+        if self.macs[n].backoff_remaining == SimTime::ZERO {
+            self.macs[n].backoff_remaining = self.draw_backoff(n);
+        }
+        self.macs[n].state = MacState::WaitDifs;
+        self.mac_check_difs(n);
+    }
+
+    fn mac_check_difs(&mut self, n: usize) {
+        debug_assert_eq!(self.macs[n].state, MacState::WaitDifs);
+        if self.phy.states[n].busy() {
+            // Cancel any scheduled check; resume on the idle notification.
+            self.macs[n].cancel_wakeup();
+            return;
+        }
+        let free_from = self.phy.states[n].idle_since.max(self.macs[n].nav_until);
+        let ready = free_from + self.config.mac.difs;
+        let guard = self.macs[n].cancel_wakeup();
+        if self.now >= ready {
+            self.macs[n].state = MacState::Backoff;
+            self.macs[n].backoff_started = self.now;
+            let wake = self.now + self.macs[n].backoff_remaining;
+            self.queue.push(
+                wake,
+                Event::MacInternal {
+                    node: NodeId(n as u32),
+                    guard,
+                },
+            );
+        } else {
+            self.queue.push(
+                ready,
+                Event::MacInternal {
+                    node: NodeId(n as u32),
+                    guard,
+                },
+            );
+        }
+    }
+
+    fn mac_freeze_backoff(&mut self, n: usize) {
+        if self.macs[n].state == MacState::Backoff {
+            let elapsed = self.now.saturating_sub(self.macs[n].backoff_started);
+            self.macs[n].backoff_remaining =
+                self.macs[n].backoff_remaining.saturating_sub(elapsed);
+            self.macs[n].cancel_wakeup();
+            self.macs[n].state = MacState::WaitDifs;
+        }
+    }
+
+    fn mac_on_medium_busy(&mut self, n: usize) {
+        match self.macs[n].state {
+            MacState::Backoff => self.mac_freeze_backoff(n),
+            MacState::WaitDifs => {
+                self.macs[n].cancel_wakeup();
+            }
+            _ => {}
+        }
+    }
+
+    fn mac_on_medium_idle(&mut self, n: usize) {
+        if self.macs[n].state == MacState::WaitDifs {
+            self.mac_check_difs(n);
+        }
+    }
+
+    fn mac_set_nav(&mut self, n: usize, until: SimTime) {
+        if until <= self.macs[n].nav_until || until <= self.now {
+            return;
+        }
+        self.macs[n].nav_until = until;
+        match self.macs[n].state {
+            MacState::Backoff | MacState::WaitDifs => {
+                self.mac_freeze_backoff(n);
+                let guard = self.macs[n].cancel_wakeup();
+                self.queue.push(
+                    until,
+                    Event::MacInternal {
+                        node: NodeId(n as u32),
+                        guard,
+                    },
+                );
+            }
+            _ => {}
+        }
+    }
+
+    pub(crate) fn mac_internal(&mut self, n: usize, guard: u64) {
+        if guard != self.macs[n].guard {
+            return; // stale wake-up
+        }
+        match self.macs[n].state.clone() {
+            MacState::WaitDifs => self.mac_check_difs(n),
+            MacState::Backoff => {
+                self.macs[n].backoff_remaining = SimTime::ZERO;
+                self.mac_transmit_head(n);
+            }
+            MacState::WaitCts => {
+                self.stats.count("mac.cts_timeout");
+                self.mac_retry(n, self.config.mac.short_retry_limit);
+            }
+            MacState::WaitAck => {
+                self.stats.count("mac.ack_timeout");
+                self.mac_retry(n, self.config.mac.long_retry_limit);
+            }
+            MacState::Sifs => {
+                if let Some((frame, kind, airtime)) = self.macs[n].pending_response.take() {
+                    self.mac_start_tx(n, frame, kind, airtime, SimTime::ZERO);
+                } else {
+                    self.macs[n].state = MacState::Idle;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn mac_transmit_head(&mut self, n: usize) {
+        let Some(head) = self.macs[n].queue.front() else {
+            self.macs[n].state = MacState::Idle;
+            return;
+        };
+        let my_addr = self.macs[n].addr;
+        let radio = self.config.radio;
+        let mac_params = self.config.mac;
+        let data_air = radio.data_airtime(head.bytes, &mac_params);
+        match head.dst {
+            MacDst::Unicast(dst) if head.bytes > mac_params.rts_threshold => {
+                let frame = MacFrame {
+                    kind: MacFrameKind::Rts,
+                    src: Some(my_addr),
+                    dst: Some(dst),
+                    nav_until: SimTime::ZERO,
+                    seq: head.seq,
+                };
+                // RTS reserves: SIFS+CTS + SIFS+DATA + SIFS+ACK.
+                let reserve = mac_params.sifs
+                    + radio.control_airtime(mac_params.cts_bytes)
+                    + mac_params.sifs
+                    + data_air
+                    + mac_params.sifs
+                    + radio.control_airtime(mac_params.ack_bytes);
+                let airtime = radio.control_airtime(mac_params.rts_bytes);
+                self.mac_start_tx(n, frame, TxKind::Rts, airtime, reserve);
+            }
+            MacDst::Unicast(dst) => {
+                let frame = MacFrame {
+                    kind: MacFrameKind::Data {
+                        payload: head.payload.clone(),
+                        broadcast: false,
+                    },
+                    src: Some(my_addr),
+                    dst: Some(dst),
+                    nav_until: SimTime::ZERO,
+                    seq: head.seq,
+                };
+                let reserve =
+                    mac_params.sifs + radio.control_airtime(mac_params.ack_bytes);
+                self.mac_start_tx(n, frame, TxKind::DataUnicast, data_air, reserve);
+            }
+            MacDst::Broadcast => {
+                let frame = MacFrame {
+                    kind: MacFrameKind::Data {
+                        payload: head.payload.clone(),
+                        broadcast: true,
+                    },
+                    src: None,
+                    dst: None,
+                    nav_until: SimTime::ZERO,
+                    seq: head.seq,
+                };
+                self.mac_start_tx(n, frame, TxKind::Broadcast, data_air, SimTime::ZERO);
+            }
+        }
+    }
+
+    fn mac_start_tx(
+        &mut self,
+        n: usize,
+        mut frame: MacFrame<PKT>,
+        kind: TxKind,
+        airtime: SimTime,
+        reserve: SimTime,
+    ) {
+        let positions = self.positions_now();
+        let end = self.now + airtime;
+        if frame.nav_until == SimTime::ZERO {
+            frame.nav_until = end + reserve;
+        }
+        self.stats.count("mac.tx_frames");
+        if self.config.record_frames {
+            let (frame_type, packet) = match &frame.kind {
+                MacFrameKind::Rts => (FrameType::Rts, None),
+                MacFrameKind::Cts => (FrameType::Cts, None),
+                MacFrameKind::Ack => (FrameType::Ack, None),
+                MacFrameKind::Data { payload, .. } => (FrameType::Data, Some(payload.clone())),
+            };
+            self.frames.push(FrameRecord {
+                time: self.now,
+                tx_node: NodeId(n as u32),
+                tx_pos: positions[n],
+                src_mac: frame.src,
+                dst_mac: frame.dst,
+                frame_type,
+                packet,
+            });
+        }
+        let start = self.phy.start_tx(n, frame, airtime, self.now, &positions);
+        self.macs[n].state = MacState::Tx(kind);
+        self.queue.push(
+            start.end,
+            Event::TxEnd {
+                node: NodeId(n as u32),
+            },
+        );
+        for (j, rx_id) in start.rx_ends {
+            self.queue.push(
+                start.end,
+                Event::RxEnd {
+                    node: NodeId(j as u32),
+                    rx_id,
+                },
+            );
+        }
+        for j in start.went_busy {
+            self.mac_on_medium_busy(j);
+        }
+    }
+
+    pub(crate) fn handle_tx_end(&mut self, n: usize) {
+        let went_idle = self.phy.tx_end(n, self.now);
+        let state = self.macs[n].state.clone();
+        match state {
+            MacState::Tx(TxKind::Rts) => {
+                let timeout = self.config.mac.sifs
+                    + self.config.radio.control_airtime(self.config.mac.cts_bytes)
+                    + self.config.mac.slot.mul(2);
+                let guard = self.macs[n].cancel_wakeup();
+                self.macs[n].state = MacState::WaitCts;
+                self.queue.push(
+                    self.now + timeout,
+                    Event::MacInternal {
+                        node: NodeId(n as u32),
+                        guard,
+                    },
+                );
+            }
+            MacState::Tx(TxKind::DataUnicast) | MacState::Tx(TxKind::DataAfterCts) => {
+                let timeout = self.config.mac.sifs
+                    + self.config.radio.control_airtime(self.config.mac.ack_bytes)
+                    + self.config.mac.slot.mul(2);
+                let guard = self.macs[n].cancel_wakeup();
+                self.macs[n].state = MacState::WaitAck;
+                self.queue.push(
+                    self.now + timeout,
+                    Event::MacInternal {
+                        node: NodeId(n as u32),
+                        guard,
+                    },
+                );
+            }
+            MacState::Tx(TxKind::Broadcast) => {
+                let pkt = self.macs[n].queue.pop_front().expect("broadcast head");
+                self.upcalls.push_back(Upcall::MacResult {
+                    node: n,
+                    outcome: MacOutcome::Sent {
+                        dst: MacDst::Broadcast,
+                        packet: pkt.payload,
+                    },
+                });
+                self.macs[n].state = MacState::Idle;
+                if !self.macs[n].queue.is_empty() {
+                    self.mac_begin_contention(n);
+                }
+            }
+            MacState::Tx(TxKind::Response) => {
+                self.macs[n].state = MacState::Idle;
+                if !self.macs[n].queue.is_empty() {
+                    self.mac_begin_contention(n);
+                }
+            }
+            other => {
+                debug_assert!(false, "tx_end in state {other:?}");
+            }
+        }
+        if went_idle {
+            self.mac_on_medium_idle(n);
+        }
+    }
+
+    fn mac_retry(&mut self, n: usize, limit: u32) {
+        self.macs[n].retries += 1;
+        self.stats.count("mac.retry");
+        if self.macs[n].retries > limit {
+            self.stats.count("mac.drop");
+            let pkt = self.macs[n].queue.pop_front().expect("retry head");
+            let cw_min = self.config.mac.cw_min;
+            self.macs[n].reset_contention(cw_min);
+            self.macs[n].state = MacState::Idle;
+            self.upcalls.push_back(Upcall::MacResult {
+                node: n,
+                outcome: MacOutcome::Failed {
+                    dst: pkt.dst,
+                    packet: pkt.payload,
+                },
+            });
+            if !self.macs[n].queue.is_empty() {
+                self.mac_begin_contention(n);
+            }
+        } else {
+            let cw_max = self.config.mac.cw_max;
+            self.macs[n].widen_cw(cw_max);
+            self.macs[n].backoff_remaining = self.draw_backoff(n);
+            self.macs[n].state = MacState::WaitDifs;
+            self.mac_check_difs(n);
+        }
+    }
+
+    fn mac_finish_success(&mut self, n: usize) {
+        let pkt = self.macs[n].queue.pop_front().expect("success head");
+        let cw_min = self.config.mac.cw_min;
+        self.macs[n].reset_contention(cw_min);
+        self.macs[n].state = MacState::Idle;
+        self.upcalls.push_back(Upcall::MacResult {
+            node: n,
+            outcome: MacOutcome::Sent {
+                dst: pkt.dst,
+                packet: pkt.payload,
+            },
+        });
+        if !self.macs[n].queue.is_empty() {
+            self.mac_begin_contention(n);
+        }
+    }
+
+    /// Queues a SIFS-spaced response if the MAC is in a state that may
+    /// respond; returns whether it did.
+    fn mac_queue_response(
+        &mut self,
+        n: usize,
+        frame: MacFrame<PKT>,
+        kind: TxKind,
+        airtime: SimTime,
+    ) -> bool {
+        match self.macs[n].state {
+            MacState::Idle | MacState::WaitDifs | MacState::Backoff => {
+                self.mac_freeze_backoff(n);
+                self.macs[n].pending_response = Some((frame, kind, airtime));
+                self.macs[n].state = MacState::Sifs;
+                let guard = self.macs[n].cancel_wakeup();
+                self.queue.push(
+                    self.now + self.config.mac.sifs,
+                    Event::MacInternal {
+                        node: NodeId(n as u32),
+                        guard,
+                    },
+                );
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn mac_handle_frame(&mut self, n: usize, frame: MacFrame<PKT>) {
+        let my_addr = self.macs[n].addr;
+        let addressed = frame.dst == Some(my_addr);
+        let broadcast = frame.dst.is_none();
+        if !addressed && !broadcast {
+            // Overheard someone else's exchange: virtual carrier sense.
+            self.mac_set_nav(n, frame.nav_until);
+            return;
+        }
+        match frame.kind {
+            MacFrameKind::Rts => {
+                if self.macs[n].nav_busy(self.now) {
+                    return; // reserved medium: stay silent, sender retries
+                }
+                let cts = MacFrame {
+                    kind: MacFrameKind::Cts,
+                    src: Some(my_addr),
+                    dst: frame.src,
+                    nav_until: frame.nav_until,
+                    seq: frame.seq,
+                };
+                let airtime = self
+                    .config
+                    .radio
+                    .control_airtime(self.config.mac.cts_bytes);
+                self.mac_queue_response(n, cts, TxKind::Response, airtime);
+            }
+            MacFrameKind::Cts => {
+                if self.macs[n].state == MacState::WaitCts {
+                    self.macs[n].cancel_wakeup();
+                    self.macs[n].retries = 0;
+                    let head = self.macs[n].queue.front().expect("WaitCts without head");
+                    let head_bytes = head.bytes;
+                    let MacDst::Unicast(dst) = head.dst else {
+                        unreachable!("RTS sent for non-unicast frame");
+                    };
+                    let data = MacFrame {
+                        kind: MacFrameKind::Data {
+                            payload: head.payload.clone(),
+                            broadcast: false,
+                        },
+                        src: Some(my_addr),
+                        dst: Some(dst),
+                        nav_until: frame.nav_until,
+                        seq: head.seq,
+                    };
+                    let airtime = self
+                        .config
+                        .radio
+                        .data_airtime(head_bytes, &self.config.mac);
+                    // Bypass mac_queue_response: WaitCts must send its DATA.
+                    self.macs[n].pending_response = Some((data, TxKind::DataAfterCts, airtime));
+                    self.macs[n].state = MacState::Sifs;
+                    let guard = self.macs[n].guard;
+                    self.queue.push(
+                        self.now + self.config.mac.sifs,
+                        Event::MacInternal {
+                            node: NodeId(n as u32),
+                            guard,
+                        },
+                    );
+                }
+            }
+            MacFrameKind::Ack => {
+                if self.macs[n].state == MacState::WaitAck {
+                    self.macs[n].cancel_wakeup();
+                    self.mac_finish_success(n);
+                }
+            }
+            MacFrameKind::Data { payload, broadcast: is_bcast } => {
+                if is_bcast {
+                    self.upcalls.push_back(Upcall::Receive {
+                        node: n,
+                        packet: payload,
+                        from: frame.src,
+                    });
+                } else {
+                    let dup = frame
+                        .src
+                        .map(|s| self.macs[n].is_duplicate(s, frame.seq))
+                        .unwrap_or(false);
+                    if !dup {
+                        self.upcalls.push_back(Upcall::Receive {
+                            node: n,
+                            packet: payload,
+                            from: frame.src,
+                        });
+                    } else {
+                        self.stats.count("mac.duplicate");
+                    }
+                    let ack = MacFrame {
+                        kind: MacFrameKind::Ack,
+                        src: Some(my_addr),
+                        dst: frame.src,
+                        nav_until: SimTime::ZERO,
+                        seq: frame.seq,
+                    };
+                    let airtime = self
+                        .config
+                        .radio
+                        .control_airtime(self.config.mac.ack_bytes);
+                    self.mac_queue_response(n, ack, TxKind::Response, airtime);
+                }
+            }
+        }
+    }
+
+    pub(crate) fn handle_rx_end(&mut self, n: usize, rx_id: u64) {
+        let out = self.phy.rx_end(n, rx_id, self.now);
+        if out.collided {
+            self.stats.count("phy.collision");
+        }
+        if let Some(frame) = out.frame {
+            self.mac_handle_frame(n, frame);
+        }
+        if out.went_idle {
+            self.mac_on_medium_idle(n);
+        }
+    }
+
+    /// A data frame airtime for `bytes` network bytes — exposed to
+    /// protocols for budgeting (e.g. NL-ACK timeouts).
+    fn data_airtime(&self, bytes: u32) -> SimTime {
+        self.config.radio.data_airtime(bytes, &self.config.mac)
+    }
+}
+
+/// Per-node handle protocols use to interact with the world.
+///
+/// Obtained only inside [`Protocol`] callbacks; every operation is scoped
+/// to the node the callback belongs to.
+pub struct Ctx<'a, PKT> {
+    inner: &'a mut Inner<PKT>,
+    node: usize,
+}
+
+impl<PKT: Clone + std::fmt::Debug + 'static> Ctx<'_, PKT> {
+    /// Current simulation time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.inner.now
+    }
+
+    /// This node's identity.
+    #[must_use]
+    pub fn my_id(&self) -> NodeId {
+        NodeId(self.node as u32)
+    }
+
+    /// This node's MAC address.
+    #[must_use]
+    pub fn my_mac(&self) -> MacAddr {
+        self.inner.macs[self.node].addr
+    }
+
+    /// This node's current position (every node is assumed to know its own
+    /// location, e.g. via GPS — the standard geographic-routing
+    /// assumption).
+    #[must_use]
+    pub fn my_pos(&mut self) -> Point {
+        self.inner.position_of(self.node)
+    }
+
+    /// This node's instantaneous velocity (available to a GPS-equipped
+    /// node alongside its position).
+    #[must_use]
+    pub fn my_velocity(&mut self) -> agr_geom::Vec2 {
+        self.inner.velocity_of(self.node)
+    }
+
+    /// Ground-truth position of any node — the *location oracle*.
+    ///
+    /// The paper's simulations (§5.1) run AGFW without ALS, assuming
+    /// sources know destination locations; GPSR evaluations make the same
+    /// assumption. Protocols that implement a real location service
+    /// (ALS/DLM) only use this for their own position.
+    #[must_use]
+    pub fn oracle_position(&mut self, node: NodeId) -> Point {
+        self.inner.position_of(node.0 as usize)
+    }
+
+    /// Number of nodes in the simulation.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.inner.config.num_nodes
+    }
+
+    /// The simulation configuration.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.inner.config
+    }
+
+    /// The deterministic simulation RNG.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.inner.rng
+    }
+
+    /// Queues `packet` for transmission.
+    ///
+    /// `bytes` is the network-layer packet size (header + payload); the
+    /// MAC adds its own overhead. Completion is reported via
+    /// [`Protocol::on_mac_result`].
+    pub fn mac_send(&mut self, dst: MacDst, packet: PKT, bytes: u32) {
+        self.inner.mac_enqueue(self.node, packet, dst, bytes);
+    }
+
+    /// Queues an anonymous local broadcast (no RTS/CTS/ACK, no source MAC).
+    pub fn mac_broadcast(&mut self, packet: PKT, bytes: u32) {
+        self.mac_send(MacDst::Broadcast, packet, bytes);
+    }
+
+    /// Queues a reliable unicast (RTS/CTS/DATA/ACK with retries).
+    pub fn mac_unicast(&mut self, to: MacAddr, packet: PKT, bytes: u32) {
+        self.mac_send(MacDst::Unicast(to), packet, bytes);
+    }
+
+    /// Number of frames queued at this node's MAC (including any in
+    /// flight).
+    #[must_use]
+    pub fn mac_queue_len(&self) -> usize {
+        self.inner.macs[self.node].queue.len()
+    }
+
+    /// Schedules [`Protocol::on_timer`] with `kind` after `delay`.
+    pub fn set_timer(&mut self, delay: SimTime, kind: u64) {
+        self.inner.queue.push(
+            self.inner.now + delay,
+            Event::Timer {
+                node: NodeId(self.node as u32),
+                kind,
+            },
+        );
+    }
+
+    /// Reports an application packet as delivered to this node.
+    ///
+    /// Duplicates of the same `(flow, seq)` are counted once.
+    pub fn deliver_data(&mut self, tag: FlowTag) {
+        let latency = self.inner.now.saturating_sub(tag.sent_at);
+        self.inner
+            .stats
+            .record_delivered(tag.flow, tag.seq, latency);
+    }
+
+    /// Increments a named statistics counter.
+    pub fn count(&mut self, name: &'static str) {
+        self.inner.stats.count(name);
+    }
+
+    /// Adds `n` to a named statistics counter.
+    pub fn count_n(&mut self, name: &'static str, n: u64) {
+        self.inner.stats.count_n(name, n);
+    }
+
+    /// Airtime of a data frame carrying `bytes` network bytes — useful for
+    /// sizing protocol-level timeouts.
+    #[must_use]
+    pub fn data_airtime(&self, bytes: u32) -> SimTime {
+        self.inner.data_airtime(bytes)
+    }
+}
+
+/// A complete simulation: world state plus one protocol instance per node.
+pub struct World<P: Protocol> {
+    inner: Inner<P::Packet>,
+    protocols: Vec<P>,
+}
+
+impl<P: Protocol> World<P> {
+    /// Builds a world from `config`, creating each node's protocol with
+    /// `factory(node, &config, rng)`.
+    ///
+    /// [`Protocol::on_start`] runs immediately (time zero) so protocols
+    /// can schedule their first beacons; application flows are scheduled
+    /// from the config.
+    pub fn new(
+        config: SimConfig,
+        mut factory: impl FnMut(NodeId, &SimConfig, &mut StdRng) -> P,
+    ) -> Self {
+        let mut inner = Inner::new(config);
+        let protocols: Vec<P> = (0..inner.config.num_nodes)
+            .map(|i| {
+                // Factory draws from the world RNG for reproducibility.
+                let mut rng = StdRng::seed_from_u64(inner.rng.random());
+                factory(NodeId(i as u32), &inner.config, &mut rng)
+            })
+            .collect();
+        for (idx, flow) in inner.config.flows.iter().enumerate() {
+            inner
+                .queue
+                .push(flow.start, Event::AppSend { flow: idx, seq: 0 });
+        }
+        let mut world = World { inner, protocols };
+        for i in 0..world.protocols.len() {
+            let mut ctx = Ctx {
+                inner: &mut world.inner,
+                node: i,
+            };
+            world.protocols[i].on_start(&mut ctx);
+        }
+        world.drain_upcalls();
+        world
+    }
+
+    /// Runs until the configured duration and returns the statistics.
+    pub fn run(&mut self) -> Stats {
+        let end = self.inner.config.duration;
+        self.run_until(end);
+        self.inner.stats.clone()
+    }
+
+    /// Runs until simulated time `t` (events after `t` stay queued).
+    pub fn run_until(&mut self, t: SimTime) {
+        while let Some(next) = self.inner.queue.peek_time() {
+            if next > t {
+                break;
+            }
+            let (at, ev) = self.inner.queue.pop().expect("peeked event");
+            self.inner.now = at;
+            self.dispatch(ev);
+            self.drain_upcalls();
+        }
+        self.inner.now = self.inner.now.max(t);
+    }
+
+    /// Statistics collected so far.
+    #[must_use]
+    pub fn stats(&self) -> &Stats {
+        &self.inner.stats
+    }
+
+    /// Current simulation time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.inner.now
+    }
+
+    /// Read access to a node's protocol instance (for inspection in tests
+    /// and analysis).
+    #[must_use]
+    pub fn protocol(&self, node: NodeId) -> &P {
+        &self.protocols[node.0 as usize]
+    }
+
+    /// Ground-truth position of a node at the current time.
+    pub fn position_of(&mut self, node: NodeId) -> Point {
+        self.inner.position_of(node.0 as usize)
+    }
+
+    /// Every frame transmitted so far, when
+    /// [`crate::SimConfig::record_frames`] is enabled — the observation
+    /// trace of a global passive eavesdropper.
+    #[must_use]
+    pub fn frames(&self) -> &[FrameRecord<P::Packet>] {
+        &self.inner.frames
+    }
+
+    fn dispatch(&mut self, ev: Event) {
+        match ev {
+            Event::Timer { node, kind } => {
+                let i = node.0 as usize;
+                let mut ctx = Ctx {
+                    inner: &mut self.inner,
+                    node: i,
+                };
+                self.protocols[i].on_timer(&mut ctx, kind);
+            }
+            Event::AppSend { flow, seq } => self.app_send(flow, seq),
+            Event::MacInternal { node, guard } => {
+                self.inner.mac_internal(node.0 as usize, guard);
+            }
+            Event::TxEnd { node } => self.inner.handle_tx_end(node.0 as usize),
+            Event::RxEnd { node, rx_id } => self.inner.handle_rx_end(node.0 as usize, rx_id),
+        }
+    }
+
+    fn app_send(&mut self, flow_idx: usize, seq: u32) {
+        let flow = self.inner.config.flows[flow_idx];
+        if self.inner.now >= flow.stop {
+            return;
+        }
+        self.inner.stats.record_sent(flow_idx as u32);
+        let tag = FlowTag {
+            flow: flow_idx as u32,
+            seq,
+            src: flow.src,
+            sent_at: self.inner.now,
+        };
+        let next = self.inner.now + flow.interval;
+        if next < flow.stop {
+            self.inner.queue.push(
+                next,
+                Event::AppSend {
+                    flow: flow_idx,
+                    seq: seq + 1,
+                },
+            );
+        }
+        let i = flow.src.0 as usize;
+        let mut ctx = Ctx {
+            inner: &mut self.inner,
+            node: i,
+        };
+        self.protocols[i].on_app_send(&mut ctx, flow.dst, tag);
+    }
+
+    fn drain_upcalls(&mut self) {
+        while let Some(up) = self.inner.upcalls.pop_front() {
+            match up {
+                Upcall::Receive { node, packet, from } => {
+                    let mut ctx = Ctx {
+                        inner: &mut self.inner,
+                        node,
+                    };
+                    self.protocols[node].on_receive(&mut ctx, packet, from);
+                }
+                Upcall::MacResult { node, outcome } => {
+                    let mut ctx = Ctx {
+                        inner: &mut self.inner,
+                        node,
+                    };
+                    self.protocols[node].on_mac_result(&mut ctx, outcome);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Paper-scale performance smoke test (ignored by default; run with
+//! `cargo test -p agr-sim --release -- --ignored perf`).
+
+use agr_sim::{Ctx, FlowTag, MacAddr, NodeId, Protocol, SimConfig, SimTime, World};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[derive(Clone, Debug)]
+struct Pkt(FlowTag);
+
+struct Bcast;
+impl Protocol for Bcast {
+    type Packet = Pkt;
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Pkt>) {
+        ctx.set_timer(SimTime::from_millis(500), 0);
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Pkt>, _kind: u64) {
+        // Beacon-like periodic broadcast, as GPSR/AGFW hellos will do.
+        ctx.mac_broadcast(
+            Pkt(FlowTag { flow: u32::MAX, seq: 0, src: ctx.my_id(), sent_at: ctx.now() }),
+            20,
+        );
+        ctx.set_timer(SimTime::from_secs(1), 0);
+    }
+    fn on_app_send(&mut self, ctx: &mut Ctx<'_, Pkt>, _d: NodeId, tag: FlowTag) {
+        ctx.mac_broadcast(Pkt(tag), 64);
+    }
+    fn on_receive(&mut self, ctx: &mut Ctx<'_, Pkt>, pkt: Pkt, _f: Option<MacAddr>) {
+        if pkt.0.flow != u32::MAX {
+            ctx.deliver_data(pkt.0);
+        }
+    }
+}
+
+#[test]
+#[ignore = "timing probe"]
+fn paper_scale_run_completes_quickly() {
+    let mut rng = StdRng::seed_from_u64(9);
+    for nodes in [50usize, 150] {
+        let mut config = SimConfig::default();
+        config.num_nodes = nodes;
+        config = config.with_cbr_traffic(30, 20, SimTime::from_secs(1), 64, &mut rng);
+        let start = std::time::Instant::now();
+        let mut world = World::new(config, |_, _, _| Bcast);
+        let stats = world.run();
+        println!(
+            "nodes={nodes}: wall={:?} sent={} delivered={} collisions={}",
+            start.elapsed(),
+            stats.data_sent,
+            stats.data_delivered,
+            stats.counter("phy.collision")
+        );
+    }
+}

@@ -1,0 +1,137 @@
+//! Semantics of the `World` driver itself: partial runs, frame
+//! recording, timers, and the `Ctx` surface.
+
+use agr_geom::{Point, Vec2};
+use agr_sim::{
+    Ctx, FlowConfig, FlowTag, MacAddr, NodeId, Protocol, SimConfig, SimTime, World,
+};
+
+#[derive(Clone, Debug)]
+struct Pkt(FlowTag);
+
+struct Echo {
+    timer_fires: u32,
+    velocity_seen: Option<Vec2>,
+}
+
+impl Echo {
+    fn new() -> Self {
+        Echo {
+            timer_fires: 0,
+            velocity_seen: None,
+        }
+    }
+}
+
+impl Protocol for Echo {
+    type Packet = Pkt;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Pkt>) {
+        ctx.set_timer(SimTime::from_secs(1), 7);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Pkt>, kind: u64) {
+        assert_eq!(kind, 7);
+        self.timer_fires += 1;
+        self.velocity_seen = Some(ctx.my_velocity());
+        ctx.set_timer(SimTime::from_secs(1), 7);
+    }
+
+    fn on_app_send(&mut self, ctx: &mut Ctx<'_, Pkt>, _dest: NodeId, tag: FlowTag) {
+        ctx.mac_broadcast(Pkt(tag), 64);
+    }
+
+    fn on_receive(&mut self, ctx: &mut Ctx<'_, Pkt>, pkt: Pkt, _from: Option<MacAddr>) {
+        ctx.deliver_data(pkt.0);
+    }
+}
+
+fn two_node_config(duration_s: u64) -> SimConfig {
+    let mut config = SimConfig::static_topology(
+        vec![Point::new(0.0, 0.0), Point::new(100.0, 0.0)],
+        SimTime::from_secs(duration_s),
+    );
+    config.flows = vec![FlowConfig {
+        src: NodeId(0),
+        dst: NodeId(1),
+        start: SimTime::from_secs(2),
+        interval: SimTime::from_secs(1),
+        payload_bytes: 64,
+        stop: SimTime::from_secs(duration_s - 1),
+    }];
+    config
+}
+
+#[test]
+fn run_until_advances_time_incrementally() {
+    let mut world = World::new(two_node_config(30), |_, _, _| Echo::new());
+    world.run_until(SimTime::from_secs(5));
+    assert_eq!(world.now(), SimTime::from_secs(5));
+    let mid_sent = world.stats().data_sent;
+    assert!(mid_sent >= 3, "flows start at 2 s; by 5 s >= 3 packets, got {mid_sent}");
+    world.run_until(SimTime::from_secs(10));
+    assert!(world.stats().data_sent > mid_sent);
+    // Running backwards in time is a no-op, not a panic.
+    world.run_until(SimTime::from_secs(1));
+    assert_eq!(world.now(), SimTime::from_secs(10));
+}
+
+#[test]
+fn timers_fire_once_per_schedule() {
+    let mut world = World::new(two_node_config(30), |_, _, _| Echo::new());
+    world.run_until(SimTime::from_secs(10));
+    for id in [0u32, 1] {
+        let fires = world.protocol(NodeId(id)).timer_fires;
+        assert_eq!(fires, 10, "node {id}: 1 Hz timer over 10 s fired {fires} times");
+    }
+}
+
+#[test]
+fn velocity_is_zero_for_static_nodes() {
+    let mut world = World::new(two_node_config(10), |_, _, _| Echo::new());
+    world.run_until(SimTime::from_secs(5));
+    let v = world.protocol(NodeId(0)).velocity_seen.unwrap();
+    assert!(v.length() < 0.3, "static topology speed bound, got {}", v.length());
+}
+
+#[test]
+fn frames_empty_unless_recording() {
+    let mut world = World::new(two_node_config(10), |_, _, _| Echo::new());
+    let _ = world.run();
+    assert!(world.frames().is_empty(), "recording must be opt-in");
+
+    let mut config = two_node_config(10);
+    config.record_frames = true;
+    let mut world = World::new(config, |_, _, _| Echo::new());
+    let _ = world.run();
+    assert!(!world.frames().is_empty());
+    // Every record carries a plausible ground-truth position.
+    let area = agr_geom::Rect::with_size(1500.0, 300.0);
+    for frame in world.frames() {
+        assert!(area.contains(frame.tx_pos));
+    }
+}
+
+#[test]
+fn position_of_is_stable_for_static_topologies() {
+    let mut world = World::new(two_node_config(10), |_, _, _| Echo::new());
+    let before = world.position_of(NodeId(1));
+    world.run_until(SimTime::from_secs(8));
+    let after = world.position_of(NodeId(1));
+    assert!(before.distance(after) < 2.0, "static node drifted {}", before.distance(after));
+}
+
+#[test]
+#[should_panic(expected = "at least one node")]
+fn empty_static_topology_rejected() {
+    let _ = SimConfig::static_topology(vec![], SimTime::from_secs(1));
+}
+
+#[test]
+#[should_panic(expected = "initial_positions length")]
+fn mismatched_positions_rejected() {
+    let mut config = SimConfig::default();
+    config.num_nodes = 5;
+    config.initial_positions = Some(vec![Point::ORIGIN]);
+    let _ = World::new(config, |_, _, _| Echo::new());
+}

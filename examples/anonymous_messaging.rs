@@ -1,0 +1,89 @@
+//! Full-cryptography anonymous messaging: CA-issued certificates,
+//! ring-signed hellos (AANT), and genuine RSA-512 trapdoors, end to end
+//! over the simulated radio network.
+//!
+//! This is the complete §3 machinery with **no modelled shortcuts**:
+//! every hello carries a Rivest–Shamir–Tauman ring signature and every
+//! data packet a real 64-byte RSA trapdoor that only the destination's
+//! private key opens.
+//!
+//! ```text
+//! cargo run --release --example anonymous_messaging
+//! ```
+
+use agr::core::aant::AantConfig;
+use agr::core::agfw::{Agfw, AgfwConfig, CryptoMode};
+use agr::core::keys::KeyDirectory;
+use agr::geom::Point;
+use agr::sim::{FlowConfig, NodeId, SimConfig, SimTime, World};
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2005);
+
+    println!("Issuing RSA-512 certificates to 8 nodes via the CA...");
+    let (keys, directory) = KeyDirectory::generate(8, 512, &mut rng).expect("keygen");
+    directory.verify_all().expect("all certificates verify");
+    println!(
+        "  CA key: {} bits; {} certificates issued and verified.\n",
+        directory.ca_key().bits(),
+        directory.len()
+    );
+
+    // A static 8-node topology: two rows spanning the area.
+    let positions: Vec<Point> = (0..8)
+        .map(|i| Point::new(f64::from(i % 4) * 200.0, f64::from(i / 4) * 150.0))
+        .collect();
+    let mut sim = SimConfig::static_topology(positions, SimTime::from_secs(40));
+    sim.flows = vec![FlowConfig {
+        src: NodeId(0),
+        dst: NodeId(7),
+        start: SimTime::from_secs(5),
+        interval: SimTime::from_secs(1),
+        payload_bytes: 64,
+        stop: SimTime::from_secs(35),
+    }];
+
+    let config = AgfwConfig {
+        crypto: CryptoMode::paper_real(),
+        ..AgfwConfig::default()
+    };
+    let mut world = World::new(sim, move |id, cfg, _| {
+        Agfw::with_keys(
+            id,
+            config,
+            cfg,
+            Arc::clone(&keys[id.0 as usize]),
+            Arc::clone(&directory),
+            Some(AantConfig { ring_size: 4 }), // 4-anonymous hellos
+        )
+    });
+    let stats = world.run();
+
+    println!("Node 0 -> node 7 over the anonymous network:");
+    println!(
+        "  sent {}   delivered {}   delivery {:.1}%   mean latency {:.2} ms",
+        stats.data_sent,
+        stats.data_delivered,
+        stats.delivery_fraction() * 100.0,
+        stats.mean_latency().as_millis_f64()
+    );
+    println!(
+        "  ring signatures: {} signed, {} verified, {} rejected",
+        stats.counter("aant.sign"),
+        stats.counter("aant.verify"),
+        stats.counter("aant.reject")
+    );
+    println!(
+        "  RSA trapdoors:  {} sealed, {} open attempts, {} opened",
+        stats.counter("agfw.trapdoor_sealed"),
+        stats.counter("agfw.trapdoor_attempt"),
+        stats.counter("agfw.trapdoor_opened")
+    );
+    println!(
+        "\nEvery hello was authenticated yet 4-anonymous; every data packet\n\
+         named its destination only by location + trapdoor. No identity ever\n\
+         travelled next to a location."
+    );
+}

@@ -1,0 +1,97 @@
+//! The anonymous location service, message by message (Algorithm 3.3).
+//!
+//! Three parties: updater A, requester B, and the location server S
+//! (whichever node currently sits in grid cell `ssa(A)`). The example
+//! runs the exact message sequence of the paper, printing what each party
+//! — and an eavesdropper — can and cannot read, then contrasts with
+//! plain DLM and with the no-index anonymity upgrade.
+//!
+//! ```text
+//! cargo run --release --example location_service
+//! ```
+
+use agr::core::als::{self, AlsRequestAll, AlsServer};
+use agr::core::dlm::{DlmRequest, DlmServer, DlmUpdate, ServerSelection};
+use agr::crypto::rsa::RsaKeyPair;
+use agr::geom::{Point, Rect};
+use agr::sim::SimTime;
+use rand::SeedableRng;
+
+const A: u64 = 17; // updater
+const B: u64 = 42; // anticipated requester
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    let ssa = ServerSelection::new(Rect::with_size(1500.0, 300.0), 250.0);
+    let a_loc = Point::new(321.0, 140.0);
+    let ts = SimTime::from_secs(60);
+
+    println!("Grid: {}; ssa(A={A}) = cell {}\n", ssa.grid(), ssa.cell_for(A));
+
+    println!("-- Plain DLM (the substrate, §3.3) --");
+    let mut dlm = DlmServer::new();
+    dlm.handle_update(DlmUpdate { id: A, loc: a_loc, ts });
+    let reply = dlm
+        .handle_request(&DlmRequest { target: A, requester: B, requester_loc: Point::new(900.0, 100.0) })
+        .expect("record stored");
+    println!("  server stores and everyone on the path reads: node {A} is at {}", reply.loc);
+    println!("  and the request exposed that node {B} (at (900,100)) asked for node {A}\n");
+
+    println!("-- ALS (Algorithm 3.3) --");
+    println!("  B generates an RSA-512 key pair; A anticipates B as a sender.");
+    let b_keys = RsaKeyPair::generate(512, &mut rng).expect("keygen");
+
+    // A -> S : ⟨RLU, ssa(A), E_KB(A,B), E_KB(A, loc_A, ts)⟩
+    let update = als::make_update(A, a_loc, ts, B, b_keys.public(), &ssa, &mut rng)
+        .expect("update sealed");
+    println!(
+        "  A -> S: RLU to cell {} | index {} B | payload {} B (both RSA ciphertexts)",
+        update.server_cell,
+        update.index.len(),
+        update.payload.len()
+    );
+    let mut server = AlsServer::new();
+    let opaque = update.payload.clone();
+    server.handle_update(update);
+    println!(
+        "  S stores an opaque blob; first bytes: {:02x?}... (no identity, no location)",
+        &opaque[..8]
+    );
+
+    // B -> S : ⟨LREQ, ssa(A), E_KB(A,B), loc_B⟩
+    let request = als::make_request(B, b_keys.public(), A, Point::new(900.0, 100.0), &ssa)
+        .expect("request built");
+    println!("  B -> S: LREQ quoting only a reply location (900,100) — B's identity never appears");
+
+    // S -> B : ⟨LREP, loc_B, E_KB(A, loc_A, ts)⟩
+    let reply = server.handle_request(&request).expect("index matched");
+    let record = als::open_record(&reply.payloads[0], &b_keys).expect("B decrypts");
+    println!(
+        "  S -> B: LREP; B decrypts: node {} is at {} (updated at {})\n",
+        record.updater, record.loc, record.ts
+    );
+
+    // An outsider with a different key gets nothing.
+    let eve = RsaKeyPair::generate(512, &mut rng).expect("keygen");
+    assert!(als::open_record(&reply.payloads[0], &eve).is_none());
+    println!("  An eavesdropper with its own key decrypts: nothing.\n");
+
+    println!("-- The §3.3 trade-off: dropping the index --");
+    println!("  The fixed index E_KB(A,B) invites dictionary attacks; the variant");
+    println!("  below returns every stored record and B trial-decrypts:");
+    let bulk = server
+        .handle_request_all(&AlsRequestAll { server_cell: ssa.cell_for(A), reply_loc: Point::new(900.0, 100.0) })
+        .expect("records stored");
+    let mine = bulk
+        .payloads
+        .iter()
+        .filter_map(|p| als::open_record(p, &b_keys))
+        .count();
+    println!(
+        "  reply carries {} records ({} bytes); B opens {} of them — stronger \
+         anonymity,\n  linearly more bandwidth (the paper's stated trade).",
+        bulk.payloads.len(),
+        bulk.wire_bytes(),
+        mine
+    );
+}
