@@ -37,6 +37,27 @@ fn bench_modpow(c: &mut Criterion) {
     });
 }
 
+/// What the per-key Montgomery context cache buys: `modpow` through a
+/// warmed [`MontCache`] vs `BigUint::modpow`, which rebuilds the context
+/// (n', R², bit windows) on every call. The public exponent is short, so
+/// setup is a large fraction of an encrypt-sized operation.
+fn bench_mont_cache(c: &mut Criterion) {
+    use agr_crypto::bigint::MontCache;
+    let mut rng = StdRng::seed_from_u64(4);
+    let keys = RsaKeyPair::generate(512, &mut rng).unwrap();
+    let n = keys.public().modulus().clone();
+    let e = BigUint::from_u64(65_537);
+    let x = BigUint::from_u64(0x1234_5678_9abc_def0);
+    let cache = MontCache::new();
+    let _ = cache.modpow(&x, &e, &n); // warm the context
+    c.bench_function("modpow512/cached_context", |b| {
+        b.iter(|| cache.modpow(black_box(&x), &e, &n))
+    });
+    c.bench_function("modpow512/uncached_context", |b| {
+        b.iter(|| black_box(&x).modpow(&e, &n))
+    });
+}
+
 fn bench_trapdoor(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(2);
     let keys = RsaKeyPair::generate(512, &mut rng).unwrap();
@@ -80,6 +101,7 @@ criterion_group!(
     benches,
     bench_sha256,
     bench_modpow,
+    bench_mont_cache,
     bench_trapdoor,
     bench_feistel,
     bench_keygen

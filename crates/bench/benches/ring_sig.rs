@@ -24,9 +24,7 @@ fn bench_ring(c: &mut Criterion) {
     for &k in &[2usize, 4, 8, 16] {
         sign_group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
             let mut rng = StdRng::seed_from_u64(5);
-            b.iter(|| {
-                ring_sign(black_box(message), &pubs[..k], 0, &keys[0], &mut rng).unwrap()
-            })
+            b.iter(|| ring_sign(black_box(message), &pubs[..k], 0, &keys[0], &mut rng).unwrap())
         });
     }
     sign_group.finish();

@@ -38,14 +38,88 @@ fn bench_sim(c: &mut Criterion) {
     group.finish();
 }
 
+/// Grid bucket index vs linear all-nodes scan, isolated from the rest of
+/// the simulator: the exact query `start_tx` performs per transmission.
+///
+/// Uses a 3000 m × 3000 m field (a 5×5 grid of ~600 m cells) — on the
+/// paper's 1500 m × 300 m strip the grid degenerates to 3×1 cells and a
+/// 3×3 probe *is* a full scan, so the asymptotic win only shows once the
+/// area outgrows the carrier-sense range.
+fn bench_neighbor_query(c: &mut Criterion) {
+    use agr_geom::{Point, Rect};
+    use agr_sim::spatial::NeighborGrid;
+    use rand::Rng;
+    use std::hint::black_box;
+
+    let cs_range = 550.0;
+    let area = Rect::with_size(3000.0, 3000.0);
+    let mut group = c.benchmark_group("neighbor_query");
+    for n in [100usize, 400, 1000] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let positions: Vec<Point> = (0..n)
+            .map(|_| area.point_at(rng.random_range(0.0..=1.0), rng.random_range(0.0..=1.0)))
+            .collect();
+        let grid = NeighborGrid::new(area, cs_range + 30.0, &positions);
+        let center = positions[0];
+        group.bench_function(format!("grid/{n}_nodes"), |b| {
+            b.iter(|| grid.candidates(black_box(center)))
+        });
+        group.bench_function(format!("linear/{n}_nodes"), |b| {
+            b.iter(|| {
+                positions
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, p)| p.distance(black_box(center)) <= cs_range)
+                    .map(|(i, _)| i)
+                    .collect::<Vec<_>>()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// End-to-end cost of the two PHY index modes on a field where the grid
+/// actually prunes (same caveat as [`bench_neighbor_query`]).
+fn bench_phy_index_modes(c: &mut Criterion) {
+    use agr_geom::Rect;
+    use agr_sim::PhyIndexMode;
+
+    let config_for = |mode: PhyIndexMode| {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut config = SimConfig::default();
+        config.area = Rect::with_size(3000.0, 3000.0);
+        config.num_nodes = 200;
+        config.duration = SimTime::from_secs(20);
+        config.phy_index = mode;
+        config.with_cbr_traffic(30, 20, SimTime::from_secs(1), 64, &mut rng)
+    };
+    let mut group = c.benchmark_group("phy_index_20s_200nodes_3km");
+    group.sample_size(10);
+    group.bench_function("grid", |b| {
+        b.iter(|| {
+            let mut world = World::new(config_for(PhyIndexMode::Grid), |_, _, rng| {
+                Gpsr::new(GpsrConfig::greedy_only(), rng)
+            });
+            world.run()
+        })
+    });
+    group.bench_function("linear", |b| {
+        b.iter(|| {
+            let mut world = World::new(config_for(PhyIndexMode::Linear), |_, _, rng| {
+                Gpsr::new(GpsrConfig::greedy_only(), rng)
+            });
+            world.run()
+        })
+    });
+    group.finish();
+}
+
 fn bench_selection(c: &mut Criterion) {
     use agr_core::ant::SelectionStrategy;
     use agr_core::{AnonymousNeighborTable, Pseudonym};
     use agr_geom::Point;
-    let mut ant = AnonymousNeighborTable::new(
-        SimTime::from_millis(4500),
-        SimTime::from_millis(2200),
-    );
+    let mut ant =
+        AnonymousNeighborTable::new(SimTime::from_millis(4500), SimTime::from_millis(2200));
     // A dense neighborhood with pseudonym aliases: 3 entries each for 40
     // neighbors.
     for i in 0..40u64 {
@@ -70,5 +144,11 @@ fn bench_selection(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_sim, bench_selection);
+criterion_group!(
+    benches,
+    bench_sim,
+    bench_neighbor_query,
+    bench_phy_index_modes,
+    bench_selection
+);
 criterion_main!(benches);

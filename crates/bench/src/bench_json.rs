@@ -1,0 +1,124 @@
+//! Machine-readable sweep performance records (`BENCH_sweep.json`).
+//!
+//! Every experiment binary can dump where its wall-clock went: pass
+//! `--bench-json <path>` (scanned directly from the command line, so it
+//! works even for binaries without an argument parser) or set
+//! `AGR_BENCH_JSON=<path>`. The file records the worker count, total
+//! wall-clock, aggregate event throughput, and one record per sweep
+//! point — enough to compare an `AGR_JOBS=1` run against a parallel one.
+//!
+//! The format is hand-rolled: the workspace is offline and carries no
+//! serde, and the schema is four scalars plus a flat list.
+
+use crate::runner::SweepPerf;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// The output path requested for this process, if any: the value after a
+/// `--bench-json` flag, else the `AGR_BENCH_JSON` environment variable.
+#[must_use]
+pub fn target_path() -> Option<PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--bench-json" {
+            return args.next().map(PathBuf::from);
+        }
+    }
+    std::env::var("AGR_BENCH_JSON")
+        .ok()
+        .filter(|s| !s.trim().is_empty())
+        .map(PathBuf::from)
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders the JSON document for one binary's sweep record.
+#[must_use]
+pub fn render(bin: &str, perf: &SweepPerf) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"bin\": \"{}\",", escape(bin));
+    let _ = writeln!(out, "  \"jobs\": {},", perf.jobs);
+    let _ = writeln!(out, "  \"wall_s\": {:.6},", perf.wall_s);
+    let _ = writeln!(out, "  \"total_events\": {},", perf.total_events());
+    let _ = writeln!(out, "  \"events_per_sec\": {:.1},", perf.events_per_sec());
+    let _ = writeln!(out, "  \"points\": [");
+    for (i, p) in perf.points.iter().enumerate() {
+        let comma = if i + 1 < perf.points.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"protocol\": \"{}\", \"nodes\": {}, \"seed\": {}, \
+             \"wall_s\": {:.6}, \"events\": {}}}{comma}",
+            escape(p.protocol),
+            p.nodes,
+            p.seed,
+            p.wall_s,
+            p.events
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Writes the record if an output path was requested; returns the path.
+///
+/// # Panics
+///
+/// Panics on I/O errors — the file was explicitly asked for.
+pub fn maybe_write(bin: &str, perf: &SweepPerf) -> Option<PathBuf> {
+    let path = target_path()?;
+    std::fs::write(&path, render(bin, perf)).expect("write bench json");
+    eprintln!("bench json: {}", path.display());
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::PointPerf;
+
+    fn sample() -> SweepPerf {
+        SweepPerf {
+            jobs: 4,
+            wall_s: 1.5,
+            points: vec![
+                PointPerf {
+                    protocol: "GPSR-Greedy",
+                    nodes: 50,
+                    seed: 1,
+                    wall_s: 0.75,
+                    events: 1000,
+                },
+                PointPerf {
+                    protocol: "AGFW-ACK",
+                    nodes: 50,
+                    seed: 1,
+                    wall_s: 0.7,
+                    events: 2000,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn renders_all_fields() {
+        let json = render("fig1a", &sample());
+        assert!(json.contains("\"bin\": \"fig1a\""));
+        assert!(json.contains("\"jobs\": 4"));
+        assert!(json.contains("\"total_events\": 3000"));
+        assert!(json.contains("\"events_per_sec\": 2000.0"));
+        assert!(json.contains("\"protocol\": \"GPSR-Greedy\""));
+        // Exactly one point line ends with a comma: no trailing comma.
+        assert_eq!(json.matches("}},").count() + json.matches("}\"").count(), 0);
+        assert_eq!(json.matches("\"events\": 1000},").count(), 1);
+        assert_eq!(json.matches("\"events\": 2000}").count(), 1);
+    }
+
+    #[test]
+    fn escapes_quotes_and_backslashes() {
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+    }
+}

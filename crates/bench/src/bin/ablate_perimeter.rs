@@ -10,7 +10,7 @@
 //! cargo run --release -p agr-bench --bin ablate_perimeter
 //! ```
 
-use agr_bench::{sweep, ProtocolKind, SweepParams, Table};
+use agr_bench::{bench_json, run_matrix, ProtocolKind, SweepParams, Table};
 use agr_core::agfw::AgfwConfig;
 
 fn main() {
@@ -20,16 +20,13 @@ fn main() {
     }
     // Sparser-than-paper densities, where greedy dead-ends matter.
     let nodes = [25usize, 35, 50, 75];
-    let rows = [
-        sweep(&ProtocolKind::GpsrGreedy, &nodes, &params),
-        sweep(&ProtocolKind::GpsrPerimeter, &nodes, &params),
-        sweep(&ProtocolKind::Agfw(AgfwConfig::default()), &nodes, &params),
-        sweep(
-            &ProtocolKind::Agfw(AgfwConfig::with_recovery()),
-            &nodes,
-            &params,
-        ),
+    let kinds = [
+        ProtocolKind::GpsrGreedy,
+        ProtocolKind::GpsrPerimeter,
+        ProtocolKind::Agfw(AgfwConfig::default()),
+        ProtocolKind::Agfw(AgfwConfig::with_recovery()),
     ];
+    let (rows, perf) = run_matrix(&kinds, &nodes, &params);
     let mut table = Table::new(vec![
         "nodes",
         "GPSR-Greedy",
@@ -60,4 +57,5 @@ fn main() {
     println!("{table}");
     let path = table.save_csv("ablate_perimeter");
     eprintln!("saved {}", path.display());
+    bench_json::maybe_write("ablate_perimeter", &perf);
 }

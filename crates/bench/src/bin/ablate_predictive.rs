@@ -10,9 +10,19 @@
 //! cargo run --release -p agr-bench --bin ablate_predictive
 //! ```
 
-use agr_bench::{run_point, ProtocolKind, SweepParams, Table};
+use agr_bench::{bench_json, run_matrix, PointResult, ProtocolKind, SweepParams, Table};
 use agr_core::agfw::AgfwConfig;
 use agr_sim::SimTime;
+
+/// Mean retransmissions per data packet across a point's seeds.
+fn retx_per_pkt(point: &PointResult) -> f64 {
+    point
+        .stats
+        .iter()
+        .map(|s| s.counter("agfw.retransmit") as f64 / s.data_sent.max(1) as f64)
+        .sum::<f64>()
+        / point.stats.len() as f64
+}
 
 fn main() {
     let mut params = SweepParams::from_env();
@@ -20,6 +30,24 @@ fn main() {
         params.duration = SimTime::from_secs(300);
     }
     let nodes = 50;
+    // One matrix over all hello-interval × variant combinations.
+    let mut labels = Vec::new();
+    let mut kinds = Vec::new();
+    for hello_s in [1u64, 2, 3] {
+        for (label, predictive) in [("plain", false), ("predictive", true)] {
+            labels.push((hello_s, label));
+            kinds.push(ProtocolKind::Agfw(AgfwConfig {
+                predictive,
+                hello_interval: SimTime::from_secs(hello_s),
+                // Scale table lifetimes with the hello interval.
+                ant_timeout: SimTime::from_millis(4500 * hello_s),
+                fresh_window: SimTime::from_millis(2200 * hello_s),
+                ..AgfwConfig::default()
+            }));
+        }
+    }
+    let (results, perf) = run_matrix(&kinds, &[nodes], &params);
+
     let mut table = Table::new(vec![
         "hello interval (s)",
         "variant",
@@ -27,37 +55,19 @@ fn main() {
         "latency (ms)",
         "retransmits/pkt",
     ]);
-    for hello_s in [1u64, 2, 3] {
-        for (label, predictive) in [("plain", false), ("predictive", true)] {
-            let config = AgfwConfig {
-                predictive,
-                hello_interval: SimTime::from_secs(hello_s),
-                // Scale table lifetimes with the hello interval.
-                ant_timeout: SimTime::from_millis(4500 * hello_s),
-                fresh_window: SimTime::from_millis(2200 * hello_s),
-                ..AgfwConfig::default()
-            };
-            let mut delivery = 0.0;
-            let mut latency = 0.0;
-            let mut retx = 0.0;
-            for seed in 1..=params.seeds {
-                let stats = run_point(&ProtocolKind::Agfw(config), nodes, seed, &params);
-                delivery += stats.delivery_fraction();
-                latency += stats.mean_latency().as_millis_f64();
-                retx += stats.counter("agfw.retransmit") as f64 / stats.data_sent.max(1) as f64;
-            }
-            let k = params.seeds as f64;
-            table.row(vec![
-                hello_s.to_string(),
-                label.into(),
-                format!("{:.3}", delivery / k),
-                format!("{:.2}", latency / k),
-                format!("{:.2}", retx / k),
-            ]);
-        }
+    for ((hello_s, label), row) in labels.iter().zip(&results) {
+        let point = &row[0];
+        table.row(vec![
+            hello_s.to_string(),
+            (*label).into(),
+            format!("{:.3}", point.delivery_fraction),
+            format!("{:.2}", point.latency_ms),
+            format!("{:.2}", retx_per_pkt(point)),
+        ]);
     }
     println!("Ablation: velocity-predictive ANT (paper S3.1.1), 50 nodes, <=20 m/s");
     println!("{table}");
     let path = table.save_csv("ablate_predictive");
     eprintln!("saved {}", path.display());
+    bench_json::maybe_write("ablate_predictive", &perf);
 }

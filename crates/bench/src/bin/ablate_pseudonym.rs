@@ -13,9 +13,19 @@
 //! cargo run --release -p agr-bench --bin ablate_pseudonym
 //! ```
 
-use agr_bench::{run_point, ProtocolKind, SweepParams, Table};
+use agr_bench::{bench_json, run_matrix, PointResult, ProtocolKind, SweepParams, Table};
 use agr_core::agfw::AgfwConfig;
 use agr_core::SelectionStrategy;
+
+/// Mean retransmissions per data packet across a point's seeds.
+fn retx_per_pkt(point: &PointResult) -> f64 {
+    point
+        .stats
+        .iter()
+        .map(|s| s.counter("agfw.retransmit") as f64 / s.data_sent.max(1) as f64)
+        .sum::<f64>()
+        / point.stats.len() as f64
+}
 
 fn main() {
     let mut params = SweepParams::from_env();
@@ -23,6 +33,26 @@ fn main() {
         params.duration = agr_sim::SimTime::from_secs(300);
     }
     let nodes = 50;
+    let strategies = [
+        ("NaiveClosest", SelectionStrategy::NaiveClosest),
+        ("FreshnessAware", SelectionStrategy::FreshnessAware),
+    ];
+    // One matrix over all rotate × strategy variants; the worker pool
+    // fans every (variant, seed) point.
+    let mut labels = Vec::new();
+    let mut kinds = Vec::new();
+    for rotate_every in [1u32, 2, 4] {
+        for (label, strategy) in strategies {
+            labels.push((rotate_every, label));
+            kinds.push(ProtocolKind::Agfw(AgfwConfig {
+                selection: strategy,
+                rotate_every,
+                ..AgfwConfig::default()
+            }));
+        }
+    }
+    let (results, perf) = run_matrix(&kinds, &[nodes], &params);
+
     let mut table = Table::new(vec![
         "rotate every",
         "strategy",
@@ -30,38 +60,19 @@ fn main() {
         "latency (ms)",
         "retransmits/pkt",
     ]);
-    for rotate_every in [1u32, 2, 4] {
-        for (label, strategy) in [
-            ("NaiveClosest", SelectionStrategy::NaiveClosest),
-            ("FreshnessAware", SelectionStrategy::FreshnessAware),
-        ] {
-            let config = AgfwConfig {
-                selection: strategy,
-                rotate_every,
-                ..AgfwConfig::default()
-            };
-            let mut delivery = 0.0;
-            let mut latency = 0.0;
-            let mut retx_per_pkt = 0.0;
-            for seed in 1..=params.seeds {
-                let stats = run_point(&ProtocolKind::Agfw(config), nodes, seed, &params);
-                delivery += stats.delivery_fraction();
-                latency += stats.mean_latency().as_millis_f64();
-                retx_per_pkt +=
-                    stats.counter("agfw.retransmit") as f64 / stats.data_sent.max(1) as f64;
-            }
-            let k = params.seeds as f64;
-            table.row(vec![
-                rotate_every.to_string(),
-                label.into(),
-                format!("{:.3}", delivery / k),
-                format!("{:.2}", latency / k),
-                format!("{:.2}", retx_per_pkt / k),
-            ]);
-        }
+    for ((rotate_every, label), row) in labels.iter().zip(&results) {
+        let point = &row[0];
+        table.row(vec![
+            rotate_every.to_string(),
+            (*label).into(),
+            format!("{:.3}", point.delivery_fraction),
+            format!("{:.2}", point.latency_ms),
+            format!("{:.2}", retx_per_pkt(point)),
+        ]);
     }
     println!("Ablation: ANT selection strategy x pseudonym rotation (50 nodes)");
     println!("{table}");
     let path = table.save_csv("ablate_pseudonym");
     eprintln!("saved {}", path.display());
+    bench_json::maybe_write("ablate_pseudonym", &perf);
 }

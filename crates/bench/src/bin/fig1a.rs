@@ -11,17 +11,18 @@
 //! AGR_SEEDS=3 AGR_DURATION_S=300 cargo run --release -p agr-bench --bin fig1a   # quicker
 //! ```
 
-use agr_bench::{sweep, ProtocolKind, SweepParams, Table};
 use agr_bench::runner::node_counts;
+use agr_bench::{bench_json, run_matrix, ProtocolKind, SweepParams, Table};
 use agr_core::agfw::AgfwConfig;
 
 fn main() {
     let params = SweepParams::from_env();
     let nodes = node_counts();
     eprintln!(
-        "fig1a: nodes={nodes:?}, seeds={}, duration={}s",
+        "fig1a: nodes={nodes:?}, seeds={}, duration={}s, jobs={}",
         params.seeds,
-        params.duration.as_secs_f64()
+        params.duration.as_secs_f64(),
+        agr_bench::jobs()
     );
     let protocols = [
         ProtocolKind::GpsrGreedy,
@@ -37,7 +38,7 @@ fn main() {
         "sd(noACK)",
         "sd(ACK)",
     ]);
-    let results: Vec<_> = protocols.iter().map(|p| sweep(p, &nodes, &params)).collect();
+    let (results, perf) = run_matrix(&protocols, &nodes, &params);
     for (i, &n) in nodes.iter().enumerate() {
         table.row(vec![
             n.to_string(),
@@ -53,4 +54,11 @@ fn main() {
     println!("{table}");
     let path = table.save_csv("fig1a");
     eprintln!("saved {}", path.display());
+    eprintln!(
+        "wall_clock={:.1}s jobs={} throughput={:.0} events/s",
+        perf.wall_s,
+        perf.jobs,
+        perf.events_per_sec()
+    );
+    bench_json::maybe_write("fig1a", &perf);
 }

@@ -12,20 +12,26 @@
 //! cargo run --release -p agr-bench --bin fig1b
 //! ```
 
-use agr_bench::{sweep, ProtocolKind, SweepParams, Table};
 use agr_bench::runner::node_counts;
+use agr_bench::{bench_json, run_matrix, ProtocolKind, SweepParams, Table};
 use agr_core::agfw::AgfwConfig;
 
 fn main() {
     let params = SweepParams::from_env();
     let nodes = node_counts();
     eprintln!(
-        "fig1b: nodes={nodes:?}, seeds={}, duration={}s",
+        "fig1b: nodes={nodes:?}, seeds={}, duration={}s, jobs={}",
         params.seeds,
-        params.duration.as_secs_f64()
+        params.duration.as_secs_f64(),
+        agr_bench::jobs()
     );
-    let gpsr = sweep(&ProtocolKind::GpsrGreedy, &nodes, &params);
-    let agfw = sweep(&ProtocolKind::Agfw(AgfwConfig::default()), &nodes, &params);
+    let protocols = [
+        ProtocolKind::GpsrGreedy,
+        ProtocolKind::Agfw(AgfwConfig::default()),
+    ];
+    let (mut results, perf) = run_matrix(&protocols, &nodes, &params);
+    let agfw = results.pop().expect("agfw sweep");
+    let gpsr = results.pop().expect("gpsr sweep");
     let mut table = Table::new(vec![
         "nodes",
         "GPSR-Greedy (ms)",
@@ -46,4 +52,11 @@ fn main() {
     println!("{table}");
     let path = table.save_csv("fig1b");
     eprintln!("saved {}", path.display());
+    eprintln!(
+        "wall_clock={:.1}s jobs={} throughput={:.0} events/s",
+        perf.wall_s,
+        perf.jobs,
+        perf.events_per_sec()
+    );
+    bench_json::maybe_write("fig1b", &perf);
 }

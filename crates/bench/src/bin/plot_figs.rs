@@ -14,7 +14,11 @@ use std::fs;
 fn read_csv(path: &str) -> Option<(Vec<String>, Vec<Vec<f64>>)> {
     let text = fs::read_to_string(path).ok()?;
     let mut lines = text.lines();
-    let headers: Vec<String> = lines.next()?.split(',').map(|h| h.trim().to_string()).collect();
+    let headers: Vec<String> = lines
+        .next()?
+        .split(',')
+        .map(|h| h.trim().to_string())
+        .collect();
     let mut rows = Vec::new();
     for line in lines {
         if line.trim().is_empty() {

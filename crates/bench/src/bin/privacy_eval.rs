@@ -13,8 +13,8 @@
 //! cargo run --release -p agr-bench --bin privacy_eval
 //! ```
 
-use agr_bench::runner::{env_u64, paper_config, SweepParams};
-use agr_bench::Table;
+use agr_bench::runner::{env_u64, jobs, paper_config, par_map, PointPerf, SweepParams, SweepPerf};
+use agr_bench::{bench_json, Table};
 use agr_core::agfw::{Agfw, AgfwConfig};
 use agr_gpsr::{Gpsr, GpsrConfig};
 use agr_privacy::exposure::{agfw_exposure, gpsr_exposure};
@@ -24,6 +24,16 @@ use agr_privacy::tracker::{
     LinkingParams,
 };
 use agr_sim::{NodeId, SimTime, World};
+use std::time::Instant;
+
+/// Post-processed output of one recorded run: the two table rows plus
+/// the wall-clock record. Traces are analysed on the worker that
+/// produced them; only row strings cross threads.
+struct RunRows {
+    exposure: Vec<String>,
+    tracking: Vec<String>,
+    perf: PointPerf,
+}
 
 fn main() {
     let mut params = SweepParams::from_env();
@@ -54,76 +64,30 @@ fn main() {
         "anonymity entropy (bits)",
     ]);
 
-    for &nodes in &nodes_list {
-        // --- GPSR trace ---
-        let mut config = paper_config(nodes, seed, &params);
-        config.record_frames = true;
-        let mut world = World::new(config, |_, _, rng| Gpsr::new(GpsrConfig::greedy_only(), rng));
-        let _ = world.run();
-        let report = gpsr_exposure(world.frames());
-        exposure_table.row(vec![
-            nodes.to_string(),
-            "GPSR".into(),
-            report.frames_observed.to_string(),
-            report.identity_location_doublets.to_string(),
-            format!("{:.2}", report.doublets_per_frame()),
-            report.identities_exposed.to_string(),
-            report.mac_source_disclosures.to_string(),
-            report.pseudonym_sightings.to_string(),
-        ]);
-        // GPSR tracking is trivially perfect — identities ride on every
-        // beacon — but run the same linker for a like-for-like row.
-        let sightings = gpsr_sightings(world.frames());
-        let tracks = link_tracks(&sightings, &LinkingParams::default());
-        let (mean_set, entropy) = anonymity_stats(&mut world, nodes);
-        tracking_table.row(vec![
-            nodes.to_string(),
-            "GPSR (ids in clear)".into(),
-            sightings.len().to_string(),
-            tracks.len().to_string(),
-            "1.00 (by identity)".into(),
-            format!("{:.0} (whole run)", params.duration.as_secs_f64()),
-            format!("{mean_set:.1}"),
-            format!("{entropy:.1}"),
-        ]);
-
-        // --- AGFW trace ---
-        let mut config = paper_config(nodes, seed, &params);
-        config.record_frames = true;
-        let mut world = World::new(config, |id, cfg, rng| {
-            Agfw::new(id, AgfwConfig::default(), cfg, rng)
-        });
-        let _ = world.run();
-        let report = agfw_exposure(world.frames());
-        exposure_table.row(vec![
-            nodes.to_string(),
-            "AGFW".into(),
-            report.frames_observed.to_string(),
-            report.identity_location_doublets.to_string(),
-            format!("{:.2}", report.doublets_per_frame()),
-            report.identities_exposed.to_string(),
-            report.mac_source_disclosures.to_string(),
-            report.pseudonym_sightings.to_string(),
-        ]);
-        let sightings = agfw_sightings(world.frames());
-        let tracks = link_tracks(&sightings, &LinkingParams::default());
-        let accuracy = mean_tracking_accuracy(&tracks);
-        // Mean time-to-confusion over all victims.
-        let ttc: f64 = (0..nodes as u32)
-            .map(|i| mean_time_to_confusion(&tracks, NodeId(i)).as_secs_f64())
-            .sum::<f64>()
-            / nodes as f64;
-        let (mean_set, entropy) = anonymity_stats(&mut world, nodes);
-        tracking_table.row(vec![
-            nodes.to_string(),
-            "AGFW (pseudonyms)".into(),
-            sightings.len().to_string(),
-            tracks.len().to_string(),
-            format!("{accuracy:.2}"),
-            format!("{ttc:.0}"),
-            format!("{mean_set:.1}"),
-            format!("{entropy:.1}"),
-        ]);
+    // One task per (node count, protocol); the worker pool runs and
+    // analyses them concurrently, and the input-ordered results rebuild
+    // the tables exactly as a serial loop would.
+    let tasks: Vec<(usize, bool)> = nodes_list
+        .iter()
+        .flat_map(|&n| [(n, false), (n, true)])
+        .collect();
+    let started = Instant::now();
+    let rows = par_map(&tasks, jobs(), |&(nodes, is_agfw)| {
+        let t0 = Instant::now();
+        if is_agfw {
+            agfw_rows(nodes, seed, &params, t0)
+        } else {
+            gpsr_rows(nodes, seed, &params, t0)
+        }
+    });
+    let perf = SweepPerf {
+        jobs: jobs(),
+        wall_s: started.elapsed().as_secs_f64(),
+        points: rows.iter().map(|r| r.perf.clone()).collect(),
+    };
+    for run in rows {
+        exposure_table.row(run.exposure);
+        tracking_table.row(run.tracking);
     }
 
     println!("Table: identity-location exposure under a global passive eavesdropper");
@@ -133,6 +97,105 @@ fn main() {
     let p1 = exposure_table.save_csv("privacy_exposure");
     let p2 = tracking_table.save_csv("privacy_tracking");
     eprintln!("saved {} and {}", p1.display(), p2.display());
+    bench_json::maybe_write("privacy_eval", &perf);
+}
+
+/// Runs and analyses one recorded GPSR trace.
+fn gpsr_rows(nodes: usize, seed: u64, params: &SweepParams, t0: Instant) -> RunRows {
+    let mut config = paper_config(nodes, seed, params);
+    config.record_frames = true;
+    let mut world = World::new(config, |_, _, rng| {
+        Gpsr::new(GpsrConfig::greedy_only(), rng)
+    });
+    let stats = world.run();
+    let report = gpsr_exposure(world.frames());
+    let exposure = vec![
+        nodes.to_string(),
+        "GPSR".into(),
+        report.frames_observed.to_string(),
+        report.identity_location_doublets.to_string(),
+        format!("{:.2}", report.doublets_per_frame()),
+        report.identities_exposed.to_string(),
+        report.mac_source_disclosures.to_string(),
+        report.pseudonym_sightings.to_string(),
+    ];
+    // GPSR tracking is trivially perfect — identities ride on every
+    // beacon — but run the same linker for a like-for-like row.
+    let sightings = gpsr_sightings(world.frames());
+    let tracks = link_tracks(&sightings, &LinkingParams::default());
+    let (mean_set, entropy) = anonymity_stats(&mut world, nodes);
+    let tracking = vec![
+        nodes.to_string(),
+        "GPSR (ids in clear)".into(),
+        sightings.len().to_string(),
+        tracks.len().to_string(),
+        "1.00 (by identity)".into(),
+        format!("{:.0} (whole run)", params.duration.as_secs_f64()),
+        format!("{mean_set:.1}"),
+        format!("{entropy:.1}"),
+    ];
+    RunRows {
+        exposure,
+        tracking,
+        perf: PointPerf {
+            protocol: "GPSR",
+            nodes,
+            seed,
+            wall_s: t0.elapsed().as_secs_f64(),
+            events: stats.events_processed,
+        },
+    }
+}
+
+/// Runs and analyses one recorded AGFW trace.
+fn agfw_rows(nodes: usize, seed: u64, params: &SweepParams, t0: Instant) -> RunRows {
+    let mut config = paper_config(nodes, seed, params);
+    config.record_frames = true;
+    let mut world = World::new(config, |id, cfg, rng| {
+        Agfw::new(id, AgfwConfig::default(), cfg, rng)
+    });
+    let stats = world.run();
+    let report = agfw_exposure(world.frames());
+    let exposure = vec![
+        nodes.to_string(),
+        "AGFW".into(),
+        report.frames_observed.to_string(),
+        report.identity_location_doublets.to_string(),
+        format!("{:.2}", report.doublets_per_frame()),
+        report.identities_exposed.to_string(),
+        report.mac_source_disclosures.to_string(),
+        report.pseudonym_sightings.to_string(),
+    ];
+    let sightings = agfw_sightings(world.frames());
+    let tracks = link_tracks(&sightings, &LinkingParams::default());
+    let accuracy = mean_tracking_accuracy(&tracks);
+    // Mean time-to-confusion over all victims.
+    let ttc: f64 = (0..nodes as u32)
+        .map(|i| mean_time_to_confusion(&tracks, NodeId(i)).as_secs_f64())
+        .sum::<f64>()
+        / nodes as f64;
+    let (mean_set, entropy) = anonymity_stats(&mut world, nodes);
+    let tracking = vec![
+        nodes.to_string(),
+        "AGFW (pseudonyms)".into(),
+        sightings.len().to_string(),
+        tracks.len().to_string(),
+        format!("{accuracy:.2}"),
+        format!("{ttc:.0}"),
+        format!("{mean_set:.1}"),
+        format!("{entropy:.1}"),
+    ];
+    RunRows {
+        exposure,
+        tracking,
+        perf: PointPerf {
+            protocol: "AGFW",
+            nodes,
+            seed,
+            wall_s: t0.elapsed().as_secs_f64(),
+            events: stats.events_processed,
+        },
+    }
 }
 
 /// Mean anonymity-set size and entropy of a transmission observed at a

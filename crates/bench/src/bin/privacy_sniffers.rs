@@ -11,8 +11,8 @@
 //! cargo run --release -p agr-bench --bin privacy_sniffers
 //! ```
 
-use agr_bench::runner::{env_u64, paper_config, SweepParams};
-use agr_bench::Table;
+use agr_bench::runner::{env_u64, jobs, paper_config, par_map, PointPerf, SweepParams, SweepPerf};
+use agr_bench::{bench_json, Table};
 use agr_core::agfw::{Agfw, AgfwConfig};
 use agr_gpsr::{Gpsr, GpsrConfig};
 use agr_privacy::exposure::{agfw_exposure, gpsr_exposure};
@@ -21,6 +21,19 @@ use agr_privacy::tracker::{
     agfw_sightings, gpsr_sightings, link_tracks, tracking_accuracy, LinkingParams,
 };
 use agr_sim::{NodeId, SimTime, World};
+use std::time::Instant;
+
+const SNIFFER_COUNTS: [usize; 6] = [1, 2, 4, 8, 12, 24];
+
+/// Per-sniffer-count columns harvested from one protocol's trace. The
+/// trace is observed and linked on the worker that simulated it; only
+/// these scalars cross threads.
+enum TraceCols {
+    /// (coverage, doublets, identities, tracking accuracy) per count.
+    Gpsr(Vec<(f64, u64, u64, f64)>),
+    /// (doublets, tracking accuracy) per count.
+    Agfw(Vec<(u64, f64)>),
+}
 
 fn main() {
     let mut params = SweepParams::from_env();
@@ -30,21 +43,93 @@ fn main() {
     let seed = 1;
     let target = NodeId(0);
 
-    // One run per protocol; the sniffer fields post-process the trace.
-    let mut gpsr_cfg = paper_config(50, seed, &params);
-    gpsr_cfg.record_frames = true;
-    let area = gpsr_cfg.area;
-    let mut gpsr_world = World::new(gpsr_cfg, |_, _, rng| {
-        Gpsr::new(GpsrConfig::greedy_only(), rng)
+    // One run per protocol, fanned over the worker pool; the sniffer
+    // fields post-process each trace on its own worker.
+    let tasks = [false, true];
+    let started = Instant::now();
+    let outputs = par_map(&tasks, jobs(), |&is_agfw| {
+        let t0 = Instant::now();
+        let mut config = paper_config(50, seed, &params);
+        config.record_frames = true;
+        let area = config.area;
+        if is_agfw {
+            let mut world = World::new(config, |id, cfg, rng| {
+                Agfw::new(id, AgfwConfig::default(), cfg, rng)
+            });
+            let stats = world.run();
+            let cols = SNIFFER_COUNTS
+                .iter()
+                .map(|&count| {
+                    let field = SnifferField::grid(count, area, 250.0);
+                    let heard = field.observe(world.frames());
+                    let report = agfw_exposure(&heard);
+                    let tracks = link_tracks(&agfw_sightings(&heard), &LinkingParams::default());
+                    (
+                        report.identity_location_doublets,
+                        tracking_accuracy(&tracks, target),
+                    )
+                })
+                .collect();
+            (
+                TraceCols::Agfw(cols),
+                PointPerf {
+                    protocol: "AGFW-ACK",
+                    nodes: 50,
+                    seed,
+                    wall_s: t0.elapsed().as_secs_f64(),
+                    events: stats.events_processed,
+                },
+            )
+        } else {
+            let mut world = World::new(config, |_, _, rng| {
+                Gpsr::new(GpsrConfig::greedy_only(), rng)
+            });
+            let stats = world.run();
+            let cols = SNIFFER_COUNTS
+                .iter()
+                .map(|&count| {
+                    let field = SnifferField::grid(count, area, 250.0);
+                    let heard = field.observe(world.frames());
+                    let coverage = field.coverage(world.frames());
+                    let report = gpsr_exposure(&heard);
+                    let tracks = link_tracks(&gpsr_sightings(&heard), &LinkingParams::default());
+                    (
+                        coverage,
+                        report.identity_location_doublets,
+                        report.identities_exposed,
+                        tracking_accuracy(&tracks, target),
+                    )
+                })
+                .collect();
+            (
+                TraceCols::Gpsr(cols),
+                PointPerf {
+                    protocol: "GPSR-Greedy",
+                    nodes: 50,
+                    seed,
+                    wall_s: t0.elapsed().as_secs_f64(),
+                    events: stats.events_processed,
+                },
+            )
+        }
     });
-    let _ = gpsr_world.run();
-
-    let mut agfw_cfg = paper_config(50, seed, &params);
-    agfw_cfg.record_frames = true;
-    let mut agfw_world = World::new(agfw_cfg, |id, cfg, rng| {
-        Agfw::new(id, AgfwConfig::default(), cfg, rng)
-    });
-    let _ = agfw_world.run();
+    let perf = SweepPerf {
+        jobs: jobs(),
+        wall_s: started.elapsed().as_secs_f64(),
+        points: outputs.iter().map(|(_, p)| p.clone()).collect(),
+    };
+    let mut gpsr_cols = None;
+    let mut agfw_cols = None;
+    for (cols, _) in outputs {
+        match cols {
+            TraceCols::Gpsr(c) => gpsr_cols = Some(c),
+            TraceCols::Agfw(c) => agfw_cols = Some(c),
+        }
+    }
+    let (gpsr_cols, agfw_cols) = (
+        gpsr_cols.expect("gpsr trace"),
+        agfw_cols.expect("agfw trace"),
+    );
 
     let mut table = Table::new(vec![
         "sniffers",
@@ -55,27 +140,16 @@ fn main() {
         "AGFW doublets",
         "AGFW tracking",
     ]);
-    for count in [1usize, 2, 4, 8, 12, 24] {
-        let field = SnifferField::grid(count, area, 250.0);
-
-        let heard_gpsr = field.observe(gpsr_world.frames());
-        let coverage = field.coverage(gpsr_world.frames());
-        let g_report = gpsr_exposure(&heard_gpsr);
-        let g_tracks = link_tracks(&gpsr_sightings(&heard_gpsr), &LinkingParams::default());
-        let g_acc = tracking_accuracy(&g_tracks, target);
-
-        let heard_agfw = field.observe(agfw_world.frames());
-        let a_report = agfw_exposure(&heard_agfw);
-        let a_tracks = link_tracks(&agfw_sightings(&heard_agfw), &LinkingParams::default());
-        let a_acc = tracking_accuracy(&a_tracks, target);
-
+    for (i, count) in SNIFFER_COUNTS.iter().enumerate() {
+        let (coverage, g_doublets, g_ids, g_acc) = gpsr_cols[i];
+        let (a_doublets, a_acc) = agfw_cols[i];
         table.row(vec![
             count.to_string(),
             format!("{:.0}%", coverage * 100.0),
-            g_report.identity_location_doublets.to_string(),
-            g_report.identities_exposed.to_string(),
+            g_doublets.to_string(),
+            g_ids.to_string(),
             format!("{g_acc:.2}"),
-            a_report.identity_location_doublets.to_string(),
+            a_doublets.to_string(),
             format!("{a_acc:.2}"),
         ]);
     }
@@ -87,4 +161,5 @@ fn main() {
     );
     let path = table.save_csv("privacy_sniffers");
     eprintln!("saved {}", path.display());
+    bench_json::maybe_write("privacy_sniffers", &perf);
 }

@@ -9,12 +9,15 @@
 //!
 //! Protocols: `gpsr` (greedy), `gpsr-perimeter`, `agfw` (NL-ACK),
 //! `agfw-noack`, `agfw-recovery`, `agfw-predictive`.
+//!
+//! The run is delegated to the shared runner (`run_point`), so a point
+//! simulated here is byte-for-byte the same point a sweep binary would
+//! run. `--bench-json <path>` dumps the wall-clock record.
 
-use agr_core::agfw::{Agfw, AgfwConfig};
-use agr_gpsr::{Gpsr, GpsrConfig};
-use agr_sim::{SimConfig, SimTime, Stats, World};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use agr_bench::runner::{run_point, ProtocolKind, SweepParams};
+use agr_bench::{bench_json, PointPerf, SweepPerf};
+use agr_sim::SimTime;
+use std::time::Instant;
 
 #[derive(Debug)]
 struct Args {
@@ -54,7 +57,8 @@ fn usage() -> ! {
         "usage: simulate [--protocol gpsr|gpsr-perimeter|agfw|agfw-noack|agfw-recovery|agfw-predictive]\n\
          \x20               [--nodes N] [--duration SECONDS] [--seed N]\n\
          \x20               [--flows N] [--senders N] [--interval MS] [--payload BYTES]\n\
-         \x20               [--speed M_PER_S] [--pause SECONDS] [--counters]"
+         \x20               [--speed M_PER_S] [--pause SECONDS] [--counters]\n\
+         \x20               [--bench-json PATH]"
     );
     std::process::exit(2);
 }
@@ -85,6 +89,10 @@ fn parse_args() -> Args {
             "--speed" => args.speed = value("--speed").parse().unwrap_or_else(|_| usage()),
             "--pause" => args.pause_s = value("--pause").parse().unwrap_or_else(|_| usage()),
             "--counters" => args.counters = true,
+            // Consumed again by bench_json::target_path; just validate.
+            "--bench-json" => {
+                let _ = value("--bench-json");
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -95,56 +103,30 @@ fn parse_args() -> Args {
     args
 }
 
-fn run(args: &Args) -> Stats {
-    let mut traffic_rng = StdRng::seed_from_u64(args.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15));
-    let mut config = SimConfig::default();
-    config.num_nodes = args.nodes;
-    config.duration = SimTime::from_secs(args.duration_s);
-    config.seed = args.seed;
-    config.mobility.max_speed = args.speed.max(0.2);
-    config.mobility.min_speed = (args.speed / 20.0).clamp(0.1, 1.0);
-    config.mobility.pause = SimTime::from_secs(args.pause_s);
-    let senders = args.senders.min(args.flows).min(args.nodes.saturating_sub(1)).max(1);
-    let config = config.with_cbr_traffic(
-        args.flows,
-        senders,
-        SimTime::from_millis(args.interval_ms),
-        args.payload,
-        &mut traffic_rng,
-    );
-    match args.protocol.as_str() {
-        "gpsr" => {
-            let mut w = World::new(config, |_, _, rng| Gpsr::new(GpsrConfig::greedy_only(), rng));
-            w.run()
-        }
-        "gpsr-perimeter" => {
-            let mut w =
-                World::new(config, |_, _, rng| Gpsr::new(GpsrConfig::with_perimeter(), rng));
-            w.run()
-        }
-        "agfw" | "agfw-noack" | "agfw-recovery" | "agfw-predictive" => {
-            let agfw_config = match args.protocol.as_str() {
-                "agfw-noack" => AgfwConfig::without_ack(),
-                "agfw-recovery" => AgfwConfig::with_recovery(),
-                "agfw-predictive" => AgfwConfig::predictive(),
-                _ => AgfwConfig::default(),
-            };
-            let mut w = World::new(config, move |id, cfg, rng| {
-                Agfw::new(id, agfw_config, cfg, rng)
-            });
-            w.run()
-        }
-        other => {
-            eprintln!("unknown protocol {other}");
-            usage()
-        }
-    }
-}
-
 fn main() {
     let args = parse_args();
-    let started = std::time::Instant::now();
-    let stats = run(&args);
+    let kind = ProtocolKind::from_name(&args.protocol).unwrap_or_else(|| {
+        eprintln!("unknown protocol {}", args.protocol);
+        usage()
+    });
+    let senders = args
+        .senders
+        .min(args.flows)
+        .min(args.nodes.saturating_sub(1))
+        .max(1);
+    let params = SweepParams {
+        duration: SimTime::from_secs(args.duration_s),
+        flows: args.flows,
+        senders,
+        interval: SimTime::from_millis(args.interval_ms),
+        payload: args.payload,
+        seeds: 1,
+        max_speed: args.speed,
+        pause: SimTime::from_secs(args.pause_s),
+    };
+    let started = Instant::now();
+    let stats = run_point(&kind, args.nodes, args.seed, &params);
+    let wall_s = started.elapsed().as_secs_f64();
     println!(
         "protocol={} nodes={} duration={}s seed={}",
         args.protocol, args.nodes, args.duration_s, args.seed
@@ -161,14 +143,23 @@ fn main() {
         stats.latency_quantile(0.5).as_millis_f64(),
         stats.latency_quantile(0.95).as_millis_f64()
     );
-    println!(
-        "worst_flow_delivery={:.4}",
-        stats.worst_flow_delivery()
-    );
-    println!("wall_clock={:.2}s", started.elapsed().as_secs_f64());
+    println!("worst_flow_delivery={:.4}", stats.worst_flow_delivery());
+    println!("wall_clock={wall_s:.2}s");
     if args.counters {
         for (name, value) in stats.counters() {
             println!("counter {name} = {value}");
         }
     }
+    let perf = SweepPerf {
+        jobs: 1,
+        wall_s,
+        points: vec![PointPerf {
+            protocol: kind.label(),
+            nodes: args.nodes,
+            seed: args.seed,
+            wall_s,
+            events: stats.events_processed,
+        }],
+    };
+    bench_json::maybe_write("simulate", &perf);
 }

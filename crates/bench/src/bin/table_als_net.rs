@@ -13,14 +13,15 @@
 //! cargo run --release -p agr-bench --bin table_als_net
 //! ```
 
-use agr_bench::runner::{env_u64, paper_config, SweepParams};
-use agr_bench::Table;
+use agr_bench::runner::{env_u64, jobs, paper_config, par_map, PointPerf, SweepParams, SweepPerf};
+use agr_bench::{bench_json, Table};
 use agr_core::agfw::{Agfw, AgfwConfig, AlsNetParams, LocationMode};
 use agr_core::keys::KeyDirectory;
 use agr_sim::{SimTime, World};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
+use std::time::Instant;
 
 fn main() {
     let mut params = SweepParams::from_env();
@@ -31,6 +32,72 @@ fn main() {
         params.seeds = 3;
     }
     let nodes_list = [30usize, 50, 75];
+    let variants = [
+        ("oracle", LocationMode::Oracle),
+        (
+            "ALS (networked)",
+            LocationMode::Als(AlsNetParams::default()),
+        ),
+    ];
+
+    // Key generation per node count is itself independent work: fan it.
+    eprintln!(
+        "generating RSA-512 key pairs for {nodes_list:?} nodes (jobs={})...",
+        jobs()
+    );
+    let keysets = par_map(&nodes_list, jobs(), |&nodes| {
+        let mut krng = StdRng::seed_from_u64(nodes as u64);
+        KeyDirectory::generate(nodes, 512, &mut krng).unwrap()
+    });
+
+    // Every (node count × variant × seed) point is one independent run.
+    let tasks: Vec<(usize, usize, u64)> = (0..nodes_list.len())
+        .flat_map(|ni| {
+            (0..variants.len())
+                .flat_map(move |vi| (1..=params.seeds).map(move |seed| (ni, vi, seed)))
+        })
+        .collect();
+    let started = Instant::now();
+    let runs = par_map(&tasks, jobs(), |&(ni, vi, seed)| {
+        let t0 = Instant::now();
+        let nodes = nodes_list[ni];
+        let (keys, dir) = &keysets[ni];
+        let sim = paper_config(nodes, seed, &params);
+        let config = AgfwConfig {
+            location: variants[vi].1,
+            ..AgfwConfig::default()
+        };
+        let keys = keys.clone();
+        let dir = Arc::clone(dir);
+        let mut world = World::new(sim, move |id, cfg, _| {
+            Agfw::with_keys(
+                id,
+                config,
+                cfg,
+                Arc::clone(&keys[id.0 as usize]),
+                Arc::clone(&dir),
+                None,
+            )
+        });
+        let stats = world.run();
+        (stats, t0.elapsed().as_secs_f64())
+    });
+    let perf = SweepPerf {
+        jobs: jobs(),
+        wall_s: started.elapsed().as_secs_f64(),
+        points: tasks
+            .iter()
+            .zip(&runs)
+            .map(|(&(ni, vi, seed), (stats, wall_s))| PointPerf {
+                protocol: variants[vi].0,
+                nodes: nodes_list[ni],
+                seed,
+                wall_s: *wall_s,
+                events: stats.events_processed,
+            })
+            .collect(),
+    };
+
     let mut table = Table::new(vec![
         "nodes",
         "variant",
@@ -39,37 +106,15 @@ fn main() {
         "ctrl frames/data pkt",
         "query retries",
     ]);
+    let mut runs = runs.into_iter();
     for &nodes in &nodes_list {
-        eprintln!("nodes={nodes}: generating {nodes} RSA-512 key pairs...");
-        let mut krng = StdRng::seed_from_u64(nodes as u64);
-        let (keys, dir) = KeyDirectory::generate(nodes, 512, &mut krng).unwrap();
-        for (label, location) in [
-            ("oracle", LocationMode::Oracle),
-            ("ALS (networked)", LocationMode::Als(AlsNetParams::default())),
-        ] {
+        for (label, _) in variants {
             let mut delivery = 0.0;
             let mut latency = 0.0;
             let mut overhead = 0.0;
             let mut retries = 0u64;
-            for seed in 1..=params.seeds {
-                let sim = paper_config(nodes, seed, &params);
-                let config = AgfwConfig {
-                    location,
-                    ..AgfwConfig::default()
-                };
-                let keys = keys.clone();
-                let dir = Arc::clone(&dir);
-                let mut world = World::new(sim, move |id, cfg, _| {
-                    Agfw::with_keys(
-                        id,
-                        config,
-                        cfg,
-                        Arc::clone(&keys[id.0 as usize]),
-                        Arc::clone(&dir),
-                        None,
-                    )
-                });
-                let stats = world.run();
+            for _ in 1..=params.seeds {
+                let (stats, _) = runs.next().expect("one run per task");
                 delivery += stats.delivery_fraction();
                 latency += stats.mean_latency().as_millis_f64();
                 let ctrl = stats.counter("agfw.hello")
@@ -91,8 +136,11 @@ fn main() {
             ]);
         }
     }
-    println!("Table: AGFW with oracle vs networked anonymous location service (paper S5 prediction)");
+    println!(
+        "Table: AGFW with oracle vs networked anonymous location service (paper S5 prediction)"
+    );
     println!("{table}");
     let path = table.save_csv("table_als_net");
     eprintln!("saved {}", path.display());
+    bench_json::maybe_write("table_als_net", &perf);
 }

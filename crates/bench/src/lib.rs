@@ -19,14 +19,25 @@
 //!
 //! Environment knobs shared by the figure binaries: `AGR_SEEDS` (number
 //! of seeds averaged per point, default 5), `AGR_DURATION_S` (simulated
-//! seconds, default 900), `AGR_NODES` (comma-separated node counts).
+//! seconds, default 900), `AGR_NODES` (comma-separated node counts),
+//! `AGR_JOBS` (sweep worker threads, default: available parallelism).
+//! Results are independent of `AGR_JOBS`: each (protocol × nodes × seed)
+//! point is a self-contained deterministic simulation and aggregation
+//! happens in task order, so CSVs are bit-identical at any worker count.
+//!
+//! Any binary dumps a machine-readable wall-clock record when given
+//! `--bench-json <path>` or `AGR_BENCH_JSON=<path>` (see [`bench_json`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bench_json;
 pub mod plot;
 pub mod report;
 pub mod runner;
 
 pub use report::Table;
-pub use runner::{run_point, sweep, PointResult, ProtocolKind, SweepParams};
+pub use runner::{
+    jobs, par_map, run_matrix, run_point, run_sweep, sweep, PointPerf, PointResult, ProtocolKind,
+    SweepParams, SweepPerf,
+};

@@ -1,11 +1,20 @@
 //! Shared experiment driver: builds paper-configured worlds, runs them
 //! over several seeds, and aggregates the two §5 metrics.
+//!
+//! Sweeps fan their (protocol × node count × seed) points over a scoped
+//! thread pool ([`run_matrix`] / [`run_sweep`]); every point is an
+//! independent deterministic simulation, and results are aggregated in
+//! task order, so the output is bit-identical whatever the worker count
+//! (`AGR_JOBS`, default: available parallelism).
 
 use agr_core::agfw::{Agfw, AgfwConfig};
 use agr_gpsr::{Gpsr, GpsrConfig};
 use agr_sim::{SimConfig, SimTime, Stats, World};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
 
 /// Which protocol a sweep point runs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -31,6 +40,20 @@ impl ProtocolKind {
             ProtocolKind::Agfw(_) => "AGFW-ACK",
         }
     }
+
+    /// Parses the `simulate`-style protocol names.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "gpsr" => ProtocolKind::GpsrGreedy,
+            "gpsr-perimeter" => ProtocolKind::GpsrPerimeter,
+            "agfw" => ProtocolKind::Agfw(AgfwConfig::default()),
+            "agfw-noack" => ProtocolKind::Agfw(AgfwConfig::without_ack()),
+            "agfw-recovery" => ProtocolKind::Agfw(AgfwConfig::with_recovery()),
+            "agfw-predictive" => ProtocolKind::Agfw(AgfwConfig::predictive()),
+            _ => return None,
+        })
+    }
 }
 
 /// Parameters of one sweep (the paper's §5.1 scenario by default).
@@ -48,6 +71,10 @@ pub struct SweepParams {
     pub payload: u32,
     /// Seeds to average over.
     pub seeds: u64,
+    /// Random-waypoint maximum speed in m/s (paper: 20).
+    pub max_speed: f64,
+    /// Random-waypoint pause at each waypoint (paper: 60 s).
+    pub pause: SimTime,
 }
 
 impl Default for SweepParams {
@@ -59,6 +86,8 @@ impl Default for SweepParams {
             interval: SimTime::from_secs(1),
             payload: 64,
             seeds: 5,
+            max_speed: 20.0,
+            pause: SimTime::from_secs(60),
         }
     }
 }
@@ -102,7 +131,10 @@ pub fn node_counts() -> Vec<usize> {
 }
 
 /// Aggregated result of one sweep point (one protocol × one node count).
-#[derive(Debug, Clone)]
+///
+/// Derives `PartialEq` so the determinism tests can assert that serial
+/// and multi-worker sweeps produce bit-identical aggregates.
+#[derive(Debug, Clone, PartialEq)]
 pub struct PointResult {
     /// Protocol label.
     pub protocol: &'static str,
@@ -151,6 +183,9 @@ pub fn paper_config(nodes: usize, seed: u64, params: &SweepParams) -> SimConfig 
     config.num_nodes = nodes;
     config.duration = params.duration;
     config.seed = seed;
+    config.mobility.max_speed = params.max_speed.max(0.2);
+    config.mobility.min_speed = (params.max_speed / 20.0).clamp(0.1, 1.0);
+    config.mobility.pause = params.pause;
     config.with_cbr_traffic(
         params.flows,
         params.senders,
@@ -179,43 +214,229 @@ pub fn run_point(kind: &ProtocolKind, nodes: usize, seed: u64, params: &SweepPar
         }
         ProtocolKind::Agfw(agfw_config) => {
             let agfw_config = *agfw_config;
-            let mut world =
-                World::new(config, move |id, cfg, rng| Agfw::new(id, agfw_config, cfg, rng));
+            let mut world = World::new(config, move |id, cfg, rng| {
+                Agfw::new(id, agfw_config, cfg, rng)
+            });
             world.run()
         }
     }
 }
 
-/// Runs a full density sweep for one protocol, averaging over seeds.
+/// Worker count for parallel sweeps: `AGR_JOBS` if set (min 1), else the
+/// machine's available parallelism.
 #[must_use]
-pub fn sweep(kind: &ProtocolKind, nodes_list: &[usize], params: &SweepParams) -> Vec<PointResult> {
-    nodes_list
-        .iter()
-        .map(|&nodes| {
-            let mut per_seed_delivery = Vec::new();
-            let mut per_seed_latency = Vec::new();
-            let mut stats = Vec::new();
-            for seed in 1..=params.seeds {
-                let s = run_point(kind, nodes, seed, params);
-                per_seed_delivery.push(s.delivery_fraction());
-                per_seed_latency.push(s.mean_latency().as_millis_f64());
-                stats.push(s);
-            }
-            let delivery_fraction =
-                per_seed_delivery.iter().sum::<f64>() / per_seed_delivery.len() as f64;
-            let latency_ms =
-                per_seed_latency.iter().sum::<f64>() / per_seed_latency.len() as f64;
-            PointResult {
-                protocol: kind.label(),
-                nodes,
-                delivery_fraction,
-                latency_ms,
-                per_seed_delivery,
-                per_seed_latency_ms: per_seed_latency,
-                stats,
-            }
+pub fn jobs() -> usize {
+    if let Some(j) = env_u64("AGR_JOBS") {
+        return (j as usize).max(1);
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Maps `f` over `items` on up to `jobs` scoped worker threads, returning
+/// results **in input order** regardless of completion order.
+///
+/// Workers claim indices from a shared atomic counter and write into
+/// per-slot cells, so the output is a deterministic function of the input
+/// whenever `f` itself is (each simulation point is an independent
+/// seeded run — nothing about scheduling can leak into the results).
+pub fn par_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = jobs.min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                *slots[i].lock().expect("slot poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("slot poisoned")
+                .expect("worker filled every slot")
         })
         .collect()
+}
+
+/// Wall-clock record of one sweep point (one protocol × nodes × seed).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointPerf {
+    /// Protocol label.
+    pub protocol: &'static str,
+    /// Node count.
+    pub nodes: usize,
+    /// Seed.
+    pub seed: u64,
+    /// Wall-clock seconds this point took on its worker.
+    pub wall_s: f64,
+    /// Engine events the run dispatched.
+    pub events: u64,
+}
+
+/// Wall-clock record of a whole sweep, for `BENCH_sweep.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPerf {
+    /// Worker threads used.
+    pub jobs: usize,
+    /// End-to-end wall-clock seconds for the sweep.
+    pub wall_s: f64,
+    /// Per-point records, in deterministic task order.
+    pub points: Vec<PointPerf>,
+}
+
+impl SweepPerf {
+    /// Total engine events dispatched across all points.
+    #[must_use]
+    pub fn total_events(&self) -> u64 {
+        self.points.iter().map(|p| p.events).sum()
+    }
+
+    /// Aggregate simulation throughput (events per wall-clock second).
+    #[must_use]
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.total_events() as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Folds another phase's record into this one (wall-clocks add:
+    /// phases run back to back).
+    pub fn merge(&mut self, other: SweepPerf) {
+        self.jobs = self.jobs.max(other.jobs);
+        self.wall_s += other.wall_s;
+        self.points.extend(other.points);
+    }
+}
+
+/// Runs every (protocol × node count × seed) point of the matrix on a
+/// worker pool of [`jobs`] threads and aggregates per (protocol, nodes).
+///
+/// The outer result vector parallels `kinds`; each inner vector parallels
+/// `nodes_list`. Aggregation happens in flattened task order, so tables
+/// and CSVs built from the result are bit-identical to a serial run.
+#[must_use]
+pub fn run_matrix(
+    kinds: &[ProtocolKind],
+    nodes_list: &[usize],
+    params: &SweepParams,
+) -> (Vec<Vec<PointResult>>, SweepPerf) {
+    run_matrix_jobs(kinds, nodes_list, params, jobs())
+}
+
+/// [`run_matrix`] with an explicit worker count (used by the determinism
+/// regression tests; prefer [`run_matrix`], which honours `AGR_JOBS`).
+#[must_use]
+pub fn run_matrix_jobs(
+    kinds: &[ProtocolKind],
+    nodes_list: &[usize],
+    params: &SweepParams,
+    jobs: usize,
+) -> (Vec<Vec<PointResult>>, SweepPerf) {
+    let tasks: Vec<(ProtocolKind, usize, u64)> = kinds
+        .iter()
+        .flat_map(|&kind| {
+            nodes_list
+                .iter()
+                .flat_map(move |&nodes| (1..=params.seeds).map(move |seed| (kind, nodes, seed)))
+        })
+        .collect();
+    let started = Instant::now();
+    let runs: Vec<(Stats, f64)> = par_map(&tasks, jobs, |&(kind, nodes, seed)| {
+        let t0 = Instant::now();
+        let stats = run_point(&kind, nodes, seed, params);
+        (stats, t0.elapsed().as_secs_f64())
+    });
+    let wall_s = started.elapsed().as_secs_f64();
+
+    let points = tasks
+        .iter()
+        .zip(&runs)
+        .map(|(&(kind, nodes, seed), (stats, point_wall))| PointPerf {
+            protocol: kind.label(),
+            nodes,
+            seed,
+            wall_s: *point_wall,
+            events: stats.events_processed,
+        })
+        .collect();
+
+    let mut runs = runs.into_iter();
+    let results = kinds
+        .iter()
+        .map(|kind| {
+            nodes_list
+                .iter()
+                .map(|&nodes| {
+                    let mut per_seed_delivery = Vec::new();
+                    let mut per_seed_latency = Vec::new();
+                    let mut stats = Vec::new();
+                    for _ in 1..=params.seeds {
+                        let (s, _) = runs.next().expect("one run per task");
+                        per_seed_delivery.push(s.delivery_fraction());
+                        per_seed_latency.push(s.mean_latency().as_millis_f64());
+                        stats.push(s);
+                    }
+                    let delivery_fraction =
+                        per_seed_delivery.iter().sum::<f64>() / per_seed_delivery.len() as f64;
+                    let latency_ms =
+                        per_seed_latency.iter().sum::<f64>() / per_seed_latency.len() as f64;
+                    PointResult {
+                        protocol: kind.label(),
+                        nodes,
+                        delivery_fraction,
+                        latency_ms,
+                        per_seed_delivery,
+                        per_seed_latency_ms: per_seed_latency,
+                        stats,
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    (
+        results,
+        SweepPerf {
+            jobs,
+            wall_s,
+            points,
+        },
+    )
+}
+
+/// Runs a full density sweep for one protocol on the worker pool.
+#[must_use]
+pub fn run_sweep(
+    kind: &ProtocolKind,
+    nodes_list: &[usize],
+    params: &SweepParams,
+) -> (Vec<PointResult>, SweepPerf) {
+    let (mut results, perf) = run_matrix(std::slice::from_ref(kind), nodes_list, params);
+    (results.pop().expect("one protocol"), perf)
+}
+
+/// Runs a full density sweep for one protocol, averaging over seeds.
+///
+/// Compatibility wrapper over [`run_sweep`] that drops the perf record.
+#[must_use]
+pub fn sweep(kind: &ProtocolKind, nodes_list: &[usize], params: &SweepParams) -> Vec<PointResult> {
+    run_sweep(kind, nodes_list, params).0
 }
 
 #[cfg(test)]
@@ -266,5 +487,59 @@ mod tests {
         assert_eq!(points.len(), 1);
         assert!(points[0].delivery_fraction > 0.0);
         assert_eq!(points[0].per_seed_delivery.len(), 1);
+    }
+
+    #[test]
+    fn from_name_roundtrips_simulate_protocols() {
+        assert_eq!(
+            ProtocolKind::from_name("gpsr"),
+            Some(ProtocolKind::GpsrGreedy)
+        );
+        assert_eq!(
+            ProtocolKind::from_name("gpsr-perimeter"),
+            Some(ProtocolKind::GpsrPerimeter)
+        );
+        assert_eq!(
+            ProtocolKind::from_name("agfw-noack").map(|k| k.label()),
+            Some("AGFW-noACK")
+        );
+        assert_eq!(ProtocolKind::from_name("dsr"), None);
+    }
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let items: Vec<u64> = (0..97).collect();
+        for jobs in [1usize, 2, 4, 7] {
+            let out = par_map(&items, jobs, |&x| x * x);
+            assert_eq!(out, items.iter().map(|x| x * x).collect::<Vec<_>>());
+        }
+    }
+
+    /// The acceptance property of the parallel runner: a sweep point
+    /// computed serially and the same point computed on a 4-worker pool
+    /// yield bit-identical aggregates (and therefore bit-identical CSVs).
+    #[test]
+    fn matrix_results_identical_serial_vs_four_jobs() {
+        let params = SweepParams {
+            duration: SimTime::from_secs(60),
+            flows: 10,
+            senders: 5,
+            seeds: 2,
+            ..SweepParams::default()
+        };
+        let kinds = [ProtocolKind::GpsrGreedy];
+        let (serial, _) = run_matrix_jobs(&kinds, &[50], &params, 1);
+        let (parallel, perf) = run_matrix_jobs(&kinds, &[50], &params, 4);
+        assert_eq!(serial, parallel);
+        assert_eq!(perf.points.len(), 2);
+        assert!(perf.total_events() > 0);
+    }
+
+    #[test]
+    fn jobs_honours_env_override() {
+        std::env::set_var("AGR_JOBS", "3");
+        assert_eq!(jobs(), 3);
+        std::env::remove_var("AGR_JOBS");
+        assert!(jobs() >= 1);
     }
 }

@@ -102,7 +102,7 @@ impl Aant {
     ) -> HelloAuth {
         let mut others: Vec<u64> = self.directory.ids().filter(|&i| i != self.my_id).collect();
         others.sort_unstable(); // deterministic base order
-        // Partial Fisher-Yates for the decoys.
+                                // Partial Fisher-Yates for the decoys.
         let decoys = self.config.ring_size - 1;
         for i in 0..decoys.min(others.len()) {
             let j = rng.random_range(i..others.len());
@@ -135,13 +135,7 @@ impl Aant {
     /// invalid signature — the hello must then be ignored, which is what
     /// blocks the forged-hello attack.
     #[must_use]
-    pub fn verify_hello(
-        &self,
-        n: Pseudonym,
-        loc: Point,
-        ts: SimTime,
-        auth: &HelloAuth,
-    ) -> bool {
+    pub fn verify_hello(&self, n: Pseudonym, loc: Point, ts: SimTime, auth: &HelloAuth) -> bool {
         if auth.ring_ids.is_empty() {
             return false;
         }
@@ -256,7 +250,10 @@ mod tests {
         assert!(a6.wire_bytes() > a2.wire_bytes());
         // Each extra member adds one signature block (x_i) plus 8 id bytes.
         let per_member = (a6.wire_bytes() - a2.wire_bytes()) / 4;
-        assert!(per_member >= 8 + 16, "per-member cost {per_member} implausibly small");
+        assert!(
+            per_member >= 8 + 16,
+            "per-member cost {per_member} implausibly small"
+        );
     }
 
     #[test]
@@ -264,11 +261,6 @@ mod tests {
     fn oversized_ring_rejected() {
         let (_aants, mut rng) = setup(2, 2);
         let (keys, dir) = KeyDirectory::generate(2, 128, &mut rng).unwrap();
-        let _ = Aant::new(
-            0,
-            Arc::clone(&keys[0]),
-            dir,
-            AantConfig { ring_size: 10 },
-        );
+        let _ = Aant::new(0, Arc::clone(&keys[0]), dir, AantConfig { ring_size: 10 });
     }
 }

@@ -398,12 +398,7 @@ impl Agfw {
     /// Panics if `config.crypto` is [`CryptoMode::Real`] — real
     /// cryptography needs key material; use [`Agfw::with_keys`].
     #[must_use]
-    pub fn new(
-        id: NodeId,
-        config: AgfwConfig,
-        sim: &SimConfig,
-        _rng: &mut impl Rng,
-    ) -> Self {
+    pub fn new(id: NodeId, config: AgfwConfig, sim: &SimConfig, _rng: &mut impl Rng) -> Self {
         assert!(
             matches!(config.crypto, CryptoMode::Modeled { .. }),
             "CryptoMode::Real requires Agfw::with_keys"
@@ -450,8 +445,7 @@ impl Agfw {
                 );
                 // Anticipate the configured traffic sources (§3.3: the
                 // updater must identify its possible senders).
-                let mut anticipated: Vec<NodeId> =
-                    sim.flows.iter().map(|f| f.src).collect();
+                let mut anticipated: Vec<NodeId> = sim.flows.iter().map(|f| f.src).collect();
                 anticipated.sort_unstable();
                 anticipated.dedup();
                 anticipated.retain(|&s| s != id);
@@ -688,12 +682,7 @@ impl Agfw {
     ///
     /// `allow_open` is false at the original source (it knows it is not
     /// the destination).
-    fn dispatch_packet(
-        &mut self,
-        ctx: &mut Ctx<'_, AgfwPacket>,
-        data: AgfwData,
-        allow_open: bool,
-    ) {
+    fn dispatch_packet(&mut self, ctx: &mut Ctx<'_, AgfwPacket>, data: AgfwData, allow_open: bool) {
         let me = ctx.my_pos();
         let in_last_hop_region = me.within_range(data.dst_loc, self.comm_range);
         if in_last_hop_region && allow_open {
@@ -883,7 +872,7 @@ impl Agfw {
         }
     }
 
- // ---------------------------------------------------------------
+    // ---------------------------------------------------------------
     // Networked anonymous location service (§3.3 over the live network)
     // ---------------------------------------------------------------
 
@@ -912,9 +901,15 @@ impl Agfw {
                 continue;
             };
             let key = key.clone();
-            if let Ok(update) =
-                als::make_update(me, my_pos, now, u64::from(requester.0), &key, &ssa, ctx.rng())
-            {
+            if let Ok(update) = als::make_update(
+                me,
+                my_pos,
+                now,
+                u64::from(requester.0),
+                &key,
+                &ssa,
+                ctx.rng(),
+            ) {
                 pairs.push(AlsPair {
                     index: update.index,
                     payload: update.payload,
@@ -1033,8 +1028,7 @@ impl Agfw {
         };
         let my_pos = ctx.my_pos();
         let keys = self.keys.as_ref().expect("Als mode has keys");
-        let Ok(request) =
-            als::make_request(me, keys.public(), u64::from(dest.0), my_pos, &ssa)
+        let Ok(request) = als::make_request(me, keys.public(), u64::from(dest.0), my_pos, &ssa)
         else {
             ctx.count("als.request_failed");
             return;
@@ -1085,7 +1079,9 @@ impl Agfw {
         at_local_max: bool,
     ) -> bool {
         let now = ctx.now();
-        let Some(als) = &mut self.als else { return false };
+        let Some(als) = &mut self.als else {
+            return false;
+        };
         match &msg.kind {
             AlsNetKind::Update { cell, pairs } => {
                 if !at_local_max {
@@ -1102,7 +1098,11 @@ impl Agfw {
                 ctx.count("als.server_stored");
                 true
             }
-            AlsNetKind::Request { cell, index, reply_loc } => {
+            AlsNetKind::Request {
+                cell,
+                index,
+                reply_loc,
+            } => {
                 if !at_local_max {
                     return false;
                 }
@@ -1304,7 +1304,9 @@ impl Protocol for Agfw {
     fn on_timer(&mut self, ctx: &mut Ctx<'_, AgfwPacket>, kind: u64) {
         match kind {
             TIMER_HELLO => {
-                if self.hellos_sent.is_multiple_of(self.config.rotate_every.max(1))
+                if self
+                    .hellos_sent
+                    .is_multiple_of(self.config.rotate_every.max(1))
                     || self.pseudonyms.current().is_none()
                 {
                     self.pseudonyms.rotate(ctx.rng());
@@ -1318,7 +1320,13 @@ impl Protocol for Agfw {
                     ctx.count("aant.sign");
                     a.sign_hello(n, loc, ts, ctx.rng())
                 });
-                let hello = AgfwPacket::Hello { n, loc, vel, ts, auth };
+                let hello = AgfwPacket::Hello {
+                    n,
+                    loc,
+                    vel,
+                    ts,
+                    auth,
+                };
                 ctx.count("agfw.hello");
                 let bytes = hello.wire_bytes();
                 ctx.mac_broadcast(hello, bytes);
@@ -1389,7 +1397,13 @@ impl Protocol for Agfw {
     ) {
         debug_assert!(from.is_none(), "AGFW frames must be anonymous broadcasts");
         match packet {
-            AgfwPacket::Hello { n, loc, vel, ts, auth } => {
+            AgfwPacket::Hello {
+                n,
+                loc,
+                vel,
+                ts,
+                auth,
+            } => {
                 if let Some(aant) = &self.aant {
                     ctx.count("aant.verify");
                     let ok = auth

@@ -303,8 +303,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let ts = SimTime::from_secs(10);
         // A -> S
-        let update =
-            make_update(A, f.a_loc, ts, B, f.b_keys.public(), &f.ssa, &mut rng).unwrap();
+        let update = make_update(A, f.a_loc, ts, B, f.b_keys.public(), &f.ssa, &mut rng).unwrap();
         assert_eq!(update.server_cell, f.ssa.cell_for(A));
         let mut server = AlsServer::new();
         server.handle_update(update);
@@ -352,8 +351,16 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let mut server = AlsServer::new();
         server.handle_update(
-            make_update(A, f.a_loc, SimTime::ZERO, B, f.b_keys.public(), &f.ssa, &mut rng)
-                .unwrap(),
+            make_update(
+                A,
+                f.a_loc,
+                SimTime::ZERO,
+                B,
+                f.b_keys.public(),
+                &f.ssa,
+                &mut rng,
+            )
+            .unwrap(),
         );
         // C was not anticipated by A: its index matches nothing — the
         // paper's stated limitation of the scheme.
@@ -368,12 +375,28 @@ mod tests {
         let mut server = AlsServer::new();
         // Records for B and for C from two updaters.
         server.handle_update(
-            make_update(A, f.a_loc, SimTime::ZERO, B, f.b_keys.public(), &f.ssa, &mut rng)
-                .unwrap(),
+            make_update(
+                A,
+                f.a_loc,
+                SimTime::ZERO,
+                B,
+                f.b_keys.public(),
+                &f.ssa,
+                &mut rng,
+            )
+            .unwrap(),
         );
         server.handle_update(
-            make_update(9, Point::new(5.0, 5.0), SimTime::ZERO, 3, f.c_keys.public(), &f.ssa, &mut rng)
-                .unwrap(),
+            make_update(
+                9,
+                Point::new(5.0, 5.0),
+                SimTime::ZERO,
+                3,
+                f.c_keys.public(),
+                &f.ssa,
+                &mut rng,
+            )
+            .unwrap(),
         );
         let reply = server
             .handle_request_all(&AlsRequestAll {
@@ -418,8 +441,8 @@ mod tests {
         }
         assert_eq!(server.len(), 1, "same index must replace, not accumulate");
         let req = make_request(B, f.b_keys.public(), A, Point::ORIGIN, &f.ssa).unwrap();
-        let rec = open_record(&server.handle_request(&req).unwrap().payloads[0], &f.b_keys)
-            .unwrap();
+        let rec =
+            open_record(&server.handle_request(&req).unwrap().payloads[0], &f.b_keys).unwrap();
         assert_eq!(rec.loc.x, 20.0);
     }
 
@@ -430,9 +453,16 @@ mod tests {
         // degrade a bit." Quantify the bits.
         let f = fixture();
         let mut rng = StdRng::seed_from_u64(6);
-        let als_update =
-            make_update(A, f.a_loc, SimTime::ZERO, B, f.b_keys.public(), &f.ssa, &mut rng)
-                .unwrap();
+        let als_update = make_update(
+            A,
+            f.a_loc,
+            SimTime::ZERO,
+            B,
+            f.b_keys.public(),
+            &f.ssa,
+            &mut rng,
+        )
+        .unwrap();
         let dlm_update = crate::dlm::DlmUpdate {
             id: A,
             loc: f.a_loc,

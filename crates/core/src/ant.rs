@@ -192,8 +192,7 @@ impl AnonymousNeighborTable {
         let my_dist = self_pos.distance_sq(dst_loc);
         // Entries that advertised a velocity are judged at their
         // *predicted* position (§3.1.1's movement-prediction refinement).
-        let progressing =
-            |e: &AntEntry| e.predicted_loc(now).distance_sq(dst_loc) < my_dist;
+        let progressing = |e: &AntEntry| e.predicted_loc(now).distance_sq(dst_loc) < my_dist;
         let closest = |it: &mut dyn Iterator<Item = AntEntry>| {
             // Tie-break on the pseudonym so selection is independent of
             // hash-map iteration order (bit-for-bit reproducible runs).
@@ -206,13 +205,14 @@ impl AnonymousNeighborTable {
             })
         };
         match strategy {
-            SelectionStrategy::NaiveClosest => {
-                closest(&mut self.live(now).filter(progressing))
-            }
+            SelectionStrategy::NaiveClosest => closest(&mut self.live(now).filter(progressing)),
             SelectionStrategy::FreshnessAware => {
-                let fresh = closest(&mut self.live(now).filter(progressing).filter(|e| {
-                    now.saturating_sub(e.heard_at) < self.fresh_window
-                }));
+                let fresh = closest(
+                    &mut self
+                        .live(now)
+                        .filter(progressing)
+                        .filter(|e| now.saturating_sub(e.heard_at) < self.fresh_window),
+                );
                 fresh.or_else(|| closest(&mut self.live(now).filter(progressing)))
             }
         }
@@ -258,7 +258,12 @@ mod tests {
         t.observe(n(1), Point::new(80.0, 0.0), SimTime::from_secs(1));
         t.observe(n(2), Point::new(50.0, 0.0), SimTime::from_millis(3900));
         let got = t
-            .next_hop(Point::ORIGIN, dst, SimTime::from_secs(4), SelectionStrategy::NaiveClosest)
+            .next_hop(
+                Point::ORIGIN,
+                dst,
+                SimTime::from_secs(4),
+                SelectionStrategy::NaiveClosest,
+            )
             .unwrap();
         assert_eq!(got.pseudonym, n(1));
     }
@@ -277,7 +282,11 @@ mod tests {
                 SelectionStrategy::FreshnessAware,
             )
             .unwrap();
-        assert_eq!(got.pseudonym, n(2), "fresh entry must win over stale-but-closer");
+        assert_eq!(
+            got.pseudonym,
+            n(2),
+            "fresh entry must win over stale-but-closer"
+        );
     }
 
     #[test]
@@ -302,7 +311,10 @@ mod tests {
         let mut t = ant();
         let dst = Point::new(100.0, 0.0);
         t.observe(n(1), Point::new(-10.0, 0.0), SimTime::from_secs(1));
-        for s in [SelectionStrategy::NaiveClosest, SelectionStrategy::FreshnessAware] {
+        for s in [
+            SelectionStrategy::NaiveClosest,
+            SelectionStrategy::FreshnessAware,
+        ] {
             assert!(t
                 .next_hop(Point::ORIGIN, dst, SimTime::from_secs(1), s)
                 .is_none());
@@ -336,7 +348,11 @@ mod tests {
                 SelectionStrategy::NaiveClosest,
             )
             .unwrap();
-        assert_eq!(got.pseudonym, n(2), "prediction must prefer the approaching node");
+        assert_eq!(
+            got.pseudonym,
+            n(2),
+            "prediction must prefer the approaching node"
+        );
         // Without velocities the stale snapshot would have picked n(1).
         let mut t2 = ant();
         t2.observe(n(1), Point::new(100.0, 0.0), SimTime::from_secs(1));

@@ -16,6 +16,7 @@ use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 
 /// Honest AGFW node or a hello-forging blackhole.
+#[allow(clippy::large_enum_variant)]
 enum NodeKind {
     Honest(Agfw),
     Forger { fake_loc: Point },

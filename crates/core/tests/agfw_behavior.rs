@@ -1,7 +1,7 @@
 //! End-to-end behavioural tests for AGFW on the MANET simulator.
 
-use agr_core::agfw::{Agfw, AgfwConfig, CryptoMode};
 use agr_core::aant::AantConfig;
+use agr_core::agfw::{Agfw, AgfwConfig, CryptoMode};
 use agr_core::keys::KeyDirectory;
 use agr_core::AgfwPacket;
 use agr_geom::Point;
@@ -22,7 +22,9 @@ fn flow(src: u32, dst: u32, start_s: u64, stop_s: u64) -> FlowConfig {
 
 #[test]
 fn multi_hop_chain_delivers_anonymously() {
-    let positions: Vec<Point> = (0..5).map(|i| Point::new(f64::from(i) * 200.0, 0.0)).collect();
+    let positions: Vec<Point> = (0..5)
+        .map(|i| Point::new(f64::from(i) * 200.0, 0.0))
+        .collect();
     let mut sim = SimConfig::static_topology(positions, SimTime::from_secs(60));
     sim.flows = vec![flow(0, 4, 10, 55)];
     sim.record_frames = true;
@@ -61,7 +63,10 @@ fn latency_includes_crypto_processing_delays() {
         mean > SimTime::from_millis(9),
         "mean {mean} must include 0.5 ms seal + 8.5 ms open"
     );
-    assert!(mean < SimTime::from_millis(30), "mean {mean} implausibly high");
+    assert!(
+        mean < SimTime::from_millis(30),
+        "mean {mean} implausibly high"
+    );
     assert!(stats.counter("agfw.trapdoor_opened") >= stats.data_delivered);
 }
 
@@ -84,7 +89,10 @@ fn last_forwarding_attempt_reaches_silent_destination() {
         Agfw::new(id, config, cfg, rng)
     });
     let stats = world.run();
-    assert!(stats.counter("agfw.last_attempt") > 0, "last attempt never used");
+    assert!(
+        stats.counter("agfw.last_attempt") > 0,
+        "last attempt never used"
+    );
     assert!(
         stats.delivery_fraction() > 0.9,
         "silent destination should still receive via last attempt, got {}",
@@ -97,11 +105,11 @@ fn last_forwarding_attempt_reaches_silent_destination() {
 fn no_ack_loses_packets_under_hidden_terminals() {
     // Two hidden senders pound a middle relay towards far destinations.
     let positions = vec![
-        Point::new(0.0, 150.0),    // sender A
-        Point::new(240.0, 150.0),  // relay
-        Point::new(480.0, 150.0),  // sender B (hidden from A)
-        Point::new(460.0, 150.0),  // dest for A's flow (near B)
-        Point::new(20.0, 150.0),   // dest for B's flow (near A)
+        Point::new(0.0, 150.0),   // sender A
+        Point::new(240.0, 150.0), // relay
+        Point::new(480.0, 150.0), // sender B (hidden from A)
+        Point::new(460.0, 150.0), // dest for A's flow (near B)
+        Point::new(20.0, 150.0),  // dest for B's flow (near A)
     ];
     let mk = |ack: bool| {
         let mut sim = SimConfig::static_topology(positions.clone(), SimTime::from_secs(60));
@@ -170,7 +178,9 @@ fn real_rsa_trapdoors_end_to_end() {
     // can open; everything still delivers.
     let mut rng = StdRng::seed_from_u64(31);
     let (keys, dir) = KeyDirectory::generate(4, 512, &mut rng).unwrap();
-    let positions: Vec<Point> = (0..4).map(|i| Point::new(f64::from(i) * 200.0, 0.0)).collect();
+    let positions: Vec<Point> = (0..4)
+        .map(|i| Point::new(f64::from(i) * 200.0, 0.0))
+        .collect();
     let mut sim = SimConfig::static_topology(positions, SimTime::from_secs(30));
     sim.flows = vec![flow(0, 3, 5, 25)];
     let config = AgfwConfig {
@@ -199,7 +209,9 @@ fn authenticated_ant_still_routes() {
     // hello is verified.
     let mut rng = StdRng::seed_from_u64(32);
     let (keys, dir) = KeyDirectory::generate(4, 256, &mut rng).unwrap();
-    let positions: Vec<Point> = (0..4).map(|i| Point::new(f64::from(i) * 180.0, 0.0)).collect();
+    let positions: Vec<Point> = (0..4)
+        .map(|i| Point::new(f64::from(i) * 180.0, 0.0))
+        .collect();
     let mut sim = SimConfig::static_topology(positions, SimTime::from_secs(30));
     sim.flows = vec![flow(0, 3, 5, 25)];
     let mut world = World::new(sim, move |id, cfg, _| {
@@ -221,7 +233,9 @@ fn authenticated_ant_still_routes() {
 
 #[test]
 fn piggybacked_acks_reduce_ack_traffic() {
-    let positions: Vec<Point> = (0..5).map(|i| Point::new(f64::from(i) * 200.0, 0.0)).collect();
+    let positions: Vec<Point> = (0..5)
+        .map(|i| Point::new(f64::from(i) * 200.0, 0.0))
+        .collect();
     let mk = |piggyback: bool| {
         let mut sim = SimConfig::static_topology(positions.clone(), SimTime::from_secs(60));
         sim.flows = vec![flow(0, 4, 5, 55)];
@@ -248,7 +262,9 @@ fn piggybacked_acks_reduce_ack_traffic() {
 fn trapdoor_attempts_are_confined_to_last_hop_region() {
     // Intermediate relays must never try the trapdoor: on a 4-hop chain
     // only the final hop's committed forwarder attempts.
-    let positions: Vec<Point> = (0..5).map(|i| Point::new(f64::from(i) * 200.0, 0.0)).collect();
+    let positions: Vec<Point> = (0..5)
+        .map(|i| Point::new(f64::from(i) * 200.0, 0.0))
+        .collect();
     let mut sim = SimConfig::static_topology(positions, SimTime::from_secs(60));
     sim.flows = vec![flow(0, 4, 5, 55)];
     let mut world = World::new(sim, |id, cfg, rng| {

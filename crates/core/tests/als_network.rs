@@ -10,11 +10,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
 
-fn als_world(
-    mut sim: SimConfig,
-    key_bits: u32,
-    params: AlsNetParams,
-) -> World<Agfw> {
+fn als_world(mut sim: SimConfig, key_bits: u32, params: AlsNetParams) -> World<Agfw> {
     let mut rng = StdRng::seed_from_u64(0xa15);
     let (keys, dir) = KeyDirectory::generate(sim.num_nodes, key_bits, &mut rng).unwrap();
     sim.seed = 42;
@@ -51,14 +47,22 @@ fn static_network_resolves_locations_and_delivers() {
     // must discover the destination's location via LREQ/LREP before any
     // data can move.
     let positions: Vec<Point> = (0..9)
-        .map(|i| Point::new(f64::from(i % 3) * 220.0 + 100.0, f64::from(i / 3) * 140.0 + 10.0))
+        .map(|i| {
+            Point::new(
+                f64::from(i % 3) * 220.0 + 100.0,
+                f64::from(i / 3) * 140.0 + 10.0,
+            )
+        })
         .collect();
     let mut sim = SimConfig::static_topology(positions, SimTime::from_secs(120));
     sim.flows = vec![flow(0, 8, 25, 110)];
     let mut world = als_world(sim, 512, AlsNetParams::default());
     let stats = world.run();
 
-    assert!(stats.counter("als.update_sent") > 0, "updaters must publish");
+    assert!(
+        stats.counter("als.update_sent") > 0,
+        "updaters must publish"
+    );
     assert!(stats.counter("als.server_stored") > 0, "servers must store");
     assert!(stats.counter("als.request_sent") > 0, "source must query");
     assert!(
@@ -77,7 +81,12 @@ fn static_network_resolves_locations_and_delivers() {
 #[test]
 fn cache_amortises_queries() {
     let positions: Vec<Point> = (0..9)
-        .map(|i| Point::new(f64::from(i % 3) * 220.0 + 100.0, f64::from(i / 3) * 140.0 + 10.0))
+        .map(|i| {
+            Point::new(
+                f64::from(i % 3) * 220.0 + 100.0,
+                f64::from(i / 3) * 140.0 + 10.0,
+            )
+        })
         .collect();
     let mut sim = SimConfig::static_topology(positions, SimTime::from_secs(120));
     sim.flows = vec![flow(0, 8, 25, 110)];

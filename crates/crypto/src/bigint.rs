@@ -584,15 +584,34 @@ impl fmt::LowerHex for BigUint {
 }
 
 /// Montgomery multiplication context for a fixed odd modulus.
-struct Montgomery {
+///
+/// Building the context costs `64 * limbs` shift-and-reduce steps (the
+/// `R² mod n` precomputation), which is comparable to the exponentiation
+/// itself for small exponents like the RSA verification exponent. Callers
+/// that exponentiate repeatedly under one modulus — RSA keys, trapdoor
+/// seal/open, the ring signature's `k+1` permutations — should build one
+/// context (or use a [`MontCache`]) and call [`Montgomery::pow`] on it
+/// instead of [`BigUint::modpow`], which rebuilds the context every call.
+#[derive(Debug, Clone)]
+pub struct Montgomery {
     n: Vec<u64>,
     n0inv: u64,
     r2: Vec<u64>,
 }
 
 impl Montgomery {
-    fn new(modulus: &BigUint) -> Self {
-        debug_assert!(modulus.is_odd());
+    /// Builds a reusable context for an odd `modulus > 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is even, zero, or one (Montgomery reduction
+    /// requires an odd modulus; RSA and Miller–Rabin only produce those).
+    #[must_use]
+    pub fn new(modulus: &BigUint) -> Self {
+        assert!(
+            modulus.is_odd() && modulus > &BigUint::one(),
+            "Montgomery context requires an odd modulus > 1"
+        );
         let n = modulus.limbs.clone();
         let len = n.len();
         // n0inv = -n[0]^{-1} mod 2^64 via Newton iteration.
@@ -659,7 +678,13 @@ impl Montgomery {
         result
     }
 
-    fn pow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+    /// `base^exp mod n` in the cached context — identical results to
+    /// [`BigUint::modpow`] for this modulus, without the per-call setup.
+    #[must_use]
+    pub fn pow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        if exp.is_zero() {
+            return BigUint::one();
+        }
         let len = self.n.len();
         let modulus = BigUint {
             limbs: self.n.clone(),
@@ -683,6 +708,87 @@ impl Montgomery {
         let mut n = BigUint { limbs: out };
         n.normalize();
         n
+    }
+}
+
+/// A lazily-built, shareable [`Montgomery`] context for one fixed modulus.
+///
+/// Designed to be embedded in key material (`RsaPublicKey`, `RsaKeyPair`):
+/// the first exponentiation builds the context, every later one reuses it,
+/// and the cache is invisible to the containing type's derived
+/// `Clone`/`PartialEq`/`Eq`/`Hash` semantics — two keys compare equal
+/// regardless of which has warmed its cache. Thread-safe, so keys shared
+/// across sweep worker threads (`Arc<RsaKeyPair>`) warm it once.
+#[derive(Default)]
+pub struct MontCache {
+    cell: std::sync::OnceLock<Montgomery>,
+}
+
+impl MontCache {
+    /// An empty cache.
+    #[must_use]
+    pub const fn new() -> Self {
+        MontCache {
+            cell: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// The context for `modulus`, built on first use.
+    ///
+    /// The caller must pass the same modulus on every call; the cache
+    /// belongs to whatever owns the modulus and cannot detect a switch.
+    ///
+    /// # Panics
+    ///
+    /// Panics (on first use) if `modulus` is even, zero, or one.
+    pub fn get(&self, modulus: &BigUint) -> &Montgomery {
+        let mont = self.cell.get_or_init(|| Montgomery::new(modulus));
+        debug_assert_eq!(
+            mont.n, modulus.limbs,
+            "MontCache reused with a different modulus"
+        );
+        mont
+    }
+
+    /// `base^exp mod modulus` through the cached context.
+    #[must_use]
+    pub fn modpow(&self, base: &BigUint, exp: &BigUint, modulus: &BigUint) -> BigUint {
+        self.get(modulus).pow(base, exp)
+    }
+}
+
+impl Clone for MontCache {
+    /// Clones carry the warmed context along (cheap `Vec` copies) so a
+    /// cloned key does not pay the setup again.
+    fn clone(&self) -> Self {
+        let cell = std::sync::OnceLock::new();
+        if let Some(mont) = self.cell.get() {
+            let _ = cell.set(mont.clone());
+        }
+        MontCache { cell }
+    }
+}
+
+impl PartialEq for MontCache {
+    /// Caches are derived state: all caches compare equal so containing
+    /// types' derived `PartialEq` ignores them.
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+
+impl Eq for MontCache {}
+
+impl std::hash::Hash for MontCache {
+    /// Hashes nothing, matching the `PartialEq` impl.
+    fn hash<H: std::hash::Hasher>(&self, _state: &mut H) {}
+}
+
+impl fmt::Debug for MontCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MontCache")
+            .field("warm", &self.cell.get().is_some())
+            .finish()
     }
 }
 
@@ -896,17 +1002,16 @@ mod tests {
             vec![1],
             vec![0xff; 8],
             vec![1, 0, 0, 0, 0, 0, 0, 0, 0],
-            vec![0x12, 0x34, 0x56, 0x78, 0x9a, 0xbc, 0xde, 0xf0, 0x11, 0x22, 0x33],
+            vec![
+                0x12, 0x34, 0x56, 0x78, 0x9a, 0xbc, 0xde, 0xf0, 0x11, 0x22, 0x33,
+            ],
         ];
         for bytes in cases {
             let n = BigUint::from_bytes_be(&bytes);
             assert_eq!(n.to_bytes_be(), bytes, "roundtrip failed for {bytes:?}");
         }
         // Leading zeros are dropped.
-        assert_eq!(
-            BigUint::from_bytes_be(&[0, 0, 5]).to_bytes_be(),
-            vec![5u8]
-        );
+        assert_eq!(BigUint::from_bytes_be(&[0, 0, 5]).to_bytes_be(), vec![5u8]);
     }
 
     #[test]

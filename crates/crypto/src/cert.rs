@@ -168,10 +168,7 @@ mod tests {
         let (ca, node, _) = setup();
         let mut cert = ca.issue(7, node.public().clone());
         cert.subject = 8;
-        assert_eq!(
-            cert.verify(ca.public_key()),
-            Err(CryptoError::BadSignature)
-        );
+        assert_eq!(cert.verify(ca.public_key()), Err(CryptoError::BadSignature));
     }
 
     #[test]
@@ -191,10 +188,7 @@ mod tests {
         let other = RsaKeyPair::generate(128, &mut rng).unwrap();
         let mut cert = ca.issue(7, node.public().clone());
         cert.public_key = other.public().clone();
-        assert_eq!(
-            cert.verify(ca.public_key()),
-            Err(CryptoError::BadSignature)
-        );
+        assert_eq!(cert.verify(ca.public_key()), Err(CryptoError::BadSignature));
     }
 
     #[test]

@@ -35,10 +35,16 @@ impl fmt::Display for CryptoError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CryptoError::MessageTooLong { got, max } => {
-                write!(f, "message of {got} bytes exceeds the {max}-byte block limit")
+                write!(
+                    f,
+                    "message of {got} bytes exceeds the {max}-byte block limit"
+                )
             }
             CryptoError::BlockSizeMismatch { got, expected } => {
-                write!(f, "block of {got} bytes where {expected} bytes were expected")
+                write!(
+                    f,
+                    "block of {got} bytes where {expected} bytes were expected"
+                )
             }
             CryptoError::BadPadding => write!(f, "invalid padding after decryption"),
             CryptoError::BadSignature => write!(f, "signature verification failed"),

@@ -36,9 +36,13 @@ pub const DEFAULT_ROUNDS: u32 = 8;
 /// ```
 #[derive(Debug, Clone)]
 pub struct Feistel {
-    key: [u8; 32],
     block_len: usize,
     rounds: u32,
+    /// Per-round PRF subkeys, derived once at construction. The ring
+    /// signature evaluates `E_k` `k+1` times per sign/verify under one
+    /// key, so hoisting the `(key, round)` absorption out of
+    /// `round_output` saves a hash invocation per counter block.
+    round_keys: Vec<[u8; 32]>,
 }
 
 impl Feistel {
@@ -61,12 +65,21 @@ impl Feistel {
     /// Panics if `block_len` is zero or odd, or `rounds < MIN_ROUNDS`.
     #[must_use]
     pub fn with_rounds(key: [u8; 32], block_len: usize, rounds: u32) -> Self {
-        assert!(block_len > 0 && block_len.is_multiple_of(2), "block length must be positive and even");
-        assert!(rounds >= MIN_ROUNDS, "at least {MIN_ROUNDS} rounds required");
+        assert!(
+            block_len > 0 && block_len.is_multiple_of(2),
+            "block length must be positive and even"
+        );
+        assert!(
+            rounds >= MIN_ROUNDS,
+            "at least {MIN_ROUNDS} rounds required"
+        );
+        let round_keys = (0..rounds)
+            .map(|round| Sha256::digest_parts(&[b"FEISTEL-RK", &key, &round.to_le_bytes()]))
+            .collect();
         Feistel {
-            key,
             block_len,
             rounds,
+            round_keys,
         }
     }
 
@@ -114,18 +127,14 @@ impl Feistel {
     }
 
     /// Round function: a SHA-256-in-counter-mode PRF expanded to half a
-    /// block, keyed by `(key, round)`.
+    /// block, keyed by the precomputed per-round subkey.
     fn round_output(&self, round: u32, input: &[u8]) -> Vec<u8> {
+        let round_key = &self.round_keys[round as usize];
         let half = self.block_len / 2;
         let mut out = Vec::with_capacity(half);
         let mut counter: u32 = 0;
         while out.len() < half {
-            let digest = Sha256::digest_parts(&[
-                &self.key,
-                &round.to_le_bytes(),
-                &counter.to_le_bytes(),
-                input,
-            ]);
+            let digest = Sha256::digest_parts(&[round_key, &counter.to_le_bytes(), input]);
             let need = half - out.len();
             out.extend_from_slice(&digest[..need.min(32)]);
             counter += 1;
@@ -184,11 +193,7 @@ mod tests {
         b2[31] ^= 1;
         c.encrypt_block(&mut b1);
         c.encrypt_block(&mut b2);
-        let differing_bits: u32 = b1
-            .iter()
-            .zip(&b2)
-            .map(|(a, b)| (a ^ b).count_ones())
-            .sum();
+        let differing_bits: u32 = b1.iter().zip(&b2).map(|(a, b)| (a ^ b).count_ones()).sum();
         // A random permutation flips ~128 of 256 bits; demand at least 64.
         assert!(
             differing_bits >= 64,

@@ -231,7 +231,10 @@ mod tests {
             let v = random_below(&bound, &mut r).to_u64().unwrap() as usize;
             seen[v] = true;
         }
-        assert!(seen.iter().all(|&s| s), "all residues should appear: {seen:?}");
+        assert!(
+            seen.iter().all(|&s| s),
+            "all residues should appear: {seen:?}"
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! Rivest–Shamir–Tauman ring signature is built directly on the trapdoor
 //! permutation, not on padded encryption.
 
-use crate::bigint::BigUint;
+use crate::bigint::{BigUint, MontCache};
 use crate::error::CryptoError;
 use crate::prime;
 use crate::sha256::Sha256;
@@ -46,6 +46,11 @@ pub struct RsaPublicKey {
     n: BigUint,
     e: BigUint,
     bits: u32,
+    /// Lazily-built Montgomery context for `n`, shared by every
+    /// `raw_encrypt` under this key (trapdoor seals, signature checks, and
+    /// the ring signature's `k+1` permutations per beacon). Invisible to
+    /// the derived `PartialEq`/`Hash`.
+    mont: MontCache,
 }
 
 impl RsaPublicKey {
@@ -85,7 +90,7 @@ impl RsaPublicKey {
     /// `x < n` for the map to be a permutation.
     #[must_use]
     pub fn raw_encrypt(&self, x: &BigUint) -> BigUint {
-        x.modpow(&self.e, &self.n)
+        self.mont.modpow(x, &self.e, &self.n)
     }
 
     /// Encrypts `msg` with PKCS#1-v1.5 type-2 random padding.
@@ -213,6 +218,11 @@ pub struct RsaKeyPair {
     dp: BigUint,
     dq: BigUint,
     qinv: BigUint,
+    /// Montgomery contexts for the CRT prime moduli, reused across every
+    /// `raw_decrypt` (trapdoor opens dominate AGFW's per-packet cost: each
+    /// forwarder tries to open every data packet it carries).
+    mont_p: MontCache,
+    mont_q: MontCache,
 }
 
 impl std::fmt::Debug for RsaKeyPair {
@@ -263,13 +273,20 @@ impl RsaKeyPair {
             let dq = d.rem_ref(&q1);
             let qinv = q.mod_inverse(&p).expect("p, q distinct primes");
             return Ok(RsaKeyPair {
-                public: RsaPublicKey { n, e, bits },
+                public: RsaPublicKey {
+                    n,
+                    e,
+                    bits,
+                    mont: MontCache::new(),
+                },
                 d,
                 p,
                 q,
                 dp,
                 dq,
                 qinv,
+                mont_p: MontCache::new(),
+                mont_q: MontCache::new(),
             });
         }
     }
@@ -287,8 +304,8 @@ impl RsaKeyPair {
     pub fn raw_decrypt(&self, y: &BigUint) -> BigUint {
         // CRT: m1 = y^dp mod p, m2 = y^dq mod q,
         //      h = qinv (m1 - m2) mod p, m = m2 + q h.
-        let m1 = y.modpow(&self.dp, &self.p);
-        let m2 = y.modpow(&self.dq, &self.q);
+        let m1 = self.mont_p.modpow(y, &self.dp, &self.p);
+        let m2 = self.mont_q.modpow(y, &self.dq, &self.q);
         let m2_mod_p = m2.rem_ref(&self.p);
         let diff = if m1 >= m2_mod_p {
             m1.checked_sub(&m2_mod_p).expect("m1 >= m2 mod p")
@@ -456,7 +473,10 @@ mod tests {
         // open".
         let keys_a = RsaKeyPair::generate(256, &mut rng(10)).unwrap();
         let keys_b = RsaKeyPair::generate(256, &mut rng(11)).unwrap();
-        let ct = keys_a.public().encrypt(b"for A only", &mut rng(12)).unwrap();
+        let ct = keys_a
+            .public()
+            .encrypt(b"for A only", &mut rng(12))
+            .unwrap();
         assert_eq!(keys_b.decrypt(&ct), Err(CryptoError::BadPadding));
         assert_eq!(keys_a.decrypt(&ct).unwrap(), b"for A only");
     }

@@ -148,12 +148,7 @@ pub struct SymmetricTrapdoor {
 impl SymmetricTrapdoor {
     /// Seals a trapdoor under the pairwise `key` shared with the
     /// destination.
-    pub fn seal<R: Rng + ?Sized>(
-        key: &[u8; 32],
-        src: u64,
-        src_loc: Point,
-        rng: &mut R,
-    ) -> Self {
+    pub fn seal<R: Rng + ?Sized>(key: &[u8; 32], src: u64, src_loc: Point, rng: &mut R) -> Self {
         let mut nonce = [0u8; 8];
         rng.fill(&mut nonce);
         let mut data = TrapdoorContents { src, src_loc }.encode();

@@ -14,9 +14,7 @@ use std::sync::OnceLock;
 /// One shared key pair: RSA keygen is too slow to run per proptest case.
 fn shared_keys() -> &'static RsaKeyPair {
     static KEYS: OnceLock<RsaKeyPair> = OnceLock::new();
-    KEYS.get_or_init(|| {
-        RsaKeyPair::generate(512, &mut StdRng::seed_from_u64(0xfeed)).unwrap()
-    })
+    KEYS.get_or_init(|| RsaKeyPair::generate(512, &mut StdRng::seed_from_u64(0xfeed)).unwrap())
 }
 
 fn arb_biguint() -> impl Strategy<Value = BigUint> {

@@ -86,12 +86,7 @@ mod tests {
     #[test]
     fn destination_neighbor_wins() {
         let dst = Point::new(100.0, 0.0);
-        let chosen = next_hop(
-            Point::ORIGIN,
-            dst,
-            vec![n(1, 99.0, 0.0), n(2, 100.0, 0.0)],
-        )
-        .unwrap();
+        let chosen = next_hop(Point::ORIGIN, dst, vec![n(1, 99.0, 0.0), n(2, 100.0, 0.0)]).unwrap();
         assert_eq!(chosen.id, NodeId(2));
     }
 }

@@ -131,14 +131,25 @@ mod tests {
         let neighbors = [n(1, 0.0, 100.0), n(2, 100.0, 0.0)];
         // Coming "from" a point due west: right-hand rule sweeps CCW from
         // west → south → east: picks the east neighbor first.
-        let got = next_hop(me, Point::new(-100.0, 0.0), &neighbors, PlanarGraph::Gabriel)
-            .unwrap();
+        let got = next_hop(
+            me,
+            Point::new(-100.0, 0.0),
+            &neighbors,
+            PlanarGraph::Gabriel,
+        )
+        .unwrap();
         assert_eq!(got.id, NodeId(2));
     }
 
     #[test]
     fn no_neighbors_gives_none() {
-        assert!(next_hop(Point::ORIGIN, Point::new(1.0, 0.0), &[], PlanarGraph::Gabriel).is_none());
+        assert!(next_hop(
+            Point::ORIGIN,
+            Point::new(1.0, 0.0),
+            &[],
+            PlanarGraph::Gabriel
+        )
+        .is_none());
     }
 
     #[test]

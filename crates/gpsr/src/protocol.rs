@@ -117,7 +117,12 @@ impl Gpsr {
             return;
         }
 
-        if let RoutingMode::Perimeter { entry, prev, first_edge } = header.mode {
+        if let RoutingMode::Perimeter {
+            entry,
+            prev,
+            first_edge,
+        } = header.mode
+        {
             if perimeter::can_resume_greedy(my_pos, entry, header.dst_loc) {
                 header.mode = RoutingMode::Greedy;
             } else {

@@ -32,7 +32,9 @@ fn run_static(
 #[test]
 fn multi_hop_chain_delivers_everything() {
     // 5 nodes in a line, 200 m apart: 0 → 4 needs 4 greedy hops.
-    let positions: Vec<Point> = (0..5).map(|i| Point::new(f64::from(i) * 200.0, 0.0)).collect();
+    let positions: Vec<Point> = (0..5)
+        .map(|i| Point::new(f64::from(i) * 200.0, 0.0))
+        .collect();
     let stats = run_static(
         positions,
         vec![flow(0, 4, 5, 55)],
@@ -42,17 +44,28 @@ fn multi_hop_chain_delivers_everything() {
     assert_eq!(stats.data_delivered, stats.data_sent);
     assert!(stats.data_sent >= 49);
     // Four hops of forwarding per packet.
-    assert!(stats.counter("gpsr.forward.greedy") + stats.counter("gpsr.forward.direct")
-            >= 4 * stats.data_sent);
+    assert!(
+        stats.counter("gpsr.forward.greedy") + stats.counter("gpsr.forward.direct")
+            >= 4 * stats.data_sent
+    );
 }
 
 #[test]
 fn multi_hop_latency_scales_with_hops() {
-    let line = |n: usize| -> Vec<Point> {
-        (0..n).map(|i| Point::new(i as f64 * 200.0, 0.0)).collect()
-    };
-    let one_hop = run_static(line(2), vec![flow(0, 1, 5, 55)], 60, GpsrConfig::greedy_only());
-    let four_hop = run_static(line(5), vec![flow(0, 4, 5, 55)], 60, GpsrConfig::greedy_only());
+    let line =
+        |n: usize| -> Vec<Point> { (0..n).map(|i| Point::new(i as f64 * 200.0, 0.0)).collect() };
+    let one_hop = run_static(
+        line(2),
+        vec![flow(0, 1, 5, 55)],
+        60,
+        GpsrConfig::greedy_only(),
+    );
+    let four_hop = run_static(
+        line(5),
+        vec![flow(0, 4, 5, 55)],
+        60,
+        GpsrConfig::greedy_only(),
+    );
     assert!(
         four_hop.mean_latency() > one_hop.mean_latency().mul(3),
         "4-hop latency {} should be ≥3x 1-hop {}",
@@ -128,7 +141,11 @@ fn unreachable_destination_is_dropped_not_looped() {
         + stats.counter("gpsr.drop.ttl")
         + stats.counter("gpsr.drop.local_max")
         + stats.counter("mac.drop");
-    assert!(drops >= stats.data_sent, "drops {drops} < sent {}", stats.data_sent);
+    assert!(
+        drops >= stats.data_sent,
+        "drops {drops} < sent {}",
+        stats.data_sent
+    );
 }
 
 #[test]
@@ -146,7 +163,10 @@ fn paper_scale_mobile_network_delivers_most_packets() {
     });
     let stats = world.run();
     let df = stats.delivery_fraction();
-    assert!(df > 0.8, "delivery fraction {df} too low for 50-node baseline");
+    assert!(
+        df > 0.8,
+        "delivery fraction {df} too low for 50-node baseline"
+    );
     assert!(stats.counter("gpsr.beacons") > 0);
     let mean = stats.mean_latency();
     assert!(

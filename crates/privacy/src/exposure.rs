@@ -111,11 +111,7 @@ mod tests {
     use agr_geom::Point;
     use agr_sim::{MacAddr, NodeId, SimTime};
 
-    fn frame<PKT>(
-        src_mac: Option<MacAddr>,
-        packet: Option<PKT>,
-        tx: u32,
-    ) -> FrameRecord<PKT> {
+    fn frame<PKT>(src_mac: Option<MacAddr>, packet: Option<PKT>, tx: u32) -> FrameRecord<PKT> {
         FrameRecord {
             time: SimTime::ZERO,
             tx_node: NodeId(tx),

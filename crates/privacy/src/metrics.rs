@@ -34,11 +34,7 @@ pub fn anonymity_entropy(size: usize) -> f64 {
 
 /// Mean candidate-set size over a collection of observation positions.
 #[must_use]
-pub fn mean_candidate_set(
-    observations: &[Point],
-    node_positions: &[Point],
-    radius: f64,
-) -> f64 {
+pub fn mean_candidate_set(observations: &[Point], node_positions: &[Point], radius: f64) -> f64 {
     if observations.is_empty() {
         return 0.0;
     }
@@ -62,7 +58,10 @@ mod tests {
         ];
         assert_eq!(candidate_set_size(Point::ORIGIN, &nodes, 250.0), 2);
         assert_eq!(candidate_set_size(Point::ORIGIN, &nodes, 600.0), 3);
-        assert_eq!(candidate_set_size(Point::new(-1000.0, 0.0), &nodes, 250.0), 0);
+        assert_eq!(
+            candidate_set_size(Point::new(-1000.0, 0.0), &nodes, 250.0),
+            0
+        );
     }
 
     #[test]

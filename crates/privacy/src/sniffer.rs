@@ -147,7 +147,11 @@ mod tests {
     #[test]
     fn observe_filters_frames() {
         let field = SnifferField::new(vec![Point::new(0.0, 0.0)], 100.0);
-        let frames = vec![frame_at(50.0, 0.0), frame_at(500.0, 0.0), frame_at(0.0, 80.0)];
+        let frames = vec![
+            frame_at(50.0, 0.0),
+            frame_at(500.0, 0.0),
+            frame_at(0.0, 80.0),
+        ];
         let heard = field.observe(&frames);
         assert_eq!(heard.len(), 2);
         assert!((field.coverage(&frames) - 2.0 / 3.0).abs() < 1e-9);

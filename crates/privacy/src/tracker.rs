@@ -10,9 +10,9 @@
 //! with node density against ANT pseudonyms.
 
 use agr_core::AgfwPacket;
+use agr_geom::Point;
 use agr_gpsr::GpsrPacket;
 use agr_sim::{FrameRecord, NodeId, SimTime};
-use agr_geom::Point;
 
 /// One eavesdropped beacon/hello sighting.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -132,9 +132,7 @@ pub fn link_tracks(sightings: &[Sighting], params: &LinkingParams) -> Vec<Track>
         }
         match best {
             Some((i, _)) => tracks[i].sightings.push(s),
-            None => tracks.push(Track {
-                sightings: vec![s],
-            }),
+            None => tracks.push(Track { sightings: vec![s] }),
         }
     }
     tracks
@@ -297,7 +295,10 @@ mod tests {
         let tracks = link_tracks(&sightings, &LinkingParams::default());
         let segments = confusion_segments(&tracks, NodeId(0));
         assert_eq!(segments, vec![SimTime::from_secs(19)]);
-        assert_eq!(mean_time_to_confusion(&tracks, NodeId(0)), SimTime::from_secs(19));
+        assert_eq!(
+            mean_time_to_confusion(&tracks, NodeId(0)),
+            SimTime::from_secs(19)
+        );
     }
 
     #[test]
@@ -308,7 +309,10 @@ mod tests {
         let tracks = link_tracks(&sightings, &LinkingParams::default());
         let segments = confusion_segments(&tracks, NodeId(0));
         assert_eq!(segments.len(), 2);
-        assert_eq!(mean_time_to_confusion(&tracks, NodeId(0)), SimTime::from_secs(4));
+        assert_eq!(
+            mean_time_to_confusion(&tracks, NodeId(0)),
+            SimTime::from_secs(4)
+        );
     }
 
     #[test]

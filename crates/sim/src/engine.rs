@@ -46,6 +46,11 @@ pub enum Event {
         /// Identifies the pending-reception entry.
         rx_id: u64,
     },
+    /// Periodic refresh of the PHY's spatial neighbor index. Scheduled in
+    /// every run (regardless of index mode) so the event stream — and
+    /// therefore the FIFO tie-break sequence — is identical whether the
+    /// index is consulted or not.
+    PhyRefresh,
 }
 
 #[derive(Debug)]
@@ -65,10 +70,7 @@ impl Eq for Scheduled {}
 impl Ord for Scheduled {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: BinaryHeap is a max-heap, we want the earliest first.
-        other
-            .t
-            .cmp(&self.t)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.t.cmp(&self.t).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 

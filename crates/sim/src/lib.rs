@@ -66,11 +66,12 @@ pub mod mac;
 pub mod mobility;
 pub mod phy;
 pub mod protocol;
+pub mod spatial;
 pub mod stats;
 mod time;
 mod world;
 
-pub use config::{FlowConfig, MacParams, MobilityParams, RadioParams, SimConfig};
+pub use config::{FlowConfig, MacParams, MobilityParams, PhyIndexMode, RadioParams, SimConfig};
 pub use protocol::{Ctx, FlowTag, MacDst, MacOutcome, Protocol};
 pub use stats::{FlowStats, Stats};
 pub use time::SimTime;

@@ -213,7 +213,11 @@ mod tests {
         let predicted = p1 + v * 0.1;
         // Within a leg the prediction is exact; at a leg boundary it may
         // deviate by at most the distance travelled.
-        assert!(predicted.distance(p2) < 2.5, "prediction off by {}", predicted.distance(p2));
+        assert!(
+            predicted.distance(p2) < 2.5,
+            "prediction off by {}",
+            predicted.distance(p2)
+        );
     }
 
     #[test]

@@ -97,25 +97,39 @@ impl<PKT: Clone> Phy<PKT> {
             comm_range,
             cs_range,
             states: (0..nodes).map(|_| PhyState::new()).collect(),
-        next_rx_id: 0,
+            next_rx_id: 0,
         }
     }
 
     /// Node `tx` starts transmitting `frame` for `airtime`.
     ///
-    /// `positions` is the position snapshot at the start instant; the
-    /// receiver set is frozen there (node speeds are ~five orders of
-    /// magnitude below frame airtimes, so mid-frame movement is
-    /// negligible).
+    /// `candidates` lists `(node, position)` pairs — a *superset* of the
+    /// nodes within carrier-sense range of `tx_pos`, in ascending node
+    /// order (entries for `tx` itself are ignored). The caller produces it
+    /// either by a full scan or from a spatial index; exact distances are
+    /// re-checked here, so any superset yields the same receiver set and,
+    /// because of the ordering, the same event schedule.
+    ///
+    /// Positions are a snapshot at the start instant; the receiver set is
+    /// frozen there (node speeds are ~five orders of magnitude below frame
+    /// airtimes, so mid-frame movement is negligible).
     pub fn start_tx(
         &mut self,
         tx: usize,
+        tx_pos: Point,
         frame: MacFrame<PKT>,
         airtime: SimTime,
         now: SimTime,
-        positions: &[Point],
+        candidates: &[(usize, Point)],
     ) -> TxStart {
-        debug_assert!(self.states[tx].transmitting.is_none(), "already transmitting");
+        debug_assert!(
+            self.states[tx].transmitting.is_none(),
+            "already transmitting"
+        );
+        debug_assert!(
+            candidates.windows(2).all(|w| w[0].0 < w[1].0),
+            "candidates must be in ascending node order"
+        );
         let end = now + airtime;
         // Transmitting while receiving corrupts whatever was arriving.
         for p in &mut self.states[tx].pending {
@@ -125,12 +139,12 @@ impl<PKT: Clone> Phy<PKT> {
 
         let mut went_busy = Vec::new();
         let mut rx_ends = Vec::new();
-        let tx_pos = positions[tx];
-        for (j, state) in self.states.iter_mut().enumerate() {
+        for &(j, pos) in candidates {
             if j == tx {
                 continue;
             }
-            let dist = positions[j].distance(tx_pos);
+            let state = &mut self.states[j];
+            let dist = pos.distance(tx_pos);
             if dist > self.cs_range {
                 continue;
             }
@@ -234,11 +248,23 @@ mod tests {
         xs.iter().map(|&x| Point::new(x, 0.0)).collect()
     }
 
+    /// Full-scan candidate list, as the linear index mode produces.
+    fn candidates(pos: &[Point]) -> Vec<(usize, Point)> {
+        pos.iter().copied().enumerate().collect()
+    }
+
     #[test]
     fn in_range_reception_succeeds() {
         let mut phy = phy(2);
         let pos = line_positions(&[0.0, 200.0]);
-        let start = phy.start_tx(0, frame(), SimTime::from_micros(100), SimTime::ZERO, &pos);
+        let start = phy.start_tx(
+            0,
+            pos[0],
+            frame(),
+            SimTime::from_micros(100),
+            SimTime::ZERO,
+            &candidates(&pos),
+        );
         assert_eq!(start.went_busy, vec![1]);
         assert_eq!(start.rx_ends.len(), 1);
         let (j, rx_id) = start.rx_ends[0];
@@ -253,7 +279,14 @@ mod tests {
     fn cs_range_senses_but_cannot_decode() {
         let mut phy = phy(2);
         let pos = line_positions(&[0.0, 400.0]); // beyond 250, within 550
-        let start = phy.start_tx(0, frame(), SimTime::from_micros(100), SimTime::ZERO, &pos);
+        let start = phy.start_tx(
+            0,
+            pos[0],
+            frame(),
+            SimTime::from_micros(100),
+            SimTime::ZERO,
+            &candidates(&pos),
+        );
         assert_eq!(start.went_busy, vec![1]);
         let (j, rx_id) = start.rx_ends[0];
         let out = phy.rx_end(j, rx_id, start.end);
@@ -265,7 +298,14 @@ mod tests {
     fn out_of_cs_range_unaffected() {
         let mut phy = phy(2);
         let pos = line_positions(&[0.0, 600.0]);
-        let start = phy.start_tx(0, frame(), SimTime::from_micros(100), SimTime::ZERO, &pos);
+        let start = phy.start_tx(
+            0,
+            pos[0],
+            frame(),
+            SimTime::from_micros(100),
+            SimTime::ZERO,
+            &candidates(&pos),
+        );
         assert!(start.went_busy.is_empty());
         assert!(start.rx_ends.is_empty());
     }
@@ -277,13 +317,21 @@ mod tests {
         // the classic collision at the middle node.
         let mut phy = Phy::<u32>::new(250.0, 300.0, 3);
         let pos = line_positions(&[0.0, 240.0, 480.0]);
-        let s1 = phy.start_tx(0, frame(), SimTime::from_micros(100), SimTime::ZERO, &pos);
+        let s1 = phy.start_tx(
+            0,
+            pos[0],
+            frame(),
+            SimTime::from_micros(100),
+            SimTime::ZERO,
+            &candidates(&pos),
+        );
         let s2 = phy.start_tx(
             2,
+            pos[2],
             frame(),
             SimTime::from_micros(100),
             SimTime::from_micros(10),
-            &pos,
+            &candidates(&pos),
         );
         // Node 1 hears both; both are corrupted.
         for (j, rx_id) in s1.rx_ends.iter().chain(&s2.rx_ends) {
@@ -304,8 +352,22 @@ mod tests {
         let mut phy = phy(2);
         let pos = line_positions(&[0.0, 100.0]);
         // Both transmit simultaneously: neither receives.
-        let s1 = phy.start_tx(0, frame(), SimTime::from_micros(100), SimTime::ZERO, &pos);
-        let s2 = phy.start_tx(1, frame(), SimTime::from_micros(100), SimTime::ZERO, &pos);
+        let s1 = phy.start_tx(
+            0,
+            pos[0],
+            frame(),
+            SimTime::from_micros(100),
+            SimTime::ZERO,
+            &candidates(&pos),
+        );
+        let s2 = phy.start_tx(
+            1,
+            pos[1],
+            frame(),
+            SimTime::from_micros(100),
+            SimTime::ZERO,
+            &candidates(&pos),
+        );
         let (j1, r1) = s1.rx_ends[0];
         let (j2, r2) = s2.rx_ends[0];
         assert!(phy.rx_end(j1, r1, s1.end).frame.is_none());
@@ -316,14 +378,22 @@ mod tests {
     fn second_carrier_corrupts_first() {
         let mut phy = phy(3);
         let pos = line_positions(&[0.0, 100.0, 200.0]);
-        let s1 = phy.start_tx(0, frame(), SimTime::from_micros(200), SimTime::ZERO, &pos);
+        let s1 = phy.start_tx(
+            0,
+            pos[0],
+            frame(),
+            SimTime::from_micros(200),
+            SimTime::ZERO,
+            &candidates(&pos),
+        );
         // Node 2 starts while node 1 is receiving from node 0.
         let s2 = phy.start_tx(
             2,
+            pos[2],
             frame(),
             SimTime::from_micros(200),
             SimTime::from_micros(50),
-            &pos,
+            &candidates(&pos),
         );
         let first_at_1 = s1.rx_ends.iter().find(|(j, _)| *j == 1).unwrap();
         let out = phy.rx_end(first_at_1.0, first_at_1.1, s1.end);
@@ -339,14 +409,22 @@ mod tests {
     fn busy_tracking_counts_carriers() {
         let mut phy = phy(3);
         let pos = line_positions(&[0.0, 100.0, 200.0]);
-        let s1 = phy.start_tx(0, frame(), SimTime::from_micros(100), SimTime::ZERO, &pos);
+        let s1 = phy.start_tx(
+            0,
+            pos[0],
+            frame(),
+            SimTime::from_micros(100),
+            SimTime::ZERO,
+            &candidates(&pos),
+        );
         assert!(phy.states[1].busy());
         let s2 = phy.start_tx(
             2,
+            pos[2],
             frame(),
             SimTime::from_micros(300),
             SimTime::from_micros(10),
-            &pos,
+            &candidates(&pos),
         );
         // Carrier from 0 ends; node 1 still senses node 2.
         let first_at_1 = s1.rx_ends.iter().find(|(j, _)| *j == 1).unwrap();

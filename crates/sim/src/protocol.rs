@@ -100,7 +100,11 @@ pub trait Protocol: Sized {
     );
 
     /// The MAC finished (or gave up on) a transmission this node queued.
-    fn on_mac_result(&mut self, ctx: &mut Ctx<'_, Self::Packet>, outcome: MacOutcome<Self::Packet>) {
+    fn on_mac_result(
+        &mut self,
+        ctx: &mut Ctx<'_, Self::Packet>,
+        outcome: MacOutcome<Self::Packet>,
+    ) {
         let _ = (ctx, outcome);
     }
 }

@@ -30,12 +30,19 @@ impl FlowStats {
 }
 
 /// Aggregated run statistics.
-#[derive(Debug, Clone, Default)]
+///
+/// Derives `PartialEq` so regression tests can assert that two runs (e.g.
+/// serial vs parallel sweep execution, or grid vs linear PHY indexing)
+/// produced *exactly* the same outcome, field for field.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Stats {
     /// Data packets originated by sources.
     pub data_sent: u64,
     /// Data packets delivered to their destinations (first copy only).
     pub data_delivered: u64,
+    /// Events dispatched by the engine's run loop — a deterministic
+    /// measure of simulation work (wall-clock independent).
+    pub events_processed: u64,
     /// End-to-end latency of each delivered packet.
     latencies: Vec<SimTime>,
     /// Named event counters.

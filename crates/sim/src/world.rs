@@ -13,12 +13,13 @@
 //! sans-I/O layering that keeps the borrow checker and the causality story
 //! aligned.
 
-use crate::config::SimConfig;
+use crate::config::{PhyIndexMode, SimConfig};
 use crate::engine::{Event, EventQueue};
 use crate::mac::{Mac, MacFrame, MacFrameKind, MacState, OutPkt, TxKind};
 use crate::mobility::MobilityState;
 use crate::phy::Phy;
 use crate::protocol::{FlowTag, MacDst, MacOutcome, Protocol};
+use crate::spatial::NeighborGrid;
 use crate::stats::Stats;
 use crate::time::SimTime;
 use crate::{MacAddr, NodeId};
@@ -26,6 +27,11 @@ use agr_geom::Point;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
+
+/// Seconds between refreshes of the PHY's spatial index. The index's cell
+/// size includes `max_speed × PHY_REFRESH_S` of slack, so bucketed
+/// positions may go this stale without missing a carrier-sense neighbor.
+const PHY_REFRESH_S: u64 = 1;
 
 /// What kind of frame a [`FrameRecord`] describes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,6 +92,14 @@ pub(crate) struct Inner<PKT> {
     stats: Stats,
     config: SimConfig,
     mobility: Vec<MobilityState>,
+    /// Per-node mobility RNGs, seeded in node order from the master RNG.
+    /// Giving each waypoint state machine its own stream makes a node's
+    /// position a pure function of time — independent of *when* or *how
+    /// often* positions are queried — which is what lets the spatial index
+    /// refresh buckets without perturbing the simulation.
+    mob_rngs: Vec<StdRng>,
+    /// Spatial index over bucketed node positions (`PhyIndexMode::Grid`).
+    grid: Option<NeighborGrid>,
     phy: Phy<PKT>,
     macs: Vec<Mac<PKT>>,
     upcalls: VecDeque<Upcall<PKT>>,
@@ -103,17 +117,32 @@ impl<PKT: Clone + std::fmt::Debug + 'static> Inner<PKT> {
                 "initial_positions length must equal num_nodes"
             );
         }
-        let mobility = (0..n)
-            .map(|i| {
-                let p = match &config.initial_positions {
-                    Some(pos) => pos[i],
-                    None => config
-                        .area
-                        .point_at(rng.random_range(0.0..=1.0), rng.random_range(0.0..=1.0)),
-                };
-                MobilityState::new(p)
+        let init_positions: Vec<Point> = (0..n)
+            .map(|i| match &config.initial_positions {
+                Some(pos) => pos[i],
+                None => config
+                    .area
+                    .point_at(rng.random_range(0.0..=1.0), rng.random_range(0.0..=1.0)),
             })
             .collect();
+        let mobility = init_positions
+            .iter()
+            .map(|&p| MobilityState::new(p))
+            .collect();
+        let mob_rngs = (0..n)
+            .map(|_| StdRng::seed_from_u64(rng.random()))
+            .collect();
+        let grid = match config.phy_index {
+            PhyIndexMode::Grid => {
+                // Cell side covers the carrier-sense disk plus the maximum
+                // drift a node accumulates between bucket refreshes (see
+                // crate::spatial for the coverage argument).
+                let slack = config.mobility.max_speed * PHY_REFRESH_S as f64;
+                let cell = config.radio.cs_range + slack + 1.0;
+                Some(NeighborGrid::new(config.area, cell, &init_positions))
+            }
+            PhyIndexMode::Linear => None,
+        };
         let phy = Phy::new(config.radio.comm_range, config.radio.cs_range, n);
         let macs = (0..n)
             .map(|i| Mac::new(MacAddr(i as u32), config.mac.cw_min))
@@ -125,6 +154,8 @@ impl<PKT: Clone + std::fmt::Debug + 'static> Inner<PKT> {
             stats: Stats::new(),
             config,
             mobility,
+            mob_rngs,
+            grid,
             phy,
             macs,
             upcalls: VecDeque::new(),
@@ -137,7 +168,7 @@ impl<PKT: Clone + std::fmt::Debug + 'static> Inner<PKT> {
             self.now,
             &self.config.mobility,
             self.config.area,
-            &mut self.rng,
+            &mut self.mob_rngs[i],
         )
     }
 
@@ -146,10 +177,41 @@ impl<PKT: Clone + std::fmt::Debug + 'static> Inner<PKT> {
         self.mobility[i].velocity_at(self.now)
     }
 
-    fn positions_now(&mut self) -> Vec<Point> {
-        (0..self.config.num_nodes)
-            .map(|i| self.position_of(i))
-            .collect()
+    /// Current positions of the nodes the PHY must consider for a
+    /// transmission from `tx_pos` — every node for the linear mode, the
+    /// 3×3-cell neighborhood for the grid mode. Ascending node order in
+    /// both cases, so downstream event ordering is mode-independent.
+    fn phy_candidates(&mut self, tx: usize, tx_pos: Point) -> Vec<(usize, Point)> {
+        match self.grid.as_ref().map(|g| g.candidates(tx_pos)) {
+            Some(ids) => ids
+                .into_iter()
+                .filter(|&j| j != tx)
+                .map(|j| (j, self.position_of(j)))
+                .collect(),
+            None => (0..self.config.num_nodes)
+                .filter(|&j| j != tx)
+                .map(|j| (j, self.position_of(j)))
+                .collect(),
+        }
+    }
+
+    /// Re-buckets every node at its current position and schedules the
+    /// next refresh tick. In linear mode only the tick is kept (so both
+    /// modes see the same event stream); positions are pure functions of
+    /// time, so skipping the queries has no observable effect.
+    pub(crate) fn phy_refresh(&mut self) {
+        if self.grid.is_some() {
+            for i in 0..self.config.num_nodes {
+                let p = self.position_of(i);
+                if let Some(grid) = &mut self.grid {
+                    grid.update(i, p);
+                }
+            }
+        }
+        self.queue.push(
+            self.now + SimTime::from_secs(PHY_REFRESH_S),
+            Event::PhyRefresh,
+        );
     }
 
     // ---------------------------------------------------------------
@@ -219,8 +281,7 @@ impl<PKT: Clone + std::fmt::Debug + 'static> Inner<PKT> {
     fn mac_freeze_backoff(&mut self, n: usize) {
         if self.macs[n].state == MacState::Backoff {
             let elapsed = self.now.saturating_sub(self.macs[n].backoff_started);
-            self.macs[n].backoff_remaining =
-                self.macs[n].backoff_remaining.saturating_sub(elapsed);
+            self.macs[n].backoff_remaining = self.macs[n].backoff_remaining.saturating_sub(elapsed);
             self.macs[n].cancel_wakeup();
             self.macs[n].state = MacState::WaitDifs;
         }
@@ -331,8 +392,7 @@ impl<PKT: Clone + std::fmt::Debug + 'static> Inner<PKT> {
                     nav_until: SimTime::ZERO,
                     seq: head.seq,
                 };
-                let reserve =
-                    mac_params.sifs + radio.control_airtime(mac_params.ack_bytes);
+                let reserve = mac_params.sifs + radio.control_airtime(mac_params.ack_bytes);
                 self.mac_start_tx(n, frame, TxKind::DataUnicast, data_air, reserve);
             }
             MacDst::Broadcast => {
@@ -359,7 +419,8 @@ impl<PKT: Clone + std::fmt::Debug + 'static> Inner<PKT> {
         airtime: SimTime,
         reserve: SimTime,
     ) {
-        let positions = self.positions_now();
+        let tx_pos = self.position_of(n);
+        let candidates = self.phy_candidates(n, tx_pos);
         let end = self.now + airtime;
         if frame.nav_until == SimTime::ZERO {
             frame.nav_until = end + reserve;
@@ -375,14 +436,16 @@ impl<PKT: Clone + std::fmt::Debug + 'static> Inner<PKT> {
             self.frames.push(FrameRecord {
                 time: self.now,
                 tx_node: NodeId(n as u32),
-                tx_pos: positions[n],
+                tx_pos,
                 src_mac: frame.src,
                 dst_mac: frame.dst,
                 frame_type,
                 packet,
             });
         }
-        let start = self.phy.start_tx(n, frame, airtime, self.now, &positions);
+        let start = self
+            .phy
+            .start_tx(n, tx_pos, frame, airtime, self.now, &candidates);
         self.macs[n].state = MacState::Tx(kind);
         self.queue.push(
             start.end,
@@ -559,10 +622,7 @@ impl<PKT: Clone + std::fmt::Debug + 'static> Inner<PKT> {
                     nav_until: frame.nav_until,
                     seq: frame.seq,
                 };
-                let airtime = self
-                    .config
-                    .radio
-                    .control_airtime(self.config.mac.cts_bytes);
+                let airtime = self.config.radio.control_airtime(self.config.mac.cts_bytes);
                 self.mac_queue_response(n, cts, TxKind::Response, airtime);
             }
             MacFrameKind::Cts => {
@@ -584,10 +644,7 @@ impl<PKT: Clone + std::fmt::Debug + 'static> Inner<PKT> {
                         nav_until: frame.nav_until,
                         seq: head.seq,
                     };
-                    let airtime = self
-                        .config
-                        .radio
-                        .data_airtime(head_bytes, &self.config.mac);
+                    let airtime = self.config.radio.data_airtime(head_bytes, &self.config.mac);
                     // Bypass mac_queue_response: WaitCts must send its DATA.
                     self.macs[n].pending_response = Some((data, TxKind::DataAfterCts, airtime));
                     self.macs[n].state = MacState::Sifs;
@@ -607,7 +664,10 @@ impl<PKT: Clone + std::fmt::Debug + 'static> Inner<PKT> {
                     self.mac_finish_success(n);
                 }
             }
-            MacFrameKind::Data { payload, broadcast: is_bcast } => {
+            MacFrameKind::Data {
+                payload,
+                broadcast: is_bcast,
+            } => {
                 if is_bcast {
                     self.upcalls.push_back(Upcall::Receive {
                         node: n,
@@ -635,10 +695,7 @@ impl<PKT: Clone + std::fmt::Debug + 'static> Inner<PKT> {
                         nav_until: SimTime::ZERO,
                         seq: frame.seq,
                     };
-                    let airtime = self
-                        .config
-                        .radio
-                        .control_airtime(self.config.mac.ack_bytes);
+                    let airtime = self.config.radio.control_airtime(self.config.mac.ack_bytes);
                     self.mac_queue_response(n, ack, TxKind::Response, airtime);
                 }
             }
@@ -831,6 +888,10 @@ impl<P: Protocol> World<P> {
                 .queue
                 .push(flow.start, Event::AppSend { flow: idx, seq: 0 });
         }
+        // Scheduled in both index modes so the event streams match.
+        inner
+            .queue
+            .push(SimTime::from_secs(PHY_REFRESH_S), Event::PhyRefresh);
         let mut world = World { inner, protocols };
         for i in 0..world.protocols.len() {
             let mut ctx = Ctx {
@@ -858,6 +919,7 @@ impl<P: Protocol> World<P> {
             }
             let (at, ev) = self.inner.queue.pop().expect("peeked event");
             self.inner.now = at;
+            self.inner.stats.events_processed += 1;
             self.dispatch(ev);
             self.drain_upcalls();
         }
@@ -912,6 +974,7 @@ impl<P: Protocol> World<P> {
             }
             Event::TxEnd { node } => self.inner.handle_tx_end(node.0 as usize),
             Event::RxEnd { node, rx_id } => self.inner.handle_rx_end(node.0 as usize, rx_id),
+            Event::PhyRefresh => self.inner.phy_refresh(),
         }
     }
 

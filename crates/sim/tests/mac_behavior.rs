@@ -3,8 +3,7 @@
 
 use agr_geom::Point;
 use agr_sim::{
-    Ctx, FlowConfig, FlowTag, MacAddr, MacOutcome, NodeId, Protocol, SimConfig, SimTime,
-    World,
+    Ctx, FlowConfig, FlowTag, MacAddr, MacOutcome, NodeId, Protocol, SimConfig, SimTime, World,
 };
 
 #[derive(Clone, Debug)]
@@ -189,7 +188,10 @@ fn hidden_terminals_collide_broadcasts_but_rts_cts_recovers_unicast() {
         df_u > df_b,
         "RTS/CTS + retransmission must beat raw broadcast ({df_u} vs {df_b})"
     );
-    assert!(df_u > 0.95, "unicast should recover almost everything, got {df_u}");
+    assert!(
+        df_u > 0.95,
+        "unicast should recover almost everything, got {df_u}"
+    );
 }
 
 #[test]
@@ -238,7 +240,9 @@ fn different_seeds_differ() {
 fn contention_backoff_serialises_nearby_broadcasters() {
     // Five co-located nodes all broadcasting: CSMA/CA should still let
     // most packets through because carriers are sensed (no hidden nodes).
-    let positions: Vec<Point> = (0..5).map(|i| Point::new(f64::from(i) * 10.0, 0.0)).collect();
+    let positions: Vec<Point> = (0..5)
+        .map(|i| Point::new(f64::from(i) * 10.0, 0.0))
+        .collect();
     let mut config = SimConfig::static_topology(positions, SimTime::from_secs(30));
     config.flows = flows(&[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)], 50, 25);
     let mut world = World::new(config, |_, _, _| OneHopBroadcast);

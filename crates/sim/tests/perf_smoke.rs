@@ -17,7 +17,12 @@ impl Protocol for Bcast {
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Pkt>, _kind: u64) {
         // Beacon-like periodic broadcast, as GPSR/AGFW hellos will do.
         ctx.mac_broadcast(
-            Pkt(FlowTag { flow: u32::MAX, seq: 0, src: ctx.my_id(), sent_at: ctx.now() }),
+            Pkt(FlowTag {
+                flow: u32::MAX,
+                seq: 0,
+                src: ctx.my_id(),
+                sent_at: ctx.now(),
+            }),
             20,
         );
         ctx.set_timer(SimTime::from_secs(1), 0);

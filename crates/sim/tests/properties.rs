@@ -2,7 +2,7 @@
 
 use agr_geom::Point;
 use agr_sim::{
-    Ctx, FlowConfig, FlowTag, MacAddr, NodeId, Protocol, SimConfig, SimTime, World,
+    Ctx, FlowConfig, FlowTag, MacAddr, NodeId, PhyIndexMode, Protocol, SimConfig, SimTime, World,
 };
 use proptest::prelude::*;
 
@@ -41,24 +41,22 @@ fn arb_positions() -> impl Strategy<Value = Vec<Point>> {
 }
 
 fn arb_flows(n_nodes: usize) -> impl Strategy<Value = Vec<FlowConfig>> {
-    proptest::collection::vec(
-        (0..n_nodes as u32, 0..n_nodes as u32, 100u64..1000),
-        1..4,
+    proptest::collection::vec((0..n_nodes as u32, 0..n_nodes as u32, 100u64..1000), 1..4).prop_map(
+        |specs| {
+            specs
+                .into_iter()
+                .filter(|(s, d, _)| s != d)
+                .map(|(s, d, interval_ms)| FlowConfig {
+                    src: NodeId(s),
+                    dst: NodeId(d),
+                    start: SimTime::from_secs(1),
+                    interval: SimTime::from_millis(interval_ms),
+                    payload_bytes: 64,
+                    stop: SimTime::from_secs(25),
+                })
+                .collect()
+        },
     )
-    .prop_map(|specs| {
-        specs
-            .into_iter()
-            .filter(|(s, d, _)| s != d)
-            .map(|(s, d, interval_ms)| FlowConfig {
-                src: NodeId(s),
-                dst: NodeId(d),
-                start: SimTime::from_secs(1),
-                interval: SimTime::from_millis(interval_ms),
-                payload_bytes: 64,
-                stop: SimTime::from_secs(25),
-            })
-            .collect()
-    })
 }
 
 proptest! {
@@ -169,5 +167,31 @@ proptest! {
         let mut world = World::new(config, |_, _, _| Bcast);
         let stats = world.run();
         prop_assert!(stats.data_sent > 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(100))]
+
+    /// The grid spatial index must be an *exact* optimisation: over random
+    /// mobile layouts, every statistic — deliveries, latencies, counters,
+    /// even the number of engine events — matches the linear all-nodes
+    /// scan bit for bit.
+    #[test]
+    fn grid_phy_matches_linear_scan(seed in any::<u64>(), flows in arb_flows(12)) {
+        prop_assume!(!flows.is_empty());
+        let run = |mode: PhyIndexMode| {
+            let mut config = SimConfig::default();
+            config.num_nodes = 12;
+            config.duration = SimTime::from_secs(15);
+            config.seed = seed;
+            config.flows = flows.clone();
+            config.phy_index = mode;
+            let mut world = World::new(config, |_, _, _| Bcast);
+            world.run()
+        };
+        let grid = run(PhyIndexMode::Grid);
+        let linear = run(PhyIndexMode::Linear);
+        prop_assert_eq!(grid, linear);
     }
 }

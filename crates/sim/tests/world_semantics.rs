@@ -2,9 +2,7 @@
 //! recording, timers, and the `Ctx` surface.
 
 use agr_geom::{Point, Vec2};
-use agr_sim::{
-    Ctx, FlowConfig, FlowTag, MacAddr, NodeId, Protocol, SimConfig, SimTime, World,
-};
+use agr_sim::{Ctx, FlowConfig, FlowTag, MacAddr, NodeId, Protocol, SimConfig, SimTime, World};
 
 #[derive(Clone, Debug)]
 struct Pkt(FlowTag);
@@ -68,7 +66,10 @@ fn run_until_advances_time_incrementally() {
     world.run_until(SimTime::from_secs(5));
     assert_eq!(world.now(), SimTime::from_secs(5));
     let mid_sent = world.stats().data_sent;
-    assert!(mid_sent >= 3, "flows start at 2 s; by 5 s >= 3 packets, got {mid_sent}");
+    assert!(
+        mid_sent >= 3,
+        "flows start at 2 s; by 5 s >= 3 packets, got {mid_sent}"
+    );
     world.run_until(SimTime::from_secs(10));
     assert!(world.stats().data_sent > mid_sent);
     // Running backwards in time is a no-op, not a panic.
@@ -82,7 +83,10 @@ fn timers_fire_once_per_schedule() {
     world.run_until(SimTime::from_secs(10));
     for id in [0u32, 1] {
         let fires = world.protocol(NodeId(id)).timer_fires;
-        assert_eq!(fires, 10, "node {id}: 1 Hz timer over 10 s fired {fires} times");
+        assert_eq!(
+            fires, 10,
+            "node {id}: 1 Hz timer over 10 s fired {fires} times"
+        );
     }
 }
 
@@ -91,7 +95,11 @@ fn velocity_is_zero_for_static_nodes() {
     let mut world = World::new(two_node_config(10), |_, _, _| Echo::new());
     world.run_until(SimTime::from_secs(5));
     let v = world.protocol(NodeId(0)).velocity_seen.unwrap();
-    assert!(v.length() < 0.3, "static topology speed bound, got {}", v.length());
+    assert!(
+        v.length() < 0.3,
+        "static topology speed bound, got {}",
+        v.length()
+    );
 }
 
 #[test]
@@ -118,7 +126,11 @@ fn position_of_is_stable_for_static_topologies() {
     let before = world.position_of(NodeId(1));
     world.run_until(SimTime::from_secs(8));
     let after = world.position_of(NodeId(1));
-    assert!(before.distance(after) < 2.0, "static node drifted {}", before.distance(after));
+    assert!(
+        before.distance(after) < 2.0,
+        "static node drifted {}",
+        before.distance(after)
+    );
 }
 
 #[test]

@@ -26,15 +26,30 @@ fn main() {
     let a_loc = Point::new(321.0, 140.0);
     let ts = SimTime::from_secs(60);
 
-    println!("Grid: {}; ssa(A={A}) = cell {}\n", ssa.grid(), ssa.cell_for(A));
+    println!(
+        "Grid: {}; ssa(A={A}) = cell {}\n",
+        ssa.grid(),
+        ssa.cell_for(A)
+    );
 
     println!("-- Plain DLM (the substrate, §3.3) --");
     let mut dlm = DlmServer::new();
-    dlm.handle_update(DlmUpdate { id: A, loc: a_loc, ts });
+    dlm.handle_update(DlmUpdate {
+        id: A,
+        loc: a_loc,
+        ts,
+    });
     let reply = dlm
-        .handle_request(&DlmRequest { target: A, requester: B, requester_loc: Point::new(900.0, 100.0) })
+        .handle_request(&DlmRequest {
+            target: A,
+            requester: B,
+            requester_loc: Point::new(900.0, 100.0),
+        })
         .expect("record stored");
-    println!("  server stores and everyone on the path reads: node {A} is at {}", reply.loc);
+    println!(
+        "  server stores and everyone on the path reads: node {A} is at {}",
+        reply.loc
+    );
     println!("  and the request exposed that node {B} (at (900,100)) asked for node {A}\n");
 
     println!("-- ALS (Algorithm 3.3) --");
@@ -42,8 +57,8 @@ fn main() {
     let b_keys = RsaKeyPair::generate(512, &mut rng).expect("keygen");
 
     // A -> S : ⟨RLU, ssa(A), E_KB(A,B), E_KB(A, loc_A, ts)⟩
-    let update = als::make_update(A, a_loc, ts, B, b_keys.public(), &ssa, &mut rng)
-        .expect("update sealed");
+    let update =
+        als::make_update(A, a_loc, ts, B, b_keys.public(), &ssa, &mut rng).expect("update sealed");
     println!(
         "  A -> S: RLU to cell {} | index {} B | payload {} B (both RSA ciphertexts)",
         update.server_cell,
@@ -80,7 +95,10 @@ fn main() {
     println!("  The fixed index E_KB(A,B) invites dictionary attacks; the variant");
     println!("  below returns every stored record and B trial-decrypts:");
     let bulk = server
-        .handle_request_all(&AlsRequestAll { server_cell: ssa.cell_for(A), reply_loc: Point::new(900.0, 100.0) })
+        .handle_request_all(&AlsRequestAll {
+            server_cell: ssa.cell_for(A),
+            reply_loc: Point::new(900.0, 100.0),
+        })
         .expect("records stored");
     let mine = bulk
         .payloads

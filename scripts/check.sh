@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Local gate: formatting, lints, the full test suite, and a smoke sweep
+# through the parallel runner. Everything runs offline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> cargo test"
+cargo test --offline --workspace -q
+
+echo "==> smoke sweep (fig1a, 1 seed, 60 simulated seconds)"
+AGR_SEEDS=1 AGR_DURATION_S=60 AGR_NODES=50,75 \
+    cargo run --offline --release -q -p agr-bench --bin fig1a -- \
+    --bench-json "${TMPDIR:-/tmp}/BENCH_smoke.json"
+
+echo "ok"

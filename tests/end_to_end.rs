@@ -10,9 +10,7 @@ use agr::core::keys::KeyDirectory;
 use agr::geom::{Point, Rect};
 use agr::gpsr::{Gpsr, GpsrConfig};
 use agr::privacy::exposure::{agfw_exposure, gpsr_exposure};
-use agr::privacy::tracker::{
-    agfw_sightings, link_tracks, mean_tracking_accuracy, LinkingParams,
-};
+use agr::privacy::tracker::{agfw_sightings, link_tracks, mean_tracking_accuracy, LinkingParams};
 use agr::sim::{SimConfig, SimTime, World};
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -37,7 +35,11 @@ fn agfw_matches_gpsr_delivery_within_tolerance() {
         Agfw::new(id, AgfwConfig::default(), cfg, rng)
     });
     let a = agfw.run();
-    assert!(g.delivery_fraction() > 0.9, "GPSR {:.3}", g.delivery_fraction());
+    assert!(
+        g.delivery_fraction() > 0.9,
+        "GPSR {:.3}",
+        g.delivery_fraction()
+    );
     assert!(
         a.delivery_fraction() > g.delivery_fraction() - 0.08,
         "AGFW {:.3} too far below GPSR {:.3}",
