@@ -16,7 +16,7 @@
 
 use agr_bench::runner::{run_point, ProtocolKind, SweepParams};
 use agr_bench::{bench_json, PointPerf, SweepPerf};
-use agr_sim::SimTime;
+use agr_sim::{FaultPlan, SimTime};
 use std::time::Instant;
 
 #[derive(Debug)]
@@ -31,6 +31,8 @@ struct Args {
     payload: u32,
     speed: f64,
     pause_s: u64,
+    loss: f64,
+    burst: Option<(f64, f64)>,
     counters: bool,
 }
 
@@ -47,6 +49,8 @@ impl Default for Args {
             payload: 64,
             speed: 20.0,
             pause_s: 60,
+            loss: 0.0,
+            burst: None,
             counters: false,
         }
     }
@@ -58,7 +62,7 @@ fn usage() -> ! {
          \x20               [--nodes N] [--duration SECONDS] [--seed N]\n\
          \x20               [--flows N] [--senders N] [--interval MS] [--payload BYTES]\n\
          \x20               [--speed M_PER_S] [--pause SECONDS] [--counters]\n\
-         \x20               [--bench-json PATH]"
+         \x20               [--loss P] [--burst P_G2B,P_B2G] [--bench-json PATH]"
     );
     std::process::exit(2);
 }
@@ -88,6 +92,18 @@ fn parse_args() -> Args {
             "--payload" => args.payload = value("--payload").parse().unwrap_or_else(|_| usage()),
             "--speed" => args.speed = value("--speed").parse().unwrap_or_else(|_| usage()),
             "--pause" => args.pause_s = value("--pause").parse().unwrap_or_else(|_| usage()),
+            "--loss" => args.loss = value("--loss").parse().unwrap_or_else(|_| usage()),
+            "--burst" => {
+                let spec = value("--burst");
+                let mut parts = spec.split(',').map(str::trim);
+                let (Some(p), Some(q), None) = (parts.next(), parts.next(), parts.next()) else {
+                    usage()
+                };
+                args.burst = Some((
+                    p.parse().unwrap_or_else(|_| usage()),
+                    q.parse().unwrap_or_else(|_| usage()),
+                ));
+            }
             "--counters" => args.counters = true,
             // Consumed again by bench_json::target_path; just validate.
             "--bench-json" => {
@@ -114,6 +130,11 @@ fn main() {
         .min(args.flows)
         .min(args.nodes.saturating_sub(1))
         .max(1);
+    let fault = match args.burst {
+        Some((p, q)) => FaultPlan::burst_loss(p, q),
+        None if args.loss > 0.0 => FaultPlan::uniform_loss(args.loss),
+        None => FaultPlan::none(),
+    };
     let params = SweepParams {
         duration: SimTime::from_secs(args.duration_s),
         flows: args.flows,
@@ -123,6 +144,7 @@ fn main() {
         seeds: 1,
         max_speed: args.speed,
         pause: SimTime::from_secs(args.pause_s),
+        fault,
     };
     let started = Instant::now();
     let stats = run_point(&kind, args.nodes, args.seed, &params);

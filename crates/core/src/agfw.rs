@@ -809,8 +809,13 @@ impl Agfw {
             .get(&ack.uid)
             .is_some_and(|p| p.used_next.contains(&ack.to));
         if ours {
-            self.pending_acks.remove(&ack.uid);
+            let pending = self.pending_acks.remove(&ack.uid).expect("checked above");
             ctx.count("agfw.hop_acked");
+            if pending.retries_left < self.config.max_retransmits {
+                // The hop only succeeded because retransmission kicked
+                // in — the recovery the paper's §3.2 scheme exists for.
+                ctx.count("agfw.ack_recovered");
+            }
         }
     }
 
@@ -1313,7 +1318,10 @@ impl Protocol for Agfw {
                 }
                 self.hellos_sent += 1;
                 let n = self.pseudonyms.current().expect("rotated above");
-                let loc = ctx.my_pos();
+                // Advertise the beacon fix, not ground truth: under
+                // stale-location fault injection the two diverge, and
+                // neighbors must route on what was *announced*.
+                let loc = ctx.beacon_pos();
                 let vel = self.config.predictive.then(|| ctx.my_velocity());
                 let ts = ctx.now();
                 let auth = self.aant.as_ref().map(|a| {

@@ -57,6 +57,7 @@ pub mod dlm;
 pub mod keys;
 pub mod packet;
 pub mod pseudonym;
+pub mod wire;
 
 pub use agfw::{Agfw, AgfwConfig, CryptoMode};
 pub use ant::{AnonymousNeighborTable, AntEntry, SelectionStrategy};

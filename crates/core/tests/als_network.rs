@@ -118,6 +118,41 @@ fn mobile_network_without_oracle() {
 }
 
 #[test]
+fn query_retry_heals_lost_service_messages() {
+    // ALS messages are unacknowledged (see packet.rs): under link loss,
+    // the periodic refresh and the query timeout/retry loop are the only
+    // reliability. Inject heavy uniform loss and check the retry path
+    // both fires and eventually gets an LREP through.
+    let positions: Vec<Point> = (0..9)
+        .map(|i| {
+            Point::new(
+                f64::from(i % 3) * 220.0 + 100.0,
+                f64::from(i / 3) * 140.0 + 10.0,
+            )
+        })
+        .collect();
+    let mut sim = SimConfig::static_topology(positions, SimTime::from_secs(120));
+    sim.flows = vec![flow(0, 8, 25, 110)];
+    sim.fault = agr_sim::FaultPlan::uniform_loss(0.35);
+    let mut world = als_world(sim, 512, AlsNetParams::default());
+    let stats = world.run();
+    assert!(
+        stats.counter("als.request_retry") > 0,
+        "35% loss must cost at least one LREQ/LREP and trigger a retry: {:?}",
+        stats.counters().collect::<Vec<_>>()
+    );
+    assert!(
+        stats.counter("als.reply_received") > 0,
+        "retries must eventually resolve the location: {:?}",
+        stats.counters().collect::<Vec<_>>()
+    );
+    assert!(
+        stats.data_delivered > 0,
+        "data must flow once resolved despite the loss"
+    );
+}
+
+#[test]
 fn unanticipated_destination_times_out_cleanly() {
     // Flow 1's destination never updates for this source... actually the
     // anticipated set is derived from flow sources, so a *destination*

@@ -1,0 +1,261 @@
+//! Golden round-trip tests for the AGFW wire codec.
+//!
+//! Retransmission is the reason these exist: under fault injection a
+//! forwarder may re-broadcast a packet it only holds in decoded form, so
+//! `encode(decode(encode(p)))` must equal `encode(p)` byte-for-byte for
+//! every packet shape — otherwise uid-keyed ACK matching, duplicate
+//! suppression, and trapdoor flow markers diverge downstream.
+
+use agr_core::packet::{AckRef, AgfwMode, AlsNetKind, AlsNetMessage, AlsPair, HelloAuth};
+use agr_core::pseudonym::Pseudonym;
+use agr_core::wire::{decode_packet, encode_packet, WireError};
+use agr_core::{AgfwData, AgfwPacket, TrapdoorWire};
+use agr_crypto::ring_sig::ring_sign;
+use agr_crypto::rsa::RsaKeyPair;
+use agr_crypto::trapdoor::Trapdoor;
+use agr_geom::{CellId, Point, Vec2};
+use agr_sim::{FlowTag, NodeId, SimTime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The zeroed accounting tag `decode_packet` restores (never on the wire).
+fn zero_tag() -> FlowTag {
+    FlowTag {
+        flow: 0,
+        seq: 0,
+        src: NodeId(0),
+        sent_at: SimTime::ZERO,
+    }
+}
+
+/// Asserts the codec contract on one packet: the decoded value equals the
+/// original and the re-encoding is byte-identical.
+fn assert_roundtrip(packet: &AgfwPacket) {
+    let bytes = encode_packet(packet).expect("encode");
+    let decoded = decode_packet(&bytes).expect("decode");
+    assert_eq!(&decoded, packet, "decode must invert encode");
+    let again = encode_packet(&decoded).expect("re-encode");
+    assert_eq!(again, bytes, "re-encoding must be byte-identical");
+}
+
+fn ack(uid: u64, fill: u8) -> AckRef {
+    AckRef {
+        uid,
+        to: Pseudonym([fill; 6]),
+    }
+}
+
+/// A canonical data packet exercising the `AckRef` piggyback path.
+fn data_with_piggybacked_acks() -> AgfwPacket {
+    AgfwPacket::Data(AgfwData {
+        dst_loc: Point::new(1200.0, 280.5),
+        next: Pseudonym([0xA1, 0xA2, 0xA3, 0xA4, 0xA5, 0xA6]),
+        trapdoor: TrapdoorWire::Modeled {
+            dest: NodeId(17),
+            nonce: 0xDEAD_BEEF_0042,
+        },
+        uid: 0x0123_4567_89AB_CDEF,
+        ttl: 62,
+        payload_bytes: 64,
+        acks: vec![ack(0x11, 0x21), ack(0x22, 0x31)],
+        mode: AgfwMode::Greedy,
+        tag: zero_tag(),
+    })
+}
+
+#[test]
+fn hello_roundtrips() {
+    assert_roundtrip(&AgfwPacket::Hello {
+        n: Pseudonym([9, 8, 7, 6, 5, 4]),
+        loc: Point::new(300.25, -12.5),
+        vel: None,
+        ts: SimTime::from_millis(12_345),
+        auth: None,
+    });
+}
+
+#[test]
+fn predictive_hello_roundtrips() {
+    assert_roundtrip(&AgfwPacket::Hello {
+        n: Pseudonym([0xFF; 6]),
+        loc: Point::new(0.0, 1500.0),
+        vel: Some(Vec2::new(-19.5, 3.25)),
+        ts: SimTime::from_secs(900),
+        auth: None,
+    });
+}
+
+#[test]
+fn data_with_acks_roundtrips() {
+    assert_roundtrip(&data_with_piggybacked_acks());
+}
+
+#[test]
+fn perimeter_data_roundtrips() {
+    let AgfwPacket::Data(mut d) = data_with_piggybacked_acks() else {
+        unreachable!()
+    };
+    d.mode = AgfwMode::Perimeter {
+        entry: Point::new(740.0, 111.0),
+        prev: Point::new(738.5, 90.0),
+    };
+    d.acks.clear();
+    assert_roundtrip(&AgfwPacket::Data(d));
+}
+
+#[test]
+fn real_trapdoor_roundtrips_and_still_opens() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let keys = RsaKeyPair::generate(512, &mut rng).unwrap();
+    let sealed = Trapdoor::seal(keys.public(), 42, Point::new(5.0, 6.0), &mut rng).unwrap();
+    let packet = AgfwPacket::Data(AgfwData {
+        dst_loc: Point::new(10.0, 20.0),
+        next: Pseudonym::LAST_ATTEMPT,
+        trapdoor: TrapdoorWire::Real(sealed),
+        uid: 3,
+        ttl: 1,
+        payload_bytes: 512,
+        acks: vec![ack(777, 0x0C)],
+        mode: AgfwMode::Greedy,
+        tag: zero_tag(),
+    });
+    assert_roundtrip(&packet);
+    // The decoded ciphertext is not just byte-equal: the destination can
+    // still open it.
+    let decoded = decode_packet(&encode_packet(&packet).unwrap()).unwrap();
+    let AgfwPacket::Data(AgfwData {
+        trapdoor: TrapdoorWire::Real(t),
+        ..
+    }) = decoded
+    else {
+        panic!("decoded packet lost its trapdoor")
+    };
+    let contents = t.try_open(&keys).expect("trapdoor must still open");
+    assert_eq!(contents.src, 42);
+}
+
+#[test]
+fn nl_ack_roundtrips() {
+    assert_roundtrip(&AgfwPacket::NlAck { acks: vec![] });
+    assert_roundtrip(&AgfwPacket::NlAck {
+        acks: vec![ack(1, 1), ack(2, 2), ack(u64::MAX, 0xEE)],
+    });
+}
+
+#[test]
+fn als_messages_roundtrip() {
+    let cell = CellId { col: 3, row: 9 };
+    let update = AlsNetMessage {
+        target_loc: Point::new(625.0, 125.0),
+        next: Pseudonym([1; 6]),
+        uid: 88,
+        ttl: 30,
+        kind: AlsNetKind::Update {
+            cell,
+            pairs: vec![
+                AlsPair {
+                    index: vec![0xAA; 16],
+                    payload: vec![0xBB; 48],
+                },
+                AlsPair {
+                    index: vec![],
+                    payload: vec![0x01],
+                },
+            ],
+        },
+    };
+    assert_roundtrip(&AgfwPacket::Als(update));
+    let request = AlsNetMessage {
+        target_loc: Point::new(625.0, 125.0),
+        next: Pseudonym([2; 6]),
+        uid: 89,
+        ttl: 30,
+        kind: AlsNetKind::Request {
+            cell,
+            index: vec![0xCD; 16],
+            reply_loc: Point::new(40.0, 990.0),
+        },
+    };
+    assert_roundtrip(&AgfwPacket::Als(request));
+    let reply = AlsNetMessage {
+        target_loc: Point::new(40.0, 990.0),
+        next: Pseudonym::LAST_ATTEMPT,
+        uid: 90,
+        ttl: 30,
+        kind: AlsNetKind::Reply {
+            payload: vec![0xEF; 56],
+        },
+    };
+    assert_roundtrip(&AgfwPacket::Als(reply));
+}
+
+/// The pinned byte-for-byte encoding of [`data_with_piggybacked_acks`].
+/// If this golden changes, the wire format changed: every deployed node
+/// would disagree with every updated one, so bump deliberately.
+#[test]
+fn golden_data_encoding_is_stable() {
+    let bytes = encode_packet(&data_with_piggybacked_acks()).unwrap();
+    let hex: String = bytes.iter().map(|b| format!("{b:02x}")).collect();
+    let golden = concat!(
+        "01", // packet type: DATA
+        "4092c00000000000",
+        "4071880000000000", // dst_loc (1200.0, 280.5)
+        "a1a2a3a4a5a6",     // next-relay pseudonym
+        "00",
+        "00000011",
+        "0000deadbeef0042", // modeled trapdoor: dest 17, nonce
+        "0123456789abcdef", // uid
+        "3e",               // ttl 62
+        "00000040",         // payload_bytes 64
+        "0002",             // ack count
+        "0000000000000011",
+        "212121212121", // ack 1: uid, to
+        "0000000000000022",
+        "313131313131", // ack 2: uid, to
+        "00",           // mode: greedy
+    );
+    assert_eq!(hex, golden);
+}
+
+#[test]
+fn decode_tolerates_any_flow_tag_on_encode_side() {
+    // The accounting tag is excluded from the wire: two packets differing
+    // only in their tag encode identically.
+    let AgfwPacket::Data(d) = data_with_piggybacked_acks() else {
+        unreachable!()
+    };
+    let mut tagged = d.clone();
+    tagged.tag = FlowTag {
+        flow: 5,
+        seq: 1000,
+        src: NodeId(33),
+        sent_at: SimTime::from_secs(17),
+    };
+    assert_eq!(
+        encode_packet(&AgfwPacket::Data(d)).unwrap(),
+        encode_packet(&AgfwPacket::Data(tagged)).unwrap(),
+    );
+}
+
+#[test]
+fn authenticated_hello_refuses_to_encode() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let signer = RsaKeyPair::generate(128, &mut rng).unwrap();
+    let other = RsaKeyPair::generate(128, &mut rng).unwrap();
+    let ring = vec![signer.public().clone(), other.public().clone()];
+    let signature = ring_sign(b"hello", &ring, 0, &signer, &mut rng).unwrap();
+    let packet = AgfwPacket::Hello {
+        n: Pseudonym([3; 6]),
+        loc: Point::ORIGIN,
+        vel: None,
+        ts: SimTime::ZERO,
+        auth: Some(HelloAuth {
+            ring_ids: vec![1, 2],
+            signature,
+        }),
+    };
+    assert_eq!(
+        encode_packet(&packet),
+        Err(WireError::Unsupported("ring-signed hello auth"))
+    );
+}

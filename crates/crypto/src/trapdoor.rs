@@ -130,6 +130,15 @@ impl Trapdoor {
     pub fn as_bytes(&self) -> &[u8] {
         &self.ciphertext
     }
+
+    /// Reassembles a trapdoor from received wire bytes — the decoder's
+    /// inverse of [`Trapdoor::as_bytes`]. No validation is possible here:
+    /// a ciphertext is indistinguishable from random bytes until the
+    /// destination tries to open it, which is the design point.
+    #[must_use]
+    pub fn from_bytes(ciphertext: Vec<u8>) -> Self {
+        Trapdoor { ciphertext }
+    }
 }
 
 /// The symmetric-key trapdoor variant suggested in §5.1.

@@ -5,6 +5,7 @@
 //! mobility up to 20 m/s with 60 s pause, 900 s runs, and IEEE 802.11
 //! DSSS MAC timing.
 
+use crate::fault::FaultPlan;
 use crate::time::SimTime;
 use crate::NodeId;
 use agr_geom::Rect;
@@ -194,6 +195,11 @@ pub struct SimConfig {
     pub record_frames: bool,
     /// How the PHY locates potential receivers (see [`PhyIndexMode`]).
     pub phy_index: PhyIndexMode,
+    /// Deterministic fault schedule: per-link loss, node churn, and
+    /// stale-beacon injection (see [`crate::fault`]). The default plan
+    /// injects nothing and leaves runs bit-identical to a fault-free
+    /// simulator.
+    pub fault: FaultPlan,
 }
 
 impl Default for SimConfig {
@@ -210,6 +216,7 @@ impl Default for SimConfig {
             initial_positions: None,
             record_frames: false,
             phy_index: PhyIndexMode::default(),
+            fault: FaultPlan::default(),
         }
     }
 }

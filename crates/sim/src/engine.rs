@@ -51,6 +51,16 @@ pub enum Event {
     /// therefore the FIFO tie-break sequence — is identical whether the
     /// index is consulted or not.
     PhyRefresh,
+    /// A scheduled fault transition from the run's
+    /// [`crate::fault::FaultPlan`]: `node`'s radio recovers (`up`) or
+    /// fails (`!up`). Only scheduled when the plan contains churn, so
+    /// fault-free runs see an unchanged event stream.
+    Fault {
+        /// The node whose radio changes state.
+        node: NodeId,
+        /// True for recovery, false for failure.
+        up: bool,
+    },
 }
 
 #[derive(Debug)]

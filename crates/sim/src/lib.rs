@@ -62,6 +62,7 @@
 
 pub mod config;
 pub mod engine;
+pub mod fault;
 pub mod mac;
 pub mod mobility;
 pub mod phy;
@@ -72,6 +73,7 @@ mod time;
 mod world;
 
 pub use config::{FlowConfig, MacParams, MobilityParams, PhyIndexMode, RadioParams, SimConfig};
+pub use fault::{ChurnEvent, FaultPlan, GilbertElliott, LinkChannel, LossModel, StaleLocations};
 pub use protocol::{Ctx, FlowTag, MacDst, MacOutcome, Protocol};
 pub use stats::{FlowStats, Stats};
 pub use time::SimTime;

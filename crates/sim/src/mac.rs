@@ -13,6 +13,14 @@
 //!   the asymmetry the whole paper's evaluation turns on: GPSR's unicasts
 //!   get MAC reliability, AGFW's anonymous broadcasts do not and must
 //!   rebuild it at the network layer.
+//!
+//! Under fault injection (see [`crate::fault`]) any frame — including
+//! RTS/CTS/ACK — can be erased between the PHY and this layer, as if it
+//! failed its checksum. The machinery here already covers the fallout:
+//! a lost MAC ACK triggers the sender's retry path, and the receiver's
+//! [`Mac::is_duplicate`] suppresses the resulting re-delivery, exactly
+//! as in real 802.11. Lost *broadcasts* are silent, which is the gap the
+//! paper's network-layer ACK scheme exists to close.
 
 use crate::protocol::MacDst;
 use crate::time::SimTime;

@@ -54,6 +54,10 @@ impl<PKT> PhyState<PKT> {
 #[derive(Debug)]
 pub(crate) struct PendingRx<PKT> {
     pub rx_id: u64,
+    /// Ground-truth transmitter of this carrier. The MAC never sees it
+    /// (frames may be source-less broadcasts); the fault layer keys its
+    /// per-directed-link loss channels on it.
+    pub tx: usize,
     /// The frame, kept only when it was decodable at start.
     pub frame: Option<MacFrame<PKT>>,
     /// Set when another carrier or the node's own transmission overlapped.
@@ -76,6 +80,9 @@ pub(crate) struct TxStart {
 pub(crate) struct RxEndOutcome<PKT> {
     /// The successfully received frame, if any.
     pub frame: Option<MacFrame<PKT>>,
+    /// Ground-truth transmitter of the carrier (for per-link fault
+    /// channels).
+    pub tx: usize,
     /// True if the frame existed but was corrupted by a collision.
     pub collided: bool,
     /// True if the node's medium transitioned busy → idle.
@@ -164,6 +171,7 @@ impl<PKT: Clone> Phy<PKT> {
             self.next_rx_id += 1;
             state.pending.push(PendingRx {
                 rx_id,
+                tx,
                 frame: if dist <= self.comm_range && state.transmitting.is_none() {
                     Some(frame.clone())
                 } else {
@@ -203,6 +211,7 @@ impl<PKT: Clone> Phy<PKT> {
         };
         RxEndOutcome {
             frame,
+            tx: pending.tx,
             collided,
             went_idle,
         }

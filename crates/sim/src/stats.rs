@@ -101,6 +101,24 @@ impl Stats {
         self.counters.iter().map(|(&k, &v)| (k, v))
     }
 
+    /// Counters whose name starts with `prefix`, sorted by name — e.g.
+    /// `prefixed("fault.drop.")` yields every drop-by-cause counter the
+    /// fault layer recorded.
+    pub fn prefixed<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = (&'static str, u64)> + 'a {
+        self.counters()
+            .filter(move |(name, _)| name.starts_with(prefix))
+    }
+
+    /// Sum of all counters whose name starts with `prefix` — e.g. the
+    /// total frames erased by the fault layer regardless of cause.
+    #[must_use]
+    pub fn prefixed_sum(&self, prefix: &str) -> u64 {
+        self.prefixed(prefix).map(|(_, v)| v).sum()
+    }
+
     /// Packet delivery fraction: delivered / sent (1.0 for an idle run).
     #[must_use]
     pub fn delivery_fraction(&self) -> f64 {
@@ -209,6 +227,23 @@ mod tests {
         assert_eq!(s.counter("unknown"), 0);
         let all: Vec<_> = s.counters().collect();
         assert_eq!(all, vec![("mac.collision", 2), ("mac.retry", 5)]);
+    }
+
+    #[test]
+    fn prefixed_counters() {
+        let mut s = Stats::new();
+        s.count_n("fault.drop.uniform", 3);
+        s.count_n("fault.drop.burst", 2);
+        s.count("fault.churn_down");
+        s.count("mac.retry");
+        let drops: Vec<_> = s.prefixed("fault.drop.").collect();
+        assert_eq!(
+            drops,
+            vec![("fault.drop.burst", 2), ("fault.drop.uniform", 3)]
+        );
+        assert_eq!(s.prefixed_sum("fault.drop."), 5);
+        assert_eq!(s.prefixed_sum("fault."), 6);
+        assert_eq!(s.prefixed_sum("nothing."), 0);
     }
 
     #[test]

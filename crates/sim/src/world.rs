@@ -15,6 +15,7 @@
 
 use crate::config::{PhyIndexMode, SimConfig};
 use crate::engine::{Event, EventQueue};
+use crate::fault::LinkChannel;
 use crate::mac::{Mac, MacFrame, MacFrameKind, MacState, OutPkt, TxKind};
 use crate::mobility::MobilityState;
 use crate::phy::Phy;
@@ -26,7 +27,7 @@ use crate::{MacAddr, NodeId};
 use agr_geom::Point;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 /// Seconds between refreshes of the PHY's spatial index. The index's cell
 /// size includes `max_speed × PHY_REFRESH_S` of slack, so bucketed
@@ -104,6 +105,22 @@ pub(crate) struct Inner<PKT> {
     macs: Vec<Mac<PKT>>,
     upcalls: VecDeque<Upcall<PKT>>,
     frames: Vec<FrameRecord<PKT>>,
+    /// Per-node fault RNGs, seeded in node order from the master RNG —
+    /// *only* when the fault plan injects something, so fault-free runs
+    /// consume exactly the RNG stream of a build without fault support.
+    fault_rngs: Vec<StdRng>,
+    /// Per-receiver loss-channel state, keyed by transmitter: one
+    /// [`LinkChannel`] per *directed* link, created lazily on first use.
+    links: Vec<HashMap<usize, LinkChannel>>,
+    /// Radio-up flag per node; churn events toggle it.
+    node_up: Vec<bool>,
+    /// Bumped on every churn recovery; deliveries compare against it to
+    /// count healed routes.
+    churn_generation: u64,
+    /// Per-flow churn generation at last counted heal.
+    flow_heal_gen: Vec<u64>,
+    /// Per-node stale advertised fix: `(taken_at, position)`.
+    beacon_fixes: Vec<Option<(SimTime, Point)>>,
 }
 
 impl<PKT: Clone + std::fmt::Debug + 'static> Inner<PKT> {
@@ -147,6 +164,18 @@ impl<PKT: Clone + std::fmt::Debug + 'static> Inner<PKT> {
         let macs = (0..n)
             .map(|i| Mac::new(MacAddr(i as u32), config.mac.cw_min))
             .collect();
+        // Fault RNGs split off the master stream *after* the mobility
+        // RNGs, and only when the plan is active: an empty plan leaves
+        // the master stream byte-for-byte as it was before fault support
+        // existed, keeping fault-free runs bit-identical.
+        let fault_rngs: Vec<StdRng> = if config.fault.is_none() {
+            Vec::new()
+        } else {
+            (0..n)
+                .map(|_| StdRng::seed_from_u64(rng.random()))
+                .collect()
+        };
+        let flow_count = config.flows.len();
         Inner {
             now: SimTime::ZERO,
             queue: EventQueue::new(),
@@ -160,6 +189,12 @@ impl<PKT: Clone + std::fmt::Debug + 'static> Inner<PKT> {
             macs,
             upcalls: VecDeque::new(),
             frames: Vec::new(),
+            fault_rngs,
+            links: (0..n).map(|_| HashMap::new()).collect(),
+            node_up: vec![true; n],
+            churn_generation: 0,
+            flow_heal_gen: vec![0; flow_count],
+            beacon_fixes: vec![None; n],
         }
     }
 
@@ -181,17 +216,69 @@ impl<PKT: Clone + std::fmt::Debug + 'static> Inner<PKT> {
     /// transmission from `tx_pos` — every node for the linear mode, the
     /// 3×3-cell neighborhood for the grid mode. Ascending node order in
     /// both cases, so downstream event ordering is mode-independent.
+    ///
+    /// Churned-down nodes are excluded: a dead radio neither decodes nor
+    /// senses energy, so a down node's MAC sees a permanently idle medium
+    /// for the outage's duration.
     fn phy_candidates(&mut self, tx: usize, tx_pos: Point) -> Vec<(usize, Point)> {
-        match self.grid.as_ref().map(|g| g.candidates(tx_pos)) {
+        let ids: Vec<usize> = match self.grid.as_ref().map(|g| g.candidates(tx_pos)) {
             Some(ids) => ids
                 .into_iter()
-                .filter(|&j| j != tx)
-                .map(|j| (j, self.position_of(j)))
+                .filter(|&j| j != tx && self.node_up[j])
                 .collect(),
             None => (0..self.config.num_nodes)
-                .filter(|&j| j != tx)
-                .map(|j| (j, self.position_of(j)))
+                .filter(|&j| j != tx && self.node_up[j])
                 .collect(),
+        };
+        ids.into_iter().map(|j| (j, self.position_of(j))).collect()
+    }
+
+    // ---------------------------------------------------------------
+    // Fault injection (see crate::fault)
+    // ---------------------------------------------------------------
+
+    /// Draws the loss channel for the directed link `tx → rx`; returns
+    /// true if the decoded frame is erased. No-op (and no RNG draw) when
+    /// the plan has no loss model.
+    fn fault_erases(&mut self, rx: usize, tx: usize) -> bool {
+        let model = self.config.fault.loss;
+        if model.is_none() {
+            return false;
+        }
+        let channel = self.links[rx].entry(tx).or_default();
+        channel.transmit(&model, &mut self.fault_rngs[rx])
+    }
+
+    /// Applies a scheduled churn transition.
+    pub(crate) fn handle_fault(&mut self, n: usize, up: bool) {
+        self.node_up[n] = up;
+        if up {
+            self.churn_generation += 1;
+            self.stats.count("fault.churn_up");
+        } else {
+            self.stats.count("fault.churn_down");
+        }
+    }
+
+    /// The position this node advertises in beacons. Without stale-fix
+    /// injection this is the true position; with it, a fix is held for up
+    /// to `refresh` before being retaken, so neighbors act on positions
+    /// that lag ground truth.
+    fn beacon_position_of(&mut self, n: usize) -> Point {
+        let Some(stale) = self.config.fault.stale else {
+            return self.position_of(n);
+        };
+        let now = self.now;
+        match self.beacon_fixes[n] {
+            Some((taken_at, fix)) if now.saturating_sub(taken_at) < stale.refresh => {
+                self.stats.count("fault.stale_fix");
+                fix
+            }
+            _ => {
+                let fresh = self.position_of(n);
+                self.beacon_fixes[n] = Some((now, fresh));
+                fresh
+            }
         }
     }
 
@@ -420,13 +507,22 @@ impl<PKT: Clone + std::fmt::Debug + 'static> Inner<PKT> {
         reserve: SimTime,
     ) {
         let tx_pos = self.position_of(n);
-        let candidates = self.phy_candidates(n, tx_pos);
+        // A churned-down transmitter radiates nothing: its MAC state
+        // machine runs (and unicasts burn their retries), but no carrier
+        // reaches the channel and the eavesdropper records no frame.
+        let radio_up = self.node_up[n];
+        let candidates = if radio_up {
+            self.phy_candidates(n, tx_pos)
+        } else {
+            self.stats.count("fault.tx_while_down");
+            Vec::new()
+        };
         let end = self.now + airtime;
         if frame.nav_until == SimTime::ZERO {
             frame.nav_until = end + reserve;
         }
         self.stats.count("mac.tx_frames");
-        if self.config.record_frames {
+        if self.config.record_frames && radio_up {
             let (frame_type, packet) = match &frame.kind {
                 MacFrameKind::Rts => (FrameType::Rts, None),
                 MacFrameKind::Cts => (FrameType::Cts, None),
@@ -708,7 +804,18 @@ impl<PKT: Clone + std::fmt::Debug + 'static> Inner<PKT> {
             self.stats.count("phy.collision");
         }
         if let Some(frame) = out.frame {
-            self.mac_handle_frame(n, frame);
+            if !self.node_up[n] {
+                // Carrier began before this radio failed; the frame
+                // completes into a dead receiver.
+                self.stats.count("fault.drop.churn_rx");
+            } else if self.fault_erases(n, out.tx) {
+                // Bit errors: the carrier was sensed (the MAC's medium
+                // bookkeeping above is untouched) but the frame is lost.
+                let cause = self.config.fault.loss.drop_counter();
+                self.stats.count(cause);
+            } else {
+                self.mac_handle_frame(n, frame);
+            }
         }
         if out.went_idle {
             self.mac_on_medium_idle(n);
@@ -763,6 +870,26 @@ impl<PKT: Clone + std::fmt::Debug + 'static> Ctx<'_, PKT> {
     #[must_use]
     pub fn my_velocity(&mut self) -> agr_geom::Vec2 {
         self.inner.velocity_of(self.node)
+    }
+
+    /// The position this node should advertise in beacons.
+    ///
+    /// Equal to [`Ctx::my_pos`] unless the run's
+    /// [`crate::fault::FaultPlan`] injects stale locations, in which case
+    /// the returned fix may lag ground truth by up to the configured
+    /// refresh interval — modelling delayed beacon propagation. Forwarding
+    /// decisions should keep using `my_pos`; only *advertised* positions
+    /// go stale.
+    #[must_use]
+    pub fn beacon_pos(&mut self) -> Point {
+        self.inner.beacon_position_of(self.node)
+    }
+
+    /// Whether this node's radio is currently up (false during a
+    /// scheduled churn outage).
+    #[must_use]
+    pub fn radio_up(&self) -> bool {
+        self.inner.node_up[self.node]
     }
 
     /// Ground-truth position of any node — the *location oracle*.
@@ -832,12 +959,23 @@ impl<PKT: Clone + std::fmt::Debug + 'static> Ctx<'_, PKT> {
 
     /// Reports an application packet as delivered to this node.
     ///
-    /// Duplicates of the same `(flow, seq)` are counted once.
+    /// Duplicates of the same `(flow, seq)` are counted once. Under
+    /// churn, the first delivery a flow achieves after a recovery is
+    /// counted as `fault.route_healed` — the route survived (or was
+    /// rebuilt around) the outage.
     pub fn deliver_data(&mut self, tag: FlowTag) {
         let latency = self.inner.now.saturating_sub(tag.sent_at);
-        self.inner
+        let first = self
+            .inner
             .stats
             .record_delivered(tag.flow, tag.seq, latency);
+        if first && self.inner.churn_generation > 0 {
+            let gen = &mut self.inner.flow_heal_gen[tag.flow as usize];
+            if *gen < self.inner.churn_generation {
+                *gen = self.inner.churn_generation;
+                self.inner.stats.count("fault.route_healed");
+            }
+        }
     }
 
     /// Increments a named statistics counter.
@@ -892,6 +1030,31 @@ impl<P: Protocol> World<P> {
         inner
             .queue
             .push(SimTime::from_secs(PHY_REFRESH_S), Event::PhyRefresh);
+        // Churn outages are plain scheduled events: both transitions are
+        // queued up front, so the event stream is a pure function of the
+        // plan.
+        for churn in inner.config.fault.churn.clone() {
+            assert!(
+                (churn.node.0 as usize) < inner.config.num_nodes,
+                "churn event names node {} but the world has {} nodes",
+                churn.node,
+                inner.config.num_nodes
+            );
+            inner.queue.push(
+                churn.down,
+                Event::Fault {
+                    node: churn.node,
+                    up: false,
+                },
+            );
+            inner.queue.push(
+                churn.up,
+                Event::Fault {
+                    node: churn.node,
+                    up: true,
+                },
+            );
+        }
         let mut world = World { inner, protocols };
         for i in 0..world.protocols.len() {
             let mut ctx = Ctx {
@@ -975,6 +1138,7 @@ impl<P: Protocol> World<P> {
             Event::TxEnd { node } => self.inner.handle_tx_end(node.0 as usize),
             Event::RxEnd { node, rx_id } => self.inner.handle_rx_end(node.0 as usize, rx_id),
             Event::PhyRefresh => self.inner.phy_refresh(),
+            Event::Fault { node, up } => self.inner.handle_fault(node.0 as usize, up),
         }
     }
 

@@ -18,4 +18,9 @@ AGR_SEEDS=1 AGR_DURATION_S=60 AGR_NODES=50,75 \
     cargo run --offline --release -q -p agr-bench --bin fig1a -- \
     --bench-json "${TMPDIR:-/tmp}/BENCH_smoke.json"
 
+echo "==> smoke fault sweep (lossless + 10% loss, 1 seed, 60 simulated seconds)"
+AGR_SEEDS=1 AGR_DURATION_S=60 AGR_NODES=50 AGR_LOSS=0,0.1 \
+    cargo run --offline --release -q -p agr-bench --bin fault_sweep -- \
+    --bench-json "${TMPDIR:-/tmp}/BENCH_fault_smoke.json"
+
 echo "ok"

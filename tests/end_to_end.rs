@@ -49,6 +49,51 @@ fn agfw_matches_gpsr_delivery_within_tolerance() {
 }
 
 #[test]
+fn nl_ack_ablation_under_ten_percent_loss() {
+    // The reliability half of the paper's §3.2: anonymous broadcasts
+    // forgo the 802.11 ACK, so on a lossy channel delivery collapses —
+    // unless network-layer ACKs + retransmission rebuild it. Same
+    // scenario, 10% per-link uniform loss, ACKs on vs off.
+    let lossy = |seed| {
+        let mut config = scenario(seed, 180);
+        config.fault = agr::sim::FaultPlan::uniform_loss(0.10);
+        config
+    };
+    let mut with_ack = World::new(lossy(13), |id, cfg, rng| {
+        Agfw::new(id, AgfwConfig::default(), cfg, rng)
+    });
+    let acked = with_ack.run();
+    let mut without_ack = World::new(lossy(13), |id, cfg, rng| {
+        Agfw::new(id, AgfwConfig::without_ack(), cfg, rng)
+    });
+    let unacked = without_ack.run();
+    assert!(
+        acked.delivery_fraction() >= 0.9,
+        "ACKed delivery {:.3} under 10% loss",
+        acked.delivery_fraction()
+    );
+    assert!(
+        acked.delivery_fraction() >= unacked.delivery_fraction() + 0.15,
+        "ACK ablation margin too small: {:.3} vs {:.3}",
+        acked.delivery_fraction(),
+        unacked.delivery_fraction()
+    );
+    // The recovery really is the ACK path, not luck.
+    assert!(acked.counter("agfw.ack_recovered") > 0);
+    assert!(acked.counter("agfw.retransmit") > 0);
+    assert_eq!(unacked.counter("agfw.retransmit"), 0);
+    // max_retransmits is respected: every broadcast is an original or
+    // one of at most `max_retransmits` retries of an original.
+    let retx = acked.counter("agfw.retransmit");
+    let originals = acked.counter("agfw.data_broadcast") - retx;
+    let cap = u64::from(AgfwConfig::default().max_retransmits);
+    assert!(
+        retx <= cap * originals,
+        "unbounded retry: {retx} retransmits of {originals} originals (cap {cap})"
+    );
+}
+
+#[test]
 fn anonymity_is_structural_not_statistical() {
     // Identical scenario, both protocols, one eavesdropper: GPSR leaks
     // identity-location doublets with every frame, AGFW leaks none.
