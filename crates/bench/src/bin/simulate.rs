@@ -8,7 +8,7 @@
 //! ```
 //!
 //! Protocols: `gpsr` (greedy), `gpsr-perimeter`, `agfw` (NL-ACK),
-//! `agfw-noack`, `agfw-recovery`, `agfw-predictive`.
+//! `agfw-noack`, `agfw-recovery`, `agfw-predictive`, `agfw-hardened`.
 //!
 //! The run is delegated to the shared runner (`run_point`), so a point
 //! simulated here is byte-for-byte the same point a sweep binary would
@@ -16,7 +16,7 @@
 
 use agr_bench::runner::{run_point, ProtocolKind, SweepParams};
 use agr_bench::{bench_json, PointPerf, SweepPerf};
-use agr_sim::{FaultPlan, SimTime};
+use agr_sim::{AdversaryMix, FaultPlan, SimTime};
 use std::time::Instant;
 
 #[derive(Debug)]
@@ -33,6 +33,7 @@ struct Args {
     pause_s: u64,
     loss: f64,
     burst: Option<(f64, f64)>,
+    blackhole: f64,
     counters: bool,
 }
 
@@ -51,6 +52,7 @@ impl Default for Args {
             pause_s: 60,
             loss: 0.0,
             burst: None,
+            blackhole: 0.0,
             counters: false,
         }
     }
@@ -58,11 +60,11 @@ impl Default for Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: simulate [--protocol gpsr|gpsr-perimeter|agfw|agfw-noack|agfw-recovery|agfw-predictive]\n\
+        "usage: simulate [--protocol gpsr|gpsr-perimeter|agfw|agfw-noack|agfw-recovery|agfw-predictive|agfw-hardened]\n\
          \x20               [--nodes N] [--duration SECONDS] [--seed N]\n\
          \x20               [--flows N] [--senders N] [--interval MS] [--payload BYTES]\n\
          \x20               [--speed M_PER_S] [--pause SECONDS] [--counters]\n\
-         \x20               [--loss P] [--burst P_G2B,P_B2G] [--bench-json PATH]"
+         \x20               [--loss P] [--burst P_G2B,P_B2G] [--blackhole FRAC] [--bench-json PATH]"
     );
     std::process::exit(2);
 }
@@ -93,6 +95,9 @@ fn parse_args() -> Args {
             "--speed" => args.speed = value("--speed").parse().unwrap_or_else(|_| usage()),
             "--pause" => args.pause_s = value("--pause").parse().unwrap_or_else(|_| usage()),
             "--loss" => args.loss = value("--loss").parse().unwrap_or_else(|_| usage()),
+            "--blackhole" => {
+                args.blackhole = value("--blackhole").parse().unwrap_or_else(|_| usage());
+            }
             "--burst" => {
                 let spec = value("--burst");
                 let mut parts = spec.split(',').map(str::trim);
@@ -145,6 +150,7 @@ fn main() {
         max_speed: args.speed,
         pause: SimTime::from_secs(args.pause_s),
         fault,
+        adversary: (args.blackhole > 0.0).then(|| AdversaryMix::blackholes(args.blackhole)),
     };
     let started = Instant::now();
     let stats = run_point(&kind, args.nodes, args.seed, &params);

@@ -14,6 +14,7 @@
 //! | §6 extension | `ablate_perimeter` | greedy-only vs perimeter recovery at low density |
 //! | §4 quantified | `privacy_eval` | identity–location exposure and tracking, GPSR vs AGFW |
 //! | §3.2 reliability | `fault_sweep` | delivery vs injected per-link loss, NL-ACK on vs off |
+//! | threat-model extension | `adversary_sweep` | delivery vs blackhole fraction, defenses on vs off |
 //!
 //! Criterion micro-benches (`cargo bench -p agr-bench`) cover the
 //! cryptographic primitives and simulator hot paths.

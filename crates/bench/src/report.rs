@@ -2,7 +2,7 @@
 
 use std::fmt::Write as _;
 use std::fs;
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 
 /// A simple column-aligned table that can also be saved as CSV.
 ///
@@ -86,14 +86,18 @@ impl Table {
     }
 
     /// Writes the CSV under `results/<name>.csv` (creating the directory)
-    /// and returns the path.
+    /// and returns the path. `AGR_RESULTS_DIR` overrides the directory, so
+    /// smoke runs (CI, `scripts/check.sh`) can write somewhere disposable
+    /// instead of clobbering the checked-in full-settings tables.
     ///
     /// # Panics
     ///
     /// Panics on I/O errors — these binaries exist to produce the file.
     pub fn save_csv(&self, name: &str) -> PathBuf {
-        let dir = Path::new("results");
-        fs::create_dir_all(dir).expect("create results dir");
+        let dir = std::env::var_os("AGR_RESULTS_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("results"));
+        fs::create_dir_all(&dir).expect("create results dir");
         let path = dir.join(format!("{name}.csv"));
         fs::write(&path, self.to_csv()).expect("write csv");
         path

@@ -9,7 +9,7 @@
 
 use agr_core::agfw::{Agfw, AgfwConfig};
 use agr_gpsr::{Gpsr, GpsrConfig};
-use agr_sim::{FaultPlan, SimConfig, SimTime, Stats, World};
+use agr_sim::{AdversaryMix, FaultPlan, SimConfig, SimTime, Stats, World};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -17,6 +17,9 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 /// Which protocol a sweep point runs.
+// Boxing the AgfwConfig would cost `Copy`, which sweep matrices rely on;
+// the enum is built a handful of times per run, never stored in bulk.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ProtocolKind {
     /// GPSR with greedy forwarding only (the paper's baseline).
@@ -34,6 +37,7 @@ impl ProtocolKind {
         match self {
             ProtocolKind::GpsrGreedy => "GPSR-Greedy",
             ProtocolKind::GpsrPerimeter => "GPSR-Perimeter",
+            ProtocolKind::Agfw(c) if c.defense.enabled => "AGFW-Hardened",
             ProtocolKind::Agfw(c) if !c.nl_ack => "AGFW-noACK",
             ProtocolKind::Agfw(c) if c.recovery => "AGFW-Recovery",
             ProtocolKind::Agfw(c) if c.predictive => "AGFW-Predictive",
@@ -51,6 +55,7 @@ impl ProtocolKind {
             "agfw-noack" => ProtocolKind::Agfw(AgfwConfig::without_ack()),
             "agfw-recovery" => ProtocolKind::Agfw(AgfwConfig::with_recovery()),
             "agfw-predictive" => ProtocolKind::Agfw(AgfwConfig::predictive()),
+            "agfw-hardened" => ProtocolKind::Agfw(AgfwConfig::hardened()),
             _ => return None,
         })
     }
@@ -79,6 +84,11 @@ pub struct SweepParams {
     /// none). The plan is part of the point's configuration, so a sweep
     /// with faults is just as seed-deterministic as one without.
     pub fault: FaultPlan,
+    /// Adversary population applied to every point of the sweep
+    /// (default: none). The mix is resolved into a concrete
+    /// [`agr_sim::AdversaryPlan`] per `(nodes, seed)` point, so
+    /// adversarial sweeps stay bit-identical at any `AGR_JOBS`.
+    pub adversary: Option<AdversaryMix>,
 }
 
 impl Default for SweepParams {
@@ -93,6 +103,7 @@ impl Default for SweepParams {
             max_speed: 20.0,
             pause: SimTime::from_secs(60),
             fault: FaultPlan::none(),
+            adversary: None,
         }
     }
 }
@@ -192,6 +203,9 @@ pub fn paper_config(nodes: usize, seed: u64, params: &SweepParams) -> SimConfig 
     config.mobility.min_speed = (params.max_speed / 20.0).clamp(0.1, 1.0);
     config.mobility.pause = params.pause;
     config.fault = params.fault.clone();
+    if let Some(mix) = &params.adversary {
+        config.adversary = mix.resolve(nodes, seed);
+    }
     config.with_cbr_traffic(
         params.flows,
         params.senders,
@@ -460,6 +474,10 @@ mod tests {
             ProtocolKind::Agfw(AgfwConfig::without_ack()).label(),
             "AGFW-noACK"
         );
+        assert_eq!(
+            ProtocolKind::Agfw(AgfwConfig::hardened()).label(),
+            "AGFW-Hardened"
+        );
     }
 
     #[test]
@@ -508,6 +526,10 @@ mod tests {
         assert_eq!(
             ProtocolKind::from_name("agfw-noack").map(|k| k.label()),
             Some("AGFW-noACK")
+        );
+        assert_eq!(
+            ProtocolKind::from_name("agfw-hardened").map(|k| k.label()),
+            Some("AGFW-Hardened")
         );
         assert_eq!(ProtocolKind::from_name("dsr"), None);
     }

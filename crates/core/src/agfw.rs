@@ -23,6 +23,7 @@
 use crate::aant::{Aant, AantConfig};
 use crate::als::{self, AlsRequest, AlsServer, AlsUpdate};
 use crate::ant::{AnonymousNeighborTable, SelectionStrategy};
+use crate::backoff::backoff_delay;
 use crate::dlm::ServerSelection;
 use crate::keys::KeyDirectory;
 use crate::packet::{
@@ -31,9 +32,11 @@ use crate::packet::{
 use crate::pseudonym::{Pseudonym, PseudonymGenerator};
 use agr_crypto::rsa::RsaKeyPair;
 use agr_crypto::trapdoor::Trapdoor;
-use agr_sim::{Ctx, FlowTag, MacAddr, MacOutcome, NodeId, Protocol, SimConfig, SimTime};
+use agr_sim::{
+    AdversaryRole, Ctx, FlowTag, MacAddr, MacOutcome, NodeId, Protocol, SimConfig, SimTime,
+};
 use rand::Rng;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// How trapdoor cryptography is realised.
@@ -147,6 +150,96 @@ impl Default for AlsNetParams {
     }
 }
 
+/// Hardening knobs against active insiders (blackholes, grayholes,
+/// spoofers, replayers — see `agr-sim::adversary`).
+///
+/// All machinery is gated behind [`DefenseConfig::enabled`], which is
+/// **off** by default: a default-configured node behaves byte-for-byte
+/// like a build without defense support, preserving the paper-faithful
+/// baseline. [`AgfwConfig::hardened`] turns everything on.
+///
+/// Three mechanisms compose:
+///
+/// 1. **Suspicion-scored selection**: every NL-ACK outcome feeds a
+///    per-pseudonym-slot suspicion score in the ANT (timed out →
+///    [`DefenseConfig::timeout_increment`], delivered →
+///    [`DefenseConfig::ack_decay`]); next-hop selection skips slots at or
+///    above [`DefenseConfig::suspicion_threshold`].
+/// 2. **Forward-watch** (watchdog): an ACK from a relay that is *not* in
+///    the destination's last-hop region promises an onward transmission.
+///    The packet is retained; if no copy of it (nor a downstream ACK) is
+///    overheard within [`DefenseConfig::watch_timeout`], the relay is a
+///    suspected blackhole — it, and live slots advertised within
+///    [`DefenseConfig::suspect_radius`] of it (its likely rotation
+///    aliases), get [`DefenseConfig::watch_increment`], and the retained
+///    packet is re-routed around them. This is the only signal that can
+///    catch an accept+ACK+drop attacker, which never times out.
+/// 3. **Bounded backoff**: hop retransmissions and ALS query retries are
+///    spaced by capped exponential backoff with hash-derived jitter
+///    ([`crate::backoff::backoff_delay`]) instead of hammering a silent
+///    relay at a fixed cadence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DefenseConfig {
+    /// Master switch; off reproduces the unhardened protocol exactly.
+    pub enabled: bool,
+    /// Slots with a suspicion score at or above this are excluded from
+    /// next-hop selection (greedy and perimeter).
+    pub suspicion_threshold: f64,
+    /// Suspicion added to the addressed slot on an NL-ACK timeout.
+    pub timeout_increment: f64,
+    /// Suspicion removed from the addressed slot on a delivered NL-ACK.
+    pub ack_decay: f64,
+    /// Suspicion added when a forward-watch fires (sized to cross the
+    /// threshold at once — a confirmed drop, not mere silence).
+    pub watch_increment: f64,
+    /// Also suspect live slots advertised within this radius (metres) of
+    /// a watch-confirmed suspect: a rotating attacker's aliases cluster
+    /// around the same advertised position. Zero disables the spatial
+    /// generalisation.
+    pub suspect_radius: f64,
+    /// Enable the forward-watch.
+    pub forward_watch: bool,
+    /// How long an ACKed hop may go without an overheard onward
+    /// transmission before its relay is condemned. Must cover the relay's
+    /// MAC queueing plus, in the last-hop region, a trapdoor open.
+    pub watch_timeout: SimTime,
+    /// First-retry backoff delay (attempt 0).
+    pub backoff_base: SimTime,
+    /// Retransmission backoff cap.
+    pub backoff_cap: SimTime,
+    /// ALS query-retry backoff cap (the base is the query timeout).
+    pub als_backoff_cap: SimTime,
+}
+
+impl Default for DefenseConfig {
+    fn default() -> Self {
+        DefenseConfig {
+            enabled: false,
+            suspicion_threshold: 1.0,
+            timeout_increment: 0.6,
+            ack_decay: 0.3,
+            watch_increment: 2.0,
+            suspect_radius: 50.0,
+            forward_watch: true,
+            watch_timeout: SimTime::from_millis(75),
+            backoff_base: SimTime::from_millis(25),
+            backoff_cap: SimTime::from_millis(200),
+            als_backoff_cap: SimTime::from_millis(1600),
+        }
+    }
+}
+
+impl DefenseConfig {
+    /// The standard hardened profile: defaults with the switch on.
+    #[must_use]
+    pub fn standard() -> Self {
+        DefenseConfig {
+            enabled: true,
+            ..DefenseConfig::default()
+        }
+    }
+}
+
 /// AGFW configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AgfwConfig {
@@ -191,6 +284,9 @@ pub struct AgfwConfig {
     pub predictive: bool,
     /// How destination locations are learned.
     pub location: LocationMode,
+    /// Adversary hardening (suspicion scoring, forward-watch, bounded
+    /// backoff). Disabled by default — see [`DefenseConfig`].
+    pub defense: DefenseConfig,
 }
 
 impl Default for AgfwConfig {
@@ -212,6 +308,7 @@ impl Default for AgfwConfig {
             recovery: false,
             predictive: false,
             location: LocationMode::Oracle,
+            defense: DefenseConfig::default(),
         }
     }
 }
@@ -241,6 +338,16 @@ impl AgfwConfig {
     pub fn predictive() -> Self {
         AgfwConfig {
             predictive: true,
+            ..AgfwConfig::default()
+        }
+    }
+
+    /// AGFW hardened against active insiders: suspicion-scored neighbor
+    /// selection, the forward-watch, and bounded-backoff retries.
+    #[must_use]
+    pub fn hardened() -> Self {
+        AgfwConfig {
+            defense: DefenseConfig::standard(),
             ..AgfwConfig::default()
         }
     }
@@ -277,6 +384,14 @@ enum PendingOp {
     AckTimeout { uid: u64, generation: u32 },
     /// A location query's LREP did not arrive in time.
     QueryTimeout { dest: NodeId, generation: u32 },
+    /// The forward-watch for `uid` expired: no onward transmission from
+    /// `suspect` was overheard after it acknowledged the hop.
+    ForwardWatch { uid: u64, suspect: Pseudonym },
+    /// A backed-off retransmission of `uid` is due (defense mode).
+    RetryHop { uid: u64, generation: u32 },
+    /// This node plays [`AdversaryRole::Replayer`]: re-broadcast a
+    /// captured hello verbatim.
+    ReplayHello { packet: AgfwPacket },
 }
 
 /// Something this node transmitted and may have to retransmit.
@@ -303,6 +418,18 @@ struct HandledState {
     when: SimTime,
     /// True once the packet was delivered to the application here.
     delivered: bool,
+}
+
+/// A hop whose NL-ACK arrived but whose onward transmission has not yet
+/// been overheard (the forward-watch). The packet is retained so a
+/// confirmed drop can be healed by re-routing, not just punished.
+#[derive(Debug)]
+struct WatchedHop {
+    data: AgfwData,
+    suspect: Pseudonym,
+    /// The suspect's advertised position at watch time (its ANT entry
+    /// may expire before the watch fires).
+    suspect_loc: agr_geom::Point,
 }
 
 /// A location query in flight, with the application packets waiting on
@@ -358,6 +485,15 @@ pub struct Agfw {
     ack_backlog: Vec<AckRef>,
     ack_flush_scheduled: bool,
     als: Option<AlsState>,
+    /// Forward-watch state: ACKed hops awaiting an overheard onward
+    /// transmission (empty unless the defense is enabled).
+    watched: HashMap<u64, WatchedHop>,
+    /// uids of our own in-flight packets whose onward copy we already
+    /// overheard. The hop ACK normally *follows* (or rides on) that
+    /// copy, so without this record every honestly-forwarded hop would
+    /// arm a watch no later event could clear (empty unless the defense
+    /// is enabled).
+    forward_seen: HashSet<u64>,
 }
 
 impl Agfw {
@@ -478,6 +614,8 @@ impl Agfw {
             ack_backlog: Vec::new(),
             ack_flush_scheduled: false,
             als,
+            watched: HashMap::new(),
+            forward_seen: HashSet::new(),
         }
     }
 
@@ -485,6 +623,17 @@ impl Agfw {
     #[must_use]
     pub fn ant(&self) -> &AnonymousNeighborTable {
         &self.ant
+    }
+
+    /// The suspicion cutoff for next-hop selection: the configured
+    /// threshold when the defense is on, infinite (exclude nobody, i.e.
+    /// the legacy selection verbatim) when it is off.
+    fn suspicion_threshold(&self) -> f64 {
+        if self.config.defense.enabled {
+            self.config.defense.suspicion_threshold
+        } else {
+            f64::INFINITY
+        }
     }
 
     fn schedule_op(&mut self, ctx: &mut Ctx<'_, AgfwPacket>, delay: SimTime, op: PendingOp) {
@@ -595,6 +744,7 @@ impl Agfw {
             if data.ttl == 0 {
                 ctx.count("agfw.drop.ttl");
                 self.pending_acks.remove(&data.uid);
+                self.forward_seen.remove(&data.uid);
                 return;
             }
             data.ttl -= 1;
@@ -613,10 +763,13 @@ impl Agfw {
             }
         }
 
-        match self
-            .ant
-            .next_hop(me, data.dst_loc, now, self.config.selection)
-        {
+        match self.ant.next_hop_excluding(
+            me,
+            data.dst_loc,
+            now,
+            self.config.selection,
+            self.suspicion_threshold(),
+        ) {
             Some(hop) => {
                 data.next = hop.pseudonym;
                 ctx.count("agfw.forward");
@@ -641,6 +794,7 @@ impl Agfw {
                 // Forwarding stops; "recovery mode could be further
                 // considered" (Algorithm 3.2).
                 self.pending_acks.remove(&data.uid);
+                self.forward_seen.remove(&data.uid);
                 ctx.count("agfw.drop.local_max");
             }
         }
@@ -657,7 +811,9 @@ impl Agfw {
     ) {
         let me = ctx.my_pos();
         let now = ctx.now();
-        let planar_set = self.ant.planar_fresh(me, now);
+        let planar_set = self
+            .ant
+            .planar_fresh_excluding(me, now, self.suspicion_threshold());
         let positions: Vec<agr_geom::Point> = planar_set.iter().map(|e| e.loc).collect();
         match agr_geom::planar::right_hand_next(me, prev, &positions) {
             Some(i) => {
@@ -673,6 +829,7 @@ impl Agfw {
             }
             None => {
                 self.pending_acks.remove(&data.uid);
+                self.forward_seen.remove(&data.uid);
                 ctx.count("agfw.drop.no_planar");
             }
         }
@@ -700,6 +857,12 @@ impl Agfw {
                 },
             );
         } else {
+            // About to forward someone else's data (`allow_open` is false
+            // only at the original source): a blackhole/grayhole relay
+            // discards it here — the hop ACK has already gone out.
+            if allow_open && ctx.adversary_drops() {
+                return;
+            }
             self.forward_or_last_attempt(ctx, data, true);
         }
     }
@@ -747,6 +910,11 @@ impl Agfw {
                 } else if last_attempt {
                     ctx.count("agfw.last_attempt_miss");
                 } else {
+                    // The trapdoor did not open: this relay must forward —
+                    // unless it is an adversary dropping relayed traffic.
+                    if ctx.adversary_drops() {
+                        return;
+                    }
                     self.forward_or_last_attempt(ctx, data, true);
                 }
             }
@@ -762,6 +930,7 @@ impl Agfw {
                 }
                 if pending.retries_left == 0 {
                     let dropped = self.pending_acks.remove(&uid).expect("checked above");
+                    self.forward_seen.remove(&uid);
                     match dropped.packet {
                         Outbound::Data(_) => ctx.count("agfw.drop.retries"),
                         Outbound::Als(msg) => {
@@ -781,26 +950,100 @@ impl Agfw {
                 // relay. Repeated silence means the relay moved away or
                 // has forgotten this pseudonym (§3.1.1 keeps only the two
                 // latest): evict the dead entry so re-selection explores a
-                // different alias.
-                match packet {
-                    Outbound::Data(data) => {
-                        if retries_left + 1 < self.config.max_retransmits {
-                            self.ant.remove(data.next);
-                        }
-                        self.forward_or_last_attempt(ctx, data, false);
-                    }
-                    Outbound::Als(msg) => {
-                        if retries_left + 1 < self.config.max_retransmits {
-                            self.ant.remove(msg.next);
-                        }
-                        self.als_route_hop(ctx, msg);
+                // different alias. With the defense on, silence also feeds
+                // the suspicion score of the addressed slot.
+                let addressed = match &packet {
+                    Outbound::Data(data) => data.next,
+                    Outbound::Als(msg) => msg.next,
+                };
+                if self.config.defense.enabled {
+                    self.ant
+                        .suspect(addressed, self.config.defense.timeout_increment);
+                    ctx.count("defense.suspected");
+                }
+                if retries_left + 1 < self.config.max_retransmits {
+                    self.ant.remove(addressed);
+                }
+                if self.config.defense.enabled {
+                    // Bounded exponential backoff with hash-derived jitter
+                    // before re-selecting, instead of an immediate retry
+                    // at a fixed cadence.
+                    let attempt = self.config.max_retransmits - retries_left - 1;
+                    let delay = backoff_delay(
+                        self.config.defense.backoff_base,
+                        attempt,
+                        self.config.defense.backoff_cap,
+                        uid,
+                    );
+                    ctx.count("defense.backoff");
+                    self.schedule_op(ctx, delay, PendingOp::RetryHop { uid, generation });
+                } else {
+                    match packet {
+                        Outbound::Data(data) => self.forward_or_last_attempt(ctx, data, false),
+                        Outbound::Als(msg) => self.als_route_hop(ctx, msg),
                     }
                 }
+            }
+            PendingOp::RetryHop { uid, generation } => {
+                let Some(pending) = self.pending_acks.get(&uid) else {
+                    return; // acknowledged while backing off
+                };
+                if pending.generation != generation {
+                    return;
+                }
+                match pending.packet.clone() {
+                    Outbound::Data(data) => self.forward_or_last_attempt(ctx, data, false),
+                    Outbound::Als(msg) => self.als_route_hop(ctx, msg),
+                }
+            }
+            PendingOp::ForwardWatch { uid, suspect } => {
+                // Only the watch that armed this timer may fire it: a
+                // later re-route installs a new watch for the same uid.
+                if self.watched.get(&uid).is_none_or(|w| w.suspect != suspect) {
+                    return;
+                }
+                let w = self.watched.remove(&uid).expect("checked above");
+                ctx.count("defense.watch_fired");
+                let defense = self.config.defense;
+                self.ant.suspect(w.suspect, defense.watch_increment);
+                ctx.count("defense.suspected");
+                if defense.suspect_radius > 0.0 {
+                    // Taint the suspect's likely rotation aliases too.
+                    self.ant.suspect_nearby(
+                        w.suspect_loc,
+                        defense.suspect_radius,
+                        defense.watch_increment,
+                        ctx.now(),
+                    );
+                }
+                // Heal: the retained packet re-routes around the suspects.
+                ctx.count("defense.rerouted");
+                self.forward_or_last_attempt(ctx, w.data, false);
+            }
+            PendingOp::ReplayHello { packet } => {
+                ctx.count("adv.replayed_hello");
+                let bytes = packet.wire_bytes();
+                ctx.mac_broadcast(packet, bytes);
             }
         }
     }
 
     fn process_ack(&mut self, ctx: &mut Ctx<'_, AgfwPacket>, ack: AckRef) {
+        let defense = self.config.defense;
+        if defense.enabled {
+            // An overheard ACK for the *downstream* hop of a watched
+            // packet (same uid, different addressed pseudonym) proves the
+            // suspect forwarded it. The suspect's own re-ACKs
+            // (`ack.to == suspect`) prove nothing.
+            if self
+                .watched
+                .get(&ack.uid)
+                .is_some_and(|w| ack.to != w.suspect)
+            {
+                self.watched.remove(&ack.uid);
+                ctx.count("defense.watch_cleared");
+            }
+        }
         // Only an ACK echoing a pseudonym *we* addressed clears our
         // pending transmission — an overheard ACK for another hop of the
         // same packet must not.
@@ -810,16 +1053,66 @@ impl Agfw {
             .is_some_and(|p| p.used_next.contains(&ack.to));
         if ours {
             let pending = self.pending_acks.remove(&ack.uid).expect("checked above");
+            let already_forwarded = self.forward_seen.remove(&ack.uid);
             ctx.count("agfw.hop_acked");
             if pending.retries_left < self.config.max_retransmits {
                 // The hop only succeeded because retransmission kicked
                 // in — the recovery the paper's §3.2 scheme exists for.
                 ctx.count("agfw.ack_recovered");
             }
+            if defense.enabled {
+                self.ant.absolve(ack.to, defense.ack_decay);
+                if defense.forward_watch && !already_forwarded && ack.to != Pseudonym::LAST_ATTEMPT
+                {
+                    if let Outbound::Data(data) = pending.packet {
+                        // Arm the forward-watch unless the relay's
+                        // advertised position puts it in the last-hop
+                        // region (it may deliver directly — or *be* the
+                        // destination — with no onward broadcast to hear).
+                        let advertised = self
+                            .ant
+                            .entry(ack.to, ctx.now())
+                            .map(|e| e.loc)
+                            .filter(|loc| !loc.within_range(data.dst_loc, self.comm_range));
+                        if let Some(suspect_loc) = advertised {
+                            ctx.count("defense.watch_set");
+                            self.watched.insert(
+                                ack.uid,
+                                WatchedHop {
+                                    data,
+                                    suspect: ack.to,
+                                    suspect_loc,
+                                },
+                            );
+                            self.schedule_op(
+                                ctx,
+                                defense.watch_timeout,
+                                PendingOp::ForwardWatch {
+                                    uid: ack.uid,
+                                    suspect: ack.to,
+                                },
+                            );
+                        }
+                    }
+                }
+            }
         }
     }
 
     fn handle_data(&mut self, ctx: &mut Ctx<'_, AgfwPacket>, data: AgfwData) {
+        if self.config.defense.enabled && !self.pseudonyms.owns(data.next) {
+            if self.watched.remove(&data.uid).is_some() {
+                // Overhearing a copy of a watched packet addressed onward
+                // (not an upstream retransmission back to us) proves the
+                // suspect forwarded it.
+                ctx.count("defense.watch_cleared");
+            } else if self.pending_acks.contains_key(&data.uid) {
+                // The onward copy of our own in-flight packet arrived
+                // before its hop ACK (the normal order): remember it so
+                // the ACK does not arm a watch for a proven forward.
+                self.forward_seen.insert(data.uid);
+            }
+        }
         for &ack in &data.acks {
             self.process_ack(ctx, ack);
         }
@@ -952,6 +1245,7 @@ impl Agfw {
         let my_pos = ctx.my_pos();
         let now = ctx.now();
         let selection = self.config.selection;
+        let threshold = self.suspicion_threshold();
         let Some(als) = &mut self.als else { return };
         let ttl = als.params.ttl;
         let mut outgoing = Vec::new();
@@ -963,7 +1257,7 @@ impl Agfw {
             // Still the local maximum for this anchor: records stay put.
             if self
                 .ant
-                .next_hop(my_pos, target_loc, now, selection)
+                .next_hop_excluding(my_pos, target_loc, now, selection, threshold)
                 .is_none()
             {
                 continue;
@@ -1019,17 +1313,34 @@ impl Agfw {
 
     /// Builds and geo-routes the LREQ for `dest`, scheduling its timeout.
     fn als_send_request(&mut self, ctx: &mut Ctx<'_, AgfwPacket>, dest: NodeId) {
+        let defense = self.config.defense;
+        let my_salt = u64::from(self.my_id.0);
         let Some(als) = &mut self.als else { return };
         let me = u64::from(self.my_id.0);
         let ssa = als.ssa;
         let ttl = als.params.ttl;
-        let timeout = als.params.query_timeout;
-        let generation = match als.pending_queries.get_mut(&dest) {
+        let base_timeout = als.params.query_timeout;
+        let max_retries = als.params.max_query_retries;
+        let (generation, retries_left) = match als.pending_queries.get_mut(&dest) {
             Some(pq) => {
                 pq.generation += 1;
-                pq.generation
+                (pq.generation, pq.retries_left)
             }
             None => return,
+        };
+        // Hardened query retries back off exponentially (capped), with
+        // jitter salted per (requester, destination) pair so concurrent
+        // queriers of a dead region desynchronise.
+        let timeout = if defense.enabled {
+            let attempt = max_retries.saturating_sub(retries_left);
+            backoff_delay(
+                base_timeout,
+                attempt,
+                defense.als_backoff_cap,
+                (my_salt << 32) | u64::from(dest.0),
+            )
+        } else {
+            base_timeout
         };
         let my_pos = ctx.my_pos();
         let keys = self.keys.as_ref().expect("Als mode has keys");
@@ -1064,6 +1375,9 @@ impl Agfw {
         }
         if pq.retries_left == 0 {
             let dropped = als.pending_queries.remove(&dest).expect("checked above");
+            // Explicit give-up: the retry budget is spent and every
+            // packet queued behind this query dies with it.
+            ctx.count("als.query_gave_up");
             ctx.count_n("agfw.drop.no_location", dropped.queued.len() as u64);
             return;
         }
@@ -1175,10 +1489,13 @@ impl Agfw {
     fn als_route_hop(&mut self, ctx: &mut Ctx<'_, AgfwPacket>, mut msg: AlsNetMessage) {
         let me = ctx.my_pos();
         let now = ctx.now();
-        match self
-            .ant
-            .next_hop(me, msg.target_loc, now, self.config.selection)
-        {
+        match self.ant.next_hop_excluding(
+            me,
+            msg.target_loc,
+            now,
+            self.config.selection,
+            self.suspicion_threshold(),
+        ) {
             Some(hop) => {
                 msg.next = hop.pseudonym;
                 ctx.count("als.forward");
@@ -1282,6 +1599,14 @@ impl Agfw {
             return;
         }
         msg.ttl -= 1;
+        // A blackhole/grayhole relay kills service messages too — while
+        // still acknowledging the hop, exactly like the data path.
+        if ctx.adversary_drops() {
+            if wants_ack {
+                self.queue_ack(ctx, uid, to);
+            }
+            return;
+        }
         self.als_route(ctx, msg);
         if wants_ack {
             self.queue_ack(ctx, uid, to);
@@ -1422,7 +1747,53 @@ impl Protocol for Agfw {
                         return;
                     }
                 }
-                self.ant.observe_with_velocity(n, loc, vel, ctx.now());
+                // Replay/duplicate defense: a hello whose (pseudonym, ts)
+                // was already seen, or whose timestamp is older than the
+                // entry timeout, is discarded — a replayed beacon cannot
+                // resurrect an expired neighbor entry. (Note this defeats
+                // replays even of ring-signed AANT hellos, whose
+                // signatures verify verbatim.)
+                if !self.ant.observe_hello(n, loc, vel, ts, ctx.now()) {
+                    ctx.count("defense.hello_rejected");
+                    return;
+                }
+                let defense = self.config.defense;
+                if defense.enabled && defense.suspect_radius > 0.0 {
+                    // Suspicion inheritance: a fresh pseudonym beaconing
+                    // from where a *convicted* suspect stood is excluded
+                    // too — without this a per-beacon-rotating attacker
+                    // sheds its conviction every second. Only hard
+                    // convictions (score ≥ watch_increment) propagate,
+                    // and the inherited score is exactly the exclusion
+                    // threshold (< watch_increment), so inherited slots
+                    // are never themselves sources: chains terminate,
+                    // and a quarantine dies with the convicted entry.
+                    let source =
+                        self.ant
+                            .suspicion_nearby(loc, defense.suspect_radius, n, ctx.now());
+                    let current = self.ant.suspicion(n);
+                    if source >= defense.watch_increment && current < defense.suspicion_threshold {
+                        self.ant.suspect(n, defense.suspicion_threshold - current);
+                        ctx.count("defense.suspicion_inherited");
+                    }
+                }
+                if let Some(AdversaryRole::Replayer { delay }) = ctx.adversary_role() {
+                    // This node is a replayer: capture the hello and
+                    // schedule its verbatim re-broadcast.
+                    self.schedule_op(
+                        ctx,
+                        delay,
+                        PendingOp::ReplayHello {
+                            packet: AgfwPacket::Hello {
+                                n,
+                                loc,
+                                vel,
+                                ts,
+                                auth,
+                            },
+                        },
+                    );
+                }
             }
             AgfwPacket::NlAck { acks } => {
                 for ack in acks {

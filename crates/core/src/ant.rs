@@ -84,6 +84,16 @@ pub struct AnonymousNeighborTable {
     entries: HashMap<Pseudonym, AntEntry>,
     timeout: SimTime,
     fresh_window: SimTime,
+    /// Per-pseudonym-slot suspicion score, fed by NL-ACK outcomes and the
+    /// forward-watch (timed out → increment, delivered → decay). Scores
+    /// outlive `remove()` so a suspect cannot launder itself by being
+    /// re-heard under the same pseudonym, and are garbage-collected in
+    /// [`Self::prune`] once the slot's entry has expired (rotated-away
+    /// pseudonyms never return).
+    suspicion: HashMap<Pseudonym, f64>,
+    /// Replay/duplicate dedup window: the newest accepted hello timestamp
+    /// per pseudonym slot (bounded — pruned with the entries).
+    hello_ts: HashMap<Pseudonym, SimTime>,
 }
 
 impl AnonymousNeighborTable {
@@ -96,6 +106,8 @@ impl AnonymousNeighborTable {
             entries: HashMap::new(),
             timeout,
             fresh_window,
+            suspicion: HashMap::new(),
+            hello_ts: HashMap::new(),
         }
     }
 
@@ -127,9 +139,112 @@ impl AnonymousNeighborTable {
         );
     }
 
+    /// Records a timestamped hello, rejecting replays and duplicates.
+    ///
+    /// A hello is accepted only when its beacon timestamp `ts` (carried
+    /// in the packet) is *newer* than the last accepted hello for this
+    /// pseudonym slot AND no older than the entry timeout relative to
+    /// `now`. An honest neighbor always passes: its timestamps increase
+    /// monotonically and arrive within microseconds of being stamped. A
+    /// replayed beacon fails one of the two gates — verbatim replays
+    /// repeat an already-seen `(pseudonym, ts)`, and delayed replays
+    /// carry a timestamp at least as old as the entry timeout by the time
+    /// they could resurrect anything. Returns whether the hello was
+    /// accepted.
+    pub fn observe_hello(
+        &mut self,
+        pseudonym: Pseudonym,
+        loc: Point,
+        velocity: Option<Vec2>,
+        ts: SimTime,
+        now: SimTime,
+    ) -> bool {
+        if now.saturating_sub(ts) >= self.timeout {
+            return false;
+        }
+        if let Some(&last) = self.hello_ts.get(&pseudonym) {
+            if ts <= last {
+                return false;
+            }
+        }
+        self.hello_ts.insert(pseudonym, ts);
+        self.observe_with_velocity(pseudonym, loc, velocity, now);
+        true
+    }
+
     /// Removes an entry, e.g. after repeated delivery failures to it.
     pub fn remove(&mut self, pseudonym: Pseudonym) -> Option<AntEntry> {
         self.entries.remove(&pseudonym)
+    }
+
+    /// Raises the suspicion score of a pseudonym slot by `amount`
+    /// (an NL-ACK timeout, or a forward-watch that saw no onward
+    /// transmission).
+    pub fn suspect(&mut self, pseudonym: Pseudonym, amount: f64) {
+        *self.suspicion.entry(pseudonym).or_insert(0.0) += amount;
+    }
+
+    /// Raises the suspicion of every *live* slot advertised within
+    /// `radius` of `loc` — the spatial generalisation of [`Self::suspect`]
+    /// used when a misbehaving neighbor hides behind per-beacon pseudonym
+    /// rotation: its aliases cluster around the same advertised position.
+    /// (This deliberately links pseudonyms by position, trading a slice of
+    /// the paper's unlinkability for robustness; see DESIGN.md.)
+    pub fn suspect_nearby(&mut self, loc: Point, radius: f64, amount: f64, now: SimTime) {
+        let nearby: Vec<Pseudonym> = self
+            .live(now)
+            .filter(|e| e.loc.distance(loc) <= radius)
+            .map(|e| e.pseudonym)
+            .collect();
+        for p in nearby {
+            self.suspect(p, amount);
+        }
+    }
+
+    /// The largest suspicion score among live slots advertised within
+    /// `radius` of `loc`, excluding `except` — what a *new* pseudonym
+    /// beaconing from that position inherits. A rotating attacker sheds
+    /// its convicted alias every beacon; without inheritance each fresh
+    /// alias starts clean and must be re-convicted at full price. (Same
+    /// position-linking trade-off as [`Self::suspect_nearby`].)
+    #[must_use]
+    pub fn suspicion_nearby(
+        &self,
+        loc: Point,
+        radius: f64,
+        except: Pseudonym,
+        now: SimTime,
+    ) -> f64 {
+        self.live(now)
+            .filter(|e| e.pseudonym != except && e.loc.distance(loc) <= radius)
+            .map(|e| self.suspicion(e.pseudonym))
+            .fold(0.0, f64::max)
+    }
+
+    /// Decays the suspicion score of a pseudonym slot by `amount`
+    /// (a delivered NL-ACK), clamping at zero.
+    pub fn absolve(&mut self, pseudonym: Pseudonym, amount: f64) {
+        if let Some(score) = self.suspicion.get_mut(&pseudonym) {
+            *score -= amount;
+            if *score <= 0.0 {
+                self.suspicion.remove(&pseudonym);
+            }
+        }
+    }
+
+    /// The current suspicion score of a pseudonym slot (zero when clean).
+    #[must_use]
+    pub fn suspicion(&self, pseudonym: Pseudonym) -> f64 {
+        self.suspicion.get(&pseudonym).copied().unwrap_or(0.0)
+    }
+
+    /// The live entry for `pseudonym`, if present and unexpired.
+    #[must_use]
+    pub fn entry(&self, pseudonym: Pseudonym, now: SimTime) -> Option<AntEntry> {
+        self.entries
+            .get(&pseudonym)
+            .filter(|e| now.saturating_sub(e.heard_at) < self.timeout)
+            .copied()
     }
 
     /// Live (non-expired) entries.
@@ -147,11 +262,17 @@ impl AnonymousNeighborTable {
         self.live(now).count()
     }
 
-    /// Drops expired entries.
+    /// Drops expired entries, along with dedup-window and suspicion
+    /// state for pseudonym slots whose entry has expired (per-beacon
+    /// rotation means an abandoned pseudonym never returns, so this
+    /// bounds both side tables without forgetting a live suspect).
     pub fn prune(&mut self, now: SimTime) {
         let timeout = self.timeout;
         self.entries
             .retain(|_, e| now.saturating_sub(e.heard_at) < timeout);
+        self.hello_ts
+            .retain(|_, ts| now.saturating_sub(*ts) < timeout);
+        self.suspicion.retain(|p, _| self.entries.contains_key(p));
     }
 
     /// The Gabriel-planarised subset of *fresh* entries, for anonymous
@@ -159,9 +280,23 @@ impl AnonymousNeighborTable {
     /// a neighbor's stale aliases do not witness away its live edge.
     #[must_use]
     pub fn planar_fresh(&self, self_pos: Point, now: SimTime) -> Vec<AntEntry> {
+        self.planar_fresh_excluding(self_pos, now, f64::INFINITY)
+    }
+
+    /// [`Self::planar_fresh`] restricted to entries whose suspicion score
+    /// is below `suspicion_threshold` (an infinite threshold excludes
+    /// nobody and is exactly `planar_fresh`).
+    #[must_use]
+    pub fn planar_fresh_excluding(
+        &self,
+        self_pos: Point,
+        now: SimTime,
+        suspicion_threshold: f64,
+    ) -> Vec<AntEntry> {
         let fresh: Vec<AntEntry> = self
             .live(now)
             .filter(|e| now.saturating_sub(e.heard_at) < self.fresh_window)
+            .filter(|e| self.suspicion(e.pseudonym) < suspicion_threshold)
             .collect();
         let mut kept: Vec<AntEntry> = fresh
             .iter()
@@ -189,10 +324,29 @@ impl AnonymousNeighborTable {
         now: SimTime,
         strategy: SelectionStrategy,
     ) -> Option<AntEntry> {
+        self.next_hop_excluding(self_pos, dst_loc, now, strategy, f64::INFINITY)
+    }
+
+    /// [`Self::next_hop`] restricted to entries whose suspicion score is
+    /// below `suspicion_threshold` — the hardened selection rule. An
+    /// infinite threshold excludes nobody and reproduces `next_hop`
+    /// exactly, which is what keeps defense-off runs byte-identical.
+    #[must_use]
+    pub fn next_hop_excluding(
+        &self,
+        self_pos: Point,
+        dst_loc: Point,
+        now: SimTime,
+        strategy: SelectionStrategy,
+        suspicion_threshold: f64,
+    ) -> Option<AntEntry> {
         let my_dist = self_pos.distance_sq(dst_loc);
         // Entries that advertised a velocity are judged at their
         // *predicted* position (§3.1.1's movement-prediction refinement).
-        let progressing = |e: &AntEntry| e.predicted_loc(now).distance_sq(dst_loc) < my_dist;
+        let progressing = |e: &AntEntry| {
+            e.predicted_loc(now).distance_sq(dst_loc) < my_dist
+                && self.suspicion(e.pseudonym) < suspicion_threshold
+        };
         let closest = |it: &mut dyn Iterator<Item = AntEntry>| {
             // Tie-break on the pseudonym so selection is independent of
             // hash-map iteration order (bit-for-bit reproducible runs).
@@ -377,6 +531,149 @@ mod tests {
             heard_at: SimTime::ZERO,
         };
         assert_eq!(e.predicted_loc(SimTime::from_secs(100)), e.loc);
+    }
+
+    #[test]
+    fn replayed_hello_cannot_resurrect_expired_entry() {
+        let mut t = ant();
+        // Original hello at t=1 s, stamped t=1 s.
+        let accepted = t.observe_hello(
+            n(1),
+            Point::new(10.0, 0.0),
+            None,
+            SimTime::from_secs(1),
+            SimTime::from_secs(1),
+        );
+        assert!(accepted, "the genuine hello must be accepted");
+        // The entry expires (timeout 4.5 s) ...
+        assert_eq!(t.live_count(SimTime::from_secs(10)), 0);
+        // ... and a verbatim replay 9 s later must not resurrect it:
+        // its (pseudonym, ts) was already seen AND its timestamp is
+        // older than the entry timeout.
+        let replay = t.observe_hello(
+            n(1),
+            Point::new(10.0, 0.0),
+            None,
+            SimTime::from_secs(1),
+            SimTime::from_secs(10),
+        );
+        assert!(!replay, "replayed hello must be rejected");
+        assert_eq!(t.live_count(SimTime::from_secs(10)), 0);
+    }
+
+    #[test]
+    fn replay_rejected_even_at_fresh_receiver() {
+        // A receiver that never heard the original (no dedup record)
+        // still rejects the replay by the timestamp-age gate.
+        let mut t = ant();
+        let replay = t.observe_hello(
+            n(1),
+            Point::new(10.0, 0.0),
+            None,
+            SimTime::from_secs(1),
+            SimTime::from_secs(10),
+        );
+        assert!(!replay);
+        assert_eq!(t.live_count(SimTime::from_secs(10)), 0);
+    }
+
+    #[test]
+    fn duplicate_timestamp_rejected_but_newer_accepted() {
+        let mut t = ant();
+        let p = Point::new(10.0, 0.0);
+        assert!(t.observe_hello(n(1), p, None, SimTime::from_secs(1), SimTime::from_secs(1)));
+        // Immediate duplicate (same ts): rejected.
+        assert!(!t.observe_hello(n(1), p, None, SimTime::from_secs(1), SimTime::from_secs(1)));
+        // The neighbor's own next hello (newer ts): accepted.
+        assert!(t.observe_hello(n(1), p, None, SimTime::from_secs(2), SimTime::from_secs(2)));
+        assert_eq!(t.live_count(SimTime::from_secs(2)), 1);
+    }
+
+    #[test]
+    fn prune_bounds_dedup_window_but_keeps_live_suspicion() {
+        let mut t = ant();
+        t.observe(n(1), Point::new(10.0, 0.0), SimTime::from_secs(1));
+        t.suspect(n(1), 2.0);
+        t.suspect(n(2), 2.0); // no entry: collected at next prune
+        t.prune(SimTime::from_secs(2));
+        assert_eq!(t.suspicion(n(1)), 2.0, "live suspect must be kept");
+        assert_eq!(t.suspicion(n(2)), 0.0, "entry-less suspicion collected");
+        // Once the entry expires the slot's suspicion goes too.
+        t.prune(SimTime::from_secs(10));
+        assert_eq!(t.suspicion(n(1)), 0.0);
+    }
+
+    #[test]
+    fn suspicion_excludes_suspects_until_absolved() {
+        let mut t = ant();
+        let dst = Point::new(100.0, 0.0);
+        let now = SimTime::from_secs(1);
+        t.observe(n(1), Point::new(80.0, 0.0), now); // best hop
+        t.observe(n(2), Point::new(50.0, 0.0), now); // runner-up
+        t.suspect(n(1), 1.0);
+        let got = t
+            .next_hop_excluding(
+                Point::ORIGIN,
+                dst,
+                now,
+                SelectionStrategy::NaiveClosest,
+                1.0,
+            )
+            .unwrap();
+        assert_eq!(got.pseudonym, n(2), "suspect must be routed around");
+        // Decay below the threshold restores the suspect.
+        t.absolve(n(1), 0.5);
+        let got = t
+            .next_hop_excluding(
+                Point::ORIGIN,
+                dst,
+                now,
+                SelectionStrategy::NaiveClosest,
+                1.0,
+            )
+            .unwrap();
+        assert_eq!(got.pseudonym, n(1));
+        // An infinite threshold reproduces plain next_hop exactly.
+        t.suspect(n(1), 99.0);
+        assert_eq!(
+            t.next_hop_excluding(
+                Point::ORIGIN,
+                dst,
+                now,
+                SelectionStrategy::NaiveClosest,
+                f64::INFINITY
+            ),
+            t.next_hop(Point::ORIGIN, dst, now, SelectionStrategy::NaiveClosest)
+        );
+    }
+
+    #[test]
+    fn suspect_nearby_taints_clustered_aliases() {
+        let mut t = ant();
+        let now = SimTime::from_secs(1);
+        t.observe(n(1), Point::new(100.0, 0.0), now);
+        t.observe(n(2), Point::new(110.0, 0.0), now); // alias 10 m away
+        t.observe(n(3), Point::new(200.0, 0.0), now); // honest, far away
+        t.suspect_nearby(Point::new(100.0, 0.0), 25.0, 1.0, now);
+        assert!(t.suspicion(n(1)) >= 1.0);
+        assert!(t.suspicion(n(2)) >= 1.0);
+        assert_eq!(t.suspicion(n(3)), 0.0);
+    }
+
+    #[test]
+    fn planar_excluding_drops_suspects() {
+        let mut t = ant();
+        let now = SimTime::from_millis(1500);
+        t.observe(n(1), Point::new(10.0, 0.0), now);
+        t.observe(n(2), Point::new(0.0, 10.0), now);
+        t.suspect(n(1), 1.0);
+        let kept = t.planar_fresh_excluding(Point::ORIGIN, now, 1.0);
+        assert!(kept.iter().all(|e| e.pseudonym != n(1)));
+        assert!(kept.iter().any(|e| e.pseudonym == n(2)));
+        assert_eq!(
+            t.planar_fresh_excluding(Point::ORIGIN, now, f64::INFINITY),
+            t.planar_fresh(Point::ORIGIN, now)
+        );
     }
 
     #[test]

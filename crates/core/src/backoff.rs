@@ -1,0 +1,115 @@
+//! Bounded exponential backoff with deterministic jitter.
+//!
+//! When a next-hop pseudonym goes silent (an NL-ACK times out) the naive
+//! response — immediately re-broadcasting at the same cadence — hammers
+//! the same relay and, under an adversarial blackhole, synchronises every
+//! victim's retries. The hardened retry policy spaces attempt `k` by
+//!
+//! ```text
+//! delay(k) = min(base · 2^k, cap) + jitter(k)
+//! ```
+//!
+//! where `jitter(k)` is up to a quarter of the backed-off delay, derived
+//! by *hashing* `(salt, k)` rather than drawing from a simulation RNG.
+//! Hash-derived jitter keeps retry schedules a pure function of the
+//! packet identity — independent of event interleaving and of the
+//! `AGR_JOBS` worker count — and leaves every RNG stream untouched, which
+//! is what preserves byte-identical adversary-free runs.
+//!
+//! ALS query retries reuse the same policy with their own `(base, cap)`.
+
+use agr_sim::SimTime;
+
+/// Largest doubling exponent before clamping: beyond this `base · 2^k`
+/// would overflow any practical cap anyway.
+const MAX_SHIFT: u32 = 20;
+
+/// SplitMix64 finalizer — a cheap, well-mixed 64-bit hash.
+#[must_use]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The delay before retry attempt `attempt` (0-based: attempt 0 is the
+/// first retry after the initial transmission failed).
+///
+/// Exponential in `attempt` starting from `base`, clamped at `cap`, plus
+/// a deterministic jitter in `[0, clamped/4]` hashed from
+/// `(salt, attempt)`. Use a stable per-packet value (e.g. the data UID)
+/// as `salt` so distinct packets desynchronise while the same packet
+/// replays identically.
+#[must_use]
+pub fn backoff_delay(base: SimTime, attempt: u32, cap: SimTime, salt: u64) -> SimTime {
+    let shift = attempt.min(MAX_SHIFT);
+    let exp_ns = base.as_nanos().saturating_mul(1u64 << shift);
+    let clamped_ns = exp_ns.min(cap.as_nanos());
+    let span = clamped_ns / 4;
+    let jitter = if span == 0 {
+        0
+    } else {
+        splitmix64(salt ^ (u64::from(attempt) << 56)) % (span + 1)
+    };
+    SimTime::from_nanos(clamped_ns + jitter)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: SimTime = SimTime::from_millis(25);
+    const CAP: SimTime = SimTime::from_millis(200);
+
+    /// The schedule is pinned: doubling from `base`, clamped at `cap`,
+    /// with jitter bounded by a quarter of the clamped delay.
+    #[test]
+    fn schedule_doubles_then_caps() {
+        for (attempt, expect_ms) in [(0u32, 25u64), (1, 50), (2, 100), (3, 200), (4, 200)] {
+            let d = backoff_delay(BASE, attempt, CAP, 0xdead_beef);
+            let floor = SimTime::from_millis(expect_ms);
+            let ceil = SimTime::from_nanos(floor.as_nanos() + floor.as_nanos() / 4);
+            assert!(
+                d >= floor && d <= ceil,
+                "attempt {attempt}: {d:?} outside [{floor:?}, {ceil:?}]"
+            );
+        }
+    }
+
+    /// Far-future attempts stay at the cap — no overflow, no runaway.
+    #[test]
+    fn huge_attempt_is_clamped() {
+        let d = backoff_delay(BASE, u32::MAX, CAP, 7);
+        assert!(d >= CAP);
+        assert!(d.as_nanos() <= CAP.as_nanos() + CAP.as_nanos() / 4);
+    }
+
+    /// Jitter is a pure function of `(salt, attempt)`: the same inputs
+    /// give the same delay (this is what makes retry schedules identical
+    /// at any `AGR_JOBS`), while different salts desynchronise.
+    #[test]
+    fn jitter_is_deterministic_and_salted() {
+        let a = backoff_delay(BASE, 2, CAP, 41);
+        assert_eq!(a, backoff_delay(BASE, 2, CAP, 41));
+        let distinct = (0..32u64)
+            .map(|salt| backoff_delay(BASE, 2, CAP, salt))
+            .collect::<std::collections::BTreeSet<_>>();
+        assert!(
+            distinct.len() > 16,
+            "32 salts should spread over the jitter span, got {}",
+            distinct.len()
+        );
+    }
+
+    /// A zero base degenerates to pure-jitterless zero delays rather
+    /// than panicking.
+    #[test]
+    fn zero_base_is_zero_delay() {
+        assert_eq!(
+            backoff_delay(SimTime::ZERO, 5, CAP, 9),
+            SimTime::ZERO,
+            "zero base must not invent a delay"
+        );
+    }
+}

@@ -53,13 +53,15 @@ pub mod aant;
 pub mod agfw;
 pub mod als;
 pub mod ant;
+pub mod backoff;
 pub mod dlm;
 pub mod keys;
 pub mod packet;
 pub mod pseudonym;
 pub mod wire;
 
-pub use agfw::{Agfw, AgfwConfig, CryptoMode};
+pub use agfw::{Agfw, AgfwConfig, CryptoMode, DefenseConfig};
 pub use ant::{AnonymousNeighborTable, AntEntry, SelectionStrategy};
+pub use backoff::backoff_delay;
 pub use packet::{AgfwData, AgfwPacket, TrapdoorWire};
 pub use pseudonym::{Pseudonym, PseudonymGenerator};

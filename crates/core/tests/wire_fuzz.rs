@@ -1,0 +1,175 @@
+//! Adversarial-input fuzzing of the wire codec.
+//!
+//! An attacker who can inject frames controls every byte the decoder
+//! sees, so [`decode_packet`] must be total: any input — random noise,
+//! a truncated capture, or a replayed frame with flipped bits — returns
+//! a [`WireError`], never a panic. Proptest drives three generators:
+//! pure noise, strict prefixes of valid encodings, and single-bit
+//! corruptions of valid encodings.
+
+use agr_core::packet::{AckRef, AgfwMode, AlsNetKind, AlsNetMessage, AlsPair};
+use agr_core::pseudonym::Pseudonym;
+use agr_core::wire::{decode_packet, encode_packet};
+use agr_core::{AgfwData, AgfwPacket, TrapdoorWire};
+use agr_geom::{CellId, Point, Vec2};
+use agr_sim::{FlowTag, NodeId, SimTime};
+use proptest::prelude::*;
+
+/// A corpus of valid packets covering every wire shape (hello with and
+/// without velocity, data in both modes with and without piggybacked
+/// ACKs, empty and full NL-ACKs, all three ALS kinds).
+fn corpus() -> Vec<AgfwPacket> {
+    let zero_tag = FlowTag {
+        flow: 0,
+        seq: 0,
+        src: NodeId(0),
+        sent_at: SimTime::ZERO,
+    };
+    let ack = |uid: u64, fill: u8| AckRef {
+        uid,
+        to: Pseudonym([fill; 6]),
+    };
+    let data = AgfwData {
+        dst_loc: Point::new(1200.0, 280.5),
+        next: Pseudonym([0xA1; 6]),
+        trapdoor: TrapdoorWire::Modeled {
+            dest: NodeId(17),
+            nonce: 0xDEAD_BEEF,
+        },
+        uid: 0x0123_4567_89AB_CDEF,
+        ttl: 62,
+        payload_bytes: 64,
+        acks: vec![ack(0x11, 0x21), ack(0x22, 0x31)],
+        mode: AgfwMode::Greedy,
+        tag: zero_tag,
+    };
+    let mut perimeter = data.clone();
+    perimeter.mode = AgfwMode::Perimeter {
+        entry: Point::new(740.0, 111.0),
+        prev: Point::new(738.5, 90.0),
+    };
+    perimeter.acks.clear();
+    vec![
+        AgfwPacket::Hello {
+            n: Pseudonym([9, 8, 7, 6, 5, 4]),
+            loc: Point::new(300.25, -12.5),
+            vel: None,
+            ts: SimTime::from_millis(12_345),
+            auth: None,
+        },
+        AgfwPacket::Hello {
+            n: Pseudonym([0xFF; 6]),
+            loc: Point::new(0.0, 1500.0),
+            vel: Some(Vec2::new(-19.5, 3.25)),
+            ts: SimTime::from_secs(900),
+            auth: None,
+        },
+        AgfwPacket::Data(data),
+        AgfwPacket::Data(perimeter),
+        AgfwPacket::NlAck { acks: vec![] },
+        AgfwPacket::NlAck {
+            acks: vec![ack(1, 1), ack(u64::MAX, 0xEE)],
+        },
+        AgfwPacket::Als(AlsNetMessage {
+            target_loc: Point::new(625.0, 125.0),
+            next: Pseudonym([1; 6]),
+            uid: 88,
+            ttl: 30,
+            kind: AlsNetKind::Update {
+                cell: CellId { col: 3, row: 9 },
+                pairs: vec![
+                    AlsPair {
+                        index: vec![0xAA; 16],
+                        payload: vec![0xBB; 48],
+                    },
+                    AlsPair {
+                        index: vec![],
+                        payload: vec![0x01],
+                    },
+                ],
+            },
+        }),
+        AgfwPacket::Als(AlsNetMessage {
+            target_loc: Point::new(625.0, 125.0),
+            next: Pseudonym([2; 6]),
+            uid: 89,
+            ttl: 30,
+            kind: AlsNetKind::Request {
+                cell: CellId { col: 3, row: 9 },
+                index: vec![0xCD; 16],
+                reply_loc: Point::new(40.0, 990.0),
+            },
+        }),
+        AgfwPacket::Als(AlsNetMessage {
+            target_loc: Point::new(40.0, 990.0),
+            next: Pseudonym::LAST_ATTEMPT,
+            uid: 90,
+            ttl: 30,
+            kind: AlsNetKind::Reply {
+                payload: vec![0xEF; 56],
+            },
+        }),
+    ]
+}
+
+/// The valid encodings the truncation and bit-flip generators start from.
+fn encodings() -> Vec<Vec<u8>> {
+    corpus()
+        .iter()
+        .map(|p| encode_packet(p).expect("corpus packets must encode"))
+        .collect()
+}
+
+proptest! {
+    /// Pure noise: the decoder returns (either way) on arbitrary bytes.
+    /// A panic anywhere in the decode path fails the test.
+    #[test]
+    fn random_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decode_packet(&bytes);
+    }
+
+    /// Noise behind a valid packet-type tag reaches the per-kind field
+    /// parsers rather than dying at the tag check.
+    #[test]
+    fn tagged_noise_never_panics(
+        tag in 0u8..8,
+        bytes in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let mut framed = vec![tag];
+        framed.extend_from_slice(&bytes);
+        let _ = decode_packet(&framed);
+    }
+
+    /// Every strict prefix of a valid encoding is an error (the layout
+    /// has no optional tail: cutting anywhere leaves a field unfinished),
+    /// and never a panic.
+    #[test]
+    fn truncations_error_cleanly(which in 0usize..9, cut in 0.0f64..1.0) {
+        let enc = &encodings()[which];
+        let len = (cut * enc.len() as f64) as usize; // < enc.len(): strict
+        prop_assert!(
+            decode_packet(&enc[..len]).is_err(),
+            "a {len}-byte prefix of a {}-byte packet decoded",
+            enc.len()
+        );
+    }
+
+    /// Single-bit corruption of a valid frame never panics; if the flip
+    /// survives decoding, the result must also re-encode without
+    /// panicking (a corrupt-but-parseable packet can be forwarded).
+    #[test]
+    fn bit_flips_never_panic(which in 0usize..9, bit in any::<u16>()) {
+        let mut enc = encodings()[which].clone();
+        let bit = usize::from(bit) % (enc.len() * 8);
+        enc[bit / 8] ^= 1 << (bit % 8);
+        if let Ok(decoded) = decode_packet(&enc) {
+            let _ = encode_packet(&decoded);
+        }
+    }
+}
+
+/// The empty input is the smallest truncation of all.
+#[test]
+fn empty_input_is_truncated() {
+    assert!(decode_packet(&[]).is_err());
+}

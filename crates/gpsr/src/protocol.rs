@@ -25,6 +25,12 @@ pub struct GpsrConfig {
     pub perimeter: bool,
     /// Planarisation used by perimeter mode.
     pub planarization: Planarization,
+    /// Freshness window for greedy selection. When set, neighbors whose
+    /// last beacon is older than this window are only used if no fresher
+    /// progressing neighbor exists — the GPSR-side analogue of the AGFW
+    /// ANT freshness hardening. `None` (the default) reproduces classic
+    /// GPSR exactly.
+    pub fresh_window: Option<SimTime>,
 }
 
 impl Default for GpsrConfig {
@@ -35,6 +41,7 @@ impl Default for GpsrConfig {
             ttl: 64,
             perimeter: false,
             planarization: Planarization::Gabriel,
+            fresh_window: None,
         }
     }
 }
@@ -154,8 +161,21 @@ impl Gpsr {
             }
         }
 
-        // Greedy mode.
-        match greedy::next_hop(my_pos, header.dst_loc, self.table.live(now)) {
+        // Greedy mode, preferring recently-beaconed neighbors when a
+        // freshness window is configured (stale advertisements are the
+        // raw material of both mobility error and beacon replay).
+        let fresh_choice = self.config.fresh_window.and_then(|window| {
+            greedy::next_hop(
+                my_pos,
+                header.dst_loc,
+                self.table
+                    .live(now)
+                    .filter(|n| now.saturating_sub(n.heard_at) < window),
+            )
+        });
+        match fresh_choice
+            .or_else(|| greedy::next_hop(my_pos, header.dst_loc, self.table.live(now)))
+        {
             Some(next) => {
                 ctx.count("gpsr.forward.greedy");
                 ctx.mac_unicast(
@@ -255,6 +275,11 @@ impl Protocol for Gpsr {
                     ctx.count("gpsr.drop.ttl");
                     return;
                 }
+                // A compromised relay has already link-ACKed the unicast;
+                // dropping here is the blackhole's accept-and-discard.
+                if ctx.adversary_drops() {
+                    return;
+                }
                 header.ttl -= 1;
                 self.forward(ctx, header);
             }
@@ -293,5 +318,6 @@ mod tests {
     fn config_presets() {
         assert!(!GpsrConfig::greedy_only().perimeter);
         assert!(GpsrConfig::with_perimeter().perimeter);
+        assert!(GpsrConfig::default().fresh_window.is_none());
     }
 }

@@ -5,6 +5,7 @@
 //! mobility up to 20 m/s with 60 s pause, 900 s runs, and IEEE 802.11
 //! DSSS MAC timing.
 
+use crate::adversary::AdversaryPlan;
 use crate::fault::FaultPlan;
 use crate::time::SimTime;
 use crate::NodeId;
@@ -200,6 +201,11 @@ pub struct SimConfig {
     /// injects nothing and leaves runs bit-identical to a fault-free
     /// simulator.
     pub fault: FaultPlan,
+    /// Deterministic adversarial node assignment: blackholes, grayholes,
+    /// location spoofers, and beacon replayers (see [`crate::adversary`]).
+    /// The default plan compromises nobody and leaves runs byte-identical
+    /// to an adversary-free simulator.
+    pub adversary: AdversaryPlan,
 }
 
 impl Default for SimConfig {
@@ -217,6 +223,7 @@ impl Default for SimConfig {
             record_frames: false,
             phy_index: PhyIndexMode::default(),
             fault: FaultPlan::default(),
+            adversary: AdversaryPlan::default(),
         }
     }
 }

@@ -60,6 +60,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversary;
 pub mod config;
 pub mod engine;
 pub mod fault;
@@ -72,6 +73,7 @@ pub mod stats;
 mod time;
 mod world;
 
+pub use adversary::{AdversaryMix, AdversaryPlan, AdversaryRole};
 pub use config::{FlowConfig, MacParams, MobilityParams, PhyIndexMode, RadioParams, SimConfig};
 pub use fault::{ChurnEvent, FaultPlan, GilbertElliott, LinkChannel, LossModel, StaleLocations};
 pub use protocol::{Ctx, FlowTag, MacDst, MacOutcome, Protocol};

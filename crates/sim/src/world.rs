@@ -13,6 +13,7 @@
 //! sans-I/O layering that keeps the borrow checker and the causality story
 //! aligned.
 
+use crate::adversary::AdversaryRole;
 use crate::config::{PhyIndexMode, SimConfig};
 use crate::engine::{Event, EventQueue};
 use crate::fault::LinkChannel;
@@ -121,6 +122,13 @@ pub(crate) struct Inner<PKT> {
     flow_heal_gen: Vec<u64>,
     /// Per-node stale advertised fix: `(taken_at, position)`.
     beacon_fixes: Vec<Option<(SimTime, Point)>>,
+    /// Per-node adversary RNGs, seeded in node order from the master RNG
+    /// *after* the fault family — only when the adversary plan names
+    /// somebody, so adversary-free runs consume exactly the RNG stream of
+    /// a build without adversary support.
+    adv_rngs: Vec<StdRng>,
+    /// Dense role lookup (`adv_roles[node]`), derived from the plan.
+    adv_roles: Vec<Option<AdversaryRole>>,
 }
 
 impl<PKT: Clone + std::fmt::Debug + 'static> Inner<PKT> {
@@ -175,6 +183,21 @@ impl<PKT: Clone + std::fmt::Debug + 'static> Inner<PKT> {
                 .map(|_| StdRng::seed_from_u64(rng.random()))
                 .collect()
         };
+        // Adversary RNGs follow the same discipline, split *after* the
+        // fault family so every existing stream keeps its position.
+        let adv_rngs: Vec<StdRng> = if config.adversary.is_none() {
+            Vec::new()
+        } else {
+            (0..n)
+                .map(|_| StdRng::seed_from_u64(rng.random()))
+                .collect()
+        };
+        let mut adv_roles: Vec<Option<AdversaryRole>> = vec![None; n];
+        for (node, role) in &config.adversary.roles {
+            let idx = node.0 as usize;
+            assert!(idx < n, "adversary plan names node {idx} out of {n}");
+            adv_roles[idx] = Some(*role);
+        }
         let flow_count = config.flows.len();
         Inner {
             now: SimTime::ZERO,
@@ -195,6 +218,8 @@ impl<PKT: Clone + std::fmt::Debug + 'static> Inner<PKT> {
             churn_generation: 0,
             flow_heal_gen: vec![0; flow_count],
             beacon_fixes: vec![None; n],
+            adv_rngs,
+            adv_roles,
         }
     }
 
@@ -249,6 +274,28 @@ impl<PKT: Clone + std::fmt::Debug + 'static> Inner<PKT> {
         channel.transmit(&model, &mut self.fault_rngs[rx])
     }
 
+    /// Whether node `n`, acting as an adversarial relay, drops the packet
+    /// it just accepted. Blackholes always drop; grayholes draw exactly
+    /// one Bernoulli sample from the node's adversary RNG per decision
+    /// (keeping the draw count a pure function of accepted traffic);
+    /// every other role forwards honestly.
+    fn adversary_drops(&mut self, n: usize) -> bool {
+        match self.adv_roles[n] {
+            Some(AdversaryRole::Blackhole) => {
+                self.stats.count("adv.blackhole_drop");
+                true
+            }
+            Some(AdversaryRole::Grayhole { p_drop }) => {
+                let dropped = self.adv_rngs[n].random::<f64>() < p_drop;
+                if dropped {
+                    self.stats.count("adv.grayhole_drop");
+                }
+                dropped
+            }
+            _ => false,
+        }
+    }
+
     /// Applies a scheduled churn transition.
     pub(crate) fn handle_fault(&mut self, n: usize, up: bool) {
         self.node_up[n] = up;
@@ -265,6 +312,12 @@ impl<PKT: Clone + std::fmt::Debug + 'static> Inner<PKT> {
     /// to `refresh` before being retaken, so neighbors act on positions
     /// that lag ground truth.
     fn beacon_position_of(&mut self, n: usize) -> Point {
+        // A spoofer lies about its position outright; the lie takes
+        // precedence over any stale-fix schedule.
+        if let Some(AdversaryRole::Spoofer { fake }) = self.adv_roles[n] {
+            self.stats.count("adv.spoofed_beacon");
+            return fake;
+        }
         let Some(stale) = self.config.fault.stale else {
             return self.position_of(n);
         };
@@ -890,6 +943,25 @@ impl<PKT: Clone + std::fmt::Debug + 'static> Ctx<'_, PKT> {
     #[must_use]
     pub fn radio_up(&self) -> bool {
         self.inner.node_up[self.node]
+    }
+
+    /// The adversary role this node plays, if the run's
+    /// [`crate::adversary::AdversaryPlan`] compromises it. Protocols use
+    /// this for behaviours that live above the PHY, such as replaying
+    /// captured beacons.
+    #[must_use]
+    pub fn adversary_role(&self) -> Option<AdversaryRole> {
+        self.inner.adv_roles[self.node]
+    }
+
+    /// Ask the adversary machinery whether this node drops a packet it
+    /// just accepted for relay (counting `adv.blackhole_drop` /
+    /// `adv.grayhole_drop` as a side effect). Honest nodes always get
+    /// `false`; call this exactly once per accepted packet so grayhole
+    /// draw counts stay deterministic.
+    #[must_use]
+    pub fn adversary_drops(&mut self) -> bool {
+        self.inner.adversary_drops(self.node)
     }
 
     /// Ground-truth position of any node — the *location oracle*.

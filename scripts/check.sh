@@ -13,14 +13,24 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test --offline --workspace -q
 
+# Smoke sweeps write their CSVs to a disposable dir so they never
+# clobber the checked-in full-settings tables under results/.
+SMOKE_RESULTS="$(mktemp -d "${TMPDIR:-/tmp}/agr-smoke-results.XXXXXX")"
+trap 'rm -rf "$SMOKE_RESULTS"' EXIT
+
 echo "==> smoke sweep (fig1a, 1 seed, 60 simulated seconds)"
-AGR_SEEDS=1 AGR_DURATION_S=60 AGR_NODES=50,75 \
+AGR_RESULTS_DIR="$SMOKE_RESULTS" AGR_SEEDS=1 AGR_DURATION_S=60 AGR_NODES=50,75 \
     cargo run --offline --release -q -p agr-bench --bin fig1a -- \
     --bench-json "${TMPDIR:-/tmp}/BENCH_smoke.json"
 
 echo "==> smoke fault sweep (lossless + 10% loss, 1 seed, 60 simulated seconds)"
-AGR_SEEDS=1 AGR_DURATION_S=60 AGR_NODES=50 AGR_LOSS=0,0.1 \
+AGR_RESULTS_DIR="$SMOKE_RESULTS" AGR_SEEDS=1 AGR_DURATION_S=60 AGR_NODES=50 AGR_LOSS=0,0.1 \
     cargo run --offline --release -q -p agr-bench --bin fault_sweep -- \
     --bench-json "${TMPDIR:-/tmp}/BENCH_fault_smoke.json"
+
+echo "==> smoke adversary sweep (clean + 20% blackholes, 1 seed, 60 simulated seconds)"
+AGR_RESULTS_DIR="$SMOKE_RESULTS" AGR_SEEDS=1 AGR_DURATION_S=60 AGR_NODES=50 AGR_ADV=0,0.2 \
+    cargo run --offline --release -q -p agr-bench --bin adversary_sweep -- \
+    --bench-json "${TMPDIR:-/tmp}/BENCH_adversary_smoke.json"
 
 echo "ok"
