@@ -1,7 +1,7 @@
 //! Criterion benchmarks for the §4 ring-signature cost discussion:
 //! sign/verify time as a function of ring size (the anonymity set).
 
-use agr_crypto::ring_sig::{ring_sign, ring_verify};
+use agr_crypto::ring_sig::{ring_sign, ring_verify, VerifyCache};
 use agr_crypto::rsa::{RsaKeyPair, RsaPublicKey};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
@@ -40,5 +40,30 @@ fn bench_ring(c: &mut Criterion) {
     verify_group.finish();
 }
 
-criterion_group!(benches, bench_ring);
+/// Cached vs uncached verification of the same signature — the broadcast
+/// fan-out case, where every neighbor checks one hello. The cached path's
+/// cost is one SHA-256 over the triple plus a hash-map probe.
+fn bench_verify_cache(c: &mut Criterion) {
+    let (keys, pubs) = make_ring(4);
+    let message = b"HELLO n loc ts";
+    let mut rng = StdRng::seed_from_u64(8);
+    let sig = ring_sign(message, &pubs, 0, &keys[0], &mut rng).unwrap();
+    let mut group = c.benchmark_group("ring_verify_ring4");
+    group.bench_function("uncached", |b| {
+        b.iter(|| ring_verify(black_box(message), &pubs, &sig).unwrap())
+    });
+    let cache = VerifyCache::new();
+    let (warm, _) = cache.verify(message, &pubs, &sig);
+    warm.unwrap();
+    group.bench_function("cached_hit", |b| {
+        b.iter(|| {
+            let (verdict, hit) = cache.verify(black_box(message), &pubs, &sig);
+            assert!(hit);
+            verdict.unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ring, bench_verify_cache);
 criterion_main!(benches);

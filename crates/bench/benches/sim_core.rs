@@ -144,11 +144,50 @@ fn bench_selection(c: &mut Criterion) {
     });
 }
 
+/// Shared-handle vs deep-clone broadcast fan-out, isolated from the
+/// simulator: the per-receiver cost the MAC/PHY pays when one broadcast
+/// is heard by 30 neighbors. The payload mirrors a hello with an attached
+/// ring signature (a few hundred heap bytes across nested allocations).
+fn bench_fanout_clone(c: &mut Criterion) {
+    use std::hint::black_box;
+    use std::sync::Arc;
+
+    #[derive(Clone)]
+    struct FakeHello {
+        _header: [u8; 32],
+        _ring_ids: Vec<u64>,
+        _signature: Vec<Vec<u8>>,
+    }
+    let payload = FakeHello {
+        _header: [0xA5; 32],
+        _ring_ids: vec![1, 2, 3, 4],
+        _signature: vec![vec![0x5A; 72]; 5],
+    };
+    let shared = Arc::new(payload.clone());
+    let mut group = c.benchmark_group("broadcast_fanout_30_receivers");
+    group.bench_function("shared_arc", |b| {
+        b.iter(|| {
+            (0..30)
+                .map(|_| Arc::clone(black_box(&shared)))
+                .collect::<Vec<_>>()
+        })
+    });
+    group.bench_function("deep_clone", |b| {
+        b.iter(|| {
+            (0..30)
+                .map(|_| black_box(&payload).clone())
+                .collect::<Vec<_>>()
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_sim,
     bench_neighbor_query,
     bench_phy_index_modes,
-    bench_selection
+    bench_selection,
+    bench_fanout_clone
 );
 criterion_main!(benches);

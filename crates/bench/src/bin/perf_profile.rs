@@ -1,0 +1,238 @@
+//! The perf-trajectory harness: one JSON snapshot of simulator speed.
+//!
+//! Runs the standard 50-node scenario (paper §5.1 traffic) for 300
+//! simulated seconds under three configurations — plain AGFW, hardened
+//! AGFW, and AANT-on (real RSA-512 trapdoors + ring-signed hellos) — and
+//! records events/sec, wall-clock, peak RSS, and allocation counts to
+//! `BENCH_perf.json`. Future PRs regress against this file: `check.sh`
+//! fails on a >2× events/sec drop and CI uploads every run's snapshot.
+//!
+//! Flags / environment:
+//! - `--quick`: 60 s simulated instead of 300 s (CI smoke).
+//! - `--out <path>` / `--bench-json <path>` / `AGR_BENCH_JSON`: output
+//!   path (default `BENCH_perf.json` in the working directory).
+//! - `AGR_PERF_DURATION_S`: explicit duration override.
+//!
+//! Peak RSS (`VmHWM`) is a process-wide high-water mark, so it is
+//! monotone across scenarios; the per-scenario value reflects the
+//! largest footprint *so far*, which is why the scenarios run in
+//! increasing order of expected memory use.
+
+use agr_bench::runner::{env_u64, paper_config, SweepParams};
+use agr_core::aant::AantConfig;
+use agr_core::agfw::{Agfw, AgfwConfig, CryptoMode};
+use agr_core::keys::KeyDirectory;
+use agr_sim::{SimTime, Stats, World};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Counting wrapper over the system allocator: the cheapest possible
+/// allocation profiler, good enough to see the broadcast fan-out clones.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Peak resident set size in kilobytes (`VmHWM` from `/proc/self/status`);
+/// 0 where procfs is unavailable.
+fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            return rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+        }
+    }
+    0
+}
+
+const NODES: usize = 50;
+const SEED: u64 = 1;
+
+struct ScenarioResult {
+    name: &'static str,
+    wall_s: f64,
+    events: u64,
+    peak_rss_kb: u64,
+    alloc_calls: u64,
+    alloc_bytes: u64,
+    delivery: f64,
+    ring_verify_hits: u64,
+    trapdoor_skipped: u64,
+}
+
+impl ScenarioResult {
+    fn events_per_sec(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.events as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Runs one scenario and snapshots the perf counters around it. The
+/// `build` closure constructs the world so key generation (AANT) stays
+/// outside the measured window.
+fn measure(name: &'static str, build: impl FnOnce() -> World<Agfw>) -> ScenarioResult {
+    let mut world = build();
+    let calls0 = ALLOC_CALLS.load(Ordering::Relaxed);
+    let bytes0 = ALLOC_BYTES.load(Ordering::Relaxed);
+    let t0 = Instant::now();
+    let stats: Stats = world.run();
+    let wall_s = t0.elapsed().as_secs_f64();
+    let result = ScenarioResult {
+        name,
+        wall_s,
+        events: stats.events_processed,
+        peak_rss_kb: peak_rss_kb(),
+        alloc_calls: ALLOC_CALLS.load(Ordering::Relaxed) - calls0,
+        alloc_bytes: ALLOC_BYTES.load(Ordering::Relaxed) - bytes0,
+        delivery: stats.delivery_fraction(),
+        ring_verify_hits: stats.counter("crypto.ring_verify_hits"),
+        trapdoor_skipped: stats.counter("crypto.trapdoor_skipped"),
+    };
+    eprintln!(
+        "{name:>14}: {:>9.2}s wall  {:>9} events  {:>10.0} ev/s  {:>8} kB peak  \
+         {:>11} allocs  delivery {:.3}",
+        result.wall_s,
+        result.events,
+        result.events_per_sec(),
+        result.peak_rss_kb,
+        result.alloc_calls,
+        result.delivery,
+    );
+    result
+}
+
+fn render(duration_s: u64, results: &[ScenarioResult]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"bin\": \"perf_profile\",");
+    let _ = writeln!(out, "  \"nodes\": {NODES},");
+    let _ = writeln!(out, "  \"duration_s\": {duration_s},");
+    let _ = writeln!(out, "  \"seed\": {SEED},");
+    let _ = writeln!(out, "  \"scenarios\": [");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"name\": \"{}\",", r.name);
+        let _ = writeln!(out, "      \"wall_s\": {:.6},", r.wall_s);
+        let _ = writeln!(out, "      \"events\": {},", r.events);
+        let _ = writeln!(out, "      \"events_per_sec\": {:.1},", r.events_per_sec());
+        let _ = writeln!(out, "      \"peak_rss_kb\": {},", r.peak_rss_kb);
+        let _ = writeln!(out, "      \"alloc_calls\": {},", r.alloc_calls);
+        let _ = writeln!(out, "      \"alloc_bytes\": {},", r.alloc_bytes);
+        let _ = writeln!(out, "      \"delivery\": {:.6},", r.delivery);
+        let _ = writeln!(out, "      \"ring_verify_hits\": {},", r.ring_verify_hits);
+        let _ = writeln!(out, "      \"trapdoor_skipped\": {}", r.trapdoor_skipped);
+        let _ = writeln!(out, "    }}{comma}");
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Output path: `--out`/`--bench-json` flag, `AGR_BENCH_JSON`, else
+/// `BENCH_perf.json` in the working directory.
+fn out_path() -> PathBuf {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--out" || arg == "--bench-json" {
+            if let Some(p) = args.next() {
+                return PathBuf::from(p);
+            }
+        }
+    }
+    std::env::var("AGR_BENCH_JSON")
+        .ok()
+        .filter(|s| !s.trim().is_empty())
+        .map_or_else(|| PathBuf::from("BENCH_perf.json"), PathBuf::from)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let duration_s = env_u64("AGR_PERF_DURATION_S").unwrap_or(if quick { 60 } else { 300 });
+    let params = SweepParams {
+        duration: SimTime::from_secs(duration_s),
+        seeds: 1,
+        ..SweepParams::default()
+    };
+    eprintln!("perf_profile: {NODES} nodes, {duration_s} s simulated, seed {SEED}");
+
+    let plain = measure("plain", || {
+        let config = paper_config(NODES, SEED, &params);
+        World::new(config, |id, cfg, rng| {
+            Agfw::new(id, AgfwConfig::default(), cfg, rng)
+        })
+    });
+    let hardened = measure("hardened", || {
+        let config = paper_config(NODES, SEED, &params);
+        World::new(config, |id, cfg, rng| {
+            Agfw::new(id, AgfwConfig::hardened(), cfg, rng)
+        })
+    });
+    let aant = measure("aant", || {
+        // Real RSA-512 trapdoors (the paper's §5.1 device) and ring-signed
+        // hellos; key generation happens here, outside the timed window.
+        let mut key_rng = StdRng::seed_from_u64(SEED ^ 0xa5a5_5a5a);
+        let (keys, directory) =
+            KeyDirectory::generate(NODES, 512, &mut key_rng).expect("key generation");
+        let agfw_config = AgfwConfig {
+            crypto: CryptoMode::paper_real(),
+            ..AgfwConfig::default()
+        };
+        let config = paper_config(NODES, SEED, &params);
+        // One verify cache per run: a hello's ring signature is checked
+        // once, every other neighbor's verification is a cache hit.
+        let verify_cache = std::sync::Arc::new(agr_crypto::ring_sig::VerifyCache::new());
+        World::new(config, move |id, cfg, _rng| {
+            Agfw::with_keys(
+                id,
+                agfw_config,
+                cfg,
+                std::sync::Arc::clone(&keys[id.0 as usize]),
+                std::sync::Arc::clone(&directory),
+                Some(AantConfig::default()),
+            )
+            .with_ring_verify_cache(std::sync::Arc::clone(&verify_cache))
+        })
+    });
+
+    let results = [plain, hardened, aant];
+    let path = out_path();
+    std::fs::write(&path, render(duration_s, &results)).expect("write BENCH_perf.json");
+    eprintln!("perf json: {}", path.display());
+}

@@ -17,18 +17,20 @@ use agr_bench::runner::{env_u64, jobs, paper_config, par_map, PointPerf, SweepPa
 use agr_bench::{bench_json, Table};
 use agr_core::agfw::{Agfw, AgfwConfig};
 use agr_gpsr::{Gpsr, GpsrConfig};
-use agr_privacy::exposure::{agfw_exposure, gpsr_exposure};
+use agr_privacy::exposure::{AgfwExposureObserver, GpsrExposureObserver};
 use agr_privacy::metrics::anonymity_entropy;
 use agr_privacy::tracker::{
-    agfw_sightings, gpsr_sightings, link_tracks, mean_time_to_confusion, mean_tracking_accuracy,
-    LinkingParams,
+    link_tracks, mean_time_to_confusion, mean_tracking_accuracy, AgfwSightingObserver,
+    GpsrSightingObserver, LinkingParams,
 };
 use agr_sim::{NodeId, SimTime, World};
+use std::cell::RefCell;
+use std::rc::Rc;
 use std::time::Instant;
 
-/// Post-processed output of one recorded run: the two table rows plus
-/// the wall-clock record. Traces are analysed on the worker that
-/// produced them; only row strings cross threads.
+/// Post-processed output of one run: the two table rows plus the
+/// wall-clock record. Frames are folded into streaming observers on the
+/// worker that produced them; only row strings cross threads.
 struct RunRows {
     exposure: Vec<String>,
     tracking: Vec<String>,
@@ -100,15 +102,19 @@ fn main() {
     bench_json::maybe_write("privacy_eval", &perf);
 }
 
-/// Runs and analyses one recorded GPSR trace.
+/// Runs one GPSR scenario with streaming privacy observers attached —
+/// the trace is folded into aggregates on the fly, never materialised.
 fn gpsr_rows(nodes: usize, seed: u64, params: &SweepParams, t0: Instant) -> RunRows {
-    let mut config = paper_config(nodes, seed, params);
-    config.record_frames = true;
+    let config = paper_config(nodes, seed, params);
+    let exposure_obs = Rc::new(RefCell::new(GpsrExposureObserver::new()));
+    let sighting_obs = Rc::new(RefCell::new(GpsrSightingObserver::new()));
     let mut world = World::new(config, |_, _, rng| {
         Gpsr::new(GpsrConfig::greedy_only(), rng)
     });
+    world.attach_observer(Box::new(Rc::clone(&exposure_obs)));
+    world.attach_observer(Box::new(Rc::clone(&sighting_obs)));
     let stats = world.run();
-    let report = gpsr_exposure(world.frames());
+    let report = exposure_obs.borrow().report();
     let exposure = vec![
         nodes.to_string(),
         "GPSR".into(),
@@ -121,8 +127,9 @@ fn gpsr_rows(nodes: usize, seed: u64, params: &SweepParams, t0: Instant) -> RunR
     ];
     // GPSR tracking is trivially perfect — identities ride on every
     // beacon — but run the same linker for a like-for-like row.
-    let sightings = gpsr_sightings(world.frames());
-    let tracks = link_tracks(&sightings, &LinkingParams::default());
+    let sighting_obs = sighting_obs.borrow();
+    let sightings = sighting_obs.sightings();
+    let tracks = link_tracks(sightings, &LinkingParams::default());
     let (mean_set, entropy) = anonymity_stats(&mut world, nodes);
     let tracking = vec![
         nodes.to_string(),
@@ -147,15 +154,18 @@ fn gpsr_rows(nodes: usize, seed: u64, params: &SweepParams, t0: Instant) -> RunR
     }
 }
 
-/// Runs and analyses one recorded AGFW trace.
+/// Runs one AGFW scenario with streaming privacy observers attached.
 fn agfw_rows(nodes: usize, seed: u64, params: &SweepParams, t0: Instant) -> RunRows {
-    let mut config = paper_config(nodes, seed, params);
-    config.record_frames = true;
+    let config = paper_config(nodes, seed, params);
+    let exposure_obs = Rc::new(RefCell::new(AgfwExposureObserver::new()));
+    let sighting_obs = Rc::new(RefCell::new(AgfwSightingObserver::new()));
     let mut world = World::new(config, |id, cfg, rng| {
         Agfw::new(id, AgfwConfig::default(), cfg, rng)
     });
+    world.attach_observer(Box::new(Rc::clone(&exposure_obs)));
+    world.attach_observer(Box::new(Rc::clone(&sighting_obs)));
     let stats = world.run();
-    let report = agfw_exposure(world.frames());
+    let report = exposure_obs.borrow().report();
     let exposure = vec![
         nodes.to_string(),
         "AGFW".into(),
@@ -166,8 +176,9 @@ fn agfw_rows(nodes: usize, seed: u64, params: &SweepParams, t0: Instant) -> RunR
         report.mac_source_disclosures.to_string(),
         report.pseudonym_sightings.to_string(),
     ];
-    let sightings = agfw_sightings(world.frames());
-    let tracks = link_tracks(&sightings, &LinkingParams::default());
+    let sighting_obs = sighting_obs.borrow();
+    let sightings = sighting_obs.sightings();
+    let tracks = link_tracks(sightings, &LinkingParams::default());
     let accuracy = mean_tracking_accuracy(&tracks);
     // Mean time-to-confusion over all victims.
     let ttc: f64 = (0..nodes as u32)

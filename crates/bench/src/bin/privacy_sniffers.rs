@@ -15,19 +15,21 @@ use agr_bench::runner::{env_u64, jobs, paper_config, par_map, PointPerf, SweepPa
 use agr_bench::{bench_json, Table};
 use agr_core::agfw::{Agfw, AgfwConfig};
 use agr_gpsr::{Gpsr, GpsrConfig};
-use agr_privacy::exposure::{agfw_exposure, gpsr_exposure};
-use agr_privacy::sniffer::SnifferField;
+use agr_privacy::exposure::{AgfwExposureObserver, GpsrExposureObserver};
+use agr_privacy::sniffer::{SnifferField, SnifferObserver};
 use agr_privacy::tracker::{
-    agfw_sightings, gpsr_sightings, link_tracks, tracking_accuracy, LinkingParams,
+    link_tracks, tracking_accuracy, AgfwSightingObserver, GpsrSightingObserver, LinkingParams,
 };
 use agr_sim::{NodeId, SimTime, World};
+use std::cell::RefCell;
+use std::rc::Rc;
 use std::time::Instant;
 
 const SNIFFER_COUNTS: [usize; 6] = [1, 2, 4, 8, 12, 24];
 
-/// Per-sniffer-count columns harvested from one protocol's trace. The
-/// trace is observed and linked on the worker that simulated it; only
-/// these scalars cross threads.
+/// Per-sniffer-count columns harvested from one protocol's run. Each
+/// count attaches its own pair of streaming [`SnifferObserver`]s, so the
+/// full trace is never materialised; only these scalars cross threads.
 enum TraceCols {
     /// (coverage, doublets, identities, tracking accuracy) per count.
     Gpsr(Vec<(f64, u64, u64, f64)>),
@@ -49,21 +51,39 @@ fn main() {
     let started = Instant::now();
     let outputs = par_map(&tasks, jobs(), |&is_agfw| {
         let t0 = Instant::now();
-        let mut config = paper_config(50, seed, &params);
-        config.record_frames = true;
+        let config = paper_config(50, seed, &params);
         let area = config.area;
         if is_agfw {
             let mut world = World::new(config, |id, cfg, rng| {
                 Agfw::new(id, AgfwConfig::default(), cfg, rng)
             });
-            let stats = world.run();
-            let cols = SNIFFER_COUNTS
+            // One (exposure, sighting) observer pair per coverage level,
+            // each behind its own sniffer field; all stream concurrently
+            // over the single run.
+            let observers: Vec<_> = SNIFFER_COUNTS
                 .iter()
                 .map(|&count| {
-                    let field = SnifferField::grid(count, area, 250.0);
-                    let heard = field.observe(world.frames());
-                    let report = agfw_exposure(&heard);
-                    let tracks = link_tracks(&agfw_sightings(&heard), &LinkingParams::default());
+                    let exposure = Rc::new(RefCell::new(SnifferObserver::new(
+                        SnifferField::grid(count, area, 250.0),
+                        AgfwExposureObserver::new(),
+                    )));
+                    let sightings = Rc::new(RefCell::new(SnifferObserver::new(
+                        SnifferField::grid(count, area, 250.0),
+                        AgfwSightingObserver::new(),
+                    )));
+                    world.attach_observer(Box::new(Rc::clone(&exposure)));
+                    world.attach_observer(Box::new(Rc::clone(&sightings)));
+                    (exposure, sightings)
+                })
+                .collect();
+            let stats = world.run();
+            let cols = observers
+                .iter()
+                .map(|(exposure, sightings)| {
+                    let report = exposure.borrow().inner().report();
+                    let sightings = sightings.borrow();
+                    let tracks =
+                        link_tracks(sightings.inner().sightings(), &LinkingParams::default());
                     (
                         report.identity_location_doublets,
                         tracking_accuracy(&tracks, target),
@@ -84,17 +104,33 @@ fn main() {
             let mut world = World::new(config, |_, _, rng| {
                 Gpsr::new(GpsrConfig::greedy_only(), rng)
             });
-            let stats = world.run();
-            let cols = SNIFFER_COUNTS
+            let observers: Vec<_> = SNIFFER_COUNTS
                 .iter()
                 .map(|&count| {
-                    let field = SnifferField::grid(count, area, 250.0);
-                    let heard = field.observe(world.frames());
-                    let coverage = field.coverage(world.frames());
-                    let report = gpsr_exposure(&heard);
-                    let tracks = link_tracks(&gpsr_sightings(&heard), &LinkingParams::default());
+                    let exposure = Rc::new(RefCell::new(SnifferObserver::new(
+                        SnifferField::grid(count, area, 250.0),
+                        GpsrExposureObserver::new(),
+                    )));
+                    let sightings = Rc::new(RefCell::new(SnifferObserver::new(
+                        SnifferField::grid(count, area, 250.0),
+                        GpsrSightingObserver::new(),
+                    )));
+                    world.attach_observer(Box::new(Rc::clone(&exposure)));
+                    world.attach_observer(Box::new(Rc::clone(&sightings)));
+                    (exposure, sightings)
+                })
+                .collect();
+            let stats = world.run();
+            let cols = observers
+                .iter()
+                .map(|(exposure, sightings)| {
+                    let exposure = exposure.borrow();
+                    let report = exposure.inner().report();
+                    let sightings = sightings.borrow();
+                    let tracks =
+                        link_tracks(sightings.inner().sightings(), &LinkingParams::default());
                     (
-                        coverage,
+                        exposure.coverage_seen(),
                         report.identity_location_doublets,
                         report.identities_exposed,
                         tracking_accuracy(&tracks, target),

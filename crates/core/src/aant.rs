@@ -14,7 +14,7 @@
 use crate::keys::KeyDirectory;
 use crate::packet::HelloAuth;
 use crate::pseudonym::Pseudonym;
-use agr_crypto::ring_sig::{ring_sign, ring_verify};
+use agr_crypto::ring_sig::{ring_sign, ring_verify, VerifyCache};
 use agr_crypto::rsa::{RsaKeyPair, RsaPublicKey};
 use agr_geom::Point;
 use agr_sim::SimTime;
@@ -43,6 +43,9 @@ pub struct Aant {
     keypair: Arc<RsaKeyPair>,
     directory: Arc<KeyDirectory>,
     config: AantConfig,
+    /// Optional shared memoization of ring-verify verdicts (see
+    /// [`with_verify_cache`](Aant::with_verify_cache)).
+    verify_cache: Option<Arc<VerifyCache>>,
 }
 
 impl Aant {
@@ -73,7 +76,22 @@ impl Aant {
             keypair,
             directory,
             config,
+            verify_cache: None,
         }
+    }
+
+    /// Attaches a shared ring-verify memoization cache.
+    ///
+    /// A hello broadcast reaches every neighbor in radio range, and each
+    /// one verifies the *same* `(message, ring, signature)` triple; with a
+    /// cache shared across a simulation's nodes only the first receiver
+    /// pays the RSA operations. Sharing verdicts is sound because
+    /// verification is a pure function of public bytes — no per-verifier
+    /// secret enters the computation.
+    #[must_use]
+    pub fn with_verify_cache(mut self, cache: Arc<VerifyCache>) -> Self {
+        self.verify_cache = Some(cache);
+        self
     }
 
     /// The canonical byte encoding of a hello, signed and verified by both
@@ -136,18 +154,40 @@ impl Aant {
     /// blocks the forged-hello attack.
     #[must_use]
     pub fn verify_hello(&self, n: Pseudonym, loc: Point, ts: SimTime, auth: &HelloAuth) -> bool {
+        self.verify_hello_cached(n, loc, ts, auth).0
+    }
+
+    /// [`verify_hello`](Aant::verify_hello), reporting cache usage.
+    ///
+    /// Returns `(valid, hit)` where `hit` is true when the verdict came
+    /// from the attached [`VerifyCache`] instead of being recomputed
+    /// (always false without a cache).
+    #[must_use]
+    pub fn verify_hello_cached(
+        &self,
+        n: Pseudonym,
+        loc: Point,
+        ts: SimTime,
+        auth: &HelloAuth,
+    ) -> (bool, bool) {
         if auth.ring_ids.is_empty() {
-            return false;
+            return (false, false);
         }
         let mut ring = Vec::with_capacity(auth.ring_ids.len());
         for &id in &auth.ring_ids {
             match self.directory.public_key(id) {
                 Some(k) => ring.push(k.clone()),
-                None => return false,
+                None => return (false, false),
             }
         }
         let message = Self::hello_message(n, loc, ts);
-        ring_verify(&message, &ring, &auth.signature).is_ok()
+        match &self.verify_cache {
+            Some(cache) => {
+                let (verdict, hit) = cache.verify(&message, &ring, &auth.signature);
+                (verdict.is_ok(), hit)
+            }
+            None => (ring_verify(&message, &ring, &auth.signature).is_ok(), false),
+        }
     }
 
     /// The configured ring size.

@@ -494,6 +494,13 @@ pub struct Agfw {
     /// arm a watch no later event could clear (empty unless the defense
     /// is enabled).
     forward_seen: HashSet<u64>,
+    /// Real-mode trapdoors this node already failed to open. A trapdoor
+    /// is bound to one destination key, so a failed open can never
+    /// succeed later at the same node — retransmissions and repeated
+    /// last-attempt broadcasts of the same packet skip the RSA decrypt
+    /// (the modelled *time* cost is still charged; see
+    /// [`Agfw::trapdoor_opens`]). Always empty in Modeled mode.
+    trapdoor_misses: HashSet<Trapdoor>,
 }
 
 impl Agfw {
@@ -616,7 +623,19 @@ impl Agfw {
             als,
             watched: HashMap::new(),
             forward_seen: HashSet::new(),
+            trapdoor_misses: HashSet::new(),
         }
+    }
+
+    /// Attaches a shared ring-verify memoization cache to this node's
+    /// AANT verifier (no-op without AANT). Typically one cache is shared
+    /// by every node of a world, so a hello's signature is verified once
+    /// per broadcast instead of once per neighbor; cache hits surface as
+    /// the `crypto.ring_verify_hits` counter.
+    #[must_use]
+    pub fn with_ring_verify_cache(mut self, cache: Arc<agr_crypto::ring_sig::VerifyCache>) -> Self {
+        self.aant = self.aant.map(|a| a.with_verify_cache(cache));
+        self
     }
 
     /// Read access to the node's ANT (tests and analysis).
@@ -643,12 +662,27 @@ impl Agfw {
         ctx.set_timer(delay, OP_BASE + id);
     }
 
-    fn trapdoor_opens(&self, trapdoor: &TrapdoorWire) -> bool {
+    /// Whether `trapdoor` opens for this node, as `(opened, skipped)`.
+    ///
+    /// `skipped` is true when a Real-mode decrypt was elided because this
+    /// exact ciphertext already failed here (negative cache) — the
+    /// *simulated* decrypt delay is charged by the caller either way, so
+    /// the cache changes host wall-clock only, never simulation
+    /// behaviour. Only failures are cached: success means the packet is
+    /// ours and terminates.
+    fn trapdoor_opens(&mut self, trapdoor: &TrapdoorWire) -> (bool, bool) {
         match trapdoor {
-            TrapdoorWire::Modeled { dest, .. } => *dest == self.my_id,
+            TrapdoorWire::Modeled { dest, .. } => (*dest == self.my_id, false),
             TrapdoorWire::Real(t) => {
+                if self.trapdoor_misses.contains(t) {
+                    return (false, true);
+                }
                 let keys = self.keys.as_ref().expect("Real mode has keys");
-                t.try_open(keys).is_some()
+                let opened = t.try_open(keys).is_some();
+                if !opened {
+                    self.trapdoor_misses.insert(t.clone());
+                }
+                (opened, false)
             }
         }
     }
@@ -845,7 +879,10 @@ impl Agfw {
         if in_last_hop_region && allow_open {
             // Spend a trapdoor-open attempt (8.5 ms of modelled RSA).
             ctx.count("agfw.trapdoor_attempt");
-            let opened = self.trapdoor_opens(&data.trapdoor);
+            let (opened, skipped) = self.trapdoor_opens(&data.trapdoor);
+            if skipped {
+                ctx.count("crypto.trapdoor_skipped");
+            }
             let delay = self.config.crypto.decrypt_delay();
             self.schedule_op(
                 ctx,
@@ -1099,7 +1136,13 @@ impl Agfw {
         }
     }
 
-    fn handle_data(&mut self, ctx: &mut Ctx<'_, AgfwPacket>, data: AgfwData) {
+    /// Handles a data packet borrowed from the shared broadcast payload.
+    ///
+    /// The dominant path — overhearing a packet addressed to someone else
+    /// and discarding it — touches no owned copy at all; the packet is
+    /// cloned out of the `Arc` only at the two points where this node
+    /// commits to doing something with it (trapdoor open, relay).
+    fn handle_data(&mut self, ctx: &mut Ctx<'_, AgfwPacket>, data: &AgfwData) {
         if self.config.defense.enabled && !self.pseudonyms.owns(data.next) {
             if self.watched.remove(&data.uid).is_some() {
                 // Overhearing a copy of a watched packet addressed onward
@@ -1125,13 +1168,16 @@ impl Agfw {
             }
             // Everyone hearing the last attempt tries the trapdoor.
             ctx.count("agfw.trapdoor_attempt");
-            let opened = self.trapdoor_opens(&data.trapdoor);
+            let (opened, skipped) = self.trapdoor_opens(&data.trapdoor);
+            if skipped {
+                ctx.count("crypto.trapdoor_skipped");
+            }
             let delay = self.config.crypto.decrypt_delay();
             self.schedule_op(
                 ctx,
                 delay,
                 PendingOp::AfterDecrypt {
-                    data,
+                    data: data.clone(),
                     opened,
                     last_attempt: true,
                 },
@@ -1154,13 +1200,13 @@ impl Agfw {
             if self.config.piggyback_acks {
                 // Queue first so the ACK rides on the forwarded packet.
                 self.queue_ack(ctx, data.uid, data.next);
-                self.dispatch_packet(ctx, data, true);
+                self.dispatch_packet(ctx, data.clone(), true);
             } else {
                 // Forward first: the explicit ACK otherwise sits ahead of
                 // the data in the MAC queue and delays every hop.
                 let uid = data.uid;
                 let to = data.next;
-                self.dispatch_packet(ctx, data, true);
+                self.dispatch_packet(ctx, data.clone(), true);
                 self.queue_ack(ctx, uid, to);
             }
         } else {
@@ -1560,7 +1606,7 @@ impl Agfw {
     }
 
     /// Receive path for geo-routed service messages.
-    fn handle_als(&mut self, ctx: &mut Ctx<'_, AgfwPacket>, mut msg: AlsNetMessage) {
+    fn handle_als(&mut self, ctx: &mut Ctx<'_, AgfwPacket>, msg: &AlsNetMessage) {
         if self.als.is_none() {
             return; // service disabled at this node
         }
@@ -1581,7 +1627,7 @@ impl Agfw {
             return;
         }
         if last_attempt {
-            if self.als_try_consume(ctx, &msg, false) && Self::als_acked(&msg.kind) {
+            if self.als_try_consume(ctx, msg, false) && Self::als_acked(&msg.kind) {
                 self.queue_ack(ctx, msg.uid, Pseudonym::LAST_ATTEMPT);
             }
             return;
@@ -1598,6 +1644,9 @@ impl Agfw {
             }
             return;
         }
+        // Committed to relaying: clone the message out of the shared
+        // broadcast payload.
+        let mut msg = msg.clone();
         msg.ttl -= 1;
         // A blackhole/grayhole relay kills service messages too — while
         // still acknowledging the hop, exactly like the data path.
@@ -1725,7 +1774,7 @@ impl Protocol for Agfw {
     fn on_receive(
         &mut self,
         ctx: &mut Ctx<'_, AgfwPacket>,
-        packet: AgfwPacket,
+        packet: &AgfwPacket,
         from: Option<MacAddr>,
     ) {
         debug_assert!(from.is_none(), "AGFW frames must be anonymous broadcasts");
@@ -1737,11 +1786,16 @@ impl Protocol for Agfw {
                 ts,
                 auth,
             } => {
+                let (n, loc, vel, ts) = (*n, *loc, *vel, *ts);
                 if let Some(aant) = &self.aant {
                     ctx.count("aant.verify");
-                    let ok = auth
-                        .as_ref()
-                        .is_some_and(|a| aant.verify_hello(n, loc, ts, a));
+                    let (ok, hit) = match auth.as_ref() {
+                        Some(a) => aant.verify_hello_cached(n, loc, ts, a),
+                        None => (false, false),
+                    };
+                    if hit {
+                        ctx.count("crypto.ring_verify_hits");
+                    }
                     if !ok {
                         ctx.count("aant.reject");
                         return;
@@ -1789,14 +1843,14 @@ impl Protocol for Agfw {
                                 loc,
                                 vel,
                                 ts,
-                                auth,
+                                auth: auth.clone(),
                             },
                         },
                     );
                 }
             }
             AgfwPacket::NlAck { acks } => {
-                for ack in acks {
+                for &ack in acks {
                     self.process_ack(ctx, ack);
                 }
             }
@@ -1809,16 +1863,13 @@ impl Protocol for Agfw {
         // Start the ACK timer only once the broadcast actually left the
         // MAC (queueing under contention would otherwise eat the timeout
         // budget). Data and location-service messages share the machinery.
-        let uid = match outcome {
-            MacOutcome::Sent {
-                packet: AgfwPacket::Data(d),
-                ..
-            } => d.uid,
-            MacOutcome::Sent {
-                packet: AgfwPacket::Als(m),
-                ..
-            } => m.uid,
-            _ => return,
+        let uid = match &outcome {
+            MacOutcome::Sent { packet, .. } => match packet.as_ref() {
+                AgfwPacket::Data(d) => d.uid,
+                AgfwPacket::Als(m) => m.uid,
+                _ => return,
+            },
+            MacOutcome::Failed { .. } => return,
         };
         if let Some(p) = self.pending_acks.get(&uid) {
             let generation = p.generation;

@@ -64,7 +64,7 @@ impl Protocol for NodeKind {
     fn on_receive(
         &mut self,
         ctx: &mut Ctx<'_, AgfwPacket>,
-        packet: AgfwPacket,
+        packet: &AgfwPacket,
         from: Option<MacAddr>,
     ) {
         match self {

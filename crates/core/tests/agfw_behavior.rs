@@ -363,7 +363,7 @@ fn hello_packets_expose_no_identity() {
     let mut pseudonyms_node0 = Vec::new();
     for frame in world.frames() {
         if frame.tx_node == NodeId(0) {
-            if let Some(AgfwPacket::Hello { n, .. }) = &frame.packet {
+            if let Some(AgfwPacket::Hello { n, .. }) = frame.packet.as_deref() {
                 pseudonyms_node0.push(*n);
             }
         }

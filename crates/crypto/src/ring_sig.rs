@@ -36,6 +36,8 @@ use crate::prime::random_below;
 use crate::rsa::{RsaKeyPair, RsaPublicKey};
 use crate::sha256::Sha256;
 use rand::Rng;
+use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// Extra domain bits above the largest ring modulus.
 ///
@@ -181,6 +183,118 @@ pub fn ring_verify(
         Ok(())
     } else {
         Err(CryptoError::BadSignature)
+    }
+}
+
+/// Content-keyed memoization of [`ring_verify`] verdicts.
+///
+/// Ring verification is a pure function of `(message, ring, signature)`:
+/// the verdict depends on nothing else, so it can be memoized under a
+/// digest of exactly those bytes. The payoff is the broadcast fan-out of
+/// an authenticated hello — every neighbor in radio range verifies the
+/// *same* triple, and with a shared cache only the first receiver pays
+/// the `ring_size` modular exponentiations; the rest pay one SHA-256.
+///
+/// The cache stores `BadSignature` verdicts too (an attacker replaying a
+/// forged hello costs one verification total, not one per receiver), but
+/// *structural* failures — empty ring, shape mismatch — are rejected
+/// before the cache is consulted, exactly as [`ring_verify`] rejects
+/// them.
+///
+/// Interior mutability (a [`Mutex`]) keeps the sharing API simple
+/// (`Arc<VerifyCache>`); uncontended lock acquisition is noise next to
+/// even one RSA operation.
+#[derive(Debug, Default)]
+pub struct VerifyCache {
+    verdicts: Mutex<HashMap<[u8; 32], bool>>,
+}
+
+impl VerifyCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct `(message, ring, signature)` triples cached.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.verdicts.lock().expect("cache lock poisoned").len()
+    }
+
+    /// True if nothing has been cached yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Digest of everything the verdict depends on. Each variable-length
+    /// component is length-prefixed so distinct triples cannot collide by
+    /// concatenation.
+    fn digest(message: &[u8], ring: &[RsaPublicKey], signature: &RingSignature) -> [u8; 32] {
+        let mut h = Sha256::new();
+        let mut part = |bytes: &[u8]| {
+            h.update(&(bytes.len() as u64).to_be_bytes());
+            h.update(bytes);
+        };
+        for key in ring {
+            part(&key.modulus().to_bytes_be());
+            part(&key.exponent().to_bytes_be());
+        }
+        part(message);
+        part(&signature.v);
+        for x in &signature.xs {
+            part(&x.to_bytes_be());
+        }
+        h.finalize()
+    }
+
+    /// [`ring_verify`] through the cache.
+    ///
+    /// Returns `(verdict, hit)`: the verdict [`ring_verify`] would return,
+    /// and whether it came from the cache instead of being recomputed.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors of [`ring_verify`]; a cached rejection surfaces
+    /// as [`CryptoError::BadSignature`].
+    pub fn verify(
+        &self,
+        message: &[u8],
+        ring: &[RsaPublicKey],
+        signature: &RingSignature,
+    ) -> (Result<(), CryptoError>, bool) {
+        // Structural checks are cheap and keep malformed input out of the
+        // digest space.
+        if ring.is_empty() {
+            return (Err(CryptoError::BadRing("empty ring")), false);
+        }
+        if signature.xs.len() != ring.len() {
+            return (
+                Err(CryptoError::BadRing("signature size does not match ring")),
+                false,
+            );
+        }
+        let digest = Self::digest(message, ring, signature);
+        if let Some(&valid) = self
+            .verdicts
+            .lock()
+            .expect("cache lock poisoned")
+            .get(&digest)
+        {
+            let verdict = if valid {
+                Ok(())
+            } else {
+                Err(CryptoError::BadSignature)
+            };
+            return (verdict, true);
+        }
+        let verdict = ring_verify(message, ring, signature);
+        self.verdicts
+            .lock()
+            .expect("cache lock poisoned")
+            .insert(digest, verdict.is_ok());
+        (verdict, false)
     }
 }
 
@@ -403,6 +517,75 @@ mod tests {
         let s1 = ring_sign(b"m", &pubs, 0, &keys[0], &mut r).unwrap();
         let s2 = ring_sign(b"m", &pubs, 0, &keys[0], &mut r).unwrap();
         assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn verify_cache_memoizes_valid_and_invalid() {
+        let (keys, pubs) = make_ring(3, 128, 24);
+        let sig = ring_sign(b"hello", &pubs, 1, &keys[1], &mut rng(25)).unwrap();
+        let cache = VerifyCache::new();
+        assert!(cache.is_empty());
+
+        let (v1, hit1) = cache.verify(b"hello", &pubs, &sig);
+        assert_eq!(v1, Ok(()));
+        assert!(!hit1, "first verification must be computed");
+        let (v2, hit2) = cache.verify(b"hello", &pubs, &sig);
+        assert_eq!(v2, Ok(()));
+        assert!(hit2, "second verification must come from the cache");
+
+        // A rejection is cached too — and stays a rejection.
+        let (b1, bh1) = cache.verify(b"tampered", &pubs, &sig);
+        assert_eq!(b1, Err(CryptoError::BadSignature));
+        assert!(!bh1);
+        let (b2, bh2) = cache.verify(b"tampered", &pubs, &sig);
+        assert_eq!(b2, Err(CryptoError::BadSignature));
+        assert!(bh2);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn verify_cache_distinguishes_rings() {
+        let (keys, pubs) = make_ring(2, 128, 26);
+        let (_, other_pubs) = make_ring(2, 128, 27);
+        let sig = ring_sign(b"m", &pubs, 0, &keys[0], &mut rng(28)).unwrap();
+        let cache = VerifyCache::new();
+        assert_eq!(cache.verify(b"m", &pubs, &sig).0, Ok(()));
+        // Same message and signature, different ring: distinct cache key,
+        // and the verdict flips.
+        let (verdict, hit) = cache.verify(b"m", &other_pubs, &sig);
+        assert_eq!(verdict, Err(CryptoError::BadSignature));
+        assert!(!hit);
+    }
+
+    #[test]
+    fn verify_cache_rejects_malformed_without_caching() {
+        let (keys, pubs) = make_ring(2, 128, 29);
+        let sig = ring_sign(b"m", &pubs, 0, &keys[0], &mut rng(30)).unwrap();
+        let cache = VerifyCache::new();
+        assert!(matches!(
+            cache.verify(b"m", &[], &sig),
+            (Err(CryptoError::BadRing(_)), false)
+        ));
+        assert!(matches!(
+            cache.verify(b"m", &pubs[..1], &sig),
+            (Err(CryptoError::BadRing(_)), false)
+        ));
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn cached_verdicts_match_uncached() {
+        let (keys, pubs) = make_ring(3, 128, 31);
+        let cache = VerifyCache::new();
+        let mut r = rng(32);
+        for (s, key) in keys.iter().enumerate() {
+            let sig = ring_sign(b"beacon", &pubs, s, key, &mut r).unwrap();
+            let direct = ring_verify(b"beacon", &pubs, &sig);
+            // Run twice: computed then cached, both equal to the direct
+            // verdict.
+            assert_eq!(cache.verify(b"beacon", &pubs, &sig).0, direct);
+            assert_eq!(cache.verify(b"beacon", &pubs, &sig).0, direct);
+        }
     }
 
     #[test]

@@ -259,14 +259,14 @@ impl Protocol for Gpsr {
     fn on_receive(
         &mut self,
         ctx: &mut Ctx<'_, GpsrPacket>,
-        packet: GpsrPacket,
+        packet: &GpsrPacket,
         _from: Option<MacAddr>,
     ) {
         match packet {
             GpsrPacket::Beacon { id, pos } => {
-                self.table.update(id, pos, ctx.now());
+                self.table.update(*id, *pos, ctx.now());
             }
-            GpsrPacket::Data(mut header) => {
+            GpsrPacket::Data(header) => {
                 if header.dst == ctx.my_id() {
                     ctx.deliver_data(header.tag);
                     return;
@@ -280,6 +280,9 @@ impl Protocol for Gpsr {
                 if ctx.adversary_drops() {
                     return;
                 }
+                // Committed to forwarding: clone the header out of the
+                // shared broadcast payload.
+                let mut header = *header;
                 header.ttl -= 1;
                 self.forward(ctx, header);
             }
@@ -289,15 +292,17 @@ impl Protocol for Gpsr {
     fn on_mac_result(&mut self, ctx: &mut Ctx<'_, GpsrPacket>, outcome: MacOutcome<GpsrPacket>) {
         if let MacOutcome::Failed {
             dst: MacDst::Unicast(addr),
-            packet: GpsrPacket::Data(header),
+            packet,
         } = outcome
         {
-            // The chosen neighbor never acknowledged: it has moved away or
-            // died. Evict it and re-route the packet (GPSR's reaction to
-            // MAC-layer feedback).
-            self.table.remove(NodeId(addr.0));
-            ctx.count("gpsr.neighbor_evicted");
-            self.forward(ctx, header);
+            if let GpsrPacket::Data(header) = packet.as_ref() {
+                // The chosen neighbor never acknowledged: it has moved away
+                // or died. Evict it and re-route the packet (GPSR's
+                // reaction to MAC-layer feedback).
+                self.table.remove(NodeId(addr.0));
+                ctx.count("gpsr.neighbor_evicted");
+                self.forward(ctx, *header);
+            }
         }
     }
 }

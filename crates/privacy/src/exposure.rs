@@ -7,7 +7,7 @@
 
 use agr_core::AgfwPacket;
 use agr_gpsr::GpsrPacket;
-use agr_sim::{FrameRecord, FrameType};
+use agr_sim::{FrameObserver, FrameRecord, FrameType};
 use std::collections::HashSet;
 
 /// What a global passive eavesdropper extracted from a trace.
@@ -41,6 +41,109 @@ impl ExposureReport {
     }
 }
 
+/// Streaming exposure accounting for GPSR traces.
+///
+/// Implements [`FrameObserver`], so it can be attached to a running world
+/// and consume each frame as it goes on the air instead of requiring the
+/// whole trace in memory.
+#[derive(Debug, Default)]
+pub struct GpsrExposureObserver {
+    report: ExposureReport,
+    identities: HashSet<u64>,
+}
+
+impl GpsrExposureObserver {
+    /// Creates an observer with an empty report.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accounts one eavesdropped frame.
+    pub fn observe(&mut self, frame: &FrameRecord<GpsrPacket>) {
+        self.report.frames_observed += 1;
+        if let Some(src) = frame.src_mac {
+            self.report.mac_source_disclosures += 1;
+            // The adversary localises the transmitter and reads its MAC:
+            // a doublet even without parsing the payload.
+            self.report.identity_location_doublets += 1;
+            self.identities.insert(u64::from(src.0));
+        }
+        match frame.packet.as_deref() {
+            Some(GpsrPacket::Beacon { id, .. }) => {
+                self.report.identity_location_doublets += 1;
+                self.identities.insert(u64::from(id.0));
+            }
+            Some(GpsrPacket::Data(header)) => {
+                self.report.identity_location_doublets += 1;
+                self.identities.insert(u64::from(header.dst.0));
+            }
+            None => {}
+        }
+    }
+
+    /// The report accumulated so far.
+    #[must_use]
+    pub fn report(&self) -> ExposureReport {
+        let mut report = self.report.clone();
+        report.identities_exposed = self.identities.len() as u64;
+        report
+    }
+}
+
+impl FrameObserver<GpsrPacket> for GpsrExposureObserver {
+    fn on_frame(&mut self, frame: &FrameRecord<GpsrPacket>) {
+        self.observe(frame);
+    }
+}
+
+/// Streaming exposure accounting for AGFW traces — see
+/// [`GpsrExposureObserver`].
+#[derive(Debug, Default)]
+pub struct AgfwExposureObserver {
+    report: ExposureReport,
+}
+
+impl AgfwExposureObserver {
+    /// Creates an observer with an empty report.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accounts one eavesdropped frame.
+    pub fn observe(&mut self, frame: &FrameRecord<AgfwPacket>) {
+        self.report.frames_observed += 1;
+        if frame.src_mac.is_some() {
+            self.report.mac_source_disclosures += 1;
+            self.report.identity_location_doublets += 1;
+        }
+        match frame.packet.as_deref() {
+            Some(AgfwPacket::Hello { .. }) => {
+                self.report.pseudonym_sightings += 1;
+            }
+            Some(AgfwPacket::Data(_)) if frame.frame_type == FrameType::Data => {
+                // Data headers carry a location and a pseudonym — no
+                // identity. Counted as a sighting of the *next hop*.
+                self.report.pseudonym_sightings += 1;
+            }
+            _ => {}
+        }
+    }
+
+    /// The report accumulated so far.
+    #[must_use]
+    pub fn report(&self) -> ExposureReport {
+        self.report.clone()
+    }
+}
+
+impl FrameObserver<AgfwPacket> for AgfwExposureObserver {
+    fn on_frame(&mut self, frame: &FrameRecord<AgfwPacket>) {
+        self.observe(frame);
+    }
+}
+
 /// Analyses a GPSR trace.
 ///
 /// Every beacon pairs the sender's identity with its position; every data
@@ -49,31 +152,11 @@ impl ExposureReport {
 /// identity. This is threat source 1) of §2.
 #[must_use]
 pub fn gpsr_exposure(frames: &[FrameRecord<GpsrPacket>]) -> ExposureReport {
-    let mut report = ExposureReport::default();
-    let mut identities: HashSet<u64> = HashSet::new();
+    let mut observer = GpsrExposureObserver::new();
     for frame in frames {
-        report.frames_observed += 1;
-        if let Some(src) = frame.src_mac {
-            report.mac_source_disclosures += 1;
-            // The adversary localises the transmitter and reads its MAC:
-            // a doublet even without parsing the payload.
-            report.identity_location_doublets += 1;
-            identities.insert(u64::from(src.0));
-        }
-        match &frame.packet {
-            Some(GpsrPacket::Beacon { id, .. }) => {
-                report.identity_location_doublets += 1;
-                identities.insert(u64::from(id.0));
-            }
-            Some(GpsrPacket::Data(header)) => {
-                report.identity_location_doublets += 1;
-                identities.insert(u64::from(header.dst.0));
-            }
-            None => {}
-        }
+        observer.observe(frame);
     }
-    report.identities_exposed = identities.len() as u64;
-    report
+    observer.report()
 }
 
 /// Analyses an AGFW trace.
@@ -83,26 +166,11 @@ pub fn gpsr_exposure(frames: &[FrameRecord<GpsrPacket>]) -> ExposureReport {
 /// tallied as the identity-free residue available for linking attacks.
 #[must_use]
 pub fn agfw_exposure(frames: &[FrameRecord<AgfwPacket>]) -> ExposureReport {
-    let mut report = ExposureReport::default();
+    let mut observer = AgfwExposureObserver::new();
     for frame in frames {
-        report.frames_observed += 1;
-        if frame.src_mac.is_some() {
-            report.mac_source_disclosures += 1;
-            report.identity_location_doublets += 1;
-        }
-        match &frame.packet {
-            Some(AgfwPacket::Hello { .. }) => {
-                report.pseudonym_sightings += 1;
-            }
-            Some(AgfwPacket::Data(_)) if frame.frame_type == FrameType::Data => {
-                // Data headers carry a location and a pseudonym — no
-                // identity. Counted as a sighting of the *next hop*.
-                report.pseudonym_sightings += 1;
-            }
-            _ => {}
-        }
+        observer.observe(frame);
     }
-    report
+    observer.report()
 }
 
 #[cfg(test)]
@@ -119,7 +187,7 @@ mod tests {
             src_mac,
             dst_mac: None,
             frame_type: FrameType::Data,
-            packet,
+            packet: packet.map(std::sync::Arc::new),
         }
     }
 

@@ -9,7 +9,7 @@
 //! even full coverage help against AGFW?
 
 use agr_geom::{Point, Rect};
-use agr_sim::FrameRecord;
+use agr_sim::{FrameObserver, FrameRecord};
 use rand::Rng;
 
 /// A field of stationary passive sniffers.
@@ -117,6 +117,65 @@ impl SnifferField {
     }
 }
 
+/// Streams a live frame feed through a [`SnifferField`]: frames the field
+/// overhears are forwarded to the wrapped observer, the rest are dropped.
+///
+/// This composes with the streaming evaluators in [`crate::exposure`] and
+/// [`crate::tracker`], so bounded-coverage adversaries can be evaluated
+/// online without recording the full trace first.
+#[derive(Debug)]
+pub struct SnifferObserver<O> {
+    field: SnifferField,
+    heard: u64,
+    total: u64,
+    inner: O,
+}
+
+impl<O> SnifferObserver<O> {
+    /// Wraps `inner` behind `field`'s coverage.
+    #[must_use]
+    pub fn new(field: SnifferField, inner: O) -> Self {
+        SnifferObserver {
+            field,
+            heard: 0,
+            total: 0,
+            inner,
+        }
+    }
+
+    /// The wrapped observer.
+    #[must_use]
+    pub fn inner(&self) -> &O {
+        &self.inner
+    }
+
+    /// Consumes the wrapper, returning the wrapped observer.
+    #[must_use]
+    pub fn into_inner(self) -> O {
+        self.inner
+    }
+
+    /// Fraction of the streamed frames the field overheard.
+    #[must_use]
+    pub fn coverage_seen(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.heard as f64 / self.total as f64
+        }
+    }
+}
+
+impl<PKT, O: FrameObserver<PKT>> FrameObserver<PKT> for SnifferObserver<O> {
+    fn on_frame(&mut self, frame: &FrameRecord<PKT>) {
+        self.total += 1;
+        if self.field.hears(frame.tx_pos) {
+            self.heard += 1;
+            self.inner.on_frame(frame);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -132,7 +191,7 @@ mod tests {
             src_mac: None,
             dst_mac: None,
             frame_type: FrameType::Data,
-            packet: Some(7),
+            packet: Some(std::sync::Arc::new(7)),
         }
     }
 

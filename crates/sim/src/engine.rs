@@ -108,6 +108,16 @@ impl EventQueue {
         EventQueue::default()
     }
 
+    /// Creates an empty queue with room for `cap` events before the
+    /// backing heap reallocates.
+    #[must_use]
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+        }
+    }
+
     /// Schedules `event` at absolute time `t`.
     pub fn push(&mut self, t: SimTime, event: Event) {
         let seq = self.next_seq;

@@ -36,7 +36,7 @@
 //!     fn on_app_send(&mut self, ctx: &mut Ctx<'_, Flood>, _dest: NodeId, tag: FlowTag) {
 //!         ctx.mac_broadcast(Flood(tag), 64);
 //!     }
-//!     fn on_receive(&mut self, ctx: &mut Ctx<'_, Flood>, pkt: Flood, _from: Option<MacAddr>) {
+//!     fn on_receive(&mut self, ctx: &mut Ctx<'_, Flood>, pkt: &Flood, _from: Option<MacAddr>) {
 //!         ctx.deliver_data(pkt.0);
 //!     }
 //! }
@@ -79,7 +79,7 @@ pub use fault::{ChurnEvent, FaultPlan, GilbertElliott, LinkChannel, LossModel, S
 pub use protocol::{Ctx, FlowTag, MacDst, MacOutcome, Protocol};
 pub use stats::{FlowStats, Stats};
 pub use time::SimTime;
-pub use world::{FrameRecord, FrameType, World};
+pub use world::{FrameObserver, FrameRecord, FrameType, RecordingObserver, World};
 
 /// Identifier of a simulated node.
 ///

@@ -26,8 +26,14 @@ use crate::protocol::MacDst;
 use crate::time::SimTime;
 use crate::MacAddr;
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 /// MAC frame types.
+///
+/// Data payloads are held behind a shared [`Arc`] handle: a broadcast
+/// heard by N neighbors (and a unicast's RTS/CTS retry chain) costs O(1)
+/// payload clones instead of O(N·retries) — every copy the MAC, the PHY
+/// fan-out, and the eavesdropper trace make is a reference-count bump.
 #[derive(Debug, Clone)]
 pub(crate) enum MacFrameKind<PKT> {
     /// Request-to-send (unicast reservation).
@@ -38,8 +44,8 @@ pub(crate) enum MacFrameKind<PKT> {
     Ack,
     /// A data frame carrying a network-layer packet.
     Data {
-        /// The routing-layer packet.
-        payload: PKT,
+        /// The routing-layer packet (shared, never mutated in flight).
+        payload: Arc<PKT>,
         /// True for local broadcasts.
         broadcast: bool,
     },
@@ -63,7 +69,7 @@ pub(crate) struct MacFrame<PKT> {
 /// A queued outgoing packet.
 #[derive(Debug)]
 pub(crate) struct OutPkt<PKT> {
-    pub payload: PKT,
+    pub payload: Arc<PKT>,
     pub dst: MacDst,
     /// Network-layer bytes (MAC overhead added by the PHY airtime model).
     pub bytes: u32,

@@ -239,7 +239,7 @@ mod tests {
     fn frame() -> MacFrame<u32> {
         MacFrame {
             kind: MacFrameKind::Data {
-                payload: 7,
+                payload: std::sync::Arc::new(7),
                 broadcast: true,
             },
             src: None,

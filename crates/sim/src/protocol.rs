@@ -10,6 +10,7 @@ pub use crate::world::Ctx;
 
 use crate::time::SimTime;
 use crate::{MacAddr, NodeId};
+use std::sync::Arc;
 
 /// Identifies one application packet end-to-end for statistics.
 ///
@@ -41,6 +42,10 @@ pub enum MacDst {
 }
 
 /// Result of a MAC transmission attempt, reported back to the protocol.
+///
+/// The packet comes back as the shared [`Arc`] handle the MAC held; a
+/// protocol that needs to re-route it clones the payload out (the rare
+/// path), while the common read-only inspection costs nothing.
 #[derive(Debug, Clone)]
 pub enum MacOutcome<PKT> {
     /// The frame was transmitted (and, for unicast, acknowledged).
@@ -48,7 +53,7 @@ pub enum MacOutcome<PKT> {
         /// Where the frame went.
         dst: MacDst,
         /// The packet, returned to the protocol.
-        packet: PKT,
+        packet: Arc<PKT>,
     },
     /// A unicast frame exhausted its retry limit without an ACK —
     /// the neighbor is gone or unreachable. GPSR uses this to evict the
@@ -57,7 +62,7 @@ pub enum MacOutcome<PKT> {
         /// The unreachable destination.
         dst: MacDst,
         /// The unsent packet, returned for re-routing.
-        packet: PKT,
+        packet: Arc<PKT>,
     },
 }
 
@@ -68,7 +73,8 @@ pub enum MacOutcome<PKT> {
 /// and reception.
 pub trait Protocol: Sized {
     /// The protocol's network-layer packet type, carried opaquely by the
-    /// MAC and cloned once per in-range receiver.
+    /// MAC behind a shared handle: a broadcast heard by N receivers bumps
+    /// a reference count N times instead of deep-cloning N times.
     type Packet: Clone + std::fmt::Debug + 'static;
 
     /// Called once at simulation start (schedule beacons here).
@@ -91,11 +97,14 @@ pub trait Protocol: Sized {
     /// A frame addressed to this node (or broadcast) was received.
     ///
     /// `from` is the source MAC address, or `None` for anonymous
-    /// broadcasts (AGFW frames carry no source address).
+    /// broadcasts (AGFW frames carry no source address). The packet is
+    /// borrowed from the shared broadcast payload: the dominant
+    /// overhear-and-discard path costs no clone at all, and a protocol
+    /// that commits to forwarding clones exactly the fields it keeps.
     fn on_receive(
         &mut self,
         ctx: &mut Ctx<'_, Self::Packet>,
-        packet: Self::Packet,
+        packet: &Self::Packet,
         from: Option<MacAddr>,
     );
 

@@ -31,21 +31,42 @@ impl SimTime {
     }
 
     /// Creates a time from whole microseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value overflows the nanosecond range (~584 years).
     #[must_use]
     pub const fn from_micros(us: u64) -> Self {
-        SimTime(us * 1_000)
+        match us.checked_mul(1_000) {
+            Some(ns) => SimTime(ns),
+            None => panic!("SimTime overflow: microseconds exceed the u64 nanosecond range"),
+        }
     }
 
     /// Creates a time from whole milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value overflows the nanosecond range (~584 years).
     #[must_use]
     pub const fn from_millis(ms: u64) -> Self {
-        SimTime(ms * 1_000_000)
+        match ms.checked_mul(1_000_000) {
+            Some(ns) => SimTime(ns),
+            None => panic!("SimTime overflow: milliseconds exceed the u64 nanosecond range"),
+        }
     }
 
     /// Creates a time from whole seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value overflows the nanosecond range (~584 years).
     #[must_use]
     pub const fn from_secs(s: u64) -> Self {
-        SimTime(s * 1_000_000_000)
+        match s.checked_mul(1_000_000_000) {
+            Some(ns) => SimTime(ns),
+            None => panic!("SimTime overflow: seconds exceed the u64 nanosecond range"),
+        }
     }
 
     /// Creates a time from fractional seconds (rounded to nanoseconds).
@@ -84,9 +105,16 @@ impl SimTime {
     }
 
     /// Scales a duration by an integer factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the product overflows the nanosecond range.
     #[must_use]
     pub const fn mul(self, factor: u64) -> SimTime {
-        SimTime(self.0 * factor)
+        match self.0.checked_mul(factor) {
+            Some(ns) => SimTime(ns),
+            None => panic!("SimTime overflow: scaled duration exceeds the u64 nanosecond range"),
+        }
     }
 }
 
@@ -169,5 +197,42 @@ mod tests {
     #[should_panic(expected = "invalid time")]
     fn negative_seconds_rejected() {
         let _ = SimTime::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn constructors_accept_largest_representable_values() {
+        assert_eq!(SimTime::from_micros(u64::MAX / 1_000).as_nanos() % 1_000, 0);
+        assert_eq!(
+            SimTime::from_secs(u64::MAX / 1_000_000_000).as_nanos() % 1_000_000_000,
+            0
+        );
+        assert_eq!(
+            SimTime::from_nanos(1).mul(u64::MAX),
+            SimTime::from_nanos(u64::MAX)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "SimTime overflow")]
+    fn from_micros_overflow_panics() {
+        let _ = SimTime::from_micros(u64::MAX / 1_000 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "SimTime overflow")]
+    fn from_millis_overflow_panics() {
+        let _ = SimTime::from_millis(u64::MAX / 1_000_000 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "SimTime overflow")]
+    fn from_secs_overflow_panics() {
+        let _ = SimTime::from_secs(u64::MAX / 1_000_000_000 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "SimTime overflow")]
+    fn mul_overflow_panics() {
+        let _ = SimTime::from_secs(600).mul(u64::MAX);
     }
 }

@@ -28,7 +28,10 @@ use crate::{MacAddr, NodeId};
 use agr_geom::Point;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+use std::sync::Arc;
 
 /// Seconds between refreshes of the PHY's spatial index. The index's cell
 /// size includes `max_speed × PHY_REFRESH_S` of slack, so bucketed
@@ -68,8 +71,71 @@ pub struct FrameRecord<PKT> {
     pub dst_mac: Option<MacAddr>,
     /// Frame type.
     pub frame_type: FrameType,
-    /// The network-layer packet, for data frames.
-    pub packet: Option<PKT>,
+    /// The network-layer packet, for data frames — the same shared handle
+    /// the MAC transmits, so recording a frame never deep-copies it.
+    pub packet: Option<Arc<PKT>>,
+}
+
+/// A streaming consumer of transmitted frames.
+///
+/// Observers see every frame the moment it goes on the air (same
+/// information as the grow-forever trace [`SimConfig::record_frames`]
+/// used to accumulate), so privacy evaluators can fold sightings online
+/// and a 900 s run no longer holds every packet in memory.
+///
+/// Attach observers with [`World::attach_observer`] before running. To
+/// keep a handle on the observer's accumulated state, wrap it in
+/// `Rc<RefCell<_>>` and attach a clone of the `Rc` (worlds are
+/// single-threaded; the blanket impl below makes the wrapper an observer
+/// too).
+pub trait FrameObserver<PKT> {
+    /// Called once per transmitted frame, in transmission order.
+    fn on_frame(&mut self, frame: &FrameRecord<PKT>);
+}
+
+impl<PKT, T: FrameObserver<PKT>> FrameObserver<PKT> for Rc<RefCell<T>> {
+    fn on_frame(&mut self, frame: &FrameRecord<PKT>) {
+        self.borrow_mut().on_frame(frame);
+    }
+}
+
+/// The compatibility observer: accumulates every frame, reproducing the
+/// pre-streaming `world.frames()` trace byte for byte.
+#[derive(Debug)]
+pub struct RecordingObserver<PKT> {
+    frames: Vec<FrameRecord<PKT>>,
+}
+
+impl<PKT> RecordingObserver<PKT> {
+    /// Creates an empty recorder.
+    #[must_use]
+    pub fn new() -> Self {
+        RecordingObserver { frames: Vec::new() }
+    }
+
+    /// Every frame observed so far, in transmission order.
+    #[must_use]
+    pub fn frames(&self) -> &[FrameRecord<PKT>] {
+        &self.frames
+    }
+
+    /// Consumes the recorder, returning the accumulated trace.
+    #[must_use]
+    pub fn into_frames(self) -> Vec<FrameRecord<PKT>> {
+        self.frames
+    }
+}
+
+impl<PKT> Default for RecordingObserver<PKT> {
+    fn default() -> Self {
+        RecordingObserver::new()
+    }
+}
+
+impl<PKT: Clone> FrameObserver<PKT> for RecordingObserver<PKT> {
+    fn on_frame(&mut self, frame: &FrameRecord<PKT>) {
+        self.frames.push(frame.clone());
+    }
 }
 
 /// Deferred protocol callback produced while processing an event.
@@ -77,7 +143,7 @@ pub struct FrameRecord<PKT> {
 enum Upcall<PKT> {
     Receive {
         node: usize,
-        packet: PKT,
+        packet: Arc<PKT>,
         from: Option<MacAddr>,
     },
     MacResult {
@@ -105,7 +171,11 @@ pub(crate) struct Inner<PKT> {
     phy: Phy<PKT>,
     macs: Vec<Mac<PKT>>,
     upcalls: VecDeque<Upcall<PKT>>,
-    frames: Vec<FrameRecord<PKT>>,
+    /// The compatibility trace behind [`World::frames`], active iff
+    /// [`SimConfig::record_frames`] — now just one observer among many.
+    recorder: Option<RecordingObserver<PKT>>,
+    /// Streaming frame consumers ([`World::attach_observer`]).
+    observers: Vec<Box<dyn FrameObserver<PKT>>>,
     /// Per-node fault RNGs, seeded in node order from the master RNG —
     /// *only* when the fault plan injects something, so fault-free runs
     /// consume exactly the RNG stream of a build without fault support.
@@ -199,9 +269,15 @@ impl<PKT: Clone + std::fmt::Debug + 'static> Inner<PKT> {
             adv_roles[idx] = Some(*role);
         }
         let flow_count = config.flows.len();
+        let recorder = config.record_frames.then(RecordingObserver::new);
         Inner {
             now: SimTime::ZERO,
-            queue: EventQueue::new(),
+            // Steady state holds a handful of events per node (a MAC
+            // wake-up, a TxEnd, the RxEnds fanned out to its in-range
+            // neighbors, protocol timers); 32 × nodes covers the paper's
+            // densities with slack, so the heap never reallocates
+            // mid-run.
+            queue: EventQueue::with_capacity(n * 32),
             rng,
             stats: Stats::new(),
             config,
@@ -210,8 +286,13 @@ impl<PKT: Clone + std::fmt::Debug + 'static> Inner<PKT> {
             grid,
             phy,
             macs,
-            upcalls: VecDeque::new(),
-            frames: Vec::new(),
+            // Drained to empty after every dispatched event, so the
+            // VecDeque's buffer is reused for the whole run; one event
+            // yields at most one upcall per in-range neighbor, and a
+            // carrier-sense disk never covers more than the network.
+            upcalls: VecDeque::with_capacity(n.min(64)),
+            recorder,
+            observers: Vec::new(),
             fault_rngs,
             links: (0..n).map(|_| HashMap::new()).collect(),
             node_up: vec![true; n],
@@ -361,8 +442,10 @@ impl<PKT: Clone + std::fmt::Debug + 'static> Inner<PKT> {
     fn mac_enqueue(&mut self, n: usize, payload: PKT, dst: MacDst, bytes: u32) {
         let seq = self.macs[n].next_seq;
         self.macs[n].next_seq = self.macs[n].next_seq.wrapping_add(1);
+        // The one allocation per packet: every downstream copy (PHY
+        // fan-out, retries, frame records, upcalls) shares this handle.
         self.macs[n].queue.push_back(OutPkt {
-            payload,
+            payload: Arc::new(payload),
             dst,
             bytes,
             seq,
@@ -575,14 +658,14 @@ impl<PKT: Clone + std::fmt::Debug + 'static> Inner<PKT> {
             frame.nav_until = end + reserve;
         }
         self.stats.count("mac.tx_frames");
-        if self.config.record_frames && radio_up {
+        if radio_up && (self.recorder.is_some() || !self.observers.is_empty()) {
             let (frame_type, packet) = match &frame.kind {
                 MacFrameKind::Rts => (FrameType::Rts, None),
                 MacFrameKind::Cts => (FrameType::Cts, None),
                 MacFrameKind::Ack => (FrameType::Ack, None),
-                MacFrameKind::Data { payload, .. } => (FrameType::Data, Some(payload.clone())),
+                MacFrameKind::Data { payload, .. } => (FrameType::Data, Some(Arc::clone(payload))),
             };
-            self.frames.push(FrameRecord {
+            let record = FrameRecord {
                 time: self.now,
                 tx_node: NodeId(n as u32),
                 tx_pos,
@@ -590,7 +673,13 @@ impl<PKT: Clone + std::fmt::Debug + 'static> Inner<PKT> {
                 dst_mac: frame.dst,
                 frame_type,
                 packet,
-            });
+            };
+            for obs in &mut self.observers {
+                obs.on_frame(&record);
+            }
+            if let Some(recorder) = &mut self.recorder {
+                recorder.on_frame(&record);
+            }
         }
         let start = self
             .phy
@@ -1188,9 +1277,24 @@ impl<P: Protocol> World<P> {
     /// Every frame transmitted so far, when
     /// [`crate::SimConfig::record_frames`] is enabled — the observation
     /// trace of a global passive eavesdropper.
+    ///
+    /// Backed by a [`RecordingObserver`]; long-running analyses that only
+    /// need online aggregates should attach a streaming
+    /// [`FrameObserver`] instead and leave recording off.
     #[must_use]
     pub fn frames(&self) -> &[FrameRecord<P::Packet>] {
-        &self.inner.frames
+        self.inner
+            .recorder
+            .as_ref()
+            .map_or(&[], RecordingObserver::frames)
+    }
+
+    /// Attaches a streaming [`FrameObserver`] that sees every subsequent
+    /// transmission (attach before [`World::run`] to see them all).
+    /// Observers are orthogonal to [`crate::SimConfig::record_frames`]:
+    /// they stream regardless, and recording stays off unless asked for.
+    pub fn attach_observer(&mut self, observer: Box<dyn FrameObserver<P::Packet>>) {
+        self.inner.observers.push(observer);
     }
 
     fn dispatch(&mut self, ev: Event) {
@@ -1252,7 +1356,7 @@ impl<P: Protocol> World<P> {
                         inner: &mut self.inner,
                         node,
                     };
-                    self.protocols[node].on_receive(&mut ctx, packet, from);
+                    self.protocols[node].on_receive(&mut ctx, packet.as_ref(), from);
                 }
                 Upcall::MacResult { node, outcome } => {
                     let mut ctx = Ctx {

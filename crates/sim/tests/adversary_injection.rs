@@ -22,7 +22,7 @@ impl Protocol for Bcast {
     fn on_app_send(&mut self, ctx: &mut Ctx<'_, Pkt>, _d: NodeId, tag: FlowTag) {
         ctx.mac_broadcast(Pkt(tag), 64);
     }
-    fn on_receive(&mut self, ctx: &mut Ctx<'_, Pkt>, pkt: Pkt, _from: Option<MacAddr>) {
+    fn on_receive(&mut self, ctx: &mut Ctx<'_, Pkt>, pkt: &Pkt, _from: Option<MacAddr>) {
         if ctx.adversary_drops() {
             return;
         }
@@ -113,7 +113,7 @@ impl Protocol for FixSampler {
         ctx.set_timer(SimTime::from_secs(1), 0);
     }
     fn on_app_send(&mut self, _ctx: &mut Ctx<'_, Pkt>, _d: NodeId, _tag: FlowTag) {}
-    fn on_receive(&mut self, _ctx: &mut Ctx<'_, Pkt>, _pkt: Pkt, _from: Option<MacAddr>) {}
+    fn on_receive(&mut self, _ctx: &mut Ctx<'_, Pkt>, _pkt: &Pkt, _from: Option<MacAddr>) {}
 }
 
 #[test]
@@ -163,7 +163,7 @@ fn replayer_role_is_visible_to_the_protocol() {
                 .push((ctx.my_id(), ctx.adversary_role()));
         }
         fn on_app_send(&mut self, _ctx: &mut Ctx<'_, Pkt>, _d: NodeId, _tag: FlowTag) {}
-        fn on_receive(&mut self, _ctx: &mut Ctx<'_, Pkt>, _pkt: Pkt, _from: Option<MacAddr>) {}
+        fn on_receive(&mut self, _ctx: &mut Ctx<'_, Pkt>, _pkt: &Pkt, _from: Option<MacAddr>) {}
     }
     let mut world = World::new(config, move |_, _, _| RoleProbe {
         roles: Rc::clone(&handle),

@@ -23,7 +23,7 @@ impl Protocol for Bcast {
     fn on_app_send(&mut self, ctx: &mut Ctx<'_, Pkt>, _d: NodeId, tag: FlowTag) {
         ctx.mac_broadcast(Pkt(tag), 64);
     }
-    fn on_receive(&mut self, ctx: &mut Ctx<'_, Pkt>, pkt: Pkt, _from: Option<MacAddr>) {
+    fn on_receive(&mut self, ctx: &mut Ctx<'_, Pkt>, pkt: &Pkt, _from: Option<MacAddr>) {
         ctx.deliver_data(pkt.0);
     }
 }
@@ -213,7 +213,7 @@ impl Protocol for FixSampler {
         ctx.set_timer(SimTime::from_secs(1), 0);
     }
     fn on_app_send(&mut self, _ctx: &mut Ctx<'_, Pkt>, _d: NodeId, _tag: FlowTag) {}
-    fn on_receive(&mut self, _ctx: &mut Ctx<'_, Pkt>, _pkt: Pkt, _from: Option<MacAddr>) {}
+    fn on_receive(&mut self, _ctx: &mut Ctx<'_, Pkt>, _pkt: &Pkt, _from: Option<MacAddr>) {}
 }
 
 #[test]

@@ -32,7 +32,7 @@ impl Protocol for OneHopUnicast {
         ctx.mac_unicast(MacAddr::from(dest), Pkt(tag), 64);
     }
 
-    fn on_receive(&mut self, ctx: &mut Ctx<'_, Pkt>, pkt: Pkt, from: Option<MacAddr>) {
+    fn on_receive(&mut self, ctx: &mut Ctx<'_, Pkt>, pkt: &Pkt, from: Option<MacAddr>) {
         assert!(from.is_some(), "unicast data carries a source address");
         ctx.deliver_data(pkt.0);
     }
@@ -55,7 +55,7 @@ impl Protocol for OneHopBroadcast {
         ctx.mac_broadcast(Pkt(tag), 64);
     }
 
-    fn on_receive(&mut self, ctx: &mut Ctx<'_, Pkt>, pkt: Pkt, from: Option<MacAddr>) {
+    fn on_receive(&mut self, ctx: &mut Ctx<'_, Pkt>, pkt: &Pkt, from: Option<MacAddr>) {
         assert!(from.is_none(), "broadcast frames are anonymous");
         ctx.deliver_data(pkt.0);
     }

@@ -30,7 +30,7 @@ impl Protocol for Bcast {
     fn on_app_send(&mut self, ctx: &mut Ctx<'_, Pkt>, _d: NodeId, tag: FlowTag) {
         ctx.mac_broadcast(Pkt(tag), 64);
     }
-    fn on_receive(&mut self, ctx: &mut Ctx<'_, Pkt>, pkt: Pkt, _f: Option<MacAddr>) {
+    fn on_receive(&mut self, ctx: &mut Ctx<'_, Pkt>, pkt: &Pkt, _f: Option<MacAddr>) {
         if pkt.0.flow != u32::MAX {
             ctx.deliver_data(pkt.0);
         }

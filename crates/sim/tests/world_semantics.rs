@@ -39,7 +39,7 @@ impl Protocol for Echo {
         ctx.mac_broadcast(Pkt(tag), 64);
     }
 
-    fn on_receive(&mut self, ctx: &mut Ctx<'_, Pkt>, pkt: Pkt, _from: Option<MacAddr>) {
+    fn on_receive(&mut self, ctx: &mut Ctx<'_, Pkt>, pkt: &Pkt, _from: Option<MacAddr>) {
         ctx.deliver_data(pkt.0);
     }
 }

@@ -33,4 +33,30 @@ AGR_RESULTS_DIR="$SMOKE_RESULTS" AGR_SEEDS=1 AGR_DURATION_S=60 AGR_NODES=50 AGR_
     cargo run --offline --release -q -p agr-bench --bin adversary_sweep -- \
     --bench-json "${TMPDIR:-/tmp}/BENCH_adversary_smoke.json"
 
+# Perf smoke: a --quick perf_profile run vs the checked-in trajectory.
+# events/sec is a rate, so the 60 s smoke is comparable to the 300 s
+# reference; the 2x bar tolerates machine-to-machine noise while still
+# catching a hot path falling off a cliff.
+echo "==> perf smoke (perf_profile --quick vs results/BENCH_perf.json)"
+PERF_BASELINE="results/BENCH_perf.json"
+if [[ -f "$PERF_BASELINE" ]]; then
+    PERF_SMOKE="$SMOKE_RESULTS/BENCH_perf_smoke.json"
+    cargo run --offline --release -q -p agr-bench --bin perf_profile -- \
+        --quick --out "$PERF_SMOKE" >/dev/null
+    # Both files come from perf_profile's fixed-order writer, so the Nth
+    # events_per_sec in each belongs to the Nth scenario name.
+    paste <(grep -o '"name": "[a-z]*"' "$PERF_BASELINE" | cut -d'"' -f4) \
+          <(grep -o '"events_per_sec": [0-9.]*' "$PERF_BASELINE" | awk '{print $2}') \
+          <(grep -o '"events_per_sec": [0-9.]*' "$PERF_SMOKE" | awk '{print $2}') |
+    while read -r name base now; do
+        printf '    %-10s baseline %12.0f ev/s   now %12.0f ev/s\n' "$name" "$base" "$now"
+        if awk -v b="$base" -v n="$now" 'BEGIN { exit !(n * 2 < b) }'; then
+            echo "perf regression: '$name' runs at less than half the recorded events/sec" >&2
+            exit 1
+        fi
+    done
+else
+    echo "    (no $PERF_BASELINE checked in; skipping)"
+fi
+
 echo "ok"
