@@ -1,0 +1,45 @@
+//! # agr-als-service — the Anonymous Location Service as a real service
+//!
+//! The paper's §3.3 location service stores opaque records — the index
+//! is `E_KB(A, B)`, the payload `E_KB(A, loc_A, ts)`, both ciphertext —
+//! so the server learns neither identities nor locations. Inside the
+//! simulator that store lives per grid cell on whichever node currently
+//! anchors the cell ([`agr_core::als::AlsServer`]). This crate runs the
+//! *same* storage implementation as a standalone serving system:
+//!
+//! * [`store`] — a **sharded engine**: the lookup key (owning cell +
+//!   sealed index) is FNV-hashed onto N shards, each an
+//!   [`agr_core::als::AlsServer`] behind its own lock with TTL freshness
+//!   and LRU capacity bounds enabled, periodic compaction, and per-shard
+//!   stats. One implementation serves both the discrete-event simulator
+//!   and this engine, so behavior proven by the simulator's golden
+//!   fingerprints is the behavior the service ships.
+//! * [`pipeline`] — typed `RLU` / query / hierarchical DLM-forward
+//!   requests flowing through bounded queues (blocking send =
+//!   backpressure) into a worker pool that applies updates in shard
+//!   batches via the workspace's deterministic [`agr_sim::par::par_map`]
+//!   fan-out.
+//! * [`transport`] — request/response framing over a [`transport::Transport`]
+//!   trait using the existing [`agr_core::wire`] codec (service bodies
+//!   are [`agr_core::packet::AlsNetKind`] frames), with an in-process
+//!   loopback pair and a std-only UDP implementation so a server and a
+//!   load generator can run as separate processes.
+//! * [`service`] — the serve loop gluing a transport to an engine, plus
+//!   the blocking client.
+//!
+//! The `als_loadgen` binary in `agr-bench` drives millions of
+//! zipfian-keyed operations through this engine and records throughput
+//! and latency percentiles to `results/BENCH_als.json`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pipeline;
+pub mod service;
+pub mod store;
+pub mod transport;
+
+pub use pipeline::{Engine, EngineConfig, Request, Response};
+pub use service::{serve, AlsClient, ServeStats};
+pub use store::{cell_key, ShardedStore, StoreConfig};
+pub use transport::{loopback_pair, Transport, UdpClient, UdpServer};

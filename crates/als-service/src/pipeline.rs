@@ -1,0 +1,514 @@
+//! Typed requests, bounded queues, and the batching worker pool.
+//!
+//! Requests enter through [`Engine::submit`] / [`Engine::call`], land on
+//! a bounded per-worker queue (`std::sync::mpsc::sync_channel`, so a
+//! full queue **blocks the producer** — backpressure, not unbounded
+//! memory), and are drained by workers in arrival order. Consecutive
+//! updates are coalesced and applied as one shard-grouped batch; queries
+//! are answered in place, so a query submitted after an update on the
+//! same queue observes it.
+//!
+//! Routing is by shard of the request's primary key, which keeps every
+//! key's operations on one queue: per-key FIFO semantics survive the
+//! fan-out to multiple workers.
+
+use crate::store::{cell_key, ShardedStore, StoreConfig, StoreOp};
+use agr_core::packet::AlsPair;
+use agr_geom::{CellId, Point};
+use agr_sim::SimTime;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A typed service request — the in-process form of the wire frames in
+/// [`agr_core::packet::AlsNetKind`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// `RLU`: anonymous remote location update — sealed pairs for one
+    /// target cell.
+    Update {
+        /// Target server cell `ssa(A)`.
+        cell: CellId,
+        /// One sealed `(index, record)` pair per anticipated requester.
+        pairs: Vec<AlsPair>,
+    },
+    /// `LREQ`: anonymous location query by sealed index.
+    Query {
+        /// Target server cell.
+        cell: CellId,
+        /// The deterministic `E_KB(A,B)` lookup index.
+        index: Vec<u8>,
+        /// Where a geo-routed reply would be sent (opaque to the engine;
+        /// echoed for transports that need it).
+        reply_loc: Point,
+    },
+    /// Hierarchical DLM-forward: re-home sealed pairs from one cell to
+    /// another (server departure, hierarchy re-partition).
+    Forward {
+        /// Cell the records are leaving.
+        from_cell: CellId,
+        /// Cell now responsible.
+        to_cell: CellId,
+        /// The re-homed pairs.
+        pairs: Vec<AlsPair>,
+    },
+}
+
+impl Request {
+    /// The key whose shard decides which worker queue this request rides
+    /// (keeps per-key operations FIFO).
+    #[must_use]
+    pub fn routing_key(&self) -> Vec<u8> {
+        match self {
+            Request::Update { cell, pairs } => pairs
+                .first()
+                .map_or_else(|| cell_key(*cell, &[]), |p| cell_key(*cell, &p.index)),
+            Request::Query { cell, index, .. } => cell_key(*cell, index),
+            Request::Forward { to_cell, pairs, .. } => pairs
+                .first()
+                .map_or_else(|| cell_key(*to_cell, &[]), |p| cell_key(*to_cell, &p.index)),
+        }
+    }
+}
+
+/// The engine's answer to a [`Request`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Update/forward applied; how many pairs landed.
+    Stored {
+        /// Pairs applied.
+        count: u32,
+    },
+    /// Query hit: the sealed record.
+    Hit {
+        /// `E_KB(A, loc_A, ts)`.
+        payload: Vec<u8>,
+    },
+    /// Query matched no fresh record.
+    Miss,
+}
+
+/// Sizing of an [`Engine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Storage policy.
+    pub store: StoreConfig,
+    /// Worker threads (values below 1 behave as 1; more workers than
+    /// shards adds queues but no storage parallelism).
+    pub workers: usize,
+    /// Bound of each worker's request queue — the backpressure knob.
+    pub queue_depth: usize,
+    /// Most jobs a worker drains per wakeup before answering them.
+    pub batch_max: usize,
+    /// Compaction sweep period (wall clock); `None` relies on expiry at
+    /// read plus capacity eviction alone.
+    pub compact_every: Option<SimTime>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            store: StoreConfig::default(),
+            workers: 4,
+            queue_depth: 1024,
+            batch_max: 64,
+            compact_every: Some(SimTime::from_secs(1)),
+        }
+    }
+}
+
+/// The engine's clock: nanoseconds since engine start, expressed as
+/// [`SimTime`] so the storage layer is oblivious to which world —
+/// simulated or wall — is driving it. Tests pin it manually.
+#[derive(Debug, Clone)]
+pub struct Clock {
+    origin: Instant,
+    manual: Option<Arc<AtomicU64>>,
+}
+
+impl Clock {
+    fn wall() -> Self {
+        Clock {
+            origin: Instant::now(),
+            manual: None,
+        }
+    }
+
+    fn manual() -> (Self, Arc<AtomicU64>) {
+        let cell = Arc::new(AtomicU64::new(0));
+        (
+            Clock {
+                origin: Instant::now(),
+                manual: Some(cell.clone()),
+            },
+            cell,
+        )
+    }
+
+    /// The current engine time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        match &self.manual {
+            Some(cell) => SimTime::from_nanos(cell.load(Ordering::Acquire)),
+            None => SimTime::from_nanos(
+                u64::try_from(self.origin.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            ),
+        }
+    }
+}
+
+/// One queued job: a request and, when the caller wants the answer, a
+/// reply slot.
+struct Job {
+    request: Request,
+    reply: Option<SyncSender<Response>>,
+}
+
+/// The running service engine: sharded store + worker pool + compactor.
+///
+/// Cheap to share: clone the [`Arc`] returned by [`Engine::start`].
+pub struct Engine {
+    store: Arc<ShardedStore>,
+    clock: Clock,
+    queues: Vec<SyncSender<Job>>,
+    stop: Arc<AtomicBool>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    compactor: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("shards", &self.store.shards())
+            .field("workers", &self.workers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Engine {
+    /// Starts workers (and the compactor when configured) on the wall
+    /// clock.
+    #[must_use]
+    pub fn start(config: EngineConfig) -> Engine {
+        Engine::start_with_clock(config, Clock::wall())
+    }
+
+    /// Starts an engine whose clock the caller advances by storing
+    /// nanoseconds into the returned cell — deterministic TTL tests.
+    #[must_use]
+    pub fn start_manual_clock(config: EngineConfig) -> (Engine, Arc<AtomicU64>) {
+        let (clock, cell) = Clock::manual();
+        (Engine::start_with_clock(config, clock), cell)
+    }
+
+    fn start_with_clock(config: EngineConfig, clock: Clock) -> Engine {
+        let store = Arc::new(ShardedStore::new(&config.store));
+        let stop = Arc::new(AtomicBool::new(false));
+        let workers_n = config.workers.max(1);
+        let mut queues = Vec::with_capacity(workers_n);
+        let mut workers = Vec::with_capacity(workers_n);
+        for _ in 0..workers_n {
+            let (tx, rx) = sync_channel::<Job>(config.queue_depth.max(1));
+            queues.push(tx);
+            let store = store.clone();
+            let clock = clock.clone();
+            let batch_max = config.batch_max.max(1);
+            workers.push(std::thread::spawn(move || {
+                worker_loop(&store, &clock, &rx, batch_max);
+            }));
+        }
+        let compactor = config.compact_every.map(|period| {
+            let store = store.clone();
+            let clock = clock.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let period = std::time::Duration::from_nanos(period.as_nanos().max(1_000_000));
+                while !stop.load(Ordering::Acquire) {
+                    std::thread::park_timeout(period);
+                    store.compact(clock.now(), 1);
+                }
+            })
+        });
+        Engine {
+            store,
+            clock,
+            queues,
+            stop,
+            workers,
+            compactor,
+        }
+    }
+
+    /// The engine's store (for preloading, stats, or direct benchmarks).
+    #[must_use]
+    pub fn store(&self) -> &Arc<ShardedStore> {
+        &self.store
+    }
+
+    /// The engine's current time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    fn queue_for(&self, request: &Request) -> &SyncSender<Job> {
+        let shard = self.store.shard_of(&request.routing_key());
+        &self.queues[shard % self.queues.len()]
+    }
+
+    /// Enqueues a fire-and-forget request, blocking while the target
+    /// queue is full (backpressure).
+    pub fn submit(&self, request: Request) {
+        let job = Job {
+            request,
+            reply: None,
+        };
+        self.queue_for(&job.request)
+            .send(job)
+            .expect("worker queue closed before shutdown");
+    }
+
+    /// Attempts a non-blocking submit; returns the request back when the
+    /// queue is full, so callers can shed load instead of stalling.
+    ///
+    /// # Errors
+    ///
+    /// The rejected request.
+    pub fn try_submit(&self, request: Request) -> Result<(), Request> {
+        let job = Job {
+            request,
+            reply: None,
+        };
+        match self.queue_for(&job.request).try_send(job) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(job) | TrySendError::Disconnected(job)) => Err(job.request),
+        }
+    }
+
+    /// Submits and blocks for the answer.
+    pub fn call(&self, request: Request) -> Response {
+        let (tx, rx) = sync_channel(1);
+        let job = Job {
+            request,
+            reply: Some(tx),
+        };
+        self.queue_for(&job.request)
+            .send(job)
+            .expect("worker queue closed before shutdown");
+        rx.recv().expect("worker dropped reply slot")
+    }
+
+    /// Drains queues, stops workers and compactor, and returns the store
+    /// for post-mortem inspection.
+    pub fn shutdown(mut self) -> Arc<ShardedStore> {
+        self.stop.store(true, Ordering::Release);
+        self.queues.clear(); // closing senders ends each worker's recv loop
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        if let Some(c) = self.compactor.take() {
+            c.thread().unpark();
+            let _ = c.join();
+        }
+        self.store.clone()
+    }
+}
+
+/// Applies one worker's queue: drain up to `batch_max` jobs, coalesce
+/// the updates into a shard-grouped batch, answer queries in order.
+fn worker_loop(store: &ShardedStore, clock: &Clock, rx: &Receiver<Job>, batch_max: usize) {
+    while let Ok(first) = rx.recv() {
+        let mut jobs = vec![first];
+        while jobs.len() < batch_max {
+            match rx.try_recv() {
+                Ok(job) => jobs.push(job),
+                Err(_) => break,
+            }
+        }
+        let now = clock.now();
+        // Coalesce consecutive updates so a burst becomes one batched,
+        // shard-grouped application; a query cuts the run so it still
+        // observes every update queued before it.
+        let mut pending: Vec<StoreOp> = Vec::new();
+        let mut pending_acks: Vec<(SyncSender<Response>, u32)> = Vec::new();
+        let flush = |ops: &mut Vec<StoreOp>, acks: &mut Vec<(SyncSender<Response>, u32)>| {
+            if !ops.is_empty() {
+                store.apply_batch(std::mem::take(ops), now, 1);
+            }
+            for (tx, count) in acks.drain(..) {
+                let _ = tx.send(Response::Stored { count });
+            }
+        };
+        for job in jobs {
+            match job.request {
+                Request::Update { cell, pairs } => {
+                    let count = pairs.len() as u32;
+                    pending.extend(
+                        pairs
+                            .into_iter()
+                            .map(|p| (cell_key(cell, &p.index), p.payload)),
+                    );
+                    if let Some(tx) = job.reply {
+                        pending_acks.push((tx, count));
+                    }
+                }
+                Request::Forward {
+                    from_cell,
+                    to_cell,
+                    pairs,
+                } => {
+                    let count = pairs.len() as u32;
+                    pending.extend(pairs.into_iter().map(|p| {
+                        // Forward re-homes: drop the old-cell copy, store
+                        // under the new owner.
+                        store.remove(&cell_key(from_cell, &p.index));
+                        (cell_key(to_cell, &p.index), p.payload)
+                    }));
+                    if let Some(tx) = job.reply {
+                        pending_acks.push((tx, count));
+                    }
+                }
+                Request::Query { cell, index, .. } => {
+                    flush(&mut pending, &mut pending_acks);
+                    let answer = match store.query(&cell_key(cell, &index), now) {
+                        Some(payload) => Response::Hit { payload },
+                        None => Response::Miss,
+                    };
+                    if let Some(tx) = job.reply {
+                        let _ = tx.send(answer);
+                    }
+                }
+            }
+        }
+        flush(&mut pending, &mut pending_acks);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(i: u8) -> AlsPair {
+        AlsPair {
+            index: vec![i; 16],
+            payload: vec![i, 0xEE],
+        }
+    }
+
+    const CELL: CellId = CellId { col: 1, row: 2 };
+
+    fn update(i: u8) -> Request {
+        Request::Update {
+            cell: CELL,
+            pairs: vec![pair(i)],
+        }
+    }
+
+    fn query(i: u8) -> Request {
+        Request::Query {
+            cell: CELL,
+            index: vec![i; 16],
+            reply_loc: Point::ORIGIN,
+        }
+    }
+
+    #[test]
+    fn update_then_query_roundtrips_through_the_pipeline() {
+        let engine = Engine::start(EngineConfig::default());
+        assert_eq!(engine.call(update(7)), Response::Stored { count: 1 });
+        assert_eq!(
+            engine.call(query(7)),
+            Response::Hit {
+                payload: vec![7, 0xEE]
+            }
+        );
+        assert_eq!(engine.call(query(8)), Response::Miss);
+        let store = engine.shutdown();
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.stats().hits, 1);
+    }
+
+    #[test]
+    fn fire_and_forget_updates_are_visible_after_a_keyed_query() {
+        let engine = Engine::start(EngineConfig::default());
+        for i in 0..100 {
+            engine.submit(update(i));
+        }
+        // Same-key requests share a queue, so each query observes the
+        // update submitted before it.
+        for i in 0..100 {
+            assert!(
+                matches!(engine.call(query(i)), Response::Hit { .. }),
+                "update {i} lost"
+            );
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn forward_request_rehomes_between_cells() {
+        let engine = Engine::start(EngineConfig::default());
+        engine.call(update(3));
+        let to = CellId { col: 8, row: 8 };
+        assert_eq!(
+            engine.call(Request::Forward {
+                from_cell: CELL,
+                to_cell: to,
+                pairs: vec![pair(3)],
+            }),
+            Response::Stored { count: 1 }
+        );
+        assert_eq!(engine.call(query(3)), Response::Miss);
+        assert!(matches!(
+            engine.call(Request::Query {
+                cell: to,
+                index: vec![3; 16],
+                reply_loc: Point::ORIGIN,
+            }),
+            Response::Hit { .. }
+        ));
+        engine.shutdown();
+    }
+
+    #[test]
+    fn ttl_expiry_under_a_manual_clock() {
+        let mut config = EngineConfig::default();
+        config.store.ttl = Some(SimTime::from_secs(5));
+        config.compact_every = None;
+        let (engine, clock) = Engine::start_manual_clock(config);
+        engine.call(update(1));
+        clock.store(SimTime::from_secs(4).as_nanos(), Ordering::Release);
+        assert!(matches!(engine.call(query(1)), Response::Hit { .. }));
+        clock.store(SimTime::from_secs(10).as_nanos(), Ordering::Release);
+        assert_eq!(engine.call(query(1)), Response::Miss);
+        let store = engine.shutdown();
+        assert_eq!(store.stats().expired, 1);
+    }
+
+    #[test]
+    fn try_submit_sheds_load_when_a_queue_is_full() {
+        // One worker, depth 1: with the worker likely busy, some
+        // try_submit must eventually report Full instead of blocking.
+        let config = EngineConfig {
+            workers: 1,
+            queue_depth: 1,
+            ..EngineConfig::default()
+        };
+        let engine = Engine::start(config);
+        let mut shed = 0;
+        for i in 0..10_000 {
+            if engine.try_submit(update((i % 251) as u8)).is_err() {
+                shed += 1;
+            }
+        }
+        // Either path is legal, but the API must never panic and the
+        // engine must still answer afterwards.
+        let _ = shed;
+        assert!(matches!(
+            engine.call(query(0)),
+            Response::Hit { .. } | Response::Miss
+        ));
+        engine.shutdown();
+    }
+}

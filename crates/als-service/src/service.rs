@@ -1,0 +1,323 @@
+//! The serve loop and the blocking client.
+//!
+//! Frames on the wire are ordinary [`AgfwPacket::Als`] packets in the
+//! canonical [`agr_core::wire`] encoding — the same bytes the simulator's
+//! geo-routed service messages would carry, minus the multi-hop routing:
+//! here the transport delivers them point-to-point. The server answers
+//! every request (`Update`/`Forward` → [`AlsNetKind::Ack`], `Query` →
+//! [`AlsNetKind::Reply`] or [`AlsNetKind::Miss`]), echoing the request
+//! `uid` so clients can match answers to questions over a datagram
+//! transport.
+
+use crate::pipeline::{Engine, Request, Response};
+use crate::transport::{ServerTransport, Transport};
+use agr_core::packet::{AgfwPacket, AlsNetKind, AlsNetMessage, AlsPair};
+use agr_core::pseudonym::Pseudonym;
+use agr_core::wire::{decode_packet, encode_packet};
+use agr_geom::{CellId, Point};
+use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// How long a blocking client waits for its answer before giving up.
+pub const CLIENT_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Counters from one [`serve`] run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Update frames applied.
+    pub updates: u64,
+    /// Query frames answered (hits + misses).
+    pub queries: u64,
+    /// Forward frames applied.
+    pub forwards: u64,
+    /// Queries answered with a record.
+    pub hits: u64,
+    /// Frames that failed to decode.
+    pub bad_frames: u64,
+    /// Well-formed packets that are not service requests (data, hello,
+    /// replies…) — ignored, never answered.
+    pub ignored: u64,
+}
+
+/// Wraps `kind` in the canonical packet framing, echoing `uid`.
+fn frame(uid: u64, kind: AlsNetKind) -> AlsNetMessage {
+    AlsNetMessage {
+        target_loc: Point::ORIGIN,
+        next: Pseudonym::LAST_ATTEMPT,
+        uid,
+        ttl: 1,
+        kind,
+    }
+}
+
+/// Runs a serve loop: decode request frames from `transport`, answer
+/// them through `engine`, until `stop` is raised. Returns the tally.
+///
+/// Receive timeouts are polling, not errors; undecodable frames and
+/// non-request packets are counted and skipped. A broken transport
+/// (loopback peer gone) ends the loop.
+pub fn serve<T: ServerTransport>(
+    engine: &Engine,
+    transport: &mut T,
+    stop: &AtomicBool,
+) -> ServeStats {
+    let mut stats = ServeStats::default();
+    while !stop.load(Ordering::Acquire) {
+        let (bytes, peer) = match transport.recv_from() {
+            Ok(got) => got,
+            Err(e)
+                if e.kind() == io::ErrorKind::TimedOut || e.kind() == io::ErrorKind::WouldBlock =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        };
+        let message = match decode_packet(&bytes) {
+            Ok(AgfwPacket::Als(m)) => m,
+            Ok(_) => {
+                stats.ignored += 1;
+                continue;
+            }
+            Err(_) => {
+                stats.bad_frames += 1;
+                continue;
+            }
+        };
+        let uid = message.uid;
+        let answer = match message.kind {
+            AlsNetKind::Update { cell, pairs } => {
+                stats.updates += 1;
+                match engine.call(Request::Update { cell, pairs }) {
+                    Response::Stored { count } => AlsNetKind::Ack { stored: count },
+                    Response::Hit { .. } | Response::Miss => AlsNetKind::Ack { stored: 0 },
+                }
+            }
+            AlsNetKind::Request {
+                cell,
+                index,
+                reply_loc,
+            } => {
+                stats.queries += 1;
+                match engine.call(Request::Query {
+                    cell,
+                    index,
+                    reply_loc,
+                }) {
+                    Response::Hit { payload } => {
+                        stats.hits += 1;
+                        AlsNetKind::Reply { payload }
+                    }
+                    Response::Miss | Response::Stored { .. } => AlsNetKind::Miss,
+                }
+            }
+            AlsNetKind::Forward {
+                from_cell,
+                to_cell,
+                pairs,
+            } => {
+                stats.forwards += 1;
+                match engine.call(Request::Forward {
+                    from_cell,
+                    to_cell,
+                    pairs,
+                }) {
+                    Response::Stored { count } => AlsNetKind::Ack { stored: count },
+                    Response::Hit { .. } | Response::Miss => AlsNetKind::Ack { stored: 0 },
+                }
+            }
+            AlsNetKind::Reply { .. } | AlsNetKind::Ack { .. } | AlsNetKind::Miss => {
+                stats.ignored += 1;
+                continue;
+            }
+        };
+        let encoded = encode_packet(&AgfwPacket::Als(frame(uid, answer)))
+            .expect("service frames always encode");
+        if transport.send_to(&peer, &encoded).is_err() {
+            break;
+        }
+    }
+    stats
+}
+
+/// A blocking request/response client over any [`Transport`].
+pub struct AlsClient<T: Transport> {
+    transport: T,
+    next_uid: u64,
+}
+
+impl<T: Transport> AlsClient<T> {
+    /// Wraps `transport`.
+    #[must_use]
+    pub fn new(transport: T) -> AlsClient<T> {
+        AlsClient {
+            transport,
+            next_uid: 1,
+        }
+    }
+
+    fn roundtrip(&mut self, kind: AlsNetKind) -> io::Result<AlsNetKind> {
+        let uid = self.next_uid;
+        self.next_uid += 1;
+        let encoded = encode_packet(&AgfwPacket::Als(frame(uid, kind)))
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        self.transport.send(&encoded)?;
+        let deadline = Instant::now() + CLIENT_TIMEOUT;
+        loop {
+            match self.transport.recv() {
+                Ok(bytes) => match decode_packet(&bytes) {
+                    // Stale answers (a lost request's late reply) carry an
+                    // older uid — drop them and keep waiting for ours.
+                    Ok(AgfwPacket::Als(m)) if m.uid == uid => return Ok(m.kind),
+                    Ok(_) | Err(_) => {}
+                },
+                Err(e)
+                    if e.kind() == io::ErrorKind::TimedOut
+                        || e.kind() == io::ErrorKind::WouldBlock => {}
+                Err(e) => return Err(e),
+            }
+            if Instant::now() >= deadline {
+                return Err(io::ErrorKind::TimedOut.into());
+            }
+        }
+    }
+
+    /// Sends an anonymous location update; returns how many pairs the
+    /// server applied.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or `TimedOut` when no answer arrived within
+    /// [`CLIENT_TIMEOUT`].
+    pub fn update(&mut self, cell: CellId, pairs: Vec<AlsPair>) -> io::Result<u32> {
+        match self.roundtrip(AlsNetKind::Update { cell, pairs })? {
+            AlsNetKind::Ack { stored } => Ok(stored),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Queries a sealed index; `Ok(None)` is an answered miss.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or `TimedOut` when no answer arrived within
+    /// [`CLIENT_TIMEOUT`].
+    pub fn query(&mut self, cell: CellId, index: Vec<u8>) -> io::Result<Option<Vec<u8>>> {
+        let kind = AlsNetKind::Request {
+            cell,
+            index,
+            reply_loc: Point::ORIGIN,
+        };
+        match self.roundtrip(kind)? {
+            AlsNetKind::Reply { payload } => Ok(Some(payload)),
+            AlsNetKind::Miss => Ok(None),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Re-homes sealed pairs from one cell to another; returns how many
+    /// the server applied.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or `TimedOut` when no answer arrived within
+    /// [`CLIENT_TIMEOUT`].
+    pub fn forward(
+        &mut self,
+        from_cell: CellId,
+        to_cell: CellId,
+        pairs: Vec<AlsPair>,
+    ) -> io::Result<u32> {
+        let kind = AlsNetKind::Forward {
+            from_cell,
+            to_cell,
+            pairs,
+        };
+        match self.roundtrip(kind)? {
+            AlsNetKind::Ack { stored } => Ok(stored),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+fn unexpected(kind: &AlsNetKind) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("unexpected service answer: {kind:?}"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::EngineConfig;
+    use crate::transport::loopback_pair;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    const CELL: CellId = CellId { col: 3, row: 4 };
+
+    fn pair(i: u8) -> AlsPair {
+        AlsPair {
+            index: vec![i; 16],
+            payload: vec![i, 0xAB],
+        }
+    }
+
+    #[test]
+    fn loopback_update_query_forward_roundtrip() {
+        let engine = Arc::new(Engine::start(EngineConfig::default()));
+        let (client, mut server_side) = loopback_pair(16);
+        let stop = Arc::new(AtomicBool::new(false));
+        let server = {
+            let engine = engine.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || serve(&engine, &mut server_side, &stop))
+        };
+
+        let mut client = AlsClient::new(client);
+        assert_eq!(client.update(CELL, vec![pair(1), pair(2)]).unwrap(), 2);
+        assert_eq!(
+            client.query(CELL, vec![1; 16]).unwrap(),
+            Some(vec![1, 0xAB])
+        );
+        assert_eq!(client.query(CELL, vec![9; 16]).unwrap(), None);
+        let to = CellId { col: 7, row: 7 };
+        assert_eq!(client.forward(CELL, to, vec![pair(1)]).unwrap(), 1);
+        assert_eq!(client.query(CELL, vec![1; 16]).unwrap(), None);
+        assert_eq!(client.query(to, vec![1; 16]).unwrap(), Some(vec![1, 0xAB]));
+
+        stop.store(true, Ordering::Release);
+        let stats = server.join().unwrap();
+        assert_eq!(stats.updates, 1);
+        assert_eq!(stats.queries, 4);
+        assert_eq!(stats.forwards, 1);
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.bad_frames, 0);
+    }
+
+    #[test]
+    fn serve_counts_garbage_and_foreign_frames_without_answering() {
+        let engine = Engine::start(EngineConfig::default());
+        let (mut raw, mut server_side) = loopback_pair(16);
+        let stop = Arc::new(AtomicBool::new(false));
+        // Garbage bytes and a non-service packet.
+        raw.send(&[0xFF, 0x00, 0x01]).unwrap();
+        let hello = AgfwPacket::Hello {
+            n: Pseudonym([5; 6]),
+            loc: Point::ORIGIN,
+            vel: None,
+            ts: agr_sim::SimTime::ZERO,
+            auth: None,
+        };
+        raw.send(&encode_packet(&hello).unwrap()).unwrap();
+        let stop_flag = stop.clone();
+        let server = std::thread::spawn(move || serve(&engine, &mut server_side, &stop_flag));
+        std::thread::sleep(Duration::from_millis(200));
+        stop.store(true, Ordering::Release);
+        let stats = server.join().unwrap();
+        assert_eq!(stats.bad_frames, 1);
+        assert_eq!(stats.ignored, 1);
+        assert_eq!(stats.updates + stats.queries + stats.forwards, 0);
+    }
+}

@@ -1,0 +1,377 @@
+//! Datagram transports carrying wire-encoded service frames.
+//!
+//! The service speaks [`agr_core::wire`]-encoded [`agr_core::packet::AgfwPacket`]
+//! frames over anything implementing the two small traits here: a
+//! client-side [`Transport`] (send a frame, wait for a frame) and a
+//! server-side [`ServerTransport`] (receive a frame with its return
+//! address, answer it). Two implementations ship:
+//!
+//! * [`loopback_pair`] — in-process bounded queues, for tests and for
+//!   the load generator's zero-syscall mode;
+//! * [`UdpClient`] / [`UdpServer`] — std-only UDP, so a server and a
+//!   client can be separate processes on a real network.
+//!
+//! Receive paths time out (default 50 ms) instead of blocking forever so
+//! serve loops can poll their stop flag; a timeout surfaces as
+//! [`std::io::ErrorKind::TimedOut`] / `WouldBlock`, which callers treat
+//! as "nothing yet", not as failure.
+
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// How long receive calls wait before reporting `TimedOut`, so serve
+/// loops can notice a stop request.
+pub const RECV_POLL: Duration = Duration::from_millis(50);
+
+/// Largest frame any transport must carry. ALS pairs are small (sealed
+/// indices and records, a few dozen bytes each); 64 KiB leaves room for
+/// large batched updates while bounding receive buffers.
+pub const MAX_FRAME: usize = 64 * 1024;
+
+/// Client side of a request/response datagram flow.
+pub trait Transport {
+    /// Sends one frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O failure; on the loopback, failure
+    /// means the server side hung up.
+    fn send(&mut self, frame: &[u8]) -> io::Result<()>;
+
+    /// Waits for the next frame, up to [`RECV_POLL`].
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::TimedOut`] / `WouldBlock` when nothing arrived in
+    /// time; other kinds are real failures.
+    fn recv(&mut self) -> io::Result<Vec<u8>>;
+}
+
+/// Server side: frames arrive with a peer handle to answer through.
+pub trait ServerTransport {
+    /// Return-address type (`()` on the loopback, [`SocketAddr`] on UDP).
+    type Peer;
+
+    /// Waits for the next request frame, up to [`RECV_POLL`].
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::TimedOut`] / `WouldBlock` when nothing arrived in
+    /// time; [`io::ErrorKind::UnexpectedEof`] when every client hung up
+    /// (loopback only).
+    fn recv_from(&mut self) -> io::Result<(Vec<u8>, Self::Peer)>;
+
+    /// Sends a response frame back to `peer`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O failure.
+    fn send_to(&mut self, peer: &Self::Peer, frame: &[u8]) -> io::Result<()>;
+}
+
+// ---------------------------------------------------------------------
+// Loopback
+// ---------------------------------------------------------------------
+
+/// One direction of the loopback: a bounded frame queue.
+struct Channel {
+    queue: Mutex<ChannelState>,
+    ready: Condvar,
+    space: Condvar,
+    capacity: usize,
+}
+
+struct ChannelState {
+    frames: VecDeque<Vec<u8>>,
+    closed: bool,
+}
+
+impl Channel {
+    fn new(capacity: usize) -> Arc<Channel> {
+        Arc::new(Channel {
+            queue: Mutex::new(ChannelState {
+                frames: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            space: Condvar::new(),
+            capacity: capacity.max(1),
+        })
+    }
+
+    /// Blocks while the queue is full — the loopback's backpressure.
+    fn push(&self, frame: Vec<u8>) -> io::Result<()> {
+        let mut state = self.queue.lock().expect("loopback poisoned");
+        while state.frames.len() >= self.capacity {
+            if state.closed {
+                return Err(io::ErrorKind::BrokenPipe.into());
+            }
+            state = self.space.wait(state).expect("loopback poisoned");
+        }
+        if state.closed {
+            return Err(io::ErrorKind::BrokenPipe.into());
+        }
+        state.frames.push_back(frame);
+        drop(state);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    fn pop(&self, wait: Duration) -> io::Result<Vec<u8>> {
+        let mut state = self.queue.lock().expect("loopback poisoned");
+        loop {
+            if let Some(frame) = state.frames.pop_front() {
+                drop(state);
+                self.space.notify_one();
+                return Ok(frame);
+            }
+            if state.closed {
+                return Err(io::ErrorKind::UnexpectedEof.into());
+            }
+            let (next, timeout) = self
+                .ready
+                .wait_timeout(state, wait)
+                .expect("loopback poisoned");
+            state = next;
+            if timeout.timed_out() && state.frames.is_empty() {
+                return Err(io::ErrorKind::TimedOut.into());
+            }
+        }
+    }
+
+    fn close(&self) {
+        self.queue.lock().expect("loopback poisoned").closed = true;
+        self.ready.notify_all();
+        self.space.notify_all();
+    }
+}
+
+/// Client half of an in-process loopback (see [`loopback_pair`]).
+pub struct LoopbackClient {
+    to_server: Arc<Channel>,
+    from_server: Arc<Channel>,
+}
+
+/// Server half of an in-process loopback (see [`loopback_pair`]).
+pub struct LoopbackServer {
+    from_client: Arc<Channel>,
+    to_client: Arc<Channel>,
+}
+
+/// An in-process transport pair over two bounded queues of `depth`
+/// frames each. Sending into a full queue blocks; dropping either half
+/// closes both directions, waking the other half with an error.
+#[must_use]
+pub fn loopback_pair(depth: usize) -> (LoopbackClient, LoopbackServer) {
+    let c2s = Channel::new(depth);
+    let s2c = Channel::new(depth);
+    (
+        LoopbackClient {
+            to_server: c2s.clone(),
+            from_server: s2c.clone(),
+        },
+        LoopbackServer {
+            from_client: c2s,
+            to_client: s2c,
+        },
+    )
+}
+
+impl Transport for LoopbackClient {
+    fn send(&mut self, frame: &[u8]) -> io::Result<()> {
+        self.to_server.push(frame.to_vec())
+    }
+
+    fn recv(&mut self) -> io::Result<Vec<u8>> {
+        self.from_server.pop(RECV_POLL)
+    }
+}
+
+impl Drop for LoopbackClient {
+    fn drop(&mut self) {
+        self.to_server.close();
+        self.from_server.close();
+    }
+}
+
+impl ServerTransport for LoopbackServer {
+    type Peer = ();
+
+    fn recv_from(&mut self) -> io::Result<(Vec<u8>, ())> {
+        Ok((self.from_client.pop(RECV_POLL)?, ()))
+    }
+
+    fn send_to(&mut self, (): &(), frame: &[u8]) -> io::Result<()> {
+        self.to_client.push(frame.to_vec())
+    }
+}
+
+impl Drop for LoopbackServer {
+    fn drop(&mut self) {
+        self.from_client.close();
+        self.to_client.close();
+    }
+}
+
+// ---------------------------------------------------------------------
+// UDP
+// ---------------------------------------------------------------------
+
+/// A connected UDP client socket.
+pub struct UdpClient {
+    socket: UdpSocket,
+    buf: Vec<u8>,
+}
+
+impl UdpClient {
+    /// Binds an ephemeral local socket and connects it to `server`.
+    ///
+    /// # Errors
+    ///
+    /// Bind/connect failures.
+    pub fn connect<A: ToSocketAddrs>(server: A) -> io::Result<UdpClient> {
+        let socket = UdpSocket::bind(("127.0.0.1", 0))?;
+        socket.connect(server)?;
+        socket.set_read_timeout(Some(RECV_POLL))?;
+        Ok(UdpClient {
+            socket,
+            buf: vec![0; MAX_FRAME],
+        })
+    }
+}
+
+impl Transport for UdpClient {
+    fn send(&mut self, frame: &[u8]) -> io::Result<()> {
+        self.socket.send(frame).map(|_| ())
+    }
+
+    fn recv(&mut self) -> io::Result<Vec<u8>> {
+        let n = self.socket.recv(&mut self.buf)?;
+        Ok(self.buf[..n].to_vec())
+    }
+}
+
+/// A UDP server socket answering datagrams from any peer.
+pub struct UdpServer {
+    socket: UdpSocket,
+    buf: Vec<u8>,
+}
+
+impl UdpServer {
+    /// Binds `addr` (use port 0 for an OS-assigned port, then
+    /// [`UdpServer::local_addr`]).
+    ///
+    /// # Errors
+    ///
+    /// Bind failures.
+    pub fn bind<A: ToSocketAddrs>(addr: A) -> io::Result<UdpServer> {
+        let socket = UdpSocket::bind(addr)?;
+        socket.set_read_timeout(Some(RECV_POLL))?;
+        Ok(UdpServer {
+            socket,
+            buf: vec![0; MAX_FRAME],
+        })
+    }
+
+    /// The bound address — what clients connect to.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.socket.local_addr()
+    }
+}
+
+impl ServerTransport for UdpServer {
+    type Peer = SocketAddr;
+
+    fn recv_from(&mut self) -> io::Result<(Vec<u8>, SocketAddr)> {
+        let (n, peer) = self.socket.recv_from(&mut self.buf)?;
+        Ok((self.buf[..n].to_vec(), peer))
+    }
+
+    fn send_to(&mut self, peer: &SocketAddr, frame: &[u8]) -> io::Result<()> {
+        self.socket.send_to(frame, peer).map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loopback_roundtrips_frames_in_order() {
+        let (mut client, mut server) = loopback_pair(8);
+        client.send(b"one").unwrap();
+        client.send(b"two").unwrap();
+        let (a, ()) = server.recv_from().unwrap();
+        let (b, ()) = server.recv_from().unwrap();
+        assert_eq!((a.as_slice(), b.as_slice()), (&b"one"[..], &b"two"[..]));
+        server.send_to(&(), b"ack").unwrap();
+        assert_eq!(client.recv().unwrap(), b"ack");
+    }
+
+    #[test]
+    fn loopback_recv_times_out_when_idle() {
+        let (_client, mut server) = loopback_pair(8);
+        let err = server.recv_from().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+    }
+
+    #[test]
+    fn dropping_the_client_wakes_the_server_with_eof() {
+        let (client, mut server) = loopback_pair(8);
+        drop(client);
+        assert_eq!(
+            server.recv_from().unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+    }
+
+    #[test]
+    fn loopback_send_blocks_until_space_then_succeeds() {
+        let (mut client, mut server) = loopback_pair(1);
+        client.send(b"fill").unwrap();
+        let t = std::thread::spawn(move || {
+            client.send(b"blocked").unwrap();
+            client
+        });
+        // Draining one frame must unblock the pending send.
+        let (first, ()) = server.recv_from().unwrap();
+        assert_eq!(first, b"fill");
+        let _client = t.join().unwrap();
+        let (second, ()) = server.recv_from().unwrap();
+        assert_eq!(second, b"blocked");
+    }
+
+    #[test]
+    fn udp_roundtrip_on_localhost() {
+        let mut server = UdpServer::bind(("127.0.0.1", 0)).unwrap();
+        let addr = server.local_addr().unwrap();
+        let mut client = UdpClient::connect(addr).unwrap();
+        client.send(b"ping").unwrap();
+        let (frame, peer) = loop {
+            match server.recv_from() {
+                Ok(got) => break got,
+                Err(e) if e.kind() == io::ErrorKind::TimedOut => {}
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+                Err(e) => panic!("recv failed: {e}"),
+            }
+        };
+        assert_eq!(frame, b"ping");
+        server.send_to(&peer, b"pong").unwrap();
+        let reply = loop {
+            match client.recv() {
+                Ok(got) => break got,
+                Err(e) if e.kind() == io::ErrorKind::TimedOut => {}
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+                Err(e) => panic!("recv failed: {e}"),
+            }
+        };
+        assert_eq!(reply, b"pong");
+    }
+}

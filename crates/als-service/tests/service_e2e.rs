@@ -1,0 +1,158 @@
+//! End-to-end service tests: a real serve loop behind each transport.
+//!
+//! The loopback path is exercised further in the `service` unit tests;
+//! here the same request flow runs over UDP between two sockets, plus a
+//! concurrency smoke where many client threads hammer one engine
+//! through bounded queues.
+
+use agr_als_service::pipeline::{Engine, EngineConfig, Request, Response};
+use agr_als_service::service::{serve, AlsClient};
+use agr_als_service::store::StoreConfig;
+use agr_als_service::transport::{loopback_pair, UdpClient, UdpServer};
+use agr_core::packet::AlsPair;
+use agr_geom::{CellId, Point};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const CELL: CellId = CellId { col: 10, row: 20 };
+
+fn pair(i: u8) -> AlsPair {
+    AlsPair {
+        index: vec![i; 24],
+        payload: vec![0xCC, i],
+    }
+}
+
+#[test]
+fn udp_update_query_forward_roundtrip() {
+    let engine = Arc::new(Engine::start(EngineConfig::default()));
+    let mut server_side = UdpServer::bind(("127.0.0.1", 0)).expect("bind");
+    let addr = server_side.local_addr().expect("addr");
+    let stop = Arc::new(AtomicBool::new(false));
+    let server = {
+        let engine = engine.clone();
+        let stop = stop.clone();
+        std::thread::spawn(move || serve(&engine, &mut server_side, &stop))
+    };
+
+    let mut client = AlsClient::new(UdpClient::connect(addr).expect("connect"));
+    assert_eq!(
+        client
+            .update(CELL, vec![pair(1), pair(2), pair(3)])
+            .unwrap(),
+        3
+    );
+    assert_eq!(
+        client.query(CELL, vec![2; 24]).unwrap(),
+        Some(vec![0xCC, 2])
+    );
+    assert_eq!(client.query(CELL, vec![0xEE; 24]).unwrap(), None);
+
+    let new_home = CellId { col: 11, row: 21 };
+    assert_eq!(client.forward(CELL, new_home, vec![pair(2)]).unwrap(), 1);
+    assert_eq!(client.query(CELL, vec![2; 24]).unwrap(), None);
+    assert_eq!(
+        client.query(new_home, vec![2; 24]).unwrap(),
+        Some(vec![0xCC, 2])
+    );
+
+    stop.store(true, Ordering::Release);
+    let stats = server.join().unwrap();
+    assert_eq!(stats.updates, 1);
+    assert_eq!(stats.forwards, 1);
+    assert_eq!(stats.queries, 4);
+    assert_eq!(stats.hits, 2);
+
+    let Ok(engine) = Arc::try_unwrap(engine) else {
+        unreachable!("all clients have joined; this is the sole handle")
+    };
+    let store = engine.shutdown();
+    assert_eq!(store.len(), 3);
+}
+
+#[test]
+fn many_loopback_clients_share_one_engine() {
+    // Small queues force backpressure while 8 client threads interleave
+    // updates and queries; every client must see its own writes.
+    let engine = Arc::new(Engine::start(EngineConfig {
+        store: StoreConfig {
+            shards: 4,
+            ttl: None,
+            capacity_per_shard: None,
+        },
+        workers: 4,
+        queue_depth: 8,
+        batch_max: 16,
+        compact_every: None,
+    }));
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut servers = Vec::new();
+    let mut clients = Vec::new();
+    for client_id in 0u8..8 {
+        let (client_side, mut server_side) = loopback_pair(4);
+        let engine = engine.clone();
+        let stop = stop.clone();
+        servers.push(std::thread::spawn(move || {
+            serve(&engine, &mut server_side, &stop)
+        }));
+        clients.push(std::thread::spawn(move || {
+            let mut client = AlsClient::new(client_side);
+            for round in 0u8..25 {
+                let index = vec![client_id, round, 0x55];
+                let stored = client
+                    .update(
+                        CELL,
+                        vec![AlsPair {
+                            index: index.clone(),
+                            payload: vec![client_id, round],
+                        }],
+                    )
+                    .expect("update");
+                assert_eq!(stored, 1);
+                assert_eq!(
+                    client.query(CELL, index).expect("query"),
+                    Some(vec![client_id, round]),
+                    "client {client_id} lost round {round}"
+                );
+            }
+        }));
+    }
+    for c in clients {
+        c.join().expect("client panicked");
+    }
+    stop.store(true, Ordering::Release);
+    let mut answered = 0;
+    for s in servers {
+        answered += s.join().unwrap().queries;
+    }
+    assert_eq!(answered, 8 * 25);
+    let Ok(engine) = Arc::try_unwrap(engine) else {
+        unreachable!("all clients have joined; this is the sole handle")
+    };
+    let store = engine.shutdown();
+    assert_eq!(store.len(), 8 * 25);
+    assert_eq!(store.stats().hits, 8 * 25);
+}
+
+#[test]
+fn direct_engine_calls_honor_reply_locations() {
+    // The engine itself ignores reply_loc (transports own routing), but
+    // it must carry any Point without affecting answers.
+    let engine = Engine::start(EngineConfig::default());
+    engine.submit(Request::Update {
+        cell: CELL,
+        pairs: vec![pair(9)],
+    });
+    let answer = engine.call(Request::Query {
+        cell: CELL,
+        index: vec![9; 24],
+        reply_loc: Point::new(1234.5, -9.75),
+    });
+    assert_eq!(
+        answer,
+        Response::Hit {
+            payload: vec![0xCC, 9]
+        }
+    );
+    engine.shutdown();
+}

@@ -1,0 +1,340 @@
+//! Load generator for the standalone ALS service engine.
+//!
+//! Drives millions of zipfian-keyed mixed operations (anonymous updates
+//! and queries, a sprinkle of DLM-forwards) through the full
+//! `agr-als-service` request pipeline — bounded queues, batching
+//! workers, sharded store — once per shard count, and records
+//! throughput plus query-latency percentiles to
+//! `results/BENCH_als.json`.
+//!
+//! The shard counts {1, 4} share a fixed 4-thread worker pool, so the
+//! comparison isolates exactly what sharding buys: with one shard every
+//! request routes to one queue and one worker; with four, the same load
+//! spreads across all of them. The acceptance bar is a ≥2× ops/sec gain
+//! at 4 shards.
+//!
+//! Flags / environment:
+//! - `--quick`: 100k ops per config instead of 1M (CI smoke).
+//! - `--out <path>` / `--bench-json <path>` / `AGR_BENCH_JSON`: output
+//!   path (default `results/BENCH_als.json`).
+//! - `AGR_ALS_OPS`: explicit per-config op count override.
+//! - `AGR_ALS_THREADS`: client thread count (default 4).
+
+use agr_als_service::pipeline::{Engine, EngineConfig, Request};
+use agr_als_service::store::StoreConfig;
+use agr_bench::bench_json::{git_sha, iso_timestamp};
+use agr_bench::runner::env_u64;
+use agr_core::packet::AlsPair;
+use agr_geom::{CellId, Point};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Distinct sealed indices the zipfian sampler draws from.
+const KEY_SPACE: usize = 50_000;
+/// Zipf exponent — the classic "web-like" skew.
+const ZIPF_S: f64 = 0.99;
+/// Cells the keys spread over (forwards shuffle records between them).
+const CELLS: u32 = 16;
+
+/// Inverse-CDF zipfian sampler over ranks `0..n`, precomputed once and
+/// shared read-only by every client thread.
+struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: usize, s: f64) -> Zipf {
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for rank in 1..=n {
+            total += 1.0 / (rank as f64).powf(s);
+            cdf.push(total);
+        }
+        for w in &mut cdf {
+            *w /= total;
+        }
+        Zipf { cdf }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.random();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// The sealed index for `rank` — 16 opaque bytes, like a truncated
+/// `E_KB(A,B)` block.
+fn index_of(rank: usize) -> Vec<u8> {
+    let mut index = vec![0u8; 16];
+    index[..8].copy_from_slice(&(rank as u64).to_be_bytes());
+    index[8..].copy_from_slice(&(!(rank as u64)).wrapping_mul(0x9E37_79B9).to_be_bytes());
+    index
+}
+
+/// Each rank lives in a deterministic home cell.
+fn cell_of(rank: usize) -> CellId {
+    CellId {
+        col: (rank as u32) % CELLS,
+        row: ((rank as u32) / CELLS) % CELLS,
+    }
+}
+
+/// Runs `ops` mixed fire-and-forget operations against `engine` from
+/// one producer thread: 70% updates, 29% queries, 1% forwards, all
+/// zipfian-keyed. Queries ride the queues unanswered — the worker still
+/// performs every lookup (the store's counters record it), but no reply
+/// channel throttles the producer, so the worker pool that sharding
+/// scales stays the bottleneck. Returns the op count.
+fn produce(engine: &Engine, zipf: &Zipf, seed: u64, ops: u64) -> u64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..ops {
+        let rank = zipf.sample(&mut rng);
+        let cell = cell_of(rank);
+        let index = index_of(rank);
+        match rng.random_range(0u32..100) {
+            0..=69 => {
+                engine.submit(Request::Update {
+                    cell,
+                    pairs: vec![AlsPair {
+                        index,
+                        payload: vec![0xC5; 48],
+                    }],
+                });
+            }
+            70..=98 => {
+                engine.submit(Request::Query {
+                    cell,
+                    index,
+                    reply_loc: Point::ORIGIN,
+                });
+            }
+            _ => {
+                let to = CellId {
+                    col: rng.random_range(0u32..CELLS),
+                    row: rng.random_range(0u32..CELLS),
+                };
+                engine.submit(Request::Forward {
+                    from_cell: cell,
+                    to_cell: to,
+                    pairs: vec![AlsPair {
+                        index,
+                        payload: vec![0xC5; 48],
+                    }],
+                });
+            }
+        }
+    }
+    ops
+}
+
+/// Times `samples` blocking query round-trips on an otherwise idle
+/// engine — the uncongested request-pipeline service latency (during
+/// the throughput phase a reply would mostly measure queue depth).
+/// Returns sorted latencies in nanoseconds.
+fn measure_latency(engine: &Engine, zipf: &Zipf, seed: u64, samples: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut latencies = Vec::with_capacity(samples as usize);
+    for _ in 0..samples {
+        let rank = zipf.sample(&mut rng);
+        let request = Request::Query {
+            cell: cell_of(rank),
+            index: index_of(rank),
+            reply_loc: Point::ORIGIN,
+        };
+        let t0 = Instant::now();
+        let _ = engine.call(request);
+        latencies.push(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    }
+    latencies.sort_unstable();
+    latencies
+}
+
+struct ConfigResult {
+    shards: usize,
+    ops: u64,
+    wall_s: f64,
+    hits: u64,
+    misses: u64,
+    p50_us: f64,
+    p99_us: f64,
+    records: usize,
+}
+
+impl ConfigResult {
+    fn ops_per_sec(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.ops as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+}
+
+fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() - 1) as f64 * p).round() as usize;
+    sorted_ns[idx] as f64 / 1_000.0
+}
+
+/// Runs one full load against a fresh engine with `shards` shards.
+fn run_config(shards: usize, threads: u64, total_ops: u64, latency_samples: u64) -> ConfigResult {
+    let engine = Arc::new(Engine::start(EngineConfig {
+        store: StoreConfig {
+            shards,
+            ttl: None,
+            capacity_per_shard: None,
+        },
+        workers: 4,
+        queue_depth: 4096,
+        batch_max: 128,
+        compact_every: None,
+    }));
+    let zipf = Arc::new(Zipf::new(KEY_SPACE, ZIPF_S));
+    let per_thread = total_ops / threads;
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let engine = engine.clone();
+            let zipf = zipf.clone();
+            std::thread::spawn(move || produce(&engine, &zipf, 0xA15_0000 + t, per_thread))
+        })
+        .collect();
+    let mut ops = 0;
+    for h in handles {
+        ops += h.join().expect("producer thread panicked");
+    }
+    // Producers are done but queues may still hold a backlog; a blocking
+    // call per shard (FIFO queues) fences until every worker drained its
+    // queue, so the measured window covers all submitted work.
+    let mut fenced = vec![false; shards];
+    for rank in 0..KEY_SPACE {
+        let request = Request::Query {
+            cell: cell_of(rank),
+            index: index_of(rank),
+            reply_loc: Point::ORIGIN,
+        };
+        let shard = engine.store().shard_of(&request.routing_key());
+        if !std::mem::replace(&mut fenced[shard], true) {
+            let _ = engine.call(request);
+            if fenced.iter().all(|f| *f) {
+                break;
+            }
+        }
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    let latencies = measure_latency(&engine, &zipf, 0x1A7E_ACE5, latency_samples);
+    let Ok(engine) = Arc::try_unwrap(engine) else {
+        unreachable!("producers have joined; this is the sole handle")
+    };
+    let store = engine.shutdown();
+    let stats = store.stats();
+    let (hits, misses) = (stats.hits, stats.misses);
+    let result = ConfigResult {
+        shards,
+        ops,
+        wall_s,
+        hits,
+        misses,
+        p50_us: percentile_us(&latencies, 0.50),
+        p99_us: percentile_us(&latencies, 0.99),
+        records: store.len(),
+    };
+    eprintln!(
+        "{:>2} shard(s): {:>9} ops in {:>7.2}s  {:>10.0} ops/s  \
+         query p50 {:>7.1}us p99 {:>8.1}us  hit rate {:.3}",
+        result.shards,
+        result.ops,
+        result.wall_s,
+        result.ops_per_sec(),
+        result.p50_us,
+        result.p99_us,
+        result.hits as f64 / (result.hits + result.misses).max(1) as f64,
+    );
+    result
+}
+
+fn render(threads: u64, results: &[ConfigResult]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"bin\": \"als_loadgen\",");
+    let _ = writeln!(out, "  \"git_sha\": \"{}\",", git_sha());
+    let _ = writeln!(out, "  \"generated_at\": \"{}\",", iso_timestamp());
+    let _ = writeln!(out, "  \"threads\": {threads},");
+    let _ = writeln!(out, "  \"key_space\": {KEY_SPACE},");
+    let _ = writeln!(out, "  \"zipf_s\": {ZIPF_S},");
+    let total: u64 = results.iter().map(|r| r.ops).sum();
+    let _ = writeln!(out, "  \"total_ops\": {total},");
+    let _ = writeln!(out, "  \"configs\": [");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"shards\": {},", r.shards);
+        let _ = writeln!(out, "      \"ops\": {},", r.ops);
+        let _ = writeln!(out, "      \"wall_s\": {:.6},", r.wall_s);
+        let _ = writeln!(out, "      \"ops_per_sec\": {:.1},", r.ops_per_sec());
+        let _ = writeln!(out, "      \"query_p50_us\": {:.2},", r.p50_us);
+        let _ = writeln!(out, "      \"query_p99_us\": {:.2},", r.p99_us);
+        let _ = writeln!(out, "      \"hits\": {},", r.hits);
+        let _ = writeln!(out, "      \"misses\": {},", r.misses);
+        let _ = writeln!(out, "      \"records\": {}", r.records);
+        let _ = writeln!(out, "    }}{comma}");
+    }
+    let _ = writeln!(out, "  ],");
+    let speedup = match (results.first(), results.last()) {
+        (Some(one), Some(four)) if one.wall_s > 0.0 && four.ops_per_sec() > 0.0 => {
+            four.ops_per_sec() / one.ops_per_sec()
+        }
+        _ => 0.0,
+    };
+    let _ = writeln!(out, "  \"speedup_4shard_over_1shard\": {speedup:.3}");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Output path: `--out`/`--bench-json` flag, `AGR_BENCH_JSON`, else
+/// `results/BENCH_als.json`.
+fn out_path() -> PathBuf {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--out" || arg == "--bench-json" {
+            if let Some(p) = args.next() {
+                return PathBuf::from(p);
+            }
+        }
+    }
+    std::env::var("AGR_BENCH_JSON")
+        .ok()
+        .filter(|s| !s.trim().is_empty())
+        .map_or_else(|| PathBuf::from("results/BENCH_als.json"), PathBuf::from)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let per_config = env_u64("AGR_ALS_OPS").unwrap_or(if quick { 100_000 } else { 1_250_000 });
+    let threads = env_u64("AGR_ALS_THREADS").unwrap_or(4).max(1);
+    eprintln!(
+        "als_loadgen: {per_config} ops/config, {threads} client threads, \
+         {KEY_SPACE} keys (zipf s={ZIPF_S})"
+    );
+    let latency_samples = if quick { 5_000 } else { 25_000 };
+    let results = vec![
+        run_config(1, threads, per_config, latency_samples),
+        run_config(4, threads, per_config, latency_samples),
+    ];
+    let speedup = results[1].ops_per_sec() / results[0].ops_per_sec().max(f64::MIN_POSITIVE);
+    eprintln!("4-shard speedup over 1-shard: {speedup:.2}x");
+    let path = out_path();
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(&path, render(threads, &results)).expect("write BENCH_als.json");
+    eprintln!("bench json: {}", path.display());
+}

@@ -12,8 +12,6 @@ use agr_gpsr::{Gpsr, GpsrConfig};
 use agr_sim::{AdversaryMix, FaultPlan, SimConfig, SimTime, Stats, World};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 use std::time::Instant;
 
 /// Which protocol a sweep point runs.
@@ -242,56 +240,10 @@ pub fn run_point(kind: &ProtocolKind, nodes: usize, seed: u64, params: &SweepPar
     }
 }
 
-/// Worker count for parallel sweeps: `AGR_JOBS` if set (min 1), else the
-/// machine's available parallelism.
-#[must_use]
-pub fn jobs() -> usize {
-    if let Some(j) = env_u64("AGR_JOBS") {
-        return (j as usize).max(1);
-    }
-    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
-}
-
-/// Maps `f` over `items` on up to `jobs` scoped worker threads, returning
-/// results **in input order** regardless of completion order.
-///
-/// Workers claim indices from a shared atomic counter and write into
-/// per-slot cells, so the output is a deterministic function of the input
-/// whenever `f` itself is (each simulation point is an independent
-/// seeded run — nothing about scheduling can leak into the results).
-pub fn par_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    let workers = jobs.min(items.len());
-    if workers <= 1 {
-        return items.iter().map(f).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let r = f(&items[i]);
-                *slots[i].lock().expect("slot poisoned") = Some(r);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|s| {
-            s.into_inner()
-                .expect("slot poisoned")
-                .expect("worker filled every slot")
-        })
-        .collect()
-}
+// The scoped worker pool moved to `agr-sim::par` so non-bench consumers
+// (the ALS service engine) can share it; re-exported here so every sweep
+// bin and test keeps its `runner::{jobs, par_map}` spelling.
+pub use agr_sim::par::{jobs, par_map};
 
 /// Wall-clock record of one sweep point (one protocol × nodes × seed).
 #[derive(Debug, Clone, PartialEq)]

@@ -21,7 +21,7 @@
 //! attempt, the paper's measured RSA-512 timings).
 
 use crate::aant::{Aant, AantConfig};
-use crate::als::{self, AlsRequest, AlsServer, AlsUpdate};
+use crate::als::{self, AlsServer};
 use crate::ant::{AnonymousNeighborTable, SelectionStrategy};
 use crate::backoff::backoff_delay;
 use crate::dlm::ServerSelection;
@@ -134,6 +134,11 @@ pub struct AlsNetParams {
     pub max_query_retries: u32,
     /// Hop budget of service messages.
     pub ttl: u8,
+    /// Storage policy of the cell servers this node hosts (TTL freshness
+    /// and LRU capacity — see [`crate::als::AlsStoreConfig`]). The
+    /// default keeps every record forever, the paper-faithful behavior
+    /// the golden fingerprints pin.
+    pub store: crate::als::AlsStoreConfig,
 }
 
 impl Default for AlsNetParams {
@@ -146,6 +151,7 @@ impl Default for AlsNetParams {
             query_timeout: SimTime::from_millis(400),
             max_query_retries: 4,
             ttl: 32,
+            store: crate::als::AlsStoreConfig::default(),
         }
     }
 }
@@ -1452,13 +1458,13 @@ impl Agfw {
                 if !at_local_max {
                     return false;
                 }
-                let server = als.servers.entry(*cell).or_default();
+                let store = als.params.store;
+                let server = als
+                    .servers
+                    .entry(*cell)
+                    .or_insert_with(|| AlsServer::with_config(store));
                 for pair in pairs {
-                    server.handle_update(AlsUpdate {
-                        server_cell: *cell,
-                        index: pair.index.clone(),
-                        payload: pair.payload.clone(),
-                    });
+                    server.store_at(pair.index.clone(), pair.payload.clone(), now);
                 }
                 ctx.count("als.server_stored");
                 true
@@ -1471,25 +1477,20 @@ impl Agfw {
                 if !at_local_max {
                     return false;
                 }
-                let reply = als.servers.get(cell).and_then(|server| {
-                    server.handle_request(&AlsRequest {
-                        server_cell: *cell,
-                        index: index.clone(),
-                        reply_loc: *reply_loc,
-                    })
-                });
+                let reply = als
+                    .servers
+                    .get_mut(cell)
+                    .and_then(|server| server.query_at(index, now));
                 let ttl = als.params.ttl;
                 match reply {
-                    Some(r) => {
+                    Some(payload) => {
                         ctx.count("als.reply_sent");
                         let msg = AlsNetMessage {
                             target_loc: *reply_loc,
                             next: Pseudonym::LAST_ATTEMPT,
                             uid: ctx.rng().random(),
                             ttl,
-                            kind: AlsNetKind::Reply {
-                                payload: r.payloads.into_iter().next().expect("one record"),
-                            },
+                            kind: AlsNetKind::Reply { payload },
                         };
                         self.als_route(ctx, msg);
                     }
@@ -1510,6 +1511,13 @@ impl Agfw {
                         self.originate(ctx, dest, record.loc, tag);
                     }
                 }
+                true
+            }
+            // Service-transport frames (`agr-als-service`): never
+            // originated inside the simulated network, so swallow any
+            // that leak in rather than geo-route them forever.
+            AlsNetKind::Forward { .. } | AlsNetKind::Ack { .. } | AlsNetKind::Miss => {
+                ctx.count("als.service_frame_ignored");
                 true
             }
         }
@@ -1564,7 +1572,10 @@ impl Agfw {
                     ctx.count("als.last_attempt");
                     self.send_als(ctx, msg);
                 }
-                AlsNetKind::Reply { .. } => {
+                AlsNetKind::Reply { .. }
+                | AlsNetKind::Forward { .. }
+                | AlsNetKind::Ack { .. }
+                | AlsNetKind::Miss => {
                     self.pending_acks.remove(&msg.uid);
                     ctx.count("als.drop.local_max");
                 }

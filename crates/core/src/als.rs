@@ -204,33 +204,235 @@ fn record_plaintext(updater: u64, loc: Point, ts: SimTime) -> Vec<u8> {
     m
 }
 
+/// Storage policy for one ALS store (a simulator cell server or one
+/// shard of the standalone `agr-als-service` engine).
+///
+/// The default policy — no TTL, no capacity bound — reproduces the
+/// paper-faithful blob store exactly, which is what the simulator runs
+/// (and what the golden fingerprints pin). The service engine turns both
+/// knobs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AlsStoreConfig {
+    /// Freshness bound: a record stored at `t` answers queries only
+    /// until `t + ttl`, mirroring the paper's `ts` freshness rule. The
+    /// server cannot read the sealed `ts`, so its own arrival clock is
+    /// the freshness proxy. `None` keeps records forever.
+    pub ttl: Option<SimTime>,
+    /// Maximum live records; storing a *new* index beyond this evicts
+    /// the least-recently-used record first. Values below 1 behave as 1.
+    /// `None` is unbounded.
+    pub capacity: Option<usize>,
+}
+
+/// Counters of one store's lifetime, cheap enough to keep always-on.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AlsStoreStats {
+    /// Fresh indices inserted.
+    pub stored: u64,
+    /// Updates that replaced an existing index.
+    pub replaced: u64,
+    /// Queries answered from a fresh record.
+    pub hits: u64,
+    /// Queries that matched nothing (includes expired-on-read).
+    pub misses: u64,
+    /// Records dropped because their TTL lapsed (on read or compaction).
+    pub expired: u64,
+    /// Records evicted by LRU capacity pressure.
+    pub evicted: u64,
+}
+
+impl AlsStoreStats {
+    /// Accumulates `other` into `self` (shard aggregation).
+    pub fn merge(&mut self, other: &AlsStoreStats) {
+        self.stored += other.stored;
+        self.replaced += other.replaced;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.expired += other.expired;
+        self.evicted += other.evicted;
+    }
+}
+
+/// One stored blob plus the bookkeeping the policies need.
+#[derive(Debug, Clone)]
+struct Stored {
+    payload: Vec<u8>,
+    /// Arrival time — the TTL anchor.
+    stored_at: SimTime,
+    /// Recency tick for LRU ordering (unique per store).
+    touched: u64,
+}
+
 /// The anonymous location server: a pure blob store.
 ///
 /// It "does know where it is stored" but can read neither identity nor
-/// location from what it stores.
+/// location from what it stores. This type is the **single shared
+/// storage implementation**: the simulator holds one per DLM cell
+/// (default policy), and the standalone `agr-als-service` engine holds
+/// N of them behind locks as shards with TTL and LRU bounds enabled.
 #[derive(Debug, Clone, Default)]
 pub struct AlsServer {
-    records: BTreeMap<Vec<u8>, Vec<u8>>,
+    config: AlsStoreConfig,
+    records: BTreeMap<Vec<u8>, Stored>,
+    /// Recency tick → index key; the leftmost entry is the LRU victim.
+    recency: BTreeMap<u64, Vec<u8>>,
+    clock: u64,
+    stats: AlsStoreStats,
 }
 
 impl AlsServer {
-    /// Creates an empty server.
+    /// Creates an empty server with the paper-faithful default policy
+    /// (no expiry, no capacity bound).
     #[must_use]
     pub fn new() -> Self {
         AlsServer::default()
     }
 
+    /// Creates an empty server with an explicit storage policy.
+    #[must_use]
+    pub fn with_config(config: AlsStoreConfig) -> Self {
+        AlsServer {
+            config,
+            ..AlsServer::default()
+        }
+    }
+
+    /// The storage policy in force.
+    #[must_use]
+    pub fn config(&self) -> AlsStoreConfig {
+        self.config
+    }
+
+    /// Lifetime counters.
+    #[must_use]
+    pub fn stats(&self) -> &AlsStoreStats {
+        &self.stats
+    }
+
+    fn is_fresh(&self, stored_at: SimTime, now: SimTime) -> bool {
+        self.config
+            .ttl
+            .is_none_or(|ttl| now.as_nanos() <= stored_at.as_nanos().saturating_add(ttl.as_nanos()))
+    }
+
+    fn touch(&mut self, index: &[u8]) {
+        let tick = self.clock;
+        self.clock += 1;
+        if let Some(stored) = self.records.get_mut(index) {
+            self.recency.remove(&stored.touched);
+            stored.touched = tick;
+            self.recency.insert(tick, index.to_vec());
+        }
+    }
+
+    fn remove(&mut self, index: &[u8]) -> Option<Stored> {
+        let stored = self.records.remove(index)?;
+        self.recency.remove(&stored.touched);
+        Some(stored)
+    }
+
+    /// Stores a blob at time `now`, replacing any record under the same
+    /// index; a new index beyond [`AlsStoreConfig::capacity`] evicts the
+    /// least-recently-used record first.
+    pub fn store_at(&mut self, index: Vec<u8>, payload: Vec<u8>, now: SimTime) {
+        if let Some(existing) = self.records.get_mut(&index) {
+            existing.payload = payload;
+            existing.stored_at = now;
+            self.stats.replaced += 1;
+            self.touch(&index);
+            return;
+        }
+        if let Some(cap) = self.config.capacity {
+            while self.records.len() >= cap.max(1) {
+                let Some((_, victim)) = self.recency.pop_first() else {
+                    break;
+                };
+                self.records.remove(&victim);
+                self.stats.evicted += 1;
+            }
+        }
+        let tick = self.clock;
+        self.clock += 1;
+        self.recency.insert(tick, index.clone());
+        self.records.insert(
+            index,
+            Stored {
+                payload,
+                stored_at: now,
+                touched: tick,
+            },
+        );
+        self.stats.stored += 1;
+    }
+
+    /// Answers a lookup at time `now`: a fresh record is touched (LRU)
+    /// and returned; a stale one is reclaimed and counts as a miss.
+    pub fn query_at(&mut self, index: &[u8], now: SimTime) -> Option<Vec<u8>> {
+        match self.records.get(index) {
+            Some(stored) if self.is_fresh(stored.stored_at, now) => {
+                let payload = stored.payload.clone();
+                self.touch(index);
+                self.stats.hits += 1;
+                Some(payload)
+            }
+            Some(_) => {
+                self.remove(index);
+                self.stats.expired += 1;
+                self.stats.misses += 1;
+                None
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Removes the record under `index`, returning its payload. Used by
+    /// the service engine's DLM-forward to drop the source-cell copy of a
+    /// re-homed record; the simulator never removes explicitly.
+    pub fn remove_record(&mut self, index: &[u8]) -> Option<Vec<u8>> {
+        self.remove(index).map(|stored| stored.payload)
+    }
+
+    /// Reclaims every record whose TTL has lapsed by `now`; returns how
+    /// many were dropped. A no-op without a TTL.
+    pub fn compact(&mut self, now: SimTime) -> usize {
+        if self.config.ttl.is_none() {
+            return 0;
+        }
+        let stale: Vec<Vec<u8>> = self
+            .records
+            .iter()
+            .filter(|(_, s)| !self.is_fresh(s.stored_at, now))
+            .map(|(k, _)| k.clone())
+            .collect();
+        for key in &stale {
+            self.remove(key);
+        }
+        self.stats.expired += stale.len() as u64;
+        stale.len()
+    }
+
     /// Stores an update, replacing any record under the same index.
+    ///
+    /// Timeless variant of [`AlsServer::store_at`] for callers without a
+    /// clock (records land at `t = 0`, which under the default no-TTL
+    /// policy changes nothing).
     pub fn handle_update(&mut self, update: AlsUpdate) {
-        self.records.insert(update.index, update.payload);
+        self.store_at(update.index, update.payload, SimTime::ZERO);
     }
 
     /// Answers an indexed request: `⟨LREP, loc_B, E_KB(A, loc_A, ts)⟩`.
+    ///
+    /// Read-only and timeless: no TTL filtering, no LRU touch — the
+    /// simulator's paper-faithful path. Clock-aware callers use
+    /// [`AlsServer::query_at`].
     #[must_use]
     pub fn handle_request(&self, request: &AlsRequest) -> Option<AlsReply> {
-        self.records.get(&request.index).map(|payload| AlsReply {
+        self.records.get(&request.index).map(|stored| AlsReply {
             reply_loc: request.reply_loc,
-            payloads: vec![payload.clone()],
+            payloads: vec![stored.payload.clone()],
         })
     }
 
@@ -243,11 +445,12 @@ impl AlsServer {
         }
         Some(AlsReply {
             reply_loc: request.reply_loc,
-            payloads: self.records.values().cloned().collect(),
+            payloads: self.records.values().map(|s| s.payload.clone()).collect(),
         })
     }
 
-    /// Number of stored records.
+    /// Number of stored records (lazily-expired ones count until a
+    /// [`AlsServer::compact`] or an expiring read reclaims them).
     #[must_use]
     pub fn len(&self) -> usize {
         self.records.len()
@@ -259,10 +462,34 @@ impl AlsServer {
         self.records.is_empty()
     }
 
-    /// Removes and returns all `(index, payload)` records — used by a
-    /// departing server to hand its records off towards the cell.
+    /// Removes and returns all `(index, payload)` records in index order
+    /// — used by a departing server to hand its records off towards the
+    /// cell.
     pub fn take_records(&mut self) -> Vec<(Vec<u8>, Vec<u8>)> {
-        std::mem::take(&mut self.records).into_iter().collect()
+        self.recency.clear();
+        std::mem::take(&mut self.records)
+            .into_iter()
+            .map(|(k, s)| (k, s.payload))
+            .collect()
+    }
+
+    /// Removes and returns all records whose index starts with `prefix`,
+    /// in index order — the hierarchical DLM-forward primitive: the
+    /// service prefixes indices with their owning cell, so a prefix
+    /// drain re-homes exactly one cell's records.
+    pub fn take_prefix(&mut self, prefix: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let keys: Vec<Vec<u8>> = self
+            .records
+            .range(prefix.to_vec()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, _)| k.clone())
+            .collect();
+        keys.into_iter()
+            .map(|k| {
+                let stored = self.remove(&k).expect("key just enumerated");
+                (k, stored.payload)
+            })
+            .collect()
     }
 }
 
@@ -444,6 +671,85 @@ mod tests {
         let rec =
             open_record(&server.handle_request(&req).unwrap().payloads[0], &f.b_keys).unwrap();
         assert_eq!(rec.loc.x, 20.0);
+    }
+
+    fn blob(fill: u8, len: usize) -> Vec<u8> {
+        vec![fill; len]
+    }
+
+    #[test]
+    fn ttl_expires_stale_records_on_read_and_compaction() {
+        let mut server = AlsServer::with_config(AlsStoreConfig {
+            ttl: Some(SimTime::from_secs(8)),
+            capacity: None,
+        });
+        server.store_at(blob(1, 4), blob(0xA, 8), SimTime::from_secs(0));
+        server.store_at(blob(2, 4), blob(0xB, 8), SimTime::from_secs(5));
+        // At t=8 both are within their TTL (boundary inclusive).
+        assert!(server
+            .query_at(&blob(1, 4), SimTime::from_secs(8))
+            .is_some());
+        // At t=9 record 1 (stored at 0) is stale: expired on read.
+        assert!(server
+            .query_at(&blob(1, 4), SimTime::from_secs(9))
+            .is_none());
+        assert_eq!(server.stats().expired, 1);
+        assert_eq!(server.len(), 1, "expiring read reclaims the record");
+        // Refreshing re-arms the TTL.
+        server.store_at(blob(2, 4), blob(0xC, 8), SimTime::from_secs(10));
+        assert_eq!(
+            server.query_at(&blob(2, 4), SimTime::from_secs(18)),
+            Some(blob(0xC, 8))
+        );
+        // Compaction sweeps what reads never touch.
+        server.store_at(blob(3, 4), blob(0xD, 8), SimTime::from_secs(10));
+        assert_eq!(server.compact(SimTime::from_secs(100)), 2);
+        assert!(server.is_empty());
+    }
+
+    #[test]
+    fn lru_capacity_evicts_least_recently_used() {
+        let mut server = AlsServer::with_config(AlsStoreConfig {
+            ttl: None,
+            capacity: Some(2),
+        });
+        let now = SimTime::ZERO;
+        server.store_at(blob(1, 4), blob(0xA, 8), now);
+        server.store_at(blob(2, 4), blob(0xB, 8), now);
+        // Touch record 1 so record 2 becomes the LRU victim.
+        assert!(server.query_at(&blob(1, 4), now).is_some());
+        server.store_at(blob(3, 4), blob(0xC, 8), now);
+        assert_eq!(server.len(), 2);
+        assert_eq!(server.stats().evicted, 1);
+        assert!(server.query_at(&blob(2, 4), now).is_none(), "2 was LRU");
+        assert!(server.query_at(&blob(1, 4), now).is_some());
+        assert!(server.query_at(&blob(3, 4), now).is_some());
+        // Replacing an existing index never evicts.
+        server.store_at(blob(1, 4), blob(0xF, 8), now);
+        assert_eq!(server.stats().evicted, 1);
+        assert_eq!(server.stats().replaced, 1);
+    }
+
+    #[test]
+    fn take_prefix_drains_exactly_one_cell() {
+        let mut server = AlsServer::new();
+        let now = SimTime::ZERO;
+        let key = |cell: u8, rest: u8| vec![cell, cell, rest];
+        server.store_at(key(1, 7), blob(0xA, 4), now);
+        server.store_at(key(1, 9), blob(0xB, 4), now);
+        server.store_at(key(2, 7), blob(0xC, 4), now);
+        let drained = server.take_prefix(&[1, 1]);
+        assert_eq!(
+            drained,
+            vec![(key(1, 7), blob(0xA, 4)), (key(1, 9), blob(0xB, 4))]
+        );
+        assert_eq!(server.len(), 1);
+        assert!(server.query_at(&key(2, 7), now).is_some());
+        // The drained keys are really gone, and LRU bookkeeping survived
+        // the drain (a follow-up store still works).
+        assert!(server.query_at(&key(1, 7), now).is_none());
+        server.store_at(key(1, 7), blob(0xD, 4), now);
+        assert_eq!(server.query_at(&key(1, 7), now), Some(blob(0xD, 4)));
     }
 
     #[test]

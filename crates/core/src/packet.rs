@@ -221,6 +221,29 @@ pub enum AlsNetKind {
         /// The sealed record.
         payload: Vec<u8>,
     },
+    /// Hierarchical DLM-forward: re-homes sealed pairs from one cell's
+    /// server to another's, the wire form of the departing-server
+    /// handoff. Used by the standalone `agr-als-service` engine; the
+    /// simulator's in-network handoff rides ordinary `Update`s.
+    Forward {
+        /// Cell the records are leaving.
+        from_cell: CellId,
+        /// Cell now responsible for them.
+        to_cell: CellId,
+        /// The re-homed pairs.
+        pairs: Vec<AlsPair>,
+    },
+    /// Service acknowledgment of an `Update` or `Forward`, echoing how
+    /// many pairs were applied. Only the standalone service emits these
+    /// (its transports are request/response); the simulator's updates
+    /// stay unacknowledged.
+    Ack {
+        /// Pairs applied.
+        stored: u32,
+    },
+    /// Service negative reply to a `Request` that matched no fresh
+    /// record, so clients can tell a miss from a lost frame.
+    Miss,
 }
 
 /// A geo-routed location-service message.
@@ -256,6 +279,14 @@ impl AlsNetMessage {
             }
             AlsNetKind::Request { index, .. } => 2 + index.len() as u32 + 8,
             AlsNetKind::Reply { payload } => payload.len() as u32,
+            AlsNetKind::Forward { pairs, .. } => {
+                4 + pairs
+                    .iter()
+                    .map(|p| (p.index.len() + p.payload.len()) as u32)
+                    .sum::<u32>()
+            }
+            AlsNetKind::Ack { .. } => 4,
+            AlsNetKind::Miss => 0,
         };
         NET_HEADER_BYTES + 8 + Pseudonym::wire_bytes() + 4 + 1 + body
     }

@@ -163,6 +163,25 @@ fn put_acks(out: &mut Vec<u8>, acks: &[AckRef]) -> Result<(), WireError> {
     Ok(())
 }
 
+fn read_cell(r: &mut Reader<'_>) -> Result<CellId, WireError> {
+    Ok(CellId {
+        col: r.u32()?,
+        row: r.u32()?,
+    })
+}
+
+fn read_pairs(r: &mut Reader<'_>) -> Result<Vec<AlsPair>, WireError> {
+    let count = r.u16()? as usize;
+    (0..count)
+        .map(|_| {
+            Ok(AlsPair {
+                index: r.bytes_u16()?,
+                payload: r.bytes_u16()?,
+            })
+        })
+        .collect()
+}
+
 fn read_acks(r: &mut Reader<'_>) -> Result<Vec<AckRef>, WireError> {
     let count = r.u16()? as usize;
     (0..count)
@@ -265,14 +284,8 @@ fn encode_als(out: &mut Vec<u8>, m: &AlsNetMessage) -> Result<(), WireError> {
     match &m.kind {
         AlsNetKind::Update { cell, pairs } => {
             out.push(0);
-            out.extend_from_slice(&cell.col.to_be_bytes());
-            out.extend_from_slice(&cell.row.to_be_bytes());
-            let count = u16::try_from(pairs.len()).map_err(|_| WireError::TooLong("pair list"))?;
-            out.extend_from_slice(&count.to_be_bytes());
-            for pair in pairs {
-                put_bytes_u16(out, "pair index", &pair.index)?;
-                put_bytes_u16(out, "pair payload", &pair.payload)?;
-            }
+            put_cell(out, *cell);
+            put_pairs(out, pairs)?;
         }
         AlsNetKind::Request {
             cell,
@@ -280,8 +293,7 @@ fn encode_als(out: &mut Vec<u8>, m: &AlsNetMessage) -> Result<(), WireError> {
             reply_loc,
         } => {
             out.push(1);
-            out.extend_from_slice(&cell.col.to_be_bytes());
-            out.extend_from_slice(&cell.row.to_be_bytes());
+            put_cell(out, *cell);
             put_bytes_u16(out, "request index", index)?;
             put_point(out, *reply_loc);
         }
@@ -289,6 +301,36 @@ fn encode_als(out: &mut Vec<u8>, m: &AlsNetMessage) -> Result<(), WireError> {
             out.push(2);
             put_bytes_u16(out, "reply payload", payload)?;
         }
+        AlsNetKind::Forward {
+            from_cell,
+            to_cell,
+            pairs,
+        } => {
+            out.push(3);
+            put_cell(out, *from_cell);
+            put_cell(out, *to_cell);
+            put_pairs(out, pairs)?;
+        }
+        AlsNetKind::Ack { stored } => {
+            out.push(4);
+            out.extend_from_slice(&stored.to_be_bytes());
+        }
+        AlsNetKind::Miss => out.push(5),
+    }
+    Ok(())
+}
+
+fn put_cell(out: &mut Vec<u8>, cell: CellId) {
+    out.extend_from_slice(&cell.col.to_be_bytes());
+    out.extend_from_slice(&cell.row.to_be_bytes());
+}
+
+fn put_pairs(out: &mut Vec<u8>, pairs: &[AlsPair]) -> Result<(), WireError> {
+    let count = u16::try_from(pairs.len()).map_err(|_| WireError::TooLong("pair list"))?;
+    out.extend_from_slice(&count.to_be_bytes());
+    for pair in pairs {
+        put_bytes_u16(out, "pair index", &pair.index)?;
+        put_bytes_u16(out, "pair payload", &pair.payload)?;
     }
     Ok(())
 }
@@ -405,33 +447,25 @@ fn decode_als(r: &mut Reader<'_>) -> Result<AlsNetMessage, WireError> {
     let uid = r.u64()?;
     let ttl = r.u8()?;
     let kind = match r.u8()? {
-        0 => {
-            let cell = CellId {
-                col: r.u32()?,
-                row: r.u32()?,
-            };
-            let count = r.u16()? as usize;
-            let pairs = (0..count)
-                .map(|_| {
-                    Ok(AlsPair {
-                        index: r.bytes_u16()?,
-                        payload: r.bytes_u16()?,
-                    })
-                })
-                .collect::<Result<Vec<_>, WireError>>()?;
-            AlsNetKind::Update { cell, pairs }
-        }
+        0 => AlsNetKind::Update {
+            cell: read_cell(r)?,
+            pairs: read_pairs(r)?,
+        },
         1 => AlsNetKind::Request {
-            cell: CellId {
-                col: r.u32()?,
-                row: r.u32()?,
-            },
+            cell: read_cell(r)?,
             index: r.bytes_u16()?,
             reply_loc: r.point()?,
         },
         2 => AlsNetKind::Reply {
             payload: r.bytes_u16()?,
         },
+        3 => AlsNetKind::Forward {
+            from_cell: read_cell(r)?,
+            to_cell: read_cell(r)?,
+            pairs: read_pairs(r)?,
+        },
+        4 => AlsNetKind::Ack { stored: r.u32()? },
+        5 => AlsNetKind::Miss,
         value => {
             return Err(WireError::BadTag {
                 field: "ALS kind",

@@ -17,7 +17,8 @@ use proptest::prelude::*;
 
 /// A corpus of valid packets covering every wire shape (hello with and
 /// without velocity, data in both modes with and without piggybacked
-/// ACKs, empty and full NL-ACKs, all three ALS kinds).
+/// ACKs, empty and full NL-ACKs, all six ALS kinds — the three
+/// geo-routed ones plus the service-transport Forward/Ack/Miss).
 fn corpus() -> Vec<AgfwPacket> {
     let zero_tag = FlowTag {
         flow: 0,
@@ -109,6 +110,34 @@ fn corpus() -> Vec<AgfwPacket> {
                 payload: vec![0xEF; 56],
             },
         }),
+        AgfwPacket::Als(AlsNetMessage {
+            target_loc: Point::new(320.0, 640.0),
+            next: Pseudonym([0xB1, 0xB2, 0xB3, 0xB4, 0xB5, 0xB6]),
+            uid: 0x77,
+            ttl: 8,
+            kind: AlsNetKind::Forward {
+                from_cell: CellId { col: 2, row: 5 },
+                to_cell: CellId { col: 3, row: 5 },
+                pairs: vec![AlsPair {
+                    index: vec![0x5A; 4],
+                    payload: vec![0x6B; 3],
+                }],
+            },
+        }),
+        AgfwPacket::Als(AlsNetMessage {
+            target_loc: Point::new(320.0, 640.0),
+            next: Pseudonym([0xB1, 0xB2, 0xB3, 0xB4, 0xB5, 0xB6]),
+            uid: 0x78,
+            ttl: 8,
+            kind: AlsNetKind::Ack { stored: 2 },
+        }),
+        AgfwPacket::Als(AlsNetMessage {
+            target_loc: Point::new(320.0, 640.0),
+            next: Pseudonym([0xB1, 0xB2, 0xB3, 0xB4, 0xB5, 0xB6]),
+            uid: 0x79,
+            ttl: 8,
+            kind: AlsNetKind::Miss,
+        }),
     ]
 }
 
@@ -144,7 +173,7 @@ proptest! {
     /// has no optional tail: cutting anywhere leaves a field unfinished),
     /// and never a panic.
     #[test]
-    fn truncations_error_cleanly(which in 0usize..9, cut in 0.0f64..1.0) {
+    fn truncations_error_cleanly(which in 0usize..12, cut in 0.0f64..1.0) {
         let enc = &encodings()[which];
         let len = (cut * enc.len() as f64) as usize; // < enc.len(): strict
         prop_assert!(
@@ -158,7 +187,7 @@ proptest! {
     /// survives decoding, the result must also re-encode without
     /// panicking (a corrupt-but-parseable packet can be forwarded).
     #[test]
-    fn bit_flips_never_panic(which in 0usize..9, bit in any::<u16>()) {
+    fn bit_flips_never_panic(which in 0usize..12, bit in any::<u16>()) {
         let mut enc = encodings()[which].clone();
         let bit = usize::from(bit) % (enc.len() * 8);
         enc[bit / 8] ^= 1 << (bit % 8);

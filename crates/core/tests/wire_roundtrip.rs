@@ -189,6 +189,132 @@ fn als_messages_roundtrip() {
     assert_roundtrip(&AgfwPacket::Als(reply));
 }
 
+/// The canonical service frame carrying `kind`, shared by the service
+/// round-trip and golden tests.
+fn service_frame(uid: u64, kind: AlsNetKind) -> AgfwPacket {
+    AgfwPacket::Als(AlsNetMessage {
+        target_loc: Point::new(320.0, 640.0),
+        next: Pseudonym([0xB1, 0xB2, 0xB3, 0xB4, 0xB5, 0xB6]),
+        uid,
+        ttl: 8,
+        kind,
+    })
+}
+
+#[test]
+fn als_service_frames_roundtrip() {
+    let pairs = vec![
+        AlsPair {
+            index: vec![0x5A; 4],
+            payload: vec![0x6B; 3],
+        },
+        AlsPair {
+            index: vec![],
+            payload: vec![],
+        },
+    ];
+    assert_roundtrip(&service_frame(
+        0x77,
+        AlsNetKind::Forward {
+            from_cell: CellId { col: 2, row: 5 },
+            to_cell: CellId { col: 3, row: 5 },
+            pairs,
+        },
+    ));
+    // A forward may be empty (a departing server with nothing stored).
+    assert_roundtrip(&service_frame(
+        0x7A,
+        AlsNetKind::Forward {
+            from_cell: CellId { col: 0, row: 0 },
+            to_cell: CellId {
+                col: u32::MAX,
+                row: u32::MAX,
+            },
+            pairs: vec![],
+        },
+    ));
+    assert_roundtrip(&service_frame(0x78, AlsNetKind::Ack { stored: 2 }));
+    assert_roundtrip(&service_frame(
+        u64::MAX,
+        AlsNetKind::Ack { stored: u32::MAX },
+    ));
+    assert_roundtrip(&service_frame(0x79, AlsNetKind::Miss));
+}
+
+/// Pinned encodings of the three service-transport frames. The
+/// standalone ALS service speaks these between independently deployed
+/// clients and servers, so the same compatibility warning applies as
+/// for the data golden below: changing these bytes is a protocol break.
+#[test]
+fn golden_als_service_encodings_are_stable() {
+    let hex = |packet: &AgfwPacket| -> String {
+        encode_packet(packet)
+            .unwrap()
+            .iter()
+            .map(|b| format!("{b:02x}"))
+            .collect()
+    };
+    let forward = service_frame(
+        0x77,
+        AlsNetKind::Forward {
+            from_cell: CellId { col: 2, row: 5 },
+            to_cell: CellId { col: 3, row: 5 },
+            pairs: vec![AlsPair {
+                index: vec![0x5A; 4],
+                payload: vec![0x6B; 3],
+            }],
+        },
+    );
+    assert_eq!(
+        hex(&forward),
+        concat!(
+            "03",               // packet type: ALS
+            "4074000000000000", // target_loc.x = 320.0
+            "4084000000000000", // target_loc.y = 640.0
+            "b1b2b3b4b5b6",     // next-relay pseudonym
+            "0000000000000077", // uid
+            "08",               // ttl
+            "03",               // ALS kind: Forward
+            "00000002",
+            "00000005", // from_cell (2, 5)
+            "00000003",
+            "00000005", // to_cell (3, 5)
+            "0001",     // pair count
+            "0004",
+            "5a5a5a5a", // index
+            "0003",
+            "6b6b6b", // payload
+        )
+    );
+    let ack = service_frame(0x78, AlsNetKind::Ack { stored: 2 });
+    assert_eq!(
+        hex(&ack),
+        concat!(
+            "03",
+            "4074000000000000",
+            "4084000000000000",
+            "b1b2b3b4b5b6",
+            "0000000000000078", // uid
+            "08",               // ttl
+            "04",               // ALS kind: Ack
+            "00000002",         // stored count
+        )
+    );
+    let miss = service_frame(0x79, AlsNetKind::Miss);
+    assert_eq!(
+        hex(&miss),
+        concat!(
+            "03",
+            "4074000000000000",
+            "4084000000000000",
+            "b1b2b3b4b5b6",
+            "0000000000000079", // uid
+            "08",               // ttl
+            "05",               // ALS kind: Miss
+        )
+    );
+}
+
 /// The pinned byte-for-byte encoding of [`data_with_piggybacked_acks`].
 /// If this golden changes, the wire format changed: every deployed node
 /// would disagree with every updated one, so bump deliberately.

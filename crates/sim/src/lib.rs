@@ -66,6 +66,7 @@ pub mod engine;
 pub mod fault;
 pub mod mac;
 pub mod mobility;
+pub mod par;
 pub mod phy;
 pub mod protocol;
 pub mod spatial;

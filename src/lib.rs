@@ -20,6 +20,7 @@
 //! | [`gpsr`] | `agr-gpsr` | GPSR baseline: beacons, greedy, perimeter recovery |
 //! | [`core`] | `agr-core` | the paper's contribution: ANT/AANT, AGFW, ALS/DLM |
 //! | [`privacy`] | `agr-privacy` | eavesdropper model, exposure metrics, tracking attack |
+//! | [`als_service`] | `agr-als-service` | the ALS as a standalone sharded service (store, pipeline, transports) |
 //!
 //! # Quickstart
 //!
@@ -53,6 +54,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use agr_als_service as als_service;
 pub use agr_core as core;
 pub use agr_crypto as crypto;
 pub use agr_geom as geom;
