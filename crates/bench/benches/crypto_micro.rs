@@ -58,6 +58,64 @@ fn bench_mont_cache(c: &mut Criterion) {
     });
 }
 
+/// The fixed-limb hot paths against their frozen references: windowed
+/// scratch-arena exponentiation vs the `Vec<u64>` square-and-multiply
+/// path, Shamir–Straus fused multi-exponentiation vs sequential products,
+/// and batched signature verification vs a per-item loop.
+fn bench_fixed_limb(c: &mut Criterion) {
+    use agr_crypto::bigint::{MontScratch, Montgomery};
+    use agr_crypto::prime::random_bits;
+    let mut rng = StdRng::seed_from_u64(7);
+    let keys = RsaKeyPair::generate(512, &mut rng).unwrap();
+    let n = keys.public().modulus().clone();
+    let mont = Montgomery::new(&n);
+    let base = random_bits(510, &mut rng);
+    let exp = random_bits(510, &mut rng);
+    let mut scratch = MontScratch::new();
+    c.bench_function("modexp512/windowed_scratch", |b| {
+        b.iter(|| mont.pow_with_scratch(black_box(&base), &exp, &mut scratch))
+    });
+    c.bench_function("modexp512/reference_vec", |b| {
+        b.iter(|| mont.pow_reference(black_box(&base), &exp))
+    });
+
+    let base2 = random_bits(510, &mut rng);
+    let exp2 = random_bits(510, &mut rng);
+    c.bench_function("multiexp512/fused_pair", |b| {
+        b.iter(|| {
+            let pairs = [(&base, &exp), (&base2, &exp2)];
+            mont.multi_pow_with_scratch(black_box(&pairs), &mut scratch)
+        })
+    });
+    c.bench_function("multiexp512/sequential_pair", |b| {
+        b.iter(|| {
+            let lhs = mont.pow_with_scratch(black_box(&base), &exp, &mut scratch);
+            let rhs = mont.pow_with_scratch(black_box(&base2), &exp2, &mut scratch);
+            lhs.mul_ref(&rhs).rem_ref(&n)
+        })
+    });
+
+    let msgs: Vec<Vec<u8>> = (0..8u8).map(|i| vec![i; 24]).collect();
+    let sigs: Vec<Vec<u8>> = msgs.iter().map(|m| keys.sign(m)).collect();
+    c.bench_function("rsa512/verify_loop_8", |b| {
+        b.iter(|| {
+            for (m, s) in msgs.iter().zip(&sigs) {
+                keys.public().verify(black_box(m), s).unwrap();
+            }
+        })
+    });
+    c.bench_function("rsa512/verify_batch_8", |b| {
+        b.iter(|| {
+            agr_crypto::rsa::RsaPublicKey::verify_batch(
+                msgs.iter()
+                    .zip(&sigs)
+                    .map(|(m, s)| (keys.public(), m.as_slice(), s.as_slice())),
+            )
+            .unwrap()
+        })
+    });
+}
+
 fn bench_trapdoor(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(2);
     let keys = RsaKeyPair::generate(512, &mut rng).unwrap();
@@ -102,6 +160,7 @@ criterion_group!(
     bench_sha256,
     bench_modpow,
     bench_mont_cache,
+    bench_fixed_limb,
     bench_trapdoor,
     bench_feistel,
     bench_keygen

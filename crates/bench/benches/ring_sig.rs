@@ -65,5 +65,25 @@ fn bench_verify_cache(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_ring, bench_verify_cache);
+/// Rings of borrowed keys — the simulator's call shape after the
+/// fixed-limb rewrite: AANT resolves directory references instead of
+/// cloning key material (and its warmed Montgomery contexts) per beacon.
+fn bench_borrowed_ring(c: &mut Criterion) {
+    let (keys, pubs) = make_ring(4);
+    let refs: Vec<&RsaPublicKey> = pubs.iter().collect();
+    let message = b"HELLO n loc ts";
+    let mut group = c.benchmark_group("ring4_borrowed");
+    group.bench_function("sign", |b| {
+        let mut rng = StdRng::seed_from_u64(11);
+        b.iter(|| ring_sign(black_box(message), &refs, 0, &keys[0], &mut rng).unwrap())
+    });
+    let mut rng = StdRng::seed_from_u64(11);
+    let sig = ring_sign(message, &refs, 0, &keys[0], &mut rng).unwrap();
+    group.bench_function("verify", |b| {
+        b.iter(|| ring_verify(black_box(message), &refs, &sig).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ring, bench_verify_cache, bench_borrowed_ring);
 criterion_main!(benches);

@@ -18,6 +18,7 @@
 //! largest footprint *so far*, which is why the scenarios run in
 //! increasing order of expected memory use.
 
+use agr_bench::bench_json::{git_sha, iso_timestamp};
 use agr_bench::runner::{env_u64, paper_config, SweepParams};
 use agr_core::aant::AantConfig;
 use agr_core::agfw::{Agfw, AgfwConfig, CryptoMode};
@@ -86,6 +87,12 @@ struct ScenarioResult {
     wall_s: f64,
     events: u64,
     peak_rss_kb: u64,
+    /// Setup phase (world construction, key generation): charged
+    /// separately so steady-state allocation behaviour is visible.
+    setup_wall_s: f64,
+    setup_alloc_calls: u64,
+    setup_alloc_bytes: u64,
+    /// Steady state: the `world.run()` window only.
     alloc_calls: u64,
     alloc_bytes: u64,
     delivery: f64,
@@ -101,13 +108,36 @@ impl ScenarioResult {
             0.0
         }
     }
+
+    fn alloc_calls_per_event(&self) -> f64 {
+        if self.events > 0 {
+            self.alloc_calls as f64 / self.events as f64
+        } else {
+            0.0
+        }
+    }
+
+    fn alloc_bytes_per_event(&self) -> f64 {
+        if self.events > 0 {
+            self.alloc_bytes as f64 / self.events as f64
+        } else {
+            0.0
+        }
+    }
 }
 
-/// Runs one scenario and snapshots the perf counters around it. The
-/// `build` closure constructs the world so key generation (AANT) stays
-/// outside the measured window.
+/// Runs one scenario and snapshots the perf counters around it, in two
+/// phases: the `build` closure (world construction — key generation for
+/// AANT) is charged to `setup_*`, the `world.run()` window to the
+/// steady-state counters. Keeping the phases apart is what lets the
+/// allocator-regression gate reason about per-event allocations without
+/// one-time setup noise.
 fn measure(name: &'static str, build: impl FnOnce() -> World<Agfw>) -> ScenarioResult {
+    let setup_calls0 = ALLOC_CALLS.load(Ordering::Relaxed);
+    let setup_bytes0 = ALLOC_BYTES.load(Ordering::Relaxed);
+    let setup_t0 = Instant::now();
     let mut world = build();
+    let setup_wall_s = setup_t0.elapsed().as_secs_f64();
     let calls0 = ALLOC_CALLS.load(Ordering::Relaxed);
     let bytes0 = ALLOC_BYTES.load(Ordering::Relaxed);
     let t0 = Instant::now();
@@ -118,6 +148,9 @@ fn measure(name: &'static str, build: impl FnOnce() -> World<Agfw>) -> ScenarioR
         wall_s,
         events: stats.events_processed,
         peak_rss_kb: peak_rss_kb(),
+        setup_wall_s,
+        setup_alloc_calls: calls0 - setup_calls0,
+        setup_alloc_bytes: bytes0 - setup_bytes0,
         alloc_calls: ALLOC_CALLS.load(Ordering::Relaxed) - calls0,
         alloc_bytes: ALLOC_BYTES.load(Ordering::Relaxed) - bytes0,
         delivery: stats.delivery_fraction(),
@@ -126,12 +159,14 @@ fn measure(name: &'static str, build: impl FnOnce() -> World<Agfw>) -> ScenarioR
     };
     eprintln!(
         "{name:>14}: {:>9.2}s wall  {:>9} events  {:>10.0} ev/s  {:>8} kB peak  \
-         {:>11} allocs  delivery {:.3}",
+         {:>11} allocs ({:.1}/event, {:.0} B/event)  delivery {:.3}",
         result.wall_s,
         result.events,
         result.events_per_sec(),
         result.peak_rss_kb,
         result.alloc_calls,
+        result.alloc_calls_per_event(),
+        result.alloc_bytes_per_event(),
         result.delivery,
     );
     result
@@ -141,6 +176,8 @@ fn render(duration_s: u64, results: &[ScenarioResult]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{{");
     let _ = writeln!(out, "  \"bin\": \"perf_profile\",");
+    let _ = writeln!(out, "  \"git_sha\": \"{}\",", git_sha());
+    let _ = writeln!(out, "  \"generated_at\": \"{}\",", iso_timestamp());
     let _ = writeln!(out, "  \"nodes\": {NODES},");
     let _ = writeln!(out, "  \"duration_s\": {duration_s},");
     let _ = writeln!(out, "  \"seed\": {SEED},");
@@ -153,8 +190,21 @@ fn render(duration_s: u64, results: &[ScenarioResult]) -> String {
         let _ = writeln!(out, "      \"events\": {},", r.events);
         let _ = writeln!(out, "      \"events_per_sec\": {:.1},", r.events_per_sec());
         let _ = writeln!(out, "      \"peak_rss_kb\": {},", r.peak_rss_kb);
+        let _ = writeln!(out, "      \"setup_wall_s\": {:.6},", r.setup_wall_s);
+        let _ = writeln!(out, "      \"setup_alloc_calls\": {},", r.setup_alloc_calls);
+        let _ = writeln!(out, "      \"setup_alloc_bytes\": {},", r.setup_alloc_bytes);
         let _ = writeln!(out, "      \"alloc_calls\": {},", r.alloc_calls);
         let _ = writeln!(out, "      \"alloc_bytes\": {},", r.alloc_bytes);
+        let _ = writeln!(
+            out,
+            "      \"alloc_calls_per_event\": {:.2},",
+            r.alloc_calls_per_event()
+        );
+        let _ = writeln!(
+            out,
+            "      \"alloc_bytes_per_event\": {:.1},",
+            r.alloc_bytes_per_event()
+        );
         let _ = writeln!(out, "      \"delivery\": {:.6},", r.delivery);
         let _ = writeln!(out, "      \"ring_verify_hits\": {},", r.ring_verify_hits);
         let _ = writeln!(out, "      \"trapdoor_skipped\": {}", r.trapdoor_skipped);

@@ -129,13 +129,14 @@ impl Aant {
         let mut ring_ids: Vec<u64> = others[..decoys].to_vec();
         let my_slot = rng.random_range(0..=ring_ids.len());
         ring_ids.insert(my_slot, self.my_id);
-        let ring: Vec<RsaPublicKey> = ring_ids
+        // Ring of borrowed keys: no key material (or warmed Montgomery
+        // context) is cloned per beacon.
+        let ring: Vec<&RsaPublicKey> = ring_ids
             .iter()
             .map(|&id| {
                 self.directory
                     .public_key(id)
                     .expect("directory covers all nodes")
-                    .clone()
             })
             .collect();
         let message = Self::hello_message(n, loc, ts);
@@ -173,10 +174,13 @@ impl Aant {
         if auth.ring_ids.is_empty() {
             return (false, false);
         }
-        let mut ring = Vec::with_capacity(auth.ring_ids.len());
+        // Borrowed ring: the common cache-hit path previously cloned every
+        // ring key (modulus, exponent, and any warmed Montgomery context)
+        // only to hash them; references make the hit path allocation-light.
+        let mut ring: Vec<&RsaPublicKey> = Vec::with_capacity(auth.ring_ids.len());
         for &id in &auth.ring_ids {
             match self.directory.public_key(id) {
-                Some(k) => ring.push(k.clone()),
+                Some(k) => ring.push(k),
                 None => return (false, false),
             }
         }

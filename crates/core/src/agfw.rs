@@ -30,7 +30,7 @@ use crate::packet::{
     AckRef, AgfwData, AgfwMode, AgfwPacket, AlsNetKind, AlsNetMessage, AlsPair, TrapdoorWire,
 };
 use crate::pseudonym::{Pseudonym, PseudonymGenerator};
-use agr_crypto::rsa::RsaKeyPair;
+use agr_crypto::rsa::{RsaKeyPair, RsaPublicKey};
 use agr_crypto::trapdoor::Trapdoor;
 use agr_sim::{
     AdversaryRole, Ctx, FlowTag, MacAddr, MacOutcome, NodeId, Protocol, SimConfig, SimTime,
@@ -1244,28 +1244,26 @@ impl Agfw {
         let target_loc = als.ssa.grid().cell_center(cell);
         let directory = self.directory.as_ref().expect("Als mode has directory");
         let ssa = als.ssa;
-        let anticipated = als.anticipated.clone();
-        let mut pairs = Vec::new();
-        for requester in anticipated {
-            let Some(key) = directory.public_key(u64::from(requester.0)) else {
-                continue;
-            };
-            let key = key.clone();
-            if let Ok(update) = als::make_update(
-                me,
-                my_pos,
-                now,
-                u64::from(requester.0),
-                &key,
-                &ssa,
-                ctx.rng(),
-            ) {
-                pairs.push(AlsPair {
+        // Borrowed keys, resolved up front: nodes missing from the
+        // directory drop out here (before any randomness is drawn), and
+        // the batch below seals every record through one shared scratch
+        // arena instead of cloning a key per requester.
+        let requesters: Vec<(u64, &RsaPublicKey)> = als
+            .anticipated
+            .iter()
+            .filter_map(|req| {
+                let id = u64::from(req.0);
+                directory.public_key(id).map(|key| (id, key))
+            })
+            .collect();
+        let pairs: Vec<AlsPair> =
+            als::make_update_batch(me, my_pos, now, &requesters, &ssa, ctx.rng())
+                .into_iter()
+                .map(|update| AlsPair {
                     index: update.index,
                     payload: update.payload,
-                });
-            }
-        }
+                })
+                .collect();
         if pairs.is_empty() {
             return;
         }

@@ -85,16 +85,15 @@ impl KeyDirectory {
         self.certs.keys().copied()
     }
 
-    /// Verifies every certificate against the CA key.
+    /// Verifies every certificate against the CA key, as one batch
+    /// sharing a single Montgomery scratch arena.
     ///
     /// # Errors
     ///
-    /// Returns the first certificate failure encountered.
+    /// Returns the first certificate failure encountered (identical
+    /// semantics to a sequential verification loop).
     pub fn verify_all(&self) -> Result<(), CryptoError> {
-        for cert in self.certs.values() {
-            cert.verify(&self.ca_key)?;
-        }
-        Ok(())
+        Certificate::verify_batch(self.certs.values(), &self.ca_key)
     }
 }
 

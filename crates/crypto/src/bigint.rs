@@ -1,15 +1,29 @@
 //! Arbitrary-precision unsigned integers sized for RSA-512 work.
 //!
-//! [`BigUint`] stores little-endian `u64` limbs. The two hot paths for this
-//! reproduction are modular exponentiation (RSA, Miller–Rabin) — handled by
-//! a Montgomery CIOS multiplier — and key generation (division, gcd,
-//! modular inverse), handled by straightforward shift-subtract algorithms
-//! that are easy to audit and fast enough at 512 bits.
+//! [`BigUint`] stores little-endian `u64` limbs in a [`crate::limbs`]
+//! small-vector: values up to 2048 bits (every steady-state protocol
+//! operand) live inline on the stack, wider values spill to the heap. The
+//! two hot paths for this reproduction are modular exponentiation (RSA,
+//! Miller–Rabin) — handled by a Montgomery CIOS multiplier whose
+//! temporaries live in a caller-owned [`MontScratch`] arena, so a full
+//! exponentiation performs **zero heap allocations** — and key generation
+//! (division, gcd, modular inverse), handled by straightforward
+//! shift-subtract algorithms that are easy to audit and fast enough at
+//! 512 bits.
+//!
+//! Exponentiation uses a sliding window over precomputed odd powers
+//! (width adapted to the exponent size) and [`Montgomery::multi_pow`]
+//! provides Shamir–Straus simultaneous exponentiation for product checks
+//! such as batched signature verification. All paths reduce to canonical
+//! residues (`< n`) after every multiplication, so the windowed, the
+//! multi-exponentiation, and the frozen [`Montgomery::pow_reference`]
+//! paths return bit-identical results.
 
 // Limb arithmetic with explicit carries reads more clearly with indexed
 // loops than with iterator chains.
 #![allow(clippy::needless_range_loop)]
 
+use crate::limbs::LimbVec;
 use std::cmp::Ordering;
 use std::fmt;
 use std::ops::{Add, Mul, Rem, Shl, Shr, Sub};
@@ -29,12 +43,14 @@ use std::ops::{Add, Mul, Rem, Shl, Shr, Sub};
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct BigUint {
     /// Little-endian limbs with no trailing zero limbs (zero = empty).
-    limbs: Vec<u64>,
+    limbs: LimbVec,
 }
 
 impl BigUint {
     /// The value `0`.
-    pub const ZERO: BigUint = BigUint { limbs: Vec::new() };
+    pub const ZERO: BigUint = BigUint {
+        limbs: LimbVec::new(),
+    };
 
     /// Creates the value `1`.
     #[must_use]
@@ -48,15 +64,27 @@ impl BigUint {
         if v == 0 {
             BigUint::ZERO
         } else {
-            BigUint { limbs: vec![v] }
+            BigUint {
+                limbs: LimbVec::from_slice(&[v]),
+            }
         }
+    }
+
+    /// Creates a `BigUint` from little-endian limbs, dropping trailing
+    /// zeros.
+    fn from_limb_slice(limbs: &[u64]) -> Self {
+        let mut n = BigUint {
+            limbs: LimbVec::from_slice(limbs),
+        };
+        n.normalize();
+        n
     }
 
     /// Creates a `BigUint` from big-endian bytes. Leading zero bytes are
     /// permitted and ignored.
     #[must_use]
     pub fn from_bytes_be(bytes: &[u8]) -> Self {
-        let mut limbs = Vec::with_capacity(bytes.len() / 8 + 1);
+        let mut limbs = LimbVec::with_capacity(bytes.len() / 8 + 1);
         let mut cur: u64 = 0;
         let mut shift = 0u32;
         for &b in bytes.iter().rev() {
@@ -80,13 +108,23 @@ impl BigUint {
     /// empty vector.
     #[must_use]
     pub fn to_bytes_be(&self) -> Vec<u8> {
-        if self.is_zero() {
-            return Vec::new();
-        }
         let mut out = Vec::with_capacity(self.limbs.len() * 8);
-        for (i, &limb) in self.limbs.iter().enumerate().rev() {
+        self.append_bytes_be(&mut out);
+        out
+    }
+
+    /// Appends the minimal big-endian byte representation to `out`
+    /// without allocating an intermediate vector (the value `0` appends
+    /// nothing). Hot digest paths use this to reuse one buffer across
+    /// many values.
+    pub fn append_bytes_be(&self, out: &mut Vec<u8>) {
+        if self.is_zero() {
+            return;
+        }
+        let limbs = self.limbs.as_slice();
+        for (i, &limb) in limbs.iter().enumerate().rev() {
             let bytes = limb.to_be_bytes();
-            if i == self.limbs.len() - 1 {
+            if i == limbs.len() - 1 {
                 // Skip leading zeros of the most significant limb.
                 let skip = bytes.iter().take_while(|&&b| b == 0).count();
                 out.extend_from_slice(&bytes[skip..]);
@@ -94,7 +132,6 @@ impl BigUint {
                 out.extend_from_slice(&bytes);
             }
         }
-        out
     }
 
     /// Big-endian bytes left-padded with zeros to exactly `len` bytes.
@@ -102,13 +139,36 @@ impl BigUint {
     /// Returns `None` if the value does not fit.
     #[must_use]
     pub fn to_bytes_be_padded(&self, len: usize) -> Option<Vec<u8>> {
-        let raw = self.to_bytes_be();
-        if raw.len() > len {
+        let mut out = vec![0u8; len];
+        self.write_bytes_be_padded(&mut out).map(|()| out)
+    }
+
+    /// Writes the value big-endian, left-padded with zeros, into exactly
+    /// `out.len()` bytes — the allocation-free core of
+    /// [`BigUint::to_bytes_be_padded`].
+    ///
+    /// Returns `None` (leaving `out` unspecified) if the value does not
+    /// fit.
+    #[must_use]
+    pub fn write_bytes_be_padded(&self, out: &mut [u8]) -> Option<()> {
+        let limbs = self.limbs.as_slice();
+        let byte_len = match limbs.last() {
+            None => 0,
+            Some(&top) => (limbs.len() - 1) * 8 + (8 - top.leading_zeros() as usize / 8),
+        };
+        if byte_len > out.len() {
             return None;
         }
-        let mut out = vec![0u8; len - raw.len()];
-        out.extend_from_slice(&raw);
-        Some(out)
+        let split = out.len() - byte_len;
+        out[..split].fill(0);
+        let mut pos = out.len();
+        for &limb in limbs {
+            let bytes = limb.to_be_bytes();
+            let take = (pos - split).min(8);
+            out[pos - take..pos].copy_from_slice(&bytes[8 - take..]);
+            pos -= take;
+        }
+        Some(())
     }
 
     /// True if the value is `0`.
@@ -176,11 +236,11 @@ impl BigUint {
     #[must_use]
     pub fn add_ref(&self, other: &BigUint) -> BigUint {
         let (long, short) = if self.limbs.len() >= other.limbs.len() {
-            (&self.limbs, &other.limbs)
+            (self.limbs.as_slice(), other.limbs.as_slice())
         } else {
-            (&other.limbs, &self.limbs)
+            (other.limbs.as_slice(), self.limbs.as_slice())
         };
-        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut out = LimbVec::with_capacity(long.len() + 1);
         let mut carry = 0u64;
         for i in 0..long.len() {
             let b = short.get(i).copied().unwrap_or(0);
@@ -203,11 +263,13 @@ impl BigUint {
         if self < other {
             return None;
         }
-        let mut out = Vec::with_capacity(self.limbs.len());
+        let a = self.limbs.as_slice();
+        let b_limbs = other.limbs.as_slice();
+        let mut out = LimbVec::with_capacity(a.len());
         let mut borrow = 0u64;
-        for i in 0..self.limbs.len() {
-            let b = other.limbs.get(i).copied().unwrap_or(0);
-            let (d1, b1) = self.limbs[i].overflowing_sub(b);
+        for i in 0..a.len() {
+            let b = b_limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = a[i].overflowing_sub(b);
             let (d2, b2) = d1.overflowing_sub(borrow);
             out.push(d2);
             borrow = u64::from(b1) + u64::from(b2);
@@ -224,15 +286,17 @@ impl BigUint {
         if self.is_zero() || other.is_zero() {
             return BigUint::ZERO;
         }
-        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
-        for (i, &a) in self.limbs.iter().enumerate() {
+        let a = self.limbs.as_slice();
+        let b = other.limbs.as_slice();
+        let mut out = LimbVec::zeroed(a.len() + b.len());
+        for (i, &av) in a.iter().enumerate() {
             let mut carry = 0u128;
-            for (j, &b) in other.limbs.iter().enumerate() {
-                let cur = u128::from(out[i + j]) + u128::from(a) * u128::from(b) + carry;
+            for (j, &bv) in b.iter().enumerate() {
+                let cur = u128::from(out[i + j]) + u128::from(av) * u128::from(bv) + carry;
                 out[i + j] = cur as u64;
                 carry = cur >> 64;
             }
-            let mut k = i + other.limbs.len();
+            let mut k = i + b.len();
             while carry != 0 {
                 let cur = u128::from(out[k]) + carry;
                 out[k] = cur as u64;
@@ -255,7 +319,7 @@ impl BigUint {
         }
         let limb_shift = (bits / 64) as usize;
         let bit_shift = bits % 64;
-        let mut out = vec![0u64; limb_shift];
+        let mut out = LimbVec::zeroed(limb_shift);
         if bit_shift == 0 {
             out.extend_from_slice(&self.limbs);
         } else {
@@ -282,7 +346,7 @@ impl BigUint {
         }
         let bit_shift = bits % 64;
         let src = &self.limbs[limb_shift..];
-        let mut out = Vec::with_capacity(src.len());
+        let mut out = LimbVec::with_capacity(src.len());
         if bit_shift == 0 {
             out.extend_from_slice(src);
         } else {
@@ -310,17 +374,82 @@ impl BigUint {
         if self < divisor {
             return (BigUint::ZERO, self.clone());
         }
-        let shift = self.bits() - divisor.bits();
-        let mut d = divisor.shl_bits(shift);
-        let mut q = BigUint::ZERO;
-        let mut r = self.clone();
-        for i in (0..=shift).rev() {
-            if let Some(nr) = r.checked_sub(&d) {
-                r = nr;
-                q.set_bit(i);
-            }
-            d = d.shr_bits(1);
+        let n = divisor.limbs.len();
+        if n == 1 {
+            let (q, r) = self.div_rem_u64(divisor.limbs[0]);
+            return (q, BigUint::from_u64(r));
         }
+        // Knuth Algorithm D: limb-sized quotient digits instead of the
+        // bit-by-bit shift-subtract loop — one 128-bit estimate plus one
+        // fused multiply-subtract pass per 64 quotient bits. This is on
+        // the CRT-decrypt and ring-permutation hot paths, where the
+        // dividend is roughly twice the divisor's width.
+        //
+        // D1: normalise so the divisor's top limb has its high bit set;
+        // the quotient is unchanged and the remainder scales by 2^shift.
+        let shift = divisor.limbs[n - 1].leading_zeros();
+        let v = divisor.shl_bits(shift);
+        let mut u = self.shl_bits(shift);
+        let m = u.limbs.len() - n;
+        u.limbs.push(0); // explicit extra dividend limb u[m + n]
+        let v_limbs = &v.limbs;
+        let vn1 = v_limbs[n - 1];
+        let vn2 = v_limbs[n - 2];
+        let mut q = LimbVec::zeroed(m + 1);
+        for j in (0..=m).rev() {
+            // D3: estimate the quotient digit from the top two dividend
+            // limbs against the top divisor limb, then correct against
+            // the next limb down; qhat ends at most one too large.
+            let num = (u128::from(u.limbs[j + n]) << 64) | u128::from(u.limbs[j + n - 1]);
+            let mut qhat = num / u128::from(vn1);
+            let mut rhat = num % u128::from(vn1);
+            let max_digit = u128::from(u64::MAX);
+            while qhat > max_digit
+                || qhat * u128::from(vn2) > ((rhat << 64) | u128::from(u.limbs[j + n - 2]))
+            {
+                qhat -= 1;
+                rhat += u128::from(vn1);
+                if rhat > max_digit {
+                    break;
+                }
+            }
+            let mut qhat = qhat as u64;
+            // D4: u[j..=j+n] -= qhat * v, one fused pass.
+            let mut mul_carry: u128 = 0;
+            let mut sub_borrow: u64 = 0;
+            for i in 0..n {
+                let p = u128::from(qhat) * u128::from(v_limbs[i]) + mul_carry;
+                mul_carry = p >> 64;
+                let (d1, b1) = u.limbs[j + i].overflowing_sub(p as u64);
+                let (d2, b2) = d1.overflowing_sub(sub_borrow);
+                u.limbs[j + i] = d2;
+                sub_borrow = u64::from(b1) + u64::from(b2);
+            }
+            let (d1, b1) = u.limbs[j + n].overflowing_sub(mul_carry as u64);
+            let (d2, b2) = d1.overflowing_sub(sub_borrow);
+            u.limbs[j + n] = d2;
+            // D6: the rare over-estimate — add one divisor back.
+            if b1 || b2 {
+                qhat -= 1;
+                let mut carry: u64 = 0;
+                for i in 0..n {
+                    let (s1, c1) = u.limbs[j + i].overflowing_add(v_limbs[i]);
+                    let (s2, c2) = s1.overflowing_add(carry);
+                    u.limbs[j + i] = s2;
+                    carry = u64::from(c1) + u64::from(c2);
+                }
+                u.limbs[j + n] = u.limbs[j + n].wrapping_add(carry);
+            }
+            q[j] = qhat;
+        }
+        // D8: denormalise the remainder.
+        let mut r = BigUint {
+            limbs: LimbVec::from_slice(&u.limbs[..n]),
+        };
+        r.normalize();
+        let r = r.shr_bits(shift);
+        let mut q = BigUint { limbs: q };
+        q.normalize();
         (q, r)
     }
 
@@ -332,10 +461,11 @@ impl BigUint {
     #[must_use]
     pub fn div_rem_u64(&self, divisor: u64) -> (BigUint, u64) {
         assert!(divisor != 0, "division by zero");
-        let mut out = vec![0u64; self.limbs.len()];
+        let a = self.limbs.as_slice();
+        let mut out = LimbVec::zeroed(a.len());
         let mut rem: u128 = 0;
-        for i in (0..self.limbs.len()).rev() {
-            let cur = (rem << 64) | u128::from(self.limbs[i]);
+        for i in (0..a.len()).rev() {
+            let cur = (rem << 64) | u128::from(a[i]);
             out[i] = (cur / u128::from(divisor)) as u64;
             rem = cur % u128::from(divisor);
         }
@@ -572,14 +702,73 @@ impl fmt::LowerHex for BigUint {
             return write!(f, "0");
         }
         let mut s = String::new();
-        for (i, &limb) in self.limbs.iter().enumerate().rev() {
-            if i == self.limbs.len() - 1 {
+        let limbs = self.limbs.as_slice();
+        for (i, &limb) in limbs.iter().enumerate().rev() {
+            if i == limbs.len() - 1 {
                 s.push_str(&format!("{limb:x}"));
             } else {
                 s.push_str(&format!("{limb:016x}"));
             }
         }
         f.pad_integral(true, "0x", &s)
+    }
+}
+
+/// Widest modulus the allocation-free scratch path supports: 32 limbs =
+/// 2048 bits. Wider moduli fall back to [`Montgomery::pow_reference`].
+pub const MAX_LIMBS: usize = 32;
+
+/// Widest exponentiation window (bits); sets the odd-power table size.
+const MAX_WINDOW: u32 = 4;
+
+/// Number of precomputed odd powers: `g^1, g^3, …, g^(2^MAX_WINDOW - 1)`.
+const TABLE_SIZE: usize = 1 << (MAX_WINDOW - 1);
+
+/// Caller-owned scratch arena for Montgomery exponentiation.
+///
+/// Roughly 5 KiB of plain `u64` arrays, constructed on the stack. One
+/// arena serves any number of sequential [`Montgomery::pow_with_scratch`]
+/// / [`Montgomery::multi_pow_with_scratch`] calls under any moduli up to
+/// [`MAX_LIMBS`] limbs — loops that exponentiate repeatedly (ring
+/// signature chains, batched verification, Miller–Rabin rounds) build one
+/// and thread it through, making the whole loop allocation-free.
+///
+/// The buffers are never read before being written, so construction cost
+/// is a single memset.
+pub struct MontScratch {
+    /// CIOS accumulator; needs two carry limbs beyond the modulus width.
+    t: [u64; MAX_LIMBS + 2],
+    /// Running exponentiation accumulator (Montgomery domain).
+    acc: [u64; MAX_LIMBS],
+    /// `g²` while building the odd-power table; doubles as the staging
+    /// block for conversions in and out of the Montgomery domain.
+    sq: [u64; MAX_LIMBS],
+    /// Precomputed odd powers `g^(2i+1)` (Montgomery domain).
+    odd: [[u64; MAX_LIMBS]; TABLE_SIZE],
+}
+
+impl MontScratch {
+    /// A fresh arena (one memset, no heap).
+    #[must_use]
+    pub fn new() -> Self {
+        MontScratch {
+            t: [0; MAX_LIMBS + 2],
+            acc: [0; MAX_LIMBS],
+            sq: [0; MAX_LIMBS],
+            odd: [[0; MAX_LIMBS]; TABLE_SIZE],
+        }
+    }
+}
+
+impl Default for MontScratch {
+    fn default() -> Self {
+        MontScratch::new()
+    }
+}
+
+impl fmt::Debug for MontScratch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MontScratch").finish_non_exhaustive()
     }
 }
 
@@ -592,11 +781,15 @@ impl fmt::LowerHex for BigUint {
 /// seal/open, the ring signature's `k+1` permutations — should build one
 /// context (or use a [`MontCache`]) and call [`Montgomery::pow`] on it
 /// instead of [`BigUint::modpow`], which rebuilds the context every call.
+///
+/// Exponentiation temporaries live in a [`MontScratch`]; [`Montgomery::pow`]
+/// builds one per call on the stack, and the `*_with_scratch` variants
+/// let loops share a single arena.
 #[derive(Debug, Clone)]
 pub struct Montgomery {
-    n: Vec<u64>,
+    n: LimbVec,
     n0inv: u64,
-    r2: Vec<u64>,
+    r2: LimbVec,
 }
 
 impl Montgomery {
@@ -638,9 +831,62 @@ impl Montgomery {
         }
     }
 
-    /// CIOS Montgomery product: `a * b * R^{-1} mod n`.
-    fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
-        let len = self.n.len();
+    /// Modulus width in limbs.
+    fn len(&self) -> usize {
+        self.n.len()
+    }
+
+    /// CIOS Montgomery product into the scratch accumulator: on return
+    /// `t[..len]` holds the canonical `a * b * R^{-1} mod n` and
+    /// `t[len..]` is zero. `a` and `b` must be exactly `len` limbs.
+    fn mont_mul_t(&self, a: &[u64], b: &[u64], t: &mut [u64; MAX_LIMBS + 2]) {
+        let n = self.n.as_slice();
+        let len = n.len();
+        debug_assert_eq!(a.len(), len);
+        debug_assert_eq!(b.len(), len);
+        t[..len + 2].fill(0);
+        for &ai in a {
+            // t += ai * b
+            let mut carry: u64 = 0;
+            for j in 0..len {
+                let cur = u128::from(t[j]) + u128::from(ai) * u128::from(b[j]) + u128::from(carry);
+                t[j] = cur as u64;
+                carry = (cur >> 64) as u64;
+            }
+            let cur = u128::from(t[len]) + u128::from(carry);
+            t[len] = cur as u64;
+            t[len + 1] += (cur >> 64) as u64;
+            // m = t[0] * n0inv mod 2^64; t += m * n; t >>= 64
+            let m = t[0].wrapping_mul(self.n0inv);
+            let cur = u128::from(t[0]) + u128::from(m) * u128::from(n[0]);
+            let mut carry = (cur >> 64) as u64;
+            for j in 1..len {
+                let cur = u128::from(t[j]) + u128::from(m) * u128::from(n[j]) + u128::from(carry);
+                t[j - 1] = cur as u64;
+                carry = (cur >> 64) as u64;
+            }
+            let cur = u128::from(t[len]) + u128::from(carry);
+            t[len - 1] = cur as u64;
+            let cur2 = u128::from(t[len + 1]) + (cur >> 64);
+            t[len] = cur2 as u64;
+            t[len + 1] = (cur2 >> 64) as u64;
+        }
+        // Conditional final subtraction: result in t[0..=len] is < 2n,
+        // reduce to the canonical residue.
+        let overflow = t[len] != 0;
+        if overflow || ge(&t[..len], n) {
+            sub_in_place(&mut t[..len], n, overflow);
+        }
+        t[len] = 0;
+        t[len + 1] = 0;
+    }
+
+    /// CIOS Montgomery product `a * b * R^{-1} mod n`, allocating its
+    /// accumulator — the frozen reference multiplier, also used for
+    /// moduli wider than [`MAX_LIMBS`].
+    fn mont_mul_vec(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let n = self.n.as_slice();
+        let len = n.len();
         let mut t = vec![0u64; len + 2];
         for &ai in a.iter().take(len) {
             // t += ai * b
@@ -655,11 +901,10 @@ impl Montgomery {
             t[len + 1] += (cur >> 64) as u64;
             // m = t[0] * n0inv mod 2^64; t += m * n; t >>= 64
             let m = t[0].wrapping_mul(self.n0inv);
-            let cur = u128::from(t[0]) + u128::from(m) * u128::from(self.n[0]);
+            let cur = u128::from(t[0]) + u128::from(m) * u128::from(n[0]);
             let mut carry = (cur >> 64) as u64;
             for j in 1..len {
-                let cur =
-                    u128::from(t[j]) + u128::from(m) * u128::from(self.n[j]) + u128::from(carry);
+                let cur = u128::from(t[j]) + u128::from(m) * u128::from(n[j]) + u128::from(carry);
                 t[j - 1] = cur as u64;
                 carry = (cur >> 64) as u64;
             }
@@ -672,42 +917,244 @@ impl Montgomery {
         // Conditional final subtraction: result in t[0..=len], < 2n.
         let mut result: Vec<u64> = t[..len].to_vec();
         let overflow = t[len] != 0;
-        if overflow || ge(&result, &self.n) {
-            sub_in_place(&mut result, &self.n, overflow);
+        if overflow || ge(&result, n) {
+            sub_in_place(&mut result, n, overflow);
         }
         result
     }
 
     /// `base^exp mod n` in the cached context — identical results to
     /// [`BigUint::modpow`] for this modulus, without the per-call setup.
+    ///
+    /// Builds a [`MontScratch`] on the stack; loops should prefer
+    /// [`Montgomery::pow_with_scratch`] to share one arena.
     #[must_use]
     pub fn pow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        let mut scratch = MontScratch::new();
+        self.pow_with_scratch(base, exp, &mut scratch)
+    }
+
+    /// `base^exp mod n` using a caller-owned scratch arena: zero heap
+    /// allocations for moduli up to [`MAX_LIMBS`] limbs (the result
+    /// itself is inline-stored).
+    ///
+    /// Sliding-window exponentiation over precomputed odd powers, window
+    /// width adapted to the exponent size. Every intermediate is reduced
+    /// to the canonical residue, so results are bit-identical to
+    /// [`Montgomery::pow_reference`].
+    #[must_use]
+    pub fn pow_with_scratch(
+        &self,
+        base: &BigUint,
+        exp: &BigUint,
+        scratch: &mut MontScratch,
+    ) -> BigUint {
         if exp.is_zero() {
             return BigUint::one();
         }
-        let len = self.n.len();
+        let len = self.len();
+        if len > MAX_LIMBS {
+            return self.pow_reference(base, exp);
+        }
+        let modulus = BigUint {
+            limbs: self.n.clone(),
+        };
+        // Reduce the base; protocol callers already pass residues, so the
+        // division is the rare path.
+        let reduced;
+        let base_norm = if *base >= modulus {
+            reduced = base.rem_ref(&modulus);
+            &reduced
+        } else {
+            base
+        };
+        let MontScratch { t, acc, sq, odd } = scratch;
+        // Stage the padded base in `acc`, convert into the Montgomery
+        // domain: odd[0] = g = base * R mod n.
+        let bl = base_norm.limbs.as_slice();
+        acc[..bl.len()].copy_from_slice(bl);
+        acc[bl.len()..len].fill(0);
+        self.mont_mul_t(&acc[..len], &self.r2[..len], t);
+        odd[0][..len].copy_from_slice(&t[..len]);
+
+        let bits = exp.bits();
+        let window = match bits {
+            0..=23 => 1,
+            24..=79 => 2,
+            80..=239 => 3,
+            _ => MAX_WINDOW,
+        };
+        if window > 1 {
+            // sq = g²; odd[i] = odd[i-1] * g².
+            self.mont_mul_t(&odd[0][..len], &odd[0][..len], t);
+            sq[..len].copy_from_slice(&t[..len]);
+            for i in 1..(1usize << (window - 1)) {
+                let (lo, hi) = odd.split_at_mut(i);
+                self.mont_mul_t(&lo[i - 1][..len], &sq[..len], t);
+                hi[0][..len].copy_from_slice(&t[..len]);
+            }
+        }
+
+        // Left-to-right sliding window: squarings run over zero bits, set
+        // bits open a window of up to `window` bits ending on a set bit
+        // (so the table index is always odd).
+        let mut first = true;
+        let mut i = i64::from(bits) - 1;
+        while i >= 0 {
+            if !exp.bit(i as u32) {
+                self.mont_mul_t(&acc[..len], &acc[..len], t);
+                acc[..len].copy_from_slice(&t[..len]);
+                i -= 1;
+                continue;
+            }
+            let mut s = (i - i64::from(window) + 1).max(0);
+            while !exp.bit(s as u32) {
+                s += 1;
+            }
+            let width = (i - s + 1) as u32;
+            let mut u: usize = 0;
+            for j in (s..=i).rev() {
+                u = (u << 1) | usize::from(exp.bit(j as u32));
+            }
+            if first {
+                acc[..len].copy_from_slice(&odd[(u - 1) / 2][..len]);
+                first = false;
+            } else {
+                for _ in 0..width {
+                    self.mont_mul_t(&acc[..len], &acc[..len], t);
+                    acc[..len].copy_from_slice(&t[..len]);
+                }
+                self.mont_mul_t(&acc[..len], &odd[(u - 1) / 2][..len], t);
+                acc[..len].copy_from_slice(&t[..len]);
+            }
+            i = s - 1;
+        }
+
+        // Convert out of the Montgomery domain (multiply by 1).
+        sq[..len].fill(0);
+        sq[0] = 1;
+        self.mont_mul_t(&acc[..len], &sq[..len], t);
+        BigUint::from_limb_slice(&t[..len])
+    }
+
+    /// Shamir–Straus simultaneous exponentiation:
+    /// `∏ bases[i]^exps[i] mod n` with one shared squaring chain.
+    ///
+    /// Identical (bit-for-bit) to multiplying the individual
+    /// [`Montgomery::pow`] results modulo `n`, but each squaring is paid
+    /// once instead of once per base — the workhorse of batched
+    /// signature-product checks. An empty input yields `1`.
+    #[must_use]
+    pub fn multi_pow(&self, pairs: &[(&BigUint, &BigUint)]) -> BigUint {
+        let mut scratch = MontScratch::new();
+        self.multi_pow_with_scratch(pairs, &mut scratch)
+    }
+
+    /// [`Montgomery::multi_pow`] with a caller-owned scratch arena.
+    ///
+    /// The per-base Montgomery-domain table is the only heap use (one
+    /// `Vec` sized to `pairs.len()`); the inner loop allocates nothing.
+    #[must_use]
+    pub fn multi_pow_with_scratch(
+        &self,
+        pairs: &[(&BigUint, &BigUint)],
+        scratch: &mut MontScratch,
+    ) -> BigUint {
+        if pairs.is_empty() {
+            return BigUint::one();
+        }
+        let len = self.len();
+        if len > MAX_LIMBS {
+            // Wide-modulus fallback: sequential products of the reference
+            // path — same canonical result.
+            let modulus = BigUint {
+                limbs: self.n.clone(),
+            };
+            let mut acc = BigUint::one();
+            for &(base, exp) in pairs {
+                acc = acc
+                    .mul_ref(&self.pow_reference(base, exp))
+                    .rem_ref(&modulus);
+            }
+            return acc;
+        }
+        let modulus = BigUint {
+            limbs: self.n.clone(),
+        };
+        let MontScratch { t, acc, sq, .. } = scratch;
+        // Convert every base into the Montgomery domain.
+        let mut bases_m: Vec<[u64; MAX_LIMBS]> = vec![[0u64; MAX_LIMBS]; pairs.len()];
+        for (slot, &(base, _)) in bases_m.iter_mut().zip(pairs) {
+            let reduced;
+            let base_norm = if *base >= modulus {
+                reduced = base.rem_ref(&modulus);
+                &reduced
+            } else {
+                base
+            };
+            let bl = base_norm.limbs.as_slice();
+            sq[..bl.len()].copy_from_slice(bl);
+            sq[bl.len()..len].fill(0);
+            self.mont_mul_t(&sq[..len], &self.r2[..len], t);
+            slot[..len].copy_from_slice(&t[..len]);
+        }
+        // acc = 1 in the Montgomery domain (R mod n).
+        sq[..len].fill(0);
+        sq[0] = 1;
+        self.mont_mul_t(&sq[..len], &self.r2[..len], t);
+        acc[..len].copy_from_slice(&t[..len]);
+
+        let max_bits = pairs.iter().map(|&(_, e)| e.bits()).max().unwrap_or(0);
+        for i in (0..max_bits).rev() {
+            self.mont_mul_t(&acc[..len], &acc[..len], t);
+            acc[..len].copy_from_slice(&t[..len]);
+            for (base_m, &(_, exp)) in bases_m.iter().zip(pairs) {
+                if exp.bit(i) {
+                    self.mont_mul_t(&acc[..len], &base_m[..len], t);
+                    acc[..len].copy_from_slice(&t[..len]);
+                }
+            }
+        }
+
+        sq[..len].fill(0);
+        sq[0] = 1;
+        self.mont_mul_t(&acc[..len], &sq[..len], t);
+        BigUint::from_limb_slice(&t[..len])
+    }
+
+    /// The frozen `Vec<u64>` reference path: plain MSB-first
+    /// square-and-multiply with a per-product allocating multiplier —
+    /// byte-for-byte the implementation that predates the scratch arena.
+    ///
+    /// Kept as the equivalence oracle for the scratch/windowed path
+    /// (property tests assert bit-identical results) and as the working
+    /// fallback for moduli wider than [`MAX_LIMBS`] limbs.
+    #[must_use]
+    pub fn pow_reference(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        if exp.is_zero() {
+            return BigUint::one();
+        }
+        let len = self.len();
         let modulus = BigUint {
             limbs: self.n.clone(),
         };
         let mut base_limbs = base.rem_ref(&modulus).limbs;
         base_limbs.resize(len, 0);
         // Convert to Montgomery domain.
-        let base_m = self.mont_mul(&base_limbs, &self.r2);
+        let base_m = self.mont_mul_vec(&base_limbs, &self.r2);
         // one_m = R mod n = mont_mul(1, R^2)
         let mut one = vec![0u64; len];
         one[0] = 1;
-        let mut acc = self.mont_mul(&one, &self.r2);
+        let mut acc = self.mont_mul_vec(&one, &self.r2);
         for i in (0..exp.bits()).rev() {
-            acc = self.mont_mul(&acc, &acc);
+            acc = self.mont_mul_vec(&acc, &acc);
             if exp.bit(i) {
-                acc = self.mont_mul(&acc, &base_m);
+                acc = self.mont_mul_vec(&acc, &base_m);
             }
         }
         // Convert out of Montgomery domain.
-        let out = self.mont_mul(&acc, &one);
-        let mut n = BigUint { limbs: out };
-        n.normalize();
-        n
+        let out = self.mont_mul_vec(&acc, &one);
+        BigUint::from_limb_slice(&out)
     }
 }
 
@@ -755,11 +1202,25 @@ impl MontCache {
     pub fn modpow(&self, base: &BigUint, exp: &BigUint, modulus: &BigUint) -> BigUint {
         self.get(modulus).pow(base, exp)
     }
+
+    /// `base^exp mod modulus` through the cached context, reusing a
+    /// caller-owned scratch arena — the fully allocation-free hot path.
+    #[must_use]
+    pub fn modpow_with_scratch(
+        &self,
+        base: &BigUint,
+        exp: &BigUint,
+        modulus: &BigUint,
+        scratch: &mut MontScratch,
+    ) -> BigUint {
+        self.get(modulus).pow_with_scratch(base, exp, scratch)
+    }
 }
 
 impl Clone for MontCache {
-    /// Clones carry the warmed context along (cheap `Vec` copies) so a
-    /// cloned key does not pay the setup again.
+    /// Clones carry the warmed context along (inline limb copies for
+    /// protocol-sized moduli) so a cloned key does not pay the setup
+    /// again.
     fn clone(&self) -> Self {
         let cell = std::sync::OnceLock::new();
         if let Some(mont) = self.cell.get() {
@@ -997,6 +1458,98 @@ mod tests {
     }
 
     #[test]
+    fn windowed_pow_matches_reference_across_exponent_sizes() {
+        // Hits every window width: 1 (≤23 bits), 2, 3, and 4.
+        let m = BigUint::from_bytes_be(&[0x9d; 32]); // odd 256-bit modulus
+        assert!(m.is_odd());
+        let mont = Montgomery::new(&m);
+        let base = BigUint::from_bytes_be(&[0x42; 31]);
+        let mut scratch = MontScratch::new();
+        for exp_bytes in [1usize, 2, 3, 8, 16, 29, 32, 64] {
+            let exp = BigUint::from_bytes_be(&vec![0xb7u8; exp_bytes]);
+            let fast = mont.pow_with_scratch(&base, &exp, &mut scratch);
+            let slow = mont.pow_reference(&base, &exp);
+            assert_eq!(fast, slow, "mismatch at {exp_bytes}-byte exponent");
+        }
+    }
+
+    #[test]
+    fn scratch_pow_handles_edge_operands() {
+        let m = BigUint::from_bytes_be(&[0xf1; 16]);
+        let mont = Montgomery::new(&m);
+        let mut scratch = MontScratch::new();
+        // Zero base, one base, base == modulus, base > modulus.
+        for base in [
+            BigUint::ZERO,
+            BigUint::one(),
+            m.clone(),
+            m.add_ref(&big(12345)),
+            m.mul_ref(&m),
+        ] {
+            let exp = big(65_537);
+            assert_eq!(
+                mont.pow_with_scratch(&base, &exp, &mut scratch),
+                mont.pow_reference(&base, &exp)
+            );
+        }
+        // Zero exponent.
+        assert_eq!(
+            mont.pow_with_scratch(&big(5), &BigUint::ZERO, &mut scratch),
+            BigUint::one()
+        );
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_moduli() {
+        // One arena must serve different (and differently-sized) moduli.
+        let m1 = BigUint::from_bytes_be(&[0xd3; 8]);
+        let m2 = BigUint::from_bytes_be(&[0xc5; 24]);
+        let mont1 = Montgomery::new(&m1);
+        let mont2 = Montgomery::new(&m2);
+        let mut scratch = MontScratch::new();
+        let base = big(0x1234_5678_9abc_def1);
+        let exp = big(0xfeed_beef);
+        let r1 = mont1.pow_with_scratch(&base, &exp, &mut scratch);
+        let r2 = mont2.pow_with_scratch(&base, &exp, &mut scratch);
+        let r1_again = mont1.pow_with_scratch(&base, &exp, &mut scratch);
+        assert_eq!(r1, mont1.pow_reference(&base, &exp));
+        assert_eq!(r2, mont2.pow_reference(&base, &exp));
+        assert_eq!(r1, r1_again);
+    }
+
+    #[test]
+    fn multi_pow_matches_sequential_product() {
+        let m = BigUint::from_bytes_be(&[0xe7; 16]);
+        let mont = Montgomery::new(&m);
+        let bases = [
+            big(3),
+            big(0xdead_beef),
+            BigUint::from_bytes_be(&[0x77; 20]),
+        ];
+        let exps = [big(65_537), big(12345), BigUint::from_bytes_be(&[0x1f; 9])];
+        let pairs: Vec<(&BigUint, &BigUint)> = bases.iter().zip(exps.iter()).collect();
+        let combined = mont.multi_pow(&pairs);
+        let mut sequential = BigUint::one();
+        for (b, e) in &pairs {
+            sequential = sequential.mul_ref(&mont.pow(b, e)).rem_ref(&m);
+        }
+        assert_eq!(combined, sequential);
+    }
+
+    #[test]
+    fn multi_pow_edge_cases() {
+        let m = BigUint::from_bytes_be(&[0xa5; 8]);
+        let mont = Montgomery::new(&m);
+        // Empty product is 1.
+        assert_eq!(mont.multi_pow(&[]), BigUint::one());
+        // Zero exponents contribute a factor of 1.
+        let b = big(7);
+        let e0 = BigUint::ZERO;
+        let e1 = big(13);
+        assert_eq!(mont.multi_pow(&[(&b, &e0), (&b, &e1)]), mont.pow(&b, &e1));
+    }
+
+    #[test]
     fn bytes_roundtrip() {
         let cases: Vec<Vec<u8>> = vec![
             vec![1],
@@ -1020,6 +1573,44 @@ mod tests {
         assert_eq!(n.to_bytes_be_padded(4), Some(vec![0, 0, 0x12, 0x34]));
         assert_eq!(n.to_bytes_be_padded(1), None);
         assert_eq!(BigUint::ZERO.to_bytes_be_padded(2), Some(vec![0, 0]));
+    }
+
+    #[test]
+    fn write_padded_matches_to_padded() {
+        for value in [
+            BigUint::ZERO,
+            big(1),
+            big(0x1234),
+            BigUint::from_bytes_be(&[0xff; 17]),
+            BigUint::one().shl_bits(64),
+        ] {
+            for len in [0usize, 1, 2, 8, 9, 17, 32] {
+                let mut buf = vec![0xaau8; len];
+                let wrote = value.write_bytes_be_padded(&mut buf);
+                match value.to_bytes_be_padded(len) {
+                    Some(expected) => {
+                        assert_eq!(wrote, Some(()));
+                        assert_eq!(buf, expected, "value {value} len {len}");
+                    }
+                    None => assert_eq!(wrote, None),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn append_bytes_matches_to_bytes() {
+        for value in [
+            BigUint::ZERO,
+            big(5),
+            BigUint::from_bytes_be(&[0x01, 0x00, 0xff, 0x3c]),
+            BigUint::one().shl_bits(200),
+        ] {
+            let mut buf = vec![0xeeu8; 3];
+            value.append_bytes_be(&mut buf);
+            assert_eq!(buf[..3], [0xee; 3], "append must not clobber prefix");
+            assert_eq!(buf[3..], value.to_bytes_be());
+        }
     }
 
     #[test]
@@ -1069,5 +1660,19 @@ mod tests {
         assert_eq!(BigUint::ZERO.to_u64(), Some(0));
         assert_eq!(big(42).to_u64(), Some(42));
         assert_eq!(BigUint::one().shl_bits(64).to_u64(), None);
+    }
+
+    #[test]
+    fn wide_modulus_falls_back_to_reference() {
+        // 2560-bit modulus (40 limbs) exceeds MAX_LIMBS; pow must still
+        // agree with the reference path (it *is* the reference path).
+        let m = BigUint::from_bytes_be(&[0xf5; 320]);
+        assert!(m.is_odd());
+        let mont = Montgomery::new(&m);
+        let base = BigUint::from_bytes_be(&[0x33; 100]);
+        let exp = big(65_537);
+        assert_eq!(mont.pow(&base, &exp), mont.pow_reference(&base, &exp));
+        let pairs = [(&base, &exp)];
+        assert_eq!(mont.multi_pow(&pairs), mont.pow_reference(&base, &exp));
     }
 }

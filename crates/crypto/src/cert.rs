@@ -76,6 +76,36 @@ impl Certificate {
         ca_key.verify(&self.tbs_bytes(), &self.signature)
     }
 
+    /// The CA signature bytes.
+    #[must_use]
+    pub fn signature(&self) -> &[u8] {
+        &self.signature
+    }
+
+    /// Verifies many certificates under one CA key as a single batch:
+    /// all items share one Montgomery scratch arena (and the batched
+    /// product check, when the CA exponent is large) instead of paying
+    /// per-certificate setup — the bulk path for verifying a whole key
+    /// directory at once.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing certificate's error in iteration order,
+    /// exactly as a sequential [`Certificate::verify`] loop would.
+    pub fn verify_batch<'a, I>(certs: I, ca_key: &RsaPublicKey) -> Result<(), CryptoError>
+    where
+        I: IntoIterator<Item = &'a Certificate>,
+    {
+        let certs: Vec<&Certificate> = certs.into_iter().collect();
+        let tbs: Vec<Vec<u8>> = certs.iter().map(|c| c.tbs_bytes()).collect();
+        RsaPublicKey::verify_batch(
+            certs
+                .iter()
+                .zip(&tbs)
+                .map(|(c, t)| (ca_key, t.as_slice(), c.signature.as_slice())),
+        )
+    }
+
     /// The to-be-signed byte encoding.
     fn tbs_bytes(&self) -> Vec<u8> {
         tbs_bytes(self.subject, self.serial, &self.public_key)
@@ -189,6 +219,26 @@ mod tests {
         let mut cert = ca.issue(7, node.public().clone());
         cert.public_key = other.public().clone();
         assert_eq!(cert.verify(ca.public_key()), Err(CryptoError::BadSignature));
+    }
+
+    #[test]
+    fn verify_batch_matches_sequential() {
+        let (ca, node, mut rng) = setup();
+        let other = RsaKeyPair::generate(128, &mut rng).unwrap();
+        let certs: Vec<Certificate> = vec![
+            ca.issue(1, node.public().clone()),
+            ca.issue(2, other.public().clone()),
+            ca.issue(3, node.public().clone()),
+        ];
+        Certificate::verify_batch(&certs, ca.public_key()).unwrap();
+        Certificate::verify_batch([], ca.public_key()).unwrap();
+        // One forged subject fails the whole batch, like the loop would.
+        let mut forged = certs.clone();
+        forged[1].subject = 99;
+        assert_eq!(
+            Certificate::verify_batch(&forged, ca.public_key()),
+            Err(CryptoError::BadSignature)
+        );
     }
 
     #[test]

@@ -50,6 +50,7 @@ pub mod bigint;
 pub mod cert;
 mod error;
 pub mod feistel;
+mod limbs;
 pub mod prime;
 pub mod ring_sig;
 pub mod rsa;

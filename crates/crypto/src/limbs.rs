@@ -1,0 +1,318 @@
+//! Inline small-vector limb storage for [`crate::BigUint`].
+//!
+//! Every RSA-512 value in the hot path — bases, residues, Montgomery
+//! temporaries, CRT halves — fits in a handful of `u64` limbs, yet a
+//! `Vec<u64>` representation pays one heap allocation per value. This
+//! module provides [`LimbVec`]: up to [`INLINE_LIMBS`] limbs stored
+//! directly in the struct (covering 2048-bit values plus a carry limb),
+//! spilling to a `Vec<u64>` only beyond that. The spill path keeps the
+//! type fully general (key generation briefly works with double-width
+//! products; callers may use arbitrary operand sizes), while steady-state
+//! protocol crypto never leaves the inline representation.
+//!
+//! Equality, ordering, and hashing are defined over the logical limb
+//! slice, so an inline value and a spilled value representing the same
+//! integer are indistinguishable — the representation is invisible to
+//! [`crate::BigUint`]'s derived trait impls.
+
+use std::ops::{Deref, DerefMut};
+
+/// Limbs stored inline before spilling to the heap: 32 limbs of value
+/// (2048 bits) plus one carry/overflow limb, so every intermediate of a
+/// 2048-bit modular operation stays on the stack.
+pub(crate) const INLINE_LIMBS: usize = 33;
+
+/// A `Vec<u64>`-alike that stores small limb counts inline.
+///
+/// The size asymmetry between the variants is deliberate: the inline
+/// buffer existing in place of a pointer is the entire optimisation, and
+/// the `Heap` variant is a cold compatibility path that still occupies
+/// the same (stack) footprint.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone)]
+pub(crate) enum LimbVec {
+    /// The common case: `buf[..len]` holds the limbs, no heap involved.
+    Inline { len: u8, buf: [u64; INLINE_LIMBS] },
+    /// Operands wider than [`INLINE_LIMBS`] limbs (> 2048-bit values).
+    Heap(Vec<u64>),
+}
+
+impl LimbVec {
+    /// An empty limb vector (the value zero).
+    pub(crate) const fn new() -> Self {
+        LimbVec::Inline {
+            len: 0,
+            buf: [0; INLINE_LIMBS],
+        }
+    }
+
+    /// `n` zero limbs.
+    pub(crate) fn zeroed(n: usize) -> Self {
+        if n <= INLINE_LIMBS {
+            LimbVec::Inline {
+                len: n as u8,
+                buf: [0; INLINE_LIMBS],
+            }
+        } else {
+            LimbVec::Heap(vec![0; n])
+        }
+    }
+
+    /// An empty vector that will hold `n` limbs without reallocating.
+    pub(crate) fn with_capacity(n: usize) -> Self {
+        if n <= INLINE_LIMBS {
+            LimbVec::new()
+        } else {
+            LimbVec::Heap(Vec::with_capacity(n))
+        }
+    }
+
+    /// Copies `src` into a fresh limb vector.
+    pub(crate) fn from_slice(src: &[u64]) -> Self {
+        if src.len() <= INLINE_LIMBS {
+            let mut buf = [0u64; INLINE_LIMBS];
+            buf[..src.len()].copy_from_slice(src);
+            LimbVec::Inline {
+                len: src.len() as u8,
+                buf,
+            }
+        } else {
+            LimbVec::Heap(src.to_vec())
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            LimbVec::Inline { len, .. } => usize::from(*len),
+            LimbVec::Heap(v) => v.len(),
+        }
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends a limb, spilling to the heap when the inline buffer fills.
+    pub(crate) fn push(&mut self, limb: u64) {
+        match self {
+            LimbVec::Inline { len, buf } => {
+                if usize::from(*len) < INLINE_LIMBS {
+                    buf[usize::from(*len)] = limb;
+                    *len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(INLINE_LIMBS * 2);
+                    v.extend_from_slice(&buf[..]);
+                    v.push(limb);
+                    *self = LimbVec::Heap(v);
+                }
+            }
+            LimbVec::Heap(v) => v.push(limb),
+        }
+    }
+
+    /// Removes and returns the last limb, if any. A spilled vector never
+    /// shrinks back inline; normalization only trims trailing zeros.
+    pub(crate) fn pop(&mut self) -> Option<u64> {
+        match self {
+            LimbVec::Inline { len, buf } => {
+                if *len == 0 {
+                    None
+                } else {
+                    *len -= 1;
+                    Some(buf[usize::from(*len)])
+                }
+            }
+            LimbVec::Heap(v) => v.pop(),
+        }
+    }
+
+    pub(crate) fn last(&self) -> Option<&u64> {
+        self.as_slice().last()
+    }
+
+    /// Resizes to `n` limbs, filling new slots with `value`.
+    pub(crate) fn resize(&mut self, n: usize, value: u64) {
+        match self {
+            LimbVec::Inline { len, buf } => {
+                if n <= INLINE_LIMBS {
+                    if n > usize::from(*len) {
+                        buf[usize::from(*len)..n].fill(value);
+                    }
+                    *len = n as u8;
+                } else {
+                    let mut v = Vec::with_capacity(n);
+                    v.extend_from_slice(&buf[..usize::from(*len)]);
+                    v.resize(n, value);
+                    *self = LimbVec::Heap(v);
+                }
+            }
+            LimbVec::Heap(v) => v.resize(n, value),
+        }
+    }
+
+    pub(crate) fn extend_from_slice(&mut self, src: &[u64]) {
+        match self {
+            LimbVec::Inline { len, buf } => {
+                let new_len = usize::from(*len) + src.len();
+                if new_len <= INLINE_LIMBS {
+                    buf[usize::from(*len)..new_len].copy_from_slice(src);
+                    *len = new_len as u8;
+                } else {
+                    let mut v = Vec::with_capacity(new_len);
+                    v.extend_from_slice(&buf[..usize::from(*len)]);
+                    v.extend_from_slice(src);
+                    *self = LimbVec::Heap(v);
+                }
+            }
+            LimbVec::Heap(v) => v.extend_from_slice(src),
+        }
+    }
+
+    pub(crate) fn as_slice(&self) -> &[u64] {
+        match self {
+            LimbVec::Inline { len, buf } => &buf[..usize::from(*len)],
+            LimbVec::Heap(v) => v,
+        }
+    }
+
+    pub(crate) fn as_mut_slice(&mut self) -> &mut [u64] {
+        match self {
+            LimbVec::Inline { len, buf } => &mut buf[..usize::from(*len)],
+            LimbVec::Heap(v) => v,
+        }
+    }
+}
+
+impl Default for LimbVec {
+    fn default() -> Self {
+        LimbVec::new()
+    }
+}
+
+impl Deref for LimbVec {
+    type Target = [u64];
+
+    fn deref(&self) -> &[u64] {
+        self.as_slice()
+    }
+}
+
+impl DerefMut for LimbVec {
+    fn deref_mut(&mut self) -> &mut [u64] {
+        self.as_mut_slice()
+    }
+}
+
+impl PartialEq for LimbVec {
+    /// Representation-blind: compares the logical limb slices.
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for LimbVec {}
+
+impl std::hash::Hash for LimbVec {
+    /// Hashes the logical slice, consistent with `PartialEq`.
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl std::fmt::Debug for LimbVec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl<'a> IntoIterator for &'a LimbVec {
+    type Item = &'a u64;
+    type IntoIter = std::slice::Iter<'a, u64>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_until_capacity() {
+        let mut v = LimbVec::new();
+        for i in 0..INLINE_LIMBS as u64 {
+            v.push(i);
+            assert!(matches!(v, LimbVec::Inline { .. }));
+        }
+        assert_eq!(v.len(), INLINE_LIMBS);
+        v.push(99);
+        assert!(matches!(v, LimbVec::Heap(_)), "push past capacity spills");
+        assert_eq!(v.len(), INLINE_LIMBS + 1);
+        assert_eq!(v.last(), Some(&99));
+    }
+
+    #[test]
+    fn spilled_equals_inline_with_same_limbs() {
+        let limbs: Vec<u64> = (0..10).collect();
+        let inline = LimbVec::from_slice(&limbs);
+        let heap = LimbVec::Heap(limbs.clone());
+        assert!(matches!(inline, LimbVec::Inline { .. }));
+        assert_eq!(inline, heap);
+
+        use std::hash::{DefaultHasher, Hash, Hasher};
+        let mut h1 = DefaultHasher::new();
+        inline.hash(&mut h1);
+        let mut h2 = DefaultHasher::new();
+        heap.hash(&mut h2);
+        assert_eq!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn push_pop_roundtrip() {
+        let mut v = LimbVec::new();
+        v.push(1);
+        v.push(2);
+        assert_eq!(v.pop(), Some(2));
+        assert_eq!(v.pop(), Some(1));
+        assert_eq!(v.pop(), None);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn resize_inline_and_spill() {
+        let mut v = LimbVec::from_slice(&[7, 8]);
+        v.resize(5, 0);
+        assert_eq!(v.as_slice(), &[7, 8, 0, 0, 0]);
+        v.resize(1, 0);
+        assert_eq!(v.as_slice(), &[7]);
+        v.resize(INLINE_LIMBS + 4, 3);
+        assert!(matches!(v, LimbVec::Heap(_)));
+        assert_eq!(v.len(), INLINE_LIMBS + 4);
+        assert_eq!(v[0], 7);
+        assert_eq!(v[INLINE_LIMBS + 3], 3);
+    }
+
+    #[test]
+    fn extend_spills_when_needed() {
+        let mut v = LimbVec::from_slice(&[1; 30]);
+        v.extend_from_slice(&[2; 2]);
+        assert!(matches!(v, LimbVec::Inline { .. }));
+        v.extend_from_slice(&[3; 4]);
+        assert!(matches!(v, LimbVec::Heap(_)));
+        assert_eq!(v.len(), 36);
+        assert_eq!(&v[30..32], &[2, 2]);
+        assert_eq!(&v[32..], &[3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn zeroed_and_with_capacity() {
+        assert_eq!(LimbVec::zeroed(4).as_slice(), &[0; 4]);
+        assert!(matches!(
+            LimbVec::zeroed(INLINE_LIMBS + 1),
+            LimbVec::Heap(_)
+        ));
+        assert!(LimbVec::with_capacity(8).is_empty());
+        assert!(LimbVec::with_capacity(INLINE_LIMBS + 1).is_empty());
+    }
+}

@@ -1,5 +1,6 @@
 //! Probabilistic prime generation (Miller–Rabin) for RSA key generation.
 
+use crate::bigint::{MontScratch, Montgomery};
 use crate::BigUint;
 use rand::Rng;
 
@@ -92,19 +93,24 @@ pub fn miller_rabin<R: Rng + ?Sized>(n: &BigUint, rounds: u32, rng: &mut R) -> b
         d = d.shr_bits(1);
         s += 1;
     }
+    // One Montgomery context and scratch arena serve every round and every
+    // squaring: n is odd and > 211 here, and rebuilding the context per
+    // modpow would dominate the witness loop.
+    let mont = Montgomery::new(n);
+    let mut scratch = MontScratch::new();
+    // Base span [2, n-2]: n - 2 choices starting at 2.
+    let span = n
+        .checked_sub(&BigUint::from_u64(3))
+        .expect("n > 211 here")
+        .add_ref(&BigUint::one());
     'witness: for _ in 0..rounds {
-        // Base in [2, n-2].
-        let span = n
-            .checked_sub(&BigUint::from_u64(3))
-            .expect("n > 211 here")
-            .add_ref(&BigUint::one()); // n - 2 choices starting at 2
         let a = random_below(&span, rng).add_ref(&two);
-        let mut x = a.modpow(&d, n);
+        let mut x = mont.pow_with_scratch(&a, &d, &mut scratch);
         if x == BigUint::one() || x == n_minus_1 {
             continue 'witness;
         }
         for _ in 0..s.saturating_sub(1) {
-            x = x.modpow(&two, n);
+            x = mont.pow_with_scratch(&x, &two, &mut scratch);
             if x == n_minus_1 {
                 continue 'witness;
             }

@@ -29,13 +29,14 @@
 //! everyone else's `x_i` is random, which is precisely why the verifier
 //! cannot tell who closed the ring.
 
-use crate::bigint::BigUint;
+use crate::bigint::{BigUint, MontScratch};
 use crate::error::CryptoError;
 use crate::feistel::Feistel;
 use crate::prime::random_below;
 use crate::rsa::{RsaKeyPair, RsaPublicKey};
 use crate::sha256::Sha256;
 use rand::Rng;
+use std::borrow::Borrow;
 use std::collections::HashMap;
 use std::sync::Mutex;
 
@@ -76,13 +77,17 @@ impl RingSignature {
 /// `signer_index` selects which ring slot corresponds to `signer`'s public
 /// key.
 ///
+/// The ring may be owned keys (`&[RsaPublicKey]`) or borrowed ones
+/// (`&[&RsaPublicKey]`): hot callers assemble rings of references instead
+/// of cloning key material per beacon.
+///
 /// # Errors
 ///
 /// Returns [`CryptoError::BadRing`] when the ring is empty, the index is
 /// out of range, or the indexed public key does not match `signer`.
-pub fn ring_sign<R: Rng + ?Sized>(
+pub fn ring_sign<K: Borrow<RsaPublicKey>, R: Rng + ?Sized>(
     message: &[u8],
-    ring: &[RsaPublicKey],
+    ring: &[K],
     signer_index: usize,
     signer: &RsaKeyPair,
     rng: &mut R,
@@ -93,22 +98,26 @@ pub fn ring_sign<R: Rng + ?Sized>(
     if signer_index >= ring.len() {
         return Err(CryptoError::BadRing("signer index out of range"));
     }
-    if &ring[signer_index] != signer.public() {
+    if ring[signer_index].borrow() != signer.public() {
         return Err(CryptoError::BadRing("signer key not at signer index"));
     }
     let domain = Domain::for_ring(ring);
     let cipher = domain.cipher(ring, message);
     let two_b = domain.two_b();
+    let bl = domain.block_len;
+    let mut scratch = MontScratch::new();
 
-    // Random x_i (and thus y_i) for everyone but the signer.
-    let mut ys: Vec<Vec<u8>> = vec![Vec::new(); ring.len()];
+    // Random x_i (and thus y_i) for everyone but the signer, written into
+    // one flat block buffer instead of one vector per position.
+    let mut ys = vec![0u8; ring.len() * bl];
     let mut xs: Vec<BigUint> = vec![BigUint::ZERO; ring.len()];
     for (i, key) in ring.iter().enumerate() {
         if i == signer_index {
             continue;
         }
         let x = random_below(&two_b, rng);
-        ys[i] = domain.to_block(&extended_permutation(&x, key, &two_b));
+        let g = extended_permutation(&x, key.borrow(), &two_b, &mut scratch);
+        domain.write_block(&g, &mut ys[i * bl..(i + 1) * bl]);
         xs[i] = x;
     }
 
@@ -119,14 +128,14 @@ pub fn ring_sign<R: Rng + ?Sized>(
 
     // Forward pass: a = E_k(y_{s-1} xor ... E_k(y_1 xor v)).
     let mut a = v.clone();
-    for y in ys.iter().take(signer_index) {
+    for y in ys.chunks_exact(bl).take(signer_index) {
         xor_into(&mut a, y);
         cipher.encrypt_block(&mut a);
     }
     // Backward pass from the closing condition: peel E_k and y_i from the
     // end until only position s remains: E_k(y_s xor a) = c.
     let mut c = v.clone();
-    for y in ys.iter().skip(signer_index + 1).rev() {
+    for y in ys.chunks_exact(bl).skip(signer_index + 1).rev() {
         cipher.decrypt_block(&mut c);
         xor_into(&mut c, y);
     }
@@ -134,7 +143,7 @@ pub fn ring_sign<R: Rng + ?Sized>(
     // y_s = c xor a.
     xor_into(&mut c, &a);
     let y_s = BigUint::from_bytes_be(&c);
-    let x_s = invert_extended_permutation(&y_s, signer, &two_b);
+    let x_s = invert_extended_permutation(&y_s, signer, &two_b, &mut scratch);
     xs[signer_index] = x_s;
 
     Ok(RingSignature { v, xs })
@@ -146,14 +155,17 @@ pub fn ring_sign<R: Rng + ?Sized>(
 /// `ring`, without revealing which — the signer-ambiguity that gives the
 /// authenticated ANT its `(k+1)`-anonymity.
 ///
+/// The ring may be owned keys (`&[RsaPublicKey]`) or borrowed ones
+/// (`&[&RsaPublicKey]`).
+///
 /// # Errors
 ///
 /// Returns [`CryptoError::BadRing`] for an empty ring or a signature whose
 /// shape does not match the ring, and [`CryptoError::BadSignature`] when
 /// the ring equation does not close.
-pub fn ring_verify(
+pub fn ring_verify<K: Borrow<RsaPublicKey>>(
     message: &[u8],
-    ring: &[RsaPublicKey],
+    ring: &[K],
     signature: &RingSignature,
 ) -> Result<(), CryptoError> {
     if ring.is_empty() {
@@ -173,9 +185,15 @@ pub fn ring_verify(
         }
     }
     let cipher = domain.cipher(ring, message);
+    // One accumulator, one block buffer, and one Montgomery arena serve
+    // every ring position — the per-position temporaries of the chain
+    // (`g_i(x_i)` and its block form) never touch the heap.
+    let mut scratch = MontScratch::new();
     let mut acc = signature.v.clone();
+    let mut y = vec![0u8; domain.block_len];
     for (x, key) in signature.xs.iter().zip(ring) {
-        let y = domain.to_block(&extended_permutation(x, key, &two_b));
+        let g = extended_permutation(x, key.borrow(), &two_b, &mut scratch);
+        domain.write_block(&g, &mut y);
         xor_into(&mut acc, &y);
         cipher.encrypt_block(&mut acc);
     }
@@ -230,21 +248,32 @@ impl VerifyCache {
 
     /// Digest of everything the verdict depends on. Each variable-length
     /// component is length-prefixed so distinct triples cannot collide by
-    /// concatenation.
-    fn digest(message: &[u8], ring: &[RsaPublicKey], signature: &RingSignature) -> [u8; 32] {
-        let mut h = Sha256::new();
-        let mut part = |bytes: &[u8]| {
+    /// concatenation. One byte buffer is reused for every big integer.
+    fn digest<K: Borrow<RsaPublicKey>>(
+        message: &[u8],
+        ring: &[K],
+        signature: &RingSignature,
+    ) -> [u8; 32] {
+        fn part(h: &mut Sha256, bytes: &[u8]) {
             h.update(&(bytes.len() as u64).to_be_bytes());
             h.update(bytes);
-        };
-        for key in ring {
-            part(&key.modulus().to_bytes_be());
-            part(&key.exponent().to_bytes_be());
         }
-        part(message);
-        part(&signature.v);
+        fn part_big(h: &mut Sha256, buf: &mut Vec<u8>, value: &BigUint) {
+            buf.clear();
+            value.append_bytes_be(buf);
+            part(h, buf);
+        }
+        let mut h = Sha256::new();
+        let mut buf = Vec::new();
+        for key in ring {
+            let key = key.borrow();
+            part_big(&mut h, &mut buf, key.modulus());
+            part_big(&mut h, &mut buf, key.exponent());
+        }
+        part(&mut h, message);
+        part(&mut h, &signature.v);
         for x in &signature.xs {
-            part(&x.to_bytes_be());
+            part_big(&mut h, &mut buf, x);
         }
         h.finalize()
     }
@@ -258,10 +287,10 @@ impl VerifyCache {
     ///
     /// Exactly the errors of [`ring_verify`]; a cached rejection surfaces
     /// as [`CryptoError::BadSignature`].
-    pub fn verify(
+    pub fn verify<K: Borrow<RsaPublicKey>>(
         &self,
         message: &[u8],
-        ring: &[RsaPublicKey],
+        ring: &[K],
         signature: &RingSignature,
     ) -> (Result<(), CryptoError>, bool) {
         // Structural checks are cheap and keep malformed input out of the
@@ -305,8 +334,12 @@ struct Domain {
 }
 
 impl Domain {
-    fn for_ring(ring: &[RsaPublicKey]) -> Domain {
-        let max_bits = ring.iter().map(|k| k.modulus().bits()).max().unwrap_or(0);
+    fn for_ring<K: Borrow<RsaPublicKey>>(ring: &[K]) -> Domain {
+        let max_bits = ring
+            .iter()
+            .map(|k| k.borrow().modulus().bits())
+            .max()
+            .unwrap_or(0);
         let bits = max_bits + DOMAIN_SLACK_BITS;
         // Round up to an even number of bytes for the balanced Feistel.
         let mut block_len = (bits as usize).div_ceil(8);
@@ -325,20 +358,28 @@ impl Domain {
 
     /// Key the combining cipher with `SHA-256(ring || message)` so a
     /// signature is bound to both.
-    fn cipher(&self, ring: &[RsaPublicKey], message: &[u8]) -> Feistel {
+    fn cipher<K: Borrow<RsaPublicKey>>(&self, ring: &[K], message: &[u8]) -> Feistel {
         let mut h = Sha256::new();
+        let mut buf = Vec::new();
         for key in ring {
-            h.update(&key.modulus().to_bytes_be());
-            h.update(&key.exponent().to_bytes_be());
+            let key = key.borrow();
+            buf.clear();
+            key.modulus().append_bytes_be(&mut buf);
+            h.update(&buf);
+            buf.clear();
+            key.exponent().append_bytes_be(&mut buf);
+            h.update(&buf);
         }
         h.update(message);
         Feistel::new(h.finalize(), self.block_len)
     }
 
-    fn to_block(&self, value: &BigUint) -> Vec<u8> {
+    /// Writes `value` as a fixed-size block into `out` (no allocation).
+    fn write_block(&self, value: &BigUint, out: &mut [u8]) {
+        debug_assert_eq!(out.len(), self.block_len);
         value
-            .to_bytes_be_padded(self.block_len)
-            .expect("value < 2^b fits in block")
+            .write_bytes_be_padded(out)
+            .expect("value < 2^b fits in block");
     }
 }
 
@@ -355,24 +396,36 @@ fn xor_into(acc: &mut [u8], other: &[u8]) {
 }
 
 /// The RST extended trapdoor permutation `g_i` over `[0, 2^b)`.
-fn extended_permutation(x: &BigUint, key: &RsaPublicKey, two_b: &BigUint) -> BigUint {
+fn extended_permutation(
+    x: &BigUint,
+    key: &RsaPublicKey,
+    two_b: &BigUint,
+    scratch: &mut MontScratch,
+) -> BigUint {
     let n = key.modulus();
     let (q, r) = x.div_rem(n);
     let next_multiple = q.add_ref(&BigUint::one()).mul_ref(n);
     if next_multiple <= *two_b {
-        q.mul_ref(n).add_ref(&key.raw_encrypt(&r))
+        q.mul_ref(n)
+            .add_ref(&key.raw_encrypt_with_scratch(&r, scratch))
     } else {
         x.clone()
     }
 }
 
 /// Inverts `g_s` with the signer's private key.
-fn invert_extended_permutation(y: &BigUint, signer: &RsaKeyPair, two_b: &BigUint) -> BigUint {
+fn invert_extended_permutation(
+    y: &BigUint,
+    signer: &RsaKeyPair,
+    two_b: &BigUint,
+    scratch: &mut MontScratch,
+) -> BigUint {
     let n = signer.public().modulus();
     let (q, r) = y.div_rem(n);
     let next_multiple = q.add_ref(&BigUint::one()).mul_ref(n);
     if next_multiple <= *two_b {
-        q.mul_ref(n).add_ref(&signer.raw_decrypt(&r))
+        q.mul_ref(n)
+            .add_ref(&signer.raw_decrypt_with_scratch(&r, scratch))
     } else {
         y.clone()
     }
@@ -463,7 +516,7 @@ mod tests {
     fn malformed_rings_rejected() {
         let (keys, pubs) = make_ring(2, 128, 14);
         assert!(matches!(
-            ring_sign(b"m", &[], 0, &keys[0], &mut rng(15)),
+            ring_sign(b"m", &[] as &[RsaPublicKey], 0, &keys[0], &mut rng(15)),
             Err(CryptoError::BadRing(_))
         ));
         assert!(matches!(
@@ -563,7 +616,7 @@ mod tests {
         let sig = ring_sign(b"m", &pubs, 0, &keys[0], &mut rng(30)).unwrap();
         let cache = VerifyCache::new();
         assert!(matches!(
-            cache.verify(b"m", &[], &sig),
+            cache.verify(b"m", &[] as &[RsaPublicKey], &sig),
             (Err(CryptoError::BadRing(_)), false)
         ));
         assert!(matches!(
@@ -586,6 +639,22 @@ mod tests {
             assert_eq!(cache.verify(b"beacon", &pubs, &sig).0, direct);
             assert_eq!(cache.verify(b"beacon", &pubs, &sig).0, direct);
         }
+    }
+
+    #[test]
+    fn borrowed_ring_matches_owned_ring() {
+        // A ring of references must behave exactly like a ring of owned
+        // keys: signatures interchange and cache digests coincide.
+        let (keys, pubs) = make_ring(3, 128, 33);
+        let refs: Vec<&RsaPublicKey> = pubs.iter().collect();
+        let mut r = rng(34);
+        let sig = ring_sign(b"borrowed", &refs, 2, &keys[2], &mut r).unwrap();
+        ring_verify(b"borrowed", &pubs, &sig).unwrap();
+        ring_verify(b"borrowed", &refs, &sig).unwrap();
+        let cache = VerifyCache::new();
+        assert_eq!(cache.verify(b"borrowed", &pubs, &sig), (Ok(()), false));
+        // Same triple through the borrowed ring hits the cached verdict.
+        assert_eq!(cache.verify(b"borrowed", &refs, &sig), (Ok(()), true));
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! Rivest–Shamir–Tauman ring signature is built directly on the trapdoor
 //! permutation, not on padded encryption.
 
-use crate::bigint::{BigUint, MontCache};
+use crate::bigint::{BigUint, MontCache, MontScratch};
 use crate::error::CryptoError;
 use crate::prime;
 use crate::sha256::Sha256;
@@ -93,6 +93,14 @@ impl RsaPublicKey {
         self.mont.modpow(x, &self.e, &self.n)
     }
 
+    /// [`RsaPublicKey::raw_encrypt`] with a caller-owned scratch arena —
+    /// the allocation-free form used by loops that apply the permutation
+    /// many times (ring signature chains, batched verification).
+    #[must_use]
+    pub fn raw_encrypt_with_scratch(&self, x: &BigUint, scratch: &mut MontScratch) -> BigUint {
+        self.mont.modpow_with_scratch(x, &self.e, &self.n, scratch)
+    }
+
     /// Encrypts `msg` with PKCS#1-v1.5 type-2 random padding.
     ///
     /// The returned ciphertext is exactly [`RsaPublicKey::modulus_len`]
@@ -106,6 +114,25 @@ impl RsaPublicKey {
         &self,
         msg: &[u8],
         rng: &mut R,
+    ) -> Result<Vec<u8>, CryptoError> {
+        let mut scratch = MontScratch::new();
+        self.encrypt_with_scratch(msg, rng, &mut scratch)
+    }
+
+    /// [`RsaPublicKey::encrypt`] with a caller-owned scratch arena, for
+    /// bursts that seal many records back to back (the ALS update path).
+    ///
+    /// Consumes exactly the same random bytes as [`RsaPublicKey::encrypt`],
+    /// so swapping one for the other never perturbs a seeded RNG stream.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`RsaPublicKey::encrypt`].
+    pub fn encrypt_with_scratch<R: Rng + ?Sized>(
+        &self,
+        msg: &[u8],
+        rng: &mut R,
+        scratch: &mut MontScratch,
     ) -> Result<Vec<u8>, CryptoError> {
         let k = self.modulus_len();
         if msg.len() > self.max_plaintext_len() {
@@ -124,7 +151,7 @@ impl RsaPublicKey {
         block.push(0x00);
         block.extend_from_slice(msg);
         let m = BigUint::from_bytes_be(&block);
-        let c = self.raw_encrypt(&m);
+        let c = self.raw_encrypt_with_scratch(&m, scratch);
         Ok(c.to_bytes_be_padded(k).expect("c < n fits in k bytes"))
     }
 
@@ -146,6 +173,23 @@ impl RsaPublicKey {
     /// Returns [`CryptoError::MessageTooLong`] if `msg` exceeds
     /// [`RsaPublicKey::max_plaintext_len`].
     pub fn encrypt_deterministic(&self, msg: &[u8]) -> Result<Vec<u8>, CryptoError> {
+        let mut scratch = MontScratch::new();
+        self.encrypt_deterministic_with_scratch(msg, &mut scratch)
+    }
+
+    /// [`RsaPublicKey::encrypt_deterministic`] with a caller-owned scratch
+    /// arena — pairs with [`RsaPublicKey::encrypt_with_scratch`] on the
+    /// ALS update path, where every sealed record needs both an index and
+    /// a payload ciphertext.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`RsaPublicKey::encrypt_deterministic`].
+    pub fn encrypt_deterministic_with_scratch(
+        &self,
+        msg: &[u8],
+        scratch: &mut MontScratch,
+    ) -> Result<Vec<u8>, CryptoError> {
         let k = self.modulus_len();
         if msg.len() > self.max_plaintext_len() {
             return Err(CryptoError::MessageTooLong {
@@ -172,7 +216,7 @@ impl RsaPublicKey {
         block.push(0x00);
         block.extend_from_slice(msg);
         let m = BigUint::from_bytes_be(&block);
-        let c = self.raw_encrypt(&m);
+        let c = self.raw_encrypt_with_scratch(&m, scratch);
         Ok(c.to_bytes_be_padded(k).expect("c < n fits in k bytes"))
     }
 
@@ -183,6 +227,22 @@ impl RsaPublicKey {
     /// Returns [`CryptoError::BlockSizeMismatch`] if the signature has the
     /// wrong length, or [`CryptoError::BadSignature`] if it does not verify.
     pub fn verify(&self, msg: &[u8], signature: &[u8]) -> Result<(), CryptoError> {
+        let mut scratch = MontScratch::new();
+        self.verify_with_scratch(msg, signature, &mut scratch)
+    }
+
+    /// [`RsaPublicKey::verify`] with a caller-owned scratch arena, so a
+    /// loop of verifications shares one set of Montgomery temporaries.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`RsaPublicKey::verify`].
+    pub fn verify_with_scratch(
+        &self,
+        msg: &[u8],
+        signature: &[u8],
+        scratch: &mut MontScratch,
+    ) -> Result<(), CryptoError> {
         let k = self.modulus_len();
         if signature.len() != k {
             return Err(CryptoError::BlockSizeMismatch {
@@ -194,11 +254,93 @@ impl RsaPublicKey {
         if s >= self.n {
             return Err(CryptoError::BadSignature);
         }
-        let recovered = self.raw_encrypt(&s);
-        let block = recovered
-            .to_bytes_be_padded(k)
-            .expect("recovered < n fits in k bytes");
-        if block == signature_block(msg, k) {
+        let recovered = self.raw_encrypt_with_scratch(&s, scratch);
+        // recovered < n < 2^(8k), so comparing the integers is exactly
+        // comparing the k-byte padded blocks.
+        if recovered == BigUint::from_bytes_be(&signature_block(msg, k)) {
+            Ok(())
+        } else {
+            Err(CryptoError::BadSignature)
+        }
+    }
+
+    /// Verifies a burst of `(key, message, signature)` triples.
+    ///
+    /// All items share one scratch arena, so the whole batch costs no
+    /// Montgomery temporaries beyond a single stack allocation. When the
+    /// batch shares one key whose public exponent exceeds 64 bits, a
+    /// Shamir–Straus product check `(∏ sᵢ^cᵢ)^e = ∏ mᵢ^cᵢ (mod n)` with
+    /// deterministic 64-bit multipliers replaces the per-item
+    /// exponentiations; with the small `e = 65537` used throughout this
+    /// stack, per-item verification is already cheaper than any product
+    /// test, so the batch win is amortised setup rather than fewer
+    /// multiplications.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing item's error in iteration order, exactly
+    /// as a sequential [`RsaPublicKey::verify`] loop would. An empty batch
+    /// is vacuously `Ok`.
+    pub fn verify_batch<'a, I>(items: I) -> Result<(), CryptoError>
+    where
+        I: IntoIterator<Item = (&'a RsaPublicKey, &'a [u8], &'a [u8])>,
+    {
+        let items: Vec<(&RsaPublicKey, &[u8], &[u8])> = items.into_iter().collect();
+        let mut scratch = MontScratch::new();
+        let product_eligible = items.len() >= 2
+            && items[0].0.e.bits() > 64
+            && items
+                .iter()
+                .all(|(k, _, _)| k.n == items[0].0.n && k.e == items[0].0.e);
+        if product_eligible && Self::verify_batch_product(&items, &mut scratch).is_ok() {
+            return Ok(());
+        }
+        // Per-item path: exact first-failure semantics; also localises a
+        // failure the product test only detects in aggregate.
+        for (key, msg, sig) in items {
+            key.verify_with_scratch(msg, sig, &mut scratch)?;
+        }
+        Ok(())
+    }
+
+    /// The randomised product test behind [`RsaPublicKey::verify_batch`]:
+    /// accepts iff `(∏ sᵢ^cᵢ)^e ≡ ∏ blockᵢ^cᵢ (mod n)` for multipliers
+    /// `cᵢ` derived by hashing each item. Sound up to a forger guessing
+    /// the 64-bit multipliers; a rejection does not identify the bad item.
+    fn verify_batch_product(
+        items: &[(&RsaPublicKey, &[u8], &[u8])],
+        scratch: &mut MontScratch,
+    ) -> Result<(), CryptoError> {
+        let key = items[0].0;
+        let k = key.modulus_len();
+        let mut sigs = Vec::with_capacity(items.len());
+        let mut blocks = Vec::with_capacity(items.len());
+        let mut mults = Vec::with_capacity(items.len());
+        for (i, (_, msg, sig)) in items.iter().enumerate() {
+            if sig.len() != k {
+                return Err(CryptoError::BlockSizeMismatch {
+                    got: sig.len(),
+                    expected: k,
+                });
+            }
+            let s = BigUint::from_bytes_be(sig);
+            if s >= key.n {
+                return Err(CryptoError::BadSignature);
+            }
+            let digest =
+                Sha256::digest_parts(&[b"AGR-BATCHVER", &(i as u64).to_le_bytes(), msg, sig]);
+            let c = u64::from_be_bytes(digest[..8].try_into().expect("8-byte prefix")).max(1);
+            sigs.push(s);
+            blocks.push(BigUint::from_bytes_be(&signature_block(msg, k)));
+            mults.push(BigUint::from_u64(c));
+        }
+        let mont = key.mont.get(&key.n);
+        let left_pairs: Vec<(&BigUint, &BigUint)> = sigs.iter().zip(mults.iter()).collect();
+        let sig_product = mont.multi_pow_with_scratch(&left_pairs, scratch);
+        let left = mont.pow_with_scratch(&sig_product, &key.e, scratch);
+        let right_pairs: Vec<(&BigUint, &BigUint)> = blocks.iter().zip(mults.iter()).collect();
+        let right = mont.multi_pow_with_scratch(&right_pairs, scratch);
+        if left == right {
             Ok(())
         } else {
             Err(CryptoError::BadSignature)
@@ -302,10 +444,22 @@ impl RsaKeyPair {
     /// No padding; used by the ring signature.
     #[must_use]
     pub fn raw_decrypt(&self, y: &BigUint) -> BigUint {
+        let mut scratch = MontScratch::new();
+        self.raw_decrypt_with_scratch(y, &mut scratch)
+    }
+
+    /// [`RsaKeyPair::raw_decrypt`] with a caller-owned scratch arena
+    /// shared by both CRT half-exponentiations.
+    #[must_use]
+    pub fn raw_decrypt_with_scratch(&self, y: &BigUint, scratch: &mut MontScratch) -> BigUint {
         // CRT: m1 = y^dp mod p, m2 = y^dq mod q,
         //      h = qinv (m1 - m2) mod p, m = m2 + q h.
-        let m1 = self.mont_p.modpow(y, &self.dp, &self.p);
-        let m2 = self.mont_q.modpow(y, &self.dq, &self.q);
+        let m1 = self
+            .mont_p
+            .modpow_with_scratch(y, &self.dp, &self.p, scratch);
+        let m2 = self
+            .mont_q
+            .modpow_with_scratch(y, &self.dq, &self.q, scratch);
         let m2_mod_p = m2.rem_ref(&self.p);
         let diff = if m1 >= m2_mod_p {
             m1.checked_sub(&m2_mod_p).expect("m1 >= m2 mod p")
@@ -566,6 +720,125 @@ mod tests {
             keys.public().encrypt_deterministic(&[0u8; 54]),
             Err(CryptoError::MessageTooLong { .. })
         ));
+    }
+
+    #[test]
+    fn verify_batch_accepts_valid_mixed_key_batch() {
+        let keys_a = RsaKeyPair::generate(256, &mut rng(40)).unwrap();
+        let keys_b = RsaKeyPair::generate(256, &mut rng(41)).unwrap();
+        let msgs: Vec<Vec<u8>> = (0..4u8).map(|i| vec![i; 10]).collect();
+        let sigs: Vec<Vec<u8>> = msgs
+            .iter()
+            .enumerate()
+            .map(|(i, m)| {
+                if i % 2 == 0 {
+                    keys_a.sign(m)
+                } else {
+                    keys_b.sign(m)
+                }
+            })
+            .collect();
+        let items: Vec<(&RsaPublicKey, &[u8], &[u8])> = msgs
+            .iter()
+            .enumerate()
+            .map(|(i, m)| {
+                let key = if i % 2 == 0 {
+                    keys_a.public()
+                } else {
+                    keys_b.public()
+                };
+                (key, m.as_slice(), sigs[i].as_slice())
+            })
+            .collect();
+        assert!(RsaPublicKey::verify_batch(items).is_ok());
+        assert!(RsaPublicKey::verify_batch(std::iter::empty()).is_ok());
+    }
+
+    #[test]
+    fn verify_batch_reports_first_failure() {
+        let keys = test_keys();
+        let msgs: Vec<Vec<u8>> = (0..3u8).map(|i| vec![i; 5]).collect();
+        let mut sigs: Vec<Vec<u8>> = msgs.iter().map(|m| keys.sign(m)).collect();
+        sigs[1][7] ^= 1;
+        let items: Vec<(&RsaPublicKey, &[u8], &[u8])> = msgs
+            .iter()
+            .zip(&sigs)
+            .map(|(m, s)| (keys.public(), m.as_slice(), s.as_slice()))
+            .collect();
+        assert_eq!(
+            RsaPublicKey::verify_batch(items),
+            Err(CryptoError::BadSignature)
+        );
+        // Wrong-length signature surfaces as a size mismatch, like verify.
+        assert_eq!(
+            RsaPublicKey::verify_batch([(keys.public(), &b"m"[..], &b"short"[..])]),
+            Err(CryptoError::BlockSizeMismatch {
+                got: 5,
+                expected: 64
+            })
+        );
+    }
+
+    #[test]
+    fn verify_batch_product_path_with_large_exponent() {
+        // Swap the exponent roles: "public" exponent d (hundreds of bits)
+        // triggers the Shamir–Straus product test, and s = block^e is a
+        // valid signature under it.
+        let keys = RsaKeyPair::generate(256, &mut rng(42)).unwrap();
+        let pk = RsaPublicKey {
+            n: keys.public().n.clone(),
+            e: keys.d.clone(),
+            bits: keys.public().bits,
+            mont: MontCache::new(),
+        };
+        assert!(pk.e.bits() > 64);
+        let k = pk.modulus_len();
+        let msgs: Vec<Vec<u8>> = (0..3u8).map(|i| vec![0x50 + i; 12]).collect();
+        let sigs: Vec<Vec<u8>> = msgs
+            .iter()
+            .map(|m| {
+                let block = BigUint::from_bytes_be(&signature_block(m, k));
+                keys.public()
+                    .raw_encrypt(&block)
+                    .to_bytes_be_padded(k)
+                    .unwrap()
+            })
+            .collect();
+        let items: Vec<(&RsaPublicKey, &[u8], &[u8])> = msgs
+            .iter()
+            .zip(&sigs)
+            .map(|(m, s)| (&pk, m.as_slice(), s.as_slice()))
+            .collect();
+        assert!(RsaPublicKey::verify_batch(items.clone()).is_ok());
+        // Corrupt one signature: the product test rejects and the
+        // per-item fallback pinpoints BadSignature.
+        let mut bad = sigs.clone();
+        bad[2][3] ^= 1;
+        let items_bad: Vec<(&RsaPublicKey, &[u8], &[u8])> = msgs
+            .iter()
+            .zip(&bad)
+            .map(|(m, s)| (&pk, m.as_slice(), s.as_slice()))
+            .collect();
+        assert_eq!(
+            RsaPublicKey::verify_batch(items_bad),
+            Err(CryptoError::BadSignature)
+        );
+    }
+
+    #[test]
+    fn scratch_verify_matches_verify() {
+        let keys = test_keys();
+        let sig = keys.sign(b"scratch me");
+        let mut scratch = MontScratch::new();
+        assert!(keys
+            .public()
+            .verify_with_scratch(b"scratch me", &sig, &mut scratch)
+            .is_ok());
+        assert_eq!(
+            keys.public()
+                .verify_with_scratch(b"other", &sig, &mut scratch),
+            Err(CryptoError::BadSignature)
+        );
     }
 
     #[test]

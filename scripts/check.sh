@@ -77,6 +77,25 @@ if [[ -f "$PERF_BASELINE" ]]; then
             exit 1
         fi
     done
+    # Allocator regression: allocations-per-event are a property of the
+    # code, not the machine, so the bar is much tighter than the 2x
+    # wall-clock one — 1.5x the recorded steady-state rate. Catches a
+    # clone or per-call buffer sneaking back into the crypto hot path.
+    if grep -q '"alloc_calls_per_event"' "$PERF_BASELINE"; then
+        paste <(grep -o '"name": "[a-z]*"' "$PERF_BASELINE" | cut -d'"' -f4) \
+              <(grep -o '"alloc_calls_per_event": [0-9.]*' "$PERF_BASELINE" | awk '{print $2}') \
+              <(grep -o '"alloc_calls_per_event": [0-9.]*' "$PERF_SMOKE" | awk '{print $2}') |
+        while read -r name base now; do
+            printf '    %-10s baseline %8.2f allocs/event   now %8.2f allocs/event\n' \
+                "$name" "$base" "$now"
+            if awk -v b="$base" -v n="$now" 'BEGIN { exit !(n > b * 1.5) }'; then
+                echo "alloc regression: '$name' allocates >1.5x the recorded calls per event" >&2
+                exit 1
+            fi
+        done
+    else
+        echo "    (baseline predates alloc_calls_per_event; skipping alloc gate)"
+    fi
 else
     echo "    (no $PERF_BASELINE checked in; skipping)"
 fi
