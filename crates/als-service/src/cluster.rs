@@ -1,0 +1,1004 @@
+//! Multi-node replicated ALS cluster: N UDP server processes behind a
+//! cell-ownership [`Ring`], R-way replicated writes, and push-based
+//! anti-entropy so replicas converge after crashes and partitions.
+//!
+//! The moving parts, smallest to largest:
+//!
+//! * [`sync_cell_push`] — one node's anti-entropy agent step against one
+//!   peer for one cell: probe the peer's digest over a
+//!   [`agr_core::packet::AlsNetKind::SyncDigest`] frame; on mismatch,
+//!   push the local record set in bounded
+//!   [`agr_core::packet::AlsNetKind::SyncDelta`] chunks, merged
+//!   last-writer-wins on the receiving side. Pushes only — a responder
+//!   never ships data, so no frame in the exchange can outgrow a
+//!   datagram. Running the step over every ordered pair of live owners
+//!   makes both directions happen, which is what drives the pairwise
+//!   union; [`Cluster::sync_round`] does exactly that.
+//! * [`ClusterClient`] — ring-aware replicated operations: an update is
+//!   fanned out to every owner of its cell and acknowledged per replica;
+//!   a query walks the owners in rendezvous order and takes the first
+//!   answer. Peers that stop answering are *suspected* (fire-and-forget
+//!   writes continue, ack waits stop) until an explicit
+//!   [`ClusterClient::mark_up`] or an optional op-count probation —
+//!   both deterministic given a deterministic fault schedule, which is
+//!   what lets the conformance suite replay a seed to an identical
+//!   trace.
+//! * [`Cluster`] — the in-process fleet manager: boots N engines each
+//!   behind its own UDP serve loop, kills and restarts them on demand
+//!   (a restarted node re-binds the same port with an **empty** store —
+//!   anti-entropy refills it), and drives sync rounds to quiescence.
+//!   Node identity is the ring index, so ownership never moves on a
+//!   crash: the surviving replicas cover the cell until the node
+//!   returns.
+//! * [`ChaosPlan`] — a seeded kill/restart schedule keyed by operation
+//!   index (not wall time), generated from a [`SplitMix64`] stream that
+//!   is deliberately distinct from every simulator RNG family. Windows
+//!   are disjoint and each kill precedes its restart, so at most one
+//!   node is down at a time — the regime in which R = 2 makes every
+//!   fully-acknowledged write durable.
+//!
+//! Durability contract (pinned by `tests/cluster_conformance.rs`): an
+//! update acknowledged by **all** R owners survives any single
+//! kill/restart, because the surviving replica holds it and the
+//! restarted one pulls it back via anti-entropy before the next fault.
+//! Partially-acknowledged writes may or may not survive; either way a
+//! query only ever returns a payload some client actually wrote — the
+//! single-map reference model can always explain the answer.
+
+use crate::pipeline::{Engine, EngineConfig};
+use crate::ring::Ring;
+use crate::service::{frame, serve, AlsClient, ServeStats};
+use crate::store::cell_key;
+use crate::transport::{Transport, UdpClient, UdpServer};
+use agr_core::packet::{AgfwPacket, AlsNetKind, AlsPair, AlsSyncPair};
+use agr_core::wire::{decode_packet, encode_packet};
+use agr_geom::{CellId, Point};
+use agr_sim::SimTime;
+use std::io;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------
+// Seeded randomness (cluster-local, no sim RNG families)
+// ---------------------------------------------------------------------
+
+/// SplitMix64 — the cluster's only randomness source. Self-contained so
+/// chaos schedules and load generators never draw from (or reorder) the
+/// simulator's per-node RNG families, keeping every sim golden
+/// fingerprint byte-identical no matter what the cluster does.
+#[derive(Debug, Clone)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// A stream seeded with `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64(seed)
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A value in `0..n` (`n` of 0 behaves as 1).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n.max(1)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Chaos schedule
+// ---------------------------------------------------------------------
+
+/// What a [`ChaosEvent`] does to its node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosAction {
+    /// Stop the node's serve loop and drop its store (data loss).
+    Kill,
+    /// Re-bind the node's port with a fresh, empty engine.
+    Restart,
+}
+
+/// One scheduled fault, keyed by the operation index it fires before.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosEvent {
+    /// The event fires before the op with this index is issued.
+    pub at_op: u64,
+    /// Ring index of the victim.
+    pub node: usize,
+    /// Kill or restart.
+    pub action: ChaosAction,
+}
+
+/// A seeded kill/restart schedule over an operation-indexed run.
+///
+/// Events are sorted by `at_op`; the harness replays them by polling
+/// [`ChaosPlan::due`] before each operation, which is what makes a run
+/// deterministic: the same seed yields the same faults at the same
+/// points in the same operation stream, regardless of wall-clock speed.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ChaosPlan {
+    /// The schedule, sorted by `at_op`.
+    pub events: Vec<ChaosEvent>,
+}
+
+impl ChaosPlan {
+    /// Generates `cycles` kill→restart windows over `total_ops`
+    /// operations against a ring of `nodes`. Windows are disjoint and
+    /// confined to the middle three quarters of the run (so the load has
+    /// warmed up before the first fault and every restart gets traffic
+    /// afterwards), and each kill strictly precedes its restart — at
+    /// most one node is down at any op index.
+    #[must_use]
+    pub fn seeded(seed: u64, nodes: usize, total_ops: u64, cycles: usize) -> ChaosPlan {
+        let mut rng = SplitMix64::new(seed ^ 0xC4A0_5EED_F417_BEEF);
+        let lo = total_ops / 8;
+        let hi = total_ops.saturating_sub(total_ops / 8).max(lo + 1);
+        let span = ((hi - lo) / cycles.max(1) as u64).max(2);
+        let mut events = Vec::with_capacity(cycles * 2);
+        for cycle in 0..cycles as u64 {
+            let base = lo + span * cycle;
+            let node = rng.below(nodes as u64) as usize;
+            // Kill early in the window, restart in its second half: the
+            // outage always spans at least a quarter of the window, so
+            // every cycle degrades real traffic instead of occasionally
+            // collapsing to a one-op blip.
+            let kill_at = base + rng.below((span / 4).max(1));
+            let restart_at = base + span / 2 + rng.below(span.div_ceil(2) - 1);
+            events.push(ChaosEvent {
+                at_op: kill_at,
+                node,
+                action: ChaosAction::Kill,
+            });
+            events.push(ChaosEvent {
+                at_op: restart_at.max(kill_at + 1),
+                node,
+                action: ChaosAction::Restart,
+            });
+        }
+        events.sort_by_key(|e| e.at_op);
+        ChaosPlan { events }
+    }
+
+    /// The events firing before op `at_op`, given `fired` events were
+    /// already consumed; advances `fired` past them.
+    pub fn due<'a>(&'a self, at_op: u64, fired: &mut usize) -> &'a [ChaosEvent] {
+        let start = *fired;
+        while *fired < self.events.len() && self.events[*fired].at_op <= at_op {
+            *fired += 1;
+        }
+        &self.events[start..*fired]
+    }
+}
+
+// ---------------------------------------------------------------------
+// Anti-entropy agent
+// ---------------------------------------------------------------------
+
+/// Byte budget of one [`AlsNetKind::SyncDelta`] push chunk — well under
+/// both the 64 KiB transport bound and a single UDP datagram, leaving
+/// headroom for framing.
+const SYNC_CHUNK_BYTES: usize = 32 * 1024;
+
+/// Outcome of one [`sync_cell_push`] step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CellSync {
+    /// The digests agreed; nothing was shipped.
+    pub matched: bool,
+    /// Records pushed to the peer.
+    pub pushed: usize,
+    /// Records the peer's last-writer-wins merge actually changed.
+    pub changed: usize,
+}
+
+/// One anti-entropy step: probe `peer`'s digest for `cell` and, if it
+/// differs from `engine`'s, push the local record set in bounded chunks
+/// (cell-relative indices, original `stored_at` preserved so TTL and
+/// conflict order survive the transfer).
+///
+/// Push-only by design: the responder answers digests with digests and
+/// never ships data, so every frame stays bounded no matter how large
+/// the cell grows. Convergence comes from symmetry — run the step in
+/// both directions (see [`Cluster::sync_round`]) and the pair holds the
+/// last-writer-wins union afterwards.
+///
+/// # Errors
+///
+/// Transport failures talking to the peer (a dead peer surfaces as
+/// `TimedOut` or `ConnectionRefused`).
+pub fn sync_cell_push<T: Transport>(
+    engine: &Engine,
+    peer: &mut AlsClient<T>,
+    cell: CellId,
+) -> io::Result<CellSync> {
+    let local = engine.store().cell_digest(cell);
+    let (peer_digest, peer_count) = peer.sync_digest(cell, local.digest, local.count)?;
+    if peer_digest == local.digest && peer_count == local.count {
+        return Ok(CellSync {
+            matched: true,
+            pushed: 0,
+            changed: 0,
+        });
+    }
+    let prefix_len = cell_key(cell, &[]).len();
+    let mut outcome = CellSync::default();
+    let mut chunk: Vec<AlsSyncPair> = Vec::new();
+    let mut chunk_bytes = 0usize;
+    for (key, payload, stored_at) in engine.store().scan_cell(cell) {
+        let pair = AlsSyncPair {
+            index: key[prefix_len..].to_vec(),
+            payload,
+            stored_at,
+        };
+        let cost = pair.index.len() + pair.payload.len() + 12;
+        if !chunk.is_empty() && chunk_bytes + cost > SYNC_CHUNK_BYTES {
+            outcome.pushed += chunk.len();
+            outcome.changed += peer.sync_delta(cell, std::mem::take(&mut chunk))? as usize;
+            chunk_bytes = 0;
+        }
+        chunk_bytes += cost;
+        chunk.push(pair);
+    }
+    if !chunk.is_empty() {
+        outcome.pushed += chunk.len();
+        outcome.changed += peer.sync_delta(cell, chunk)? as usize;
+    }
+    Ok(outcome)
+}
+
+/// Tally of one [`Cluster::sync_round`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SyncRoundStats {
+    /// Digest probes whose answer matched (no data shipped).
+    pub matched: usize,
+    /// Records pushed across all pairs and cells.
+    pub pushed: usize,
+    /// Records that actually changed on a receiving replica — 0 means
+    /// the round was a no-op and the live owners have converged.
+    pub changed: usize,
+    /// Owner pairs skipped because one side was down.
+    pub skipped_down: usize,
+}
+
+// ---------------------------------------------------------------------
+// Cluster
+// ---------------------------------------------------------------------
+
+/// Sizing and policy of a [`Cluster`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterConfig {
+    /// Ring size — how many server nodes to boot.
+    pub nodes: usize,
+    /// How many replicas own each cell (clamped to the ring size).
+    pub replication: usize,
+    /// Per-node engine sizing.
+    pub engine: EngineConfig,
+    /// Drive every node from one harness-advanced logical clock instead
+    /// of the wall clock. Logical time makes `stored_at` stamps — and
+    /// therefore digests, last-writer-wins outcomes, and TTL expiry —
+    /// a pure function of the operation stream, which the conformance
+    /// suite needs to replay a seed into an identical trace.
+    pub logical_clock: bool,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            nodes: 3,
+            replication: 2,
+            engine: EngineConfig::default(),
+            logical_clock: false,
+        }
+    }
+}
+
+/// One live node: its engine, its serve loop, and the knobs to stop it.
+struct NodeHandle {
+    engine: Arc<Engine>,
+    clock: Option<Arc<AtomicU64>>,
+    stop: Arc<AtomicBool>,
+    serve: std::thread::JoinHandle<ServeStats>,
+}
+
+/// An in-process fleet of UDP ALS nodes behind a fixed-membership
+/// [`Ring`], with kill/restart control and harness-driven anti-entropy.
+///
+/// Crashes make a node unavailable, never removed: its ring index, port,
+/// and ownership all survive the outage, and a restart brings it back
+/// empty for anti-entropy to refill.
+pub struct Cluster {
+    config: ClusterConfig,
+    ring: Ring,
+    addrs: Vec<SocketAddr>,
+    nodes: Vec<Option<NodeHandle>>,
+    now: SimTime,
+    retired: Vec<ServeStats>,
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("nodes", &self.addrs.len())
+            .field("replication", &self.config.replication)
+            .field("up", &self.nodes.iter().filter(|n| n.is_some()).count())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Cluster {
+    /// Boots `config.nodes` engines, each behind its own UDP serve loop
+    /// on an ephemeral localhost port.
+    ///
+    /// # Errors
+    ///
+    /// Socket bind failures.
+    pub fn launch(config: ClusterConfig) -> io::Result<Cluster> {
+        let mut cluster = Cluster {
+            ring: Ring::new(config.nodes),
+            addrs: Vec::with_capacity(config.nodes),
+            nodes: Vec::with_capacity(config.nodes),
+            now: SimTime::ZERO,
+            retired: vec![ServeStats::default(); config.nodes],
+            config,
+        };
+        for _ in 0..cluster.config.nodes {
+            let (handle, addr) = cluster.boot(None)?;
+            cluster.addrs.push(addr);
+            cluster.nodes.push(Some(handle));
+        }
+        Ok(cluster)
+    }
+
+    fn boot(&self, addr: Option<SocketAddr>) -> io::Result<(NodeHandle, SocketAddr)> {
+        let mut server = match addr {
+            Some(addr) => UdpServer::bind(addr)?,
+            None => UdpServer::bind(("127.0.0.1", 0))?,
+        };
+        let bound = server.local_addr()?;
+        let (engine, clock) = if self.config.logical_clock {
+            let (engine, clock) = Engine::start_manual_clock(self.config.engine);
+            clock.store(self.now.as_nanos(), Ordering::Release);
+            (engine, Some(clock))
+        } else {
+            (Engine::start(self.config.engine), None)
+        };
+        let engine = Arc::new(engine);
+        let stop = Arc::new(AtomicBool::new(false));
+        let serve = {
+            let engine = engine.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || serve(&engine, &mut server, &stop))
+        };
+        Ok((
+            NodeHandle {
+                engine,
+                clock,
+                stop,
+                serve,
+            },
+            bound,
+        ))
+    }
+
+    /// The cell-ownership ring.
+    #[must_use]
+    pub fn ring(&self) -> Ring {
+        self.ring
+    }
+
+    /// The replication factor (clamped to the ring size by the ring).
+    #[must_use]
+    pub fn replication(&self) -> usize {
+        self.config.replication
+    }
+
+    /// Every node's bound address, in ring order — stable across
+    /// kill/restart.
+    #[must_use]
+    pub fn addrs(&self) -> &[SocketAddr] {
+        &self.addrs
+    }
+
+    /// Whether `node` is currently serving.
+    #[must_use]
+    pub fn is_up(&self, node: usize) -> bool {
+        self.nodes.get(node).is_some_and(Option::is_some)
+    }
+
+    /// Direct access to a live node's engine (digest checks, preloads);
+    /// `None` while the node is down.
+    #[must_use]
+    pub fn engine(&self, node: usize) -> Option<&Arc<Engine>> {
+        self.nodes.get(node)?.as_ref().map(|h| &h.engine)
+    }
+
+    /// Advances the shared logical clock on every live node (no-op per
+    /// node under wall clocks). Restarted nodes inherit the latest value.
+    pub fn set_time(&mut self, now: SimTime) {
+        self.now = now;
+        for handle in self.nodes.iter().flatten() {
+            if let Some(clock) = &handle.clock {
+                clock.store(now.as_nanos(), Ordering::Release);
+            }
+        }
+    }
+
+    /// A ring-aware replicated client for this cluster.
+    ///
+    /// # Errors
+    ///
+    /// Socket bind/connect failures.
+    pub fn client(&self) -> io::Result<ClusterClient> {
+        ClusterClient::connect(&self.addrs, self.config.replication)
+    }
+
+    /// Kills `node`: stops its serve loop and drops its engine **and
+    /// store** — the data is gone, exactly like a process crash losing
+    /// in-memory state. Returns false if it was already down.
+    pub fn kill(&mut self, node: usize) -> bool {
+        let Some(handle) = self.nodes.get_mut(node).and_then(Option::take) else {
+            return false;
+        };
+        handle.stop.store(true, Ordering::Release);
+        if let Ok(stats) = handle.serve.join() {
+            self.retired[node].merge(&stats);
+        }
+        match Arc::try_unwrap(handle.engine) {
+            Ok(engine) => drop(engine.shutdown()),
+            Err(_) => unreachable!("serve loop joined; cluster holds the sole engine handle"),
+        }
+        true
+    }
+
+    /// Restarts `node` on its original port with a fresh, empty engine;
+    /// anti-entropy refills it. Returns `Ok(false)` if it was already
+    /// up.
+    ///
+    /// # Errors
+    ///
+    /// Socket re-bind failures.
+    pub fn restart(&mut self, node: usize) -> io::Result<bool> {
+        if self.is_up(node) {
+            return Ok(false);
+        }
+        let (handle, _) = self.boot(Some(self.addrs[node]))?;
+        self.nodes[node] = Some(handle);
+        Ok(true)
+    }
+
+    /// One full anti-entropy round: for every cell in `cells` and every
+    /// *ordered* pair of live owners, runs [`sync_cell_push`]. Both
+    /// directions of each pair run, so afterwards every live owner pair
+    /// holds the last-writer-wins union of what the pair held before.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures against nodes the cluster believes are live.
+    pub fn sync_round(&self, cells: &[CellId]) -> io::Result<SyncRoundStats> {
+        let mut peers: Vec<Option<AlsClient<UdpClient>>> = Vec::with_capacity(self.addrs.len());
+        for (node, addr) in self.addrs.iter().enumerate() {
+            peers.push(if self.is_up(node) {
+                Some(AlsClient::new(UdpClient::connect(addr)?))
+            } else {
+                None
+            });
+        }
+        let mut stats = SyncRoundStats::default();
+        for &cell in cells {
+            let owners = self.ring.owners(cell, self.config.replication);
+            for &src in &owners {
+                for &dst in &owners {
+                    if src == dst {
+                        continue;
+                    }
+                    let (Some(engine), Some(peer)) =
+                        (self.engine(src), peers[dst].as_mut().map(|p| &mut *p))
+                    else {
+                        stats.skipped_down += 1;
+                        continue;
+                    };
+                    let sync = sync_cell_push(engine, peer, cell)?;
+                    stats.matched += usize::from(sync.matched);
+                    stats.pushed += sync.pushed;
+                    stats.changed += sync.changed;
+                }
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Whether every live owner pair agrees on every cell digest — the
+    /// cluster-wide convergence predicate.
+    #[must_use]
+    pub fn digests_agree(&self, cells: &[CellId]) -> bool {
+        cells.iter().all(|&cell| {
+            let digests: Vec<_> = self
+                .ring
+                .owners(cell, self.config.replication)
+                .into_iter()
+                .filter_map(|node| self.engine(node))
+                .map(|engine| engine.store().cell_digest(cell))
+                .collect();
+            digests.windows(2).all(|w| w[0] == w[1])
+        })
+    }
+
+    /// Runs sync rounds until one changes nothing and every live owner
+    /// pair's digests agree, or `max_rounds` is exhausted. Returns the
+    /// number of rounds used, or `None` on non-convergence.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures during a round.
+    pub fn quiesce(&self, cells: &[CellId], max_rounds: usize) -> io::Result<Option<usize>> {
+        for round in 1..=max_rounds.max(1) {
+            let stats = self.sync_round(cells)?;
+            if stats.changed == 0 && self.digests_agree(cells) {
+                return Ok(Some(round));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Stops every node and returns the per-node serve tallies
+    /// (accumulated across kills and restarts).
+    pub fn shutdown(mut self) -> Vec<ServeStats> {
+        for node in 0..self.nodes.len() {
+            self.kill(node);
+        }
+        std::mem::take(&mut self.retired)
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        for node in 0..self.nodes.len() {
+            self.kill(node);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Replicated client
+// ---------------------------------------------------------------------
+
+/// How long a [`ClusterClient`] waits for each replica's answer before
+/// suspecting the node. Live localhost nodes answer in microseconds;
+/// the margin absorbs scheduler hiccups so a healthy node is never
+/// falsely suspected (which would perturb the deterministic trace).
+pub const ACK_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Outcome of one replicated update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpdateOutcome {
+    /// Owners of the cell (the fan-out width, R clamped to the ring).
+    pub owners: u32,
+    /// Owners that acknowledged.
+    pub acks: u32,
+}
+
+impl UpdateOutcome {
+    /// Every owner acknowledged — the durability bar: such a write
+    /// survives any single node crash.
+    #[must_use]
+    pub fn fully_acked(&self) -> bool {
+        self.acks == self.owners
+    }
+}
+
+/// Outcome of one replicated query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryOutcome {
+    /// The first replica answer carrying a record, if any.
+    pub payload: Option<Vec<u8>>,
+    /// Owners that answered (hit or miss) before the walk stopped.
+    pub answered: u32,
+}
+
+struct Peer {
+    client: UdpClient,
+    suspected_at: Option<u64>,
+}
+
+/// A ring-aware client running replicated operations against a
+/// [`Cluster`] (or any fleet of ALS servers on known addresses).
+///
+/// Failure handling is *suspicion*, not removal: a peer that times out
+/// or refuses keeps receiving fire-and-forget writes (so a wrongly
+/// suspected node still converges) but is no longer waited on, until
+/// [`ClusterClient::mark_up`] — the harness's restart signal — or the
+/// optional probation window re-admits it. Both re-admission paths are
+/// keyed to the client's op counter, so a seeded run reproduces the
+/// same suspicion history every time.
+pub struct ClusterClient {
+    ring: Ring,
+    replication: usize,
+    peers: Vec<Peer>,
+    next_uid: u64,
+    ops: u64,
+    ack_timeout: Duration,
+    probation: Option<u64>,
+}
+
+impl ClusterClient {
+    /// Connects one UDP socket per node address.
+    ///
+    /// # Errors
+    ///
+    /// Socket bind/connect failures.
+    pub fn connect(addrs: &[SocketAddr], replication: usize) -> io::Result<ClusterClient> {
+        let mut peers = Vec::with_capacity(addrs.len());
+        for addr in addrs {
+            peers.push(Peer {
+                client: UdpClient::connect(addr)?,
+                suspected_at: None,
+            });
+        }
+        Ok(ClusterClient {
+            ring: Ring::new(addrs.len()),
+            replication,
+            peers,
+            next_uid: 1,
+            ops: 0,
+            ack_timeout: ACK_TIMEOUT,
+            probation: None,
+        })
+    }
+
+    /// Overrides the per-replica ack wait.
+    pub fn set_ack_timeout(&mut self, timeout: Duration) {
+        self.ack_timeout = timeout;
+    }
+
+    /// Re-probes suspected peers after this many further operations
+    /// (`None`, the default, suspects until [`ClusterClient::mark_up`]).
+    pub fn set_probation(&mut self, ops: Option<u64>) {
+        self.probation = ops;
+    }
+
+    /// Clears suspicion of `node` — the harness's "I restarted it"
+    /// signal, mirroring an operator re-admitting a recovered server.
+    pub fn mark_up(&mut self, node: usize) {
+        if let Some(peer) = self.peers.get_mut(node) {
+            peer.suspected_at = None;
+        }
+    }
+
+    /// Whether the client currently suspects `node`.
+    #[must_use]
+    pub fn is_suspected(&self, node: usize) -> bool {
+        self.peers
+            .get(node)
+            .is_some_and(|p| p.suspected_at.is_some())
+    }
+
+    /// Whether `node` should be waited on this op: healthy, or suspected
+    /// long enough ago that its probation lapsed.
+    fn waitable(&self, node: usize) -> bool {
+        match self.peers[node].suspected_at {
+            None => true,
+            Some(since) => self
+                .probation
+                .is_some_and(|window| self.ops.saturating_sub(since) >= window),
+        }
+    }
+
+    fn fresh_uid(&mut self) -> u64 {
+        let uid = self.next_uid;
+        self.next_uid += 1;
+        uid
+    }
+
+    /// Sends `kind` to `node`; a send failure (a refused socket) counts
+    /// as unreachable, not as an error.
+    fn send_kind(&mut self, node: usize, uid: u64, kind: AlsNetKind) -> bool {
+        let encoded = encode_packet(&AgfwPacket::Als(frame(uid, kind)))
+            .expect("service frames always encode");
+        self.peers[node].client.send(&encoded).is_ok()
+    }
+
+    /// Waits for the `uid`-matched answer from `node`, up to the ack
+    /// timeout. `None` means the node did not answer (and is now
+    /// suspected).
+    fn wait_kind(&mut self, node: usize, uid: u64) -> Option<AlsNetKind> {
+        let deadline = Instant::now() + self.ack_timeout;
+        loop {
+            match self.peers[node].client.recv() {
+                Ok(bytes) => {
+                    if let Ok(AgfwPacket::Als(m)) = decode_packet(&bytes) {
+                        if m.uid == uid {
+                            self.peers[node].suspected_at = None;
+                            return Some(m.kind);
+                        }
+                        // A stale answer to an abandoned request: drop.
+                    }
+                }
+                Err(e)
+                    if e.kind() == io::ErrorKind::TimedOut
+                        || e.kind() == io::ErrorKind::WouldBlock => {}
+                // Refused/reset — the port is dead right now.
+                Err(_) => break,
+            }
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        self.peers[node].suspected_at = Some(self.ops);
+        None
+    }
+
+    /// Replicated update: fan the sealed pairs out to every owner of
+    /// `cell`, wait for acks from the owners not under suspicion.
+    ///
+    /// [`UpdateOutcome::fully_acked`] is the durability signal — with
+    /// R-way ownership, a fully-acked write survives any single crash.
+    pub fn update(&mut self, cell: CellId, pairs: Vec<AlsPair>) -> UpdateOutcome {
+        self.ops += 1;
+        let owners = self.ring.owners(cell, self.replication);
+        let mut sends: Vec<(usize, u64, bool)> = Vec::with_capacity(owners.len());
+        for &node in &owners {
+            let uid = self.fresh_uid();
+            let kind = AlsNetKind::Update {
+                cell,
+                pairs: pairs.clone(),
+            };
+            let sent = self.send_kind(node, uid, kind);
+            sends.push((node, uid, sent));
+        }
+        let mut acks = 0;
+        for (node, uid, sent) in sends {
+            if !sent || !self.waitable(node) {
+                continue;
+            }
+            if matches!(self.wait_kind(node, uid), Some(AlsNetKind::Ack { .. })) {
+                acks += 1;
+            }
+        }
+        UpdateOutcome {
+            owners: owners.len() as u32,
+            acks,
+        }
+    }
+
+    /// Replicated query: walk the owners of `cell` in rendezvous order,
+    /// return the first answer carrying a record. A miss from one
+    /// replica falls through to the next (it may not have converged
+    /// yet); only when every reachable owner misses is the result a
+    /// miss.
+    pub fn query(&mut self, cell: CellId, index: &[u8]) -> QueryOutcome {
+        self.ops += 1;
+        let owners = self.ring.owners(cell, self.replication);
+        let mut answered = 0;
+        for &node in &owners {
+            if !self.waitable(node) {
+                continue;
+            }
+            let uid = self.fresh_uid();
+            let kind = AlsNetKind::Request {
+                cell,
+                index: index.to_vec(),
+                reply_loc: Point::ORIGIN,
+            };
+            if !self.send_kind(node, uid, kind) {
+                self.peers[node].suspected_at = Some(self.ops);
+                continue;
+            }
+            match self.wait_kind(node, uid) {
+                Some(AlsNetKind::Reply { payload }) => {
+                    return QueryOutcome {
+                        payload: Some(payload),
+                        answered: answered + 1,
+                    };
+                }
+                Some(_) => answered += 1,
+                None => {}
+            }
+        }
+        QueryOutcome {
+            payload: None,
+            answered,
+        }
+    }
+
+    /// Queries one specific node directly (bypassing the ring) — the
+    /// conformance suite's per-replica convergence check.
+    pub fn query_node(&mut self, node: usize, cell: CellId, index: &[u8]) -> Option<Vec<u8>> {
+        self.ops += 1;
+        let uid = self.fresh_uid();
+        let kind = AlsNetKind::Request {
+            cell,
+            index: index.to_vec(),
+            reply_loc: Point::ORIGIN,
+        };
+        if !self.send_kind(node, uid, kind) {
+            return None;
+        }
+        match self.wait_kind(node, uid) {
+            Some(AlsNetKind::Reply { payload }) => Some(payload),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoreConfig;
+
+    fn small_engine() -> EngineConfig {
+        EngineConfig {
+            store: StoreConfig {
+                shards: 2,
+                ttl: None,
+                capacity_per_shard: None,
+            },
+            workers: 1,
+            queue_depth: 64,
+            batch_max: 16,
+            compact_every: None,
+        }
+    }
+
+    fn config(nodes: usize, replication: usize) -> ClusterConfig {
+        ClusterConfig {
+            nodes,
+            replication,
+            engine: small_engine(),
+            logical_clock: true,
+        }
+    }
+
+    fn pair(i: u8) -> AlsPair {
+        AlsPair {
+            index: vec![i; 16],
+            payload: vec![i, 0xC1],
+        }
+    }
+
+    fn cells(n: u32) -> Vec<CellId> {
+        (0..n)
+            .flat_map(|col| (0..n).map(move |row| CellId { col, row }))
+            .collect()
+    }
+
+    #[test]
+    fn replicated_update_reaches_every_owner() {
+        let mut cluster = Cluster::launch(config(3, 2)).unwrap();
+        cluster.set_time(SimTime::from_secs(1));
+        let mut client = cluster.client().unwrap();
+        let cell = CellId { col: 2, row: 5 };
+        let outcome = client.update(cell, vec![pair(7)]);
+        assert_eq!(outcome.owners, 2);
+        assert!(outcome.fully_acked(), "both live owners must ack");
+        // Each owner holds the record; the non-owner holds nothing.
+        let owners = cluster.ring().owners(cell, 2);
+        for node in 0..3 {
+            let digest = cluster.engine(node).unwrap().store().cell_digest(cell);
+            assert_eq!(
+                digest.count,
+                u32::from(owners.contains(&node)),
+                "node {node}"
+            );
+        }
+        assert_eq!(
+            client.query(cell, &[7; 16]).payload,
+            Some(vec![7, 0xC1]),
+            "ring query must find the record"
+        );
+    }
+
+    #[test]
+    fn kill_restart_and_anti_entropy_refill() {
+        let mut cluster = Cluster::launch(config(3, 2)).unwrap();
+        cluster.set_time(SimTime::from_secs(1));
+        let mut client = cluster.client().unwrap();
+        let cell = CellId { col: 1, row: 1 };
+        assert!(client.update(cell, vec![pair(3)]).fully_acked());
+        let victim = cluster.ring().owners(cell, 2)[0];
+        assert!(cluster.kill(victim));
+        assert!(!cluster.is_up(victim));
+        // The surviving replica still answers through the ring (the
+        // client suspects the dead node after one timeout).
+        client.set_ack_timeout(Duration::from_millis(200));
+        assert_eq!(client.query(cell, &[3; 16]).payload, Some(vec![3, 0xC1]));
+        // Restart: empty until anti-entropy pulls the record back.
+        assert!(cluster.restart(victim).unwrap());
+        client.mark_up(victim);
+        assert_eq!(
+            cluster
+                .engine(victim)
+                .unwrap()
+                .store()
+                .cell_digest(cell)
+                .count,
+            0
+        );
+        let universe = cells(4);
+        let rounds = cluster.quiesce(&universe, 8).unwrap();
+        assert!(rounds.is_some(), "anti-entropy must quiesce");
+        assert_eq!(
+            cluster
+                .engine(victim)
+                .unwrap()
+                .store()
+                .cell_digest(cell)
+                .count,
+            1,
+            "restarted replica must be refilled"
+        );
+        assert!(cluster.digests_agree(&universe));
+        assert_eq!(
+            client.query_node(victim, cell, &[3; 16]),
+            Some(vec![3, 0xC1])
+        );
+    }
+
+    #[test]
+    fn sync_round_is_idempotent_once_converged() {
+        let mut cluster = Cluster::launch(config(3, 2)).unwrap();
+        cluster.set_time(SimTime::from_secs(1));
+        let mut client = cluster.client().unwrap();
+        for i in 0..12u8 {
+            let cell = CellId {
+                col: u32::from(i % 4),
+                row: u32::from(i / 4),
+            };
+            assert!(client.update(cell, vec![pair(i)]).fully_acked());
+        }
+        let universe = cells(4);
+        assert!(cluster.quiesce(&universe, 8).unwrap().is_some());
+        let again = cluster.sync_round(&universe).unwrap();
+        assert_eq!(again.changed, 0, "a converged round must change nothing");
+        assert_eq!(again.pushed, 0, "matching digests must ship no records");
+    }
+
+    #[test]
+    fn chaos_plan_is_seeded_ordered_and_single_failure() {
+        for seed in [1u64, 7, 99] {
+            let plan = ChaosPlan::seeded(seed, 5, 4_000, 3);
+            assert_eq!(plan, ChaosPlan::seeded(seed, 5, 4_000, 3));
+            assert_eq!(plan.events.len(), 6);
+            let mut down: Option<usize> = None;
+            let mut last_op = 0;
+            for event in &plan.events {
+                assert!(event.at_op >= last_op, "events must be sorted");
+                last_op = event.at_op;
+                match event.action {
+                    ChaosAction::Kill => {
+                        assert!(down.is_none(), "at most one node down at a time");
+                        down = Some(event.node);
+                    }
+                    ChaosAction::Restart => {
+                        assert_eq!(down, Some(event.node), "restart must match the kill");
+                        down = None;
+                    }
+                }
+            }
+            assert!(down.is_none(), "every kill must be restarted");
+        }
+        assert_ne!(
+            ChaosPlan::seeded(1, 5, 4_000, 3),
+            ChaosPlan::seeded(2, 5, 4_000, 3),
+            "different seeds should differ"
+        );
+    }
+
+    #[test]
+    fn chaos_plan_due_consumes_in_order() {
+        let plan = ChaosPlan::seeded(42, 3, 1_000, 2);
+        let mut fired = 0;
+        let mut seen = 0;
+        for op in 0..=1_000 {
+            seen += plan.due(op, &mut fired).len();
+        }
+        assert_eq!(seen, plan.events.len());
+        assert_eq!(fired, plan.events.len());
+    }
+}

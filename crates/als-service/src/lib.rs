@@ -26,6 +26,13 @@
 //!   load generator can run as separate processes.
 //! * [`service`] — the serve loop gluing a transport to an engine, plus
 //!   the blocking client.
+//! * [`ring`] — rendezvous-hashed cell ownership: which R of N nodes
+//!   own each DLM grid cell, with minimal re-homing when the fleet
+//!   grows.
+//! * [`cluster`] — the replicated fleet: N UDP nodes behind the ring,
+//!   R-way replicated writes, digest-probe/chunked-push anti-entropy,
+//!   deterministic kill/restart chaos schedules, and a ring-aware
+//!   client with failure suspicion.
 //!
 //! The `als_loadgen` binary in `agr-bench` drives millions of
 //! zipfian-keyed operations through this engine and records throughput
@@ -34,12 +41,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cluster;
 pub mod pipeline;
+pub mod ring;
 pub mod service;
 pub mod store;
 pub mod transport;
 
+pub use cluster::{ChaosPlan, Cluster, ClusterClient, ClusterConfig};
 pub use pipeline::{Engine, EngineConfig, Request, Response};
+pub use ring::Ring;
 pub use service::{serve, AlsClient, ServeStats};
 pub use store::{cell_key, ShardedStore, StoreConfig};
 pub use transport::{loopback_pair, Transport, UdpClient, UdpServer};

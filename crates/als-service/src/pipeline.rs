@@ -175,6 +175,7 @@ pub struct Engine {
     stop: Arc<AtomicBool>,
     workers: Vec<std::thread::JoinHandle<()>>,
     compactor: Option<std::thread::JoinHandle<()>>,
+    shed: AtomicU64,
 }
 
 impl std::fmt::Debug for Engine {
@@ -237,6 +238,7 @@ impl Engine {
             stop,
             workers,
             compactor,
+            shed: AtomicU64::new(0),
         }
     }
 
@@ -272,6 +274,12 @@ impl Engine {
     /// Attempts a non-blocking submit; returns the request back when the
     /// queue is full, so callers can shed load instead of stalling.
     ///
+    /// A shed is side-effect free: the request is handed back whole,
+    /// no queue slot stays reserved, and nothing reaches the store —
+    /// `shed_count` plus the store's lifetime counters always account
+    /// for every accepted submission (the invariant the queue-accounting
+    /// proptest in `tests/pipeline_shed.rs` churns on).
+    ///
     /// # Errors
     ///
     /// The rejected request.
@@ -282,8 +290,18 @@ impl Engine {
         };
         match self.queue_for(&job.request).try_send(job) {
             Ok(()) => Ok(()),
-            Err(TrySendError::Full(job) | TrySendError::Disconnected(job)) => Err(job.request),
+            Err(TrySendError::Full(job) | TrySendError::Disconnected(job)) => {
+                self.shed.fetch_add(1, Ordering::Relaxed);
+                Err(job.request)
+            }
         }
+    }
+
+    /// How many [`Engine::try_submit`] attempts were shed (queue full or
+    /// closed) over the engine's lifetime.
+    #[must_use]
+    pub fn shed_count(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
     }
 
     /// Submits and blocks for the answer.

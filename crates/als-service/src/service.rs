@@ -10,8 +10,9 @@
 //! transport.
 
 use crate::pipeline::{Engine, Request, Response};
-use crate::transport::{ServerTransport, Transport};
-use agr_core::packet::{AgfwPacket, AlsNetKind, AlsNetMessage, AlsPair};
+use crate::store::cell_key;
+use crate::transport::{ServerTransport, Transport, MAX_FRAME};
+use agr_core::packet::{AgfwPacket, AlsNetKind, AlsNetMessage, AlsPair, AlsSyncPair};
 use agr_core::pseudonym::Pseudonym;
 use agr_core::wire::{decode_packet, encode_packet};
 use agr_geom::{CellId, Point};
@@ -33,15 +34,34 @@ pub struct ServeStats {
     pub forwards: u64,
     /// Queries answered with a record.
     pub hits: u64,
-    /// Frames that failed to decode.
+    /// Frames that failed to decode (oversize frames included).
     pub bad_frames: u64,
     /// Well-formed packets that are not service requests (data, hello,
     /// replies…) — ignored, never answered.
     pub ignored: u64,
+    /// Anti-entropy digest probes answered (matched + diverged).
+    pub sync_digests: u64,
+    /// Anti-entropy deltas merged.
+    pub sync_deltas: u64,
+}
+
+impl ServeStats {
+    /// Folds `other` into `self` — accumulating tallies across the serve
+    /// runs a kill/restart cycle splits a node's lifetime into.
+    pub fn merge(&mut self, other: &ServeStats) {
+        self.updates += other.updates;
+        self.queries += other.queries;
+        self.forwards += other.forwards;
+        self.hits += other.hits;
+        self.bad_frames += other.bad_frames;
+        self.ignored += other.ignored;
+        self.sync_digests += other.sync_digests;
+        self.sync_deltas += other.sync_deltas;
+    }
 }
 
 /// Wraps `kind` in the canonical packet framing, echoing `uid`.
-fn frame(uid: u64, kind: AlsNetKind) -> AlsNetMessage {
+pub(crate) fn frame(uid: u64, kind: AlsNetKind) -> AlsNetMessage {
     AlsNetMessage {
         target_loc: Point::ORIGIN,
         next: Pseudonym::LAST_ATTEMPT,
@@ -73,6 +93,14 @@ pub fn serve<T: ServerTransport>(
             }
             Err(_) => break,
         };
+        // A frame beyond the transport bound is dropped before the
+        // decoder touches it: the loopback can carry arbitrarily large
+        // frames, and the serve loop must bound its work the way the
+        // UDP receive buffer does.
+        if bytes.len() > MAX_FRAME {
+            stats.bad_frames += 1;
+            continue;
+        }
         let message = match decode_packet(&bytes) {
             Ok(AgfwPacket::Als(m)) => m,
             Ok(_) => {
@@ -124,6 +152,36 @@ pub fn serve<T: ServerTransport>(
                 }) {
                     Response::Stored { count } => AlsNetKind::Ack { stored: count },
                     Response::Hit { .. } | Response::Miss => AlsNetKind::Ack { stored: 0 },
+                }
+            }
+            // Anti-entropy probe: always answer with the local digest.
+            // The *prober* compares and decides whether to push — a
+            // responder never ships data, so every frame in the exchange
+            // stays bounded (pushes are chunked by the sync agent) and a
+            // cell can outgrow a single datagram without wedging the
+            // serve loop.
+            AlsNetKind::SyncDigest { cell, .. } => {
+                stats.sync_digests += 1;
+                let local = engine.store().cell_digest(cell);
+                AlsNetKind::SyncDigest {
+                    cell,
+                    digest: local.digest,
+                    count: local.count,
+                }
+            }
+            // Anti-entropy payload: merge last-writer-wins straight into
+            // the store (sync records carry their own authoritative
+            // stored_at, so they bypass the clock-stamping pipeline) and
+            // acknowledge how many records changed.
+            AlsNetKind::SyncDelta { cell, pairs } => {
+                stats.sync_deltas += 1;
+                let records = pairs
+                    .into_iter()
+                    .map(|p| (cell_key(cell, &p.index), p.payload, p.stored_at))
+                    .collect();
+                let changed = engine.store().merge_records(records);
+                AlsNetKind::Ack {
+                    stored: u32::try_from(changed).unwrap_or(u32::MAX),
                 }
             }
             AlsNetKind::Reply { .. } | AlsNetKind::Ack { .. } | AlsNetKind::Miss => {
@@ -234,6 +292,41 @@ impl<T: Transport> AlsClient<T> {
             pairs,
         };
         match self.roundtrip(kind)? {
+            AlsNetKind::Ack { stored } => Ok(stored),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Probes the peer's digest for `cell`; returns `(digest, count)` as
+    /// the peer reports them. The caller compares against its own
+    /// [`crate::store::CellDigest`] and pushes a delta when they differ.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or `TimedOut` when no answer arrived within
+    /// [`CLIENT_TIMEOUT`].
+    pub fn sync_digest(&mut self, cell: CellId, digest: u64, count: u32) -> io::Result<(u64, u32)> {
+        let kind = AlsNetKind::SyncDigest {
+            cell,
+            digest,
+            count,
+        };
+        match self.roundtrip(kind)? {
+            AlsNetKind::SyncDigest { digest, count, .. } => Ok((digest, count)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Pushes replicated records for `cell` (cell-relative indices, each
+    /// with its authoritative `stored_at`); returns how many records the
+    /// peer's last-writer-wins merge actually changed.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or `TimedOut` when no answer arrived within
+    /// [`CLIENT_TIMEOUT`].
+    pub fn sync_delta(&mut self, cell: CellId, pairs: Vec<AlsSyncPair>) -> io::Result<u32> {
+        match self.roundtrip(AlsNetKind::SyncDelta { cell, pairs })? {
             AlsNetKind::Ack { stored } => Ok(stored),
             other => Err(unexpected(&other)),
         }

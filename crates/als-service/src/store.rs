@@ -62,6 +62,16 @@ pub fn cell_key(cell: CellId, index: &[u8]) -> Vec<u8> {
 /// One update operation for batch application: `(key, payload)`.
 pub type StoreOp = (Vec<u8>, Vec<u8>);
 
+/// Summary of one cell's records for anti-entropy comparison (see
+/// [`ShardedStore::cell_digest`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CellDigest {
+    /// Order-independent FNV-1a fold over `(key, payload, stored_at)`.
+    pub digest: u64,
+    /// Records covered.
+    pub count: u32,
+}
+
 /// A sharded, TTL-bounded, LRU-capped blob store.
 ///
 /// All methods take `&self`: shards lock independently, so disjoint keys
@@ -72,6 +82,7 @@ pub type StoreOp = (Vec<u8>, Vec<u8>);
 #[derive(Debug)]
 pub struct ShardedStore {
     shards: Vec<Mutex<AlsServer>>,
+    ttl: Option<SimTime>,
 }
 
 impl ShardedStore {
@@ -86,7 +97,22 @@ impl ShardedStore {
             shards: (0..config.shards.max(1))
                 .map(|_| Mutex::new(AlsServer::with_config(per_shard)))
                 .collect(),
+            ttl: config.ttl,
         }
+    }
+
+    /// The freshness bound records live under, if any.
+    #[must_use]
+    pub fn ttl(&self) -> Option<SimTime> {
+        self.ttl
+    }
+
+    /// Whether a record stored at `stored_at` is still fresh at `now`
+    /// under this store's TTL — the same rule every shard applies.
+    #[must_use]
+    pub fn is_fresh(&self, stored_at: SimTime, now: SimTime) -> bool {
+        self.ttl
+            .is_none_or(|ttl| now.as_nanos() <= stored_at.as_nanos().saturating_add(ttl.as_nanos()))
     }
 
     /// Number of shards.
@@ -158,18 +184,92 @@ impl ShardedStore {
         .sum()
     }
 
+    /// Enumerates (without removing) every record stored under `cell`,
+    /// in key order: `(full cell-prefixed key, payload, stored_at)`.
+    /// The read side of replication handoff and anti-entropy deltas.
+    #[must_use]
+    pub fn scan_cell(&self, cell: CellId) -> Vec<(Vec<u8>, Vec<u8>, SimTime)> {
+        let prefix = cell_key(cell, &[]);
+        let mut records: Vec<(Vec<u8>, Vec<u8>, SimTime)> = self
+            .shards
+            .iter()
+            .flat_map(|shard| {
+                shard
+                    .lock()
+                    .expect("shard poisoned")
+                    .scan_prefix(&prefix)
+                    .into_iter()
+            })
+            .collect();
+        records.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        records
+    }
+
+    /// A merkle-ish summary of one cell's records: an order-independent
+    /// FNV-1a fold (per-record hashes summed mod 2^64) plus the record
+    /// count. Two replicas hold byte-identical cell state if and only if
+    /// their digests and counts agree (modulo hash collisions), which is
+    /// what the anti-entropy exchange compares before shipping any data.
+    #[must_use]
+    pub fn cell_digest(&self, cell: CellId) -> CellDigest {
+        let prefix = cell_key(cell, &[]);
+        let mut digest = 0u64;
+        let mut count = 0u32;
+        for shard in &self.shards {
+            for (key, payload, stored_at) in
+                shard.lock().expect("shard poisoned").scan_prefix(&prefix)
+            {
+                let mut record = Vec::with_capacity(key.len() + payload.len() + 16);
+                record.extend_from_slice(&(key.len() as u64).to_be_bytes());
+                record.extend_from_slice(&key);
+                record.extend_from_slice(&payload);
+                record.extend_from_slice(&stored_at.as_nanos().to_be_bytes());
+                digest = digest.wrapping_add(fnv1a(&record).max(1));
+                count += 1;
+            }
+        }
+        CellDigest { digest, count }
+    }
+
+    /// Merges replicated records last-writer-wins (see
+    /// [`AlsServer::merge_record`]): each `(key, payload, stored_at)`
+    /// lands only when absent or strictly newer by `(stored_at, payload)`
+    /// than the resident copy. Keys are full cell-prefixed keys. Returns
+    /// how many records changed.
+    pub fn merge_records(&self, records: Vec<(Vec<u8>, Vec<u8>, SimTime)>) -> usize {
+        let mut changed = 0;
+        for (key, payload, stored_at) in records {
+            if self
+                .shard(&key)
+                .merge_record(key.clone(), payload, stored_at)
+            {
+                changed += 1;
+            }
+        }
+        changed
+    }
+
     /// Re-homes every record stored under `from` to `to` — the
     /// hierarchical DLM-forward: when responsibility for a cell moves
     /// (a server departs, a hierarchy level re-partitions), its records
-    /// are drained by cell prefix and re-keyed. Returns how many moved.
+    /// are drained by cell prefix and re-keyed. A move is not a rewrite:
+    /// each record keeps its original `stored_at` (its TTL does not
+    /// restart), and a record already stale at drain time is dropped
+    /// instead of resurrected under the new prefix. Returns how many
+    /// records moved (dropped-stale ones excluded) — observationally
+    /// identical to delete-then-reinsert on a single map, which is what
+    /// the re-home proptest in `tests/store_model.rs` pins.
     pub fn forward_cell(&self, from: CellId, to: CellId, now: SimTime) -> usize {
         let prefix = cell_key(from, &[]);
         let mut moved = 0;
         for shard in &self.shards {
             let drained = shard.lock().expect("shard poisoned").take_prefix(&prefix);
-            for (key, payload) in drained {
+            for (key, payload, stored_at) in drained {
+                if !self.is_fresh(stored_at, now) {
+                    continue;
+                }
                 let rekeyed = cell_key(to, &key[prefix.len()..]);
-                self.store(rekeyed, payload, now);
+                self.store(rekeyed, payload, stored_at);
                 moved += 1;
             }
         }

@@ -254,6 +254,57 @@ impl Transport for UdpClient {
     }
 }
 
+/// An unconnected UDP endpoint that talks to many peers from one
+/// socket — the cluster side of the transport: a client fanning a
+/// request out to a cell's replica set, or a node's anti-entropy agent
+/// probing each of its peers in turn.
+///
+/// Staying unconnected matters on Linux: a `connect`ed UDP socket
+/// surfaces ICMP port-unreachable as `ConnectionRefused` on later
+/// calls, which would make sends to a crashed node error instead of
+/// silently vanishing the way a real lossy network drops them.
+pub struct UdpEndpoint {
+    socket: UdpSocket,
+    buf: Vec<u8>,
+}
+
+impl UdpEndpoint {
+    /// Binds an ephemeral localhost socket with the standard
+    /// [`RECV_POLL`] read timeout.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures.
+    pub fn bind_ephemeral() -> io::Result<UdpEndpoint> {
+        let socket = UdpSocket::bind(("127.0.0.1", 0))?;
+        socket.set_read_timeout(Some(RECV_POLL))?;
+        Ok(UdpEndpoint {
+            socket,
+            buf: vec![0; MAX_FRAME],
+        })
+    }
+
+    /// Sends one frame to `peer`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O failure.
+    pub fn send_to(&mut self, peer: SocketAddr, frame: &[u8]) -> io::Result<()> {
+        self.socket.send_to(frame, peer).map(|_| ())
+    }
+
+    /// Waits for the next frame (with its sender), up to [`RECV_POLL`].
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::TimedOut`] / `WouldBlock` when nothing arrived in
+    /// time; other kinds are real failures.
+    pub fn recv_from(&mut self) -> io::Result<(Vec<u8>, SocketAddr)> {
+        let (n, peer) = self.socket.recv_from(&mut self.buf)?;
+        Ok((self.buf[..n].to_vec(), peer))
+    }
+}
+
 /// A UDP server socket answering datagrams from any peer.
 pub struct UdpServer {
     socket: UdpSocket,

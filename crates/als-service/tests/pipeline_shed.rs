@@ -1,0 +1,147 @@
+//! Queue-accounting under load shedding.
+//!
+//! [`Engine::try_submit`] promises that a shed is side-effect free: the
+//! rejected request comes back whole, no per-key FIFO slot stays
+//! reserved, and nothing reaches the store. The regression these tests
+//! pin: a shed that *leaked* its queue slot would eventually wedge the
+//! engine (every slot permanently reserved, all further submits shed or
+//! block forever), and a shed that half-applied would break the ledger
+//! `accepted == stored + replaced`.
+
+use agr_als_service::pipeline::{Engine, EngineConfig, Request, Response};
+use agr_als_service::store::StoreConfig;
+use agr_core::packet::AlsPair;
+use agr_geom::{CellId, Point};
+use proptest::prelude::*;
+
+const CELL: CellId = CellId { col: 4, row: 9 };
+
+fn update(key: u8, payload: u8) -> Request {
+    Request::Update {
+        cell: CELL,
+        pairs: vec![AlsPair {
+            index: vec![key; 16],
+            payload: vec![payload, 0x5D],
+        }],
+    }
+}
+
+fn tiny_engine(workers: usize, queue_depth: usize) -> Engine {
+    Engine::start(EngineConfig {
+        store: StoreConfig {
+            shards: 4,
+            ttl: None,
+            capacity_per_shard: None,
+        },
+        workers,
+        queue_depth,
+        batch_max: 8,
+        compact_every: None,
+    })
+}
+
+/// Every attempt is accounted exactly once: accepted submissions reach
+/// the store (stored or replaced), shed ones are counted by
+/// `shed_count` and nothing else — no slot leak, no double count.
+#[test]
+fn shed_ledger_balances_exactly() {
+    let engine = tiny_engine(1, 1);
+    let attempts = 20_000u64;
+    let mut accepted = 0u64;
+    for i in 0..attempts {
+        let request = update((i % 13) as u8, (i % 251) as u8);
+        match engine.try_submit(request.clone()) {
+            Ok(()) => accepted += 1,
+            // The shed request must come back whole — resubmittable
+            // as-is, not consumed or mutated.
+            Err(returned) => assert_eq!(returned, request, "shed must return the request intact"),
+        }
+    }
+    assert_eq!(
+        engine.shed_count(),
+        attempts - accepted,
+        "every attempt is either accepted or counted shed"
+    );
+    // Shutdown drains the queues, so exactly the accepted updates land.
+    let store = engine.shutdown();
+    let stats = store.stats();
+    assert_eq!(
+        stats.stored + stats.replaced,
+        accepted,
+        "accepted submissions must all reach the store, shed ones never"
+    );
+}
+
+/// After heavy shedding the engine still has every queue slot: a full
+/// round of *blocking* calls on every key completes (a leaked slot
+/// would deadlock here) and sees the store's latest state.
+#[test]
+fn shed_storm_leaves_no_slot_reserved() {
+    let engine = tiny_engine(2, 1);
+    for i in 0..30_000u64 {
+        let _ = engine.try_submit(update((i % 17) as u8, (i % 251) as u8));
+    }
+    for key in 0u8..17 {
+        let answer = engine.call(Request::Query {
+            cell: CELL,
+            index: vec![key; 16],
+            reply_loc: Point::ORIGIN,
+        });
+        assert!(
+            matches!(answer, Response::Hit { .. } | Response::Miss),
+            "blocking call after a shed storm must still be answered"
+        );
+    }
+    engine.shutdown();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The ledger holds under randomized churn: arbitrary interleavings
+    /// of try_submit (with occasional one-shot resubmission of the shed
+    /// request) and blocking queries, across engine shapes, always end
+    /// with `attempts - accepted == shed_count` and the store holding
+    /// exactly the accepted updates.
+    #[test]
+    fn shed_accounting_survives_churn(
+        workers in 1usize..4,
+        queue_depth in 1usize..4,
+        ops in proptest::collection::vec((0u8..10, 0u8..9, any::<u8>()), 50..400),
+    ) {
+        let engine = tiny_engine(workers, queue_depth);
+        let mut attempts = 0u64;
+        let mut accepted = 0u64;
+        for &(kind, key, payload) in &ops {
+            if kind < 8 {
+                attempts += 1;
+                match engine.try_submit(update(key, payload)) {
+                    Ok(()) => accepted += 1,
+                    Err(returned) if kind < 2 => {
+                        // Retry the shed request once — it must still be
+                        // a valid submission.
+                        attempts += 1;
+                        if engine.try_submit(returned).is_ok() {
+                            accepted += 1;
+                        }
+                    }
+                    Err(_) => {}
+                }
+            } else {
+                // Blocking queries interleave with sheds; they must
+                // always be answered (no reserved-slot deadlock).
+                let answer = engine.call(Request::Query {
+                    cell: CELL,
+                    index: vec![key; 16],
+                    reply_loc: Point::ORIGIN,
+                });
+                let answered = matches!(answer, Response::Hit { .. } | Response::Miss);
+                prop_assert!(answered, "blocking query must be answered");
+            }
+        }
+        prop_assert_eq!(engine.shed_count(), attempts - accepted);
+        let store = engine.shutdown();
+        let stats = store.stats();
+        prop_assert_eq!(stats.stored + stats.replaced, accepted);
+    }
+}

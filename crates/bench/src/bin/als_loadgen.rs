@@ -24,6 +24,7 @@ use agr_als_service::pipeline::{Engine, EngineConfig, Request};
 use agr_als_service::store::StoreConfig;
 use agr_bench::bench_json::{git_sha, iso_timestamp};
 use agr_bench::runner::env_u64;
+use agr_bench::zipf::Zipf;
 use agr_core::packet::AlsPair;
 use agr_geom::{CellId, Point};
 use rand::rngs::StdRng;
@@ -39,32 +40,6 @@ const KEY_SPACE: usize = 50_000;
 const ZIPF_S: f64 = 0.99;
 /// Cells the keys spread over (forwards shuffle records between them).
 const CELLS: u32 = 16;
-
-/// Inverse-CDF zipfian sampler over ranks `0..n`, precomputed once and
-/// shared read-only by every client thread.
-struct Zipf {
-    cdf: Vec<f64>,
-}
-
-impl Zipf {
-    fn new(n: usize, s: f64) -> Zipf {
-        let mut cdf = Vec::with_capacity(n);
-        let mut total = 0.0;
-        for rank in 1..=n {
-            total += 1.0 / (rank as f64).powf(s);
-            cdf.push(total);
-        }
-        for w in &mut cdf {
-            *w /= total;
-        }
-        Zipf { cdf }
-    }
-
-    fn sample(&self, rng: &mut StdRng) -> usize {
-        let u: f64 = rng.random();
-        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
-    }
-}
 
 /// The sealed index for `rank` — 16 opaque bytes, like a truncated
 /// `E_KB(A,B)` block.

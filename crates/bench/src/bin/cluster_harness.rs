@@ -1,0 +1,351 @@
+//! Chaos-driven load harness for the replicated ALS cluster.
+//!
+//! Boots rings of 1, 3, and 5 UDP nodes, drives zipfian-keyed
+//! replicated updates and ring queries through a [`ClusterClient`], and
+//! on multi-node rings fires a seeded kill/restart schedule mid-load —
+//! then measures what the paper's fleet story actually costs: ops/s
+//! through R-way replication, the fraction of writes fully acknowledged
+//! under chaos, and how long anti-entropy takes to re-converge a
+//! restarted (empty) replica. Results land in
+//! `results/BENCH_cluster.json`, git-SHA- and timestamp-stamped.
+//!
+//! Flags / environment:
+//! - `--quick`: 4k ops per ring instead of 20k (CI).
+//! - `--smoke`: 3-node ring only, one seeded kill/restart cycle, hard
+//!   convergence assertions — the check.sh gate (exits non-zero on any
+//!   violated invariant).
+//! - `--out <path>` / `--bench-json <path>` / `AGR_BENCH_JSON`: output
+//!   path (default `results/BENCH_cluster.json`).
+//! - `AGR_CLUSTER_OPS`: explicit per-ring op count override.
+
+use agr_als_service::cluster::{ChaosAction, ChaosPlan, Cluster, ClusterConfig};
+use agr_als_service::pipeline::EngineConfig;
+use agr_als_service::store::StoreConfig;
+use agr_bench::bench_json::{git_sha, iso_timestamp};
+use agr_bench::runner::env_u64;
+use agr_bench::zipf::Zipf;
+use agr_core::packet::AlsPair;
+use agr_geom::CellId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Distinct sealed indices the zipfian sampler draws from.
+const KEY_SPACE: usize = 4_096;
+/// Zipf exponent shared with `als_loadgen`.
+const ZIPF_S: f64 = 0.99;
+/// Cells the keys spread over.
+const CELLS: u32 = 8;
+const CHAOS_SEED: u64 = 0xC1A0_5EED;
+
+fn cell_of(rank: usize) -> CellId {
+    CellId {
+        col: (rank as u32) % CELLS,
+        row: ((rank as u32) / CELLS) % CELLS,
+    }
+}
+
+fn index_of(rank: usize) -> Vec<u8> {
+    let mut index = vec![0u8; 16];
+    index[..8].copy_from_slice(&(rank as u64).to_be_bytes());
+    index[8..].copy_from_slice(&(!(rank as u64)).wrapping_mul(0x9E37_79B9).to_be_bytes());
+    index
+}
+
+fn all_cells() -> Vec<CellId> {
+    (0..CELLS)
+        .flat_map(|col| (0..CELLS).map(move |row| CellId { col, row }))
+        .collect()
+}
+
+fn config(nodes: usize) -> ClusterConfig {
+    ClusterConfig {
+        nodes,
+        replication: 2.min(nodes),
+        engine: EngineConfig {
+            store: StoreConfig {
+                shards: 4,
+                ttl: None,
+                capacity_per_shard: None,
+            },
+            workers: 2,
+            queue_depth: 1024,
+            batch_max: 64,
+            compact_every: None,
+        },
+        logical_clock: false,
+    }
+}
+
+struct RingResult {
+    nodes: usize,
+    replication: usize,
+    ops: u64,
+    writes: u64,
+    fully_acked: u64,
+    queries: u64,
+    hits: u64,
+    wall_s: f64,
+    chaos_cycles: usize,
+    /// Wall-clock cost of each post-restart quiesce, milliseconds.
+    convergence_ms: Vec<f64>,
+    /// Rounds each post-restart quiesce needed.
+    convergence_rounds: Vec<usize>,
+    /// Terminal quiesce cost (all nodes up), milliseconds.
+    final_convergence_ms: f64,
+    final_convergence_rounds: usize,
+}
+
+impl RingResult {
+    fn ops_per_sec(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.ops as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Runs one ring end to end. `cycles` > 0 schedules seeded kill/restart
+/// chaos (multi-node rings only — a 1-node ring has nowhere to fail
+/// over to).
+fn run_ring(nodes: usize, total_ops: u64, cycles: usize) -> RingResult {
+    let cfg = config(nodes);
+    let mut cluster = Cluster::launch(cfg).expect("cluster boot");
+    let mut client = cluster.client().expect("client connect");
+    client.set_ack_timeout(Duration::from_millis(400));
+    let plan = if cycles > 0 {
+        ChaosPlan::seeded(CHAOS_SEED ^ nodes as u64, nodes, total_ops, cycles)
+    } else {
+        ChaosPlan::default()
+    };
+    let universe = all_cells();
+    let zipf = Zipf::new(KEY_SPACE, ZIPF_S);
+    let mut rng = StdRng::seed_from_u64(0xBEEF ^ nodes as u64);
+    let mut fired = 0usize;
+    let mut result = RingResult {
+        nodes,
+        replication: cfg.replication,
+        ops: 0,
+        writes: 0,
+        fully_acked: 0,
+        queries: 0,
+        hits: 0,
+        wall_s: 0.0,
+        chaos_cycles: cycles,
+        convergence_ms: Vec::new(),
+        convergence_rounds: Vec::new(),
+        final_convergence_ms: 0.0,
+        final_convergence_rounds: 0,
+    };
+    let t0 = Instant::now();
+    for op in 0..total_ops {
+        for &event in plan.due(op, &mut fired) {
+            match event.action {
+                ChaosAction::Kill => {
+                    assert!(cluster.kill(event.node), "chaos victim was already down");
+                    eprintln!("  [{nodes}-node] kill n{} @ op {op}", event.node);
+                }
+                ChaosAction::Restart => {
+                    assert!(
+                        cluster.restart(event.node).expect("rebind"),
+                        "chaos victim was already up"
+                    );
+                    client.mark_up(event.node);
+                    let c0 = Instant::now();
+                    let rounds = cluster
+                        .quiesce(&universe, 64)
+                        .expect("sync transport")
+                        .expect("anti-entropy must re-converge after a restart");
+                    let ms = c0.elapsed().as_secs_f64() * 1e3;
+                    eprintln!(
+                        "  [{nodes}-node] restart n{} @ op {op}: converged in {rounds} \
+                         round(s), {ms:.1} ms",
+                        event.node
+                    );
+                    result.convergence_ms.push(ms);
+                    result.convergence_rounds.push(rounds);
+                }
+            }
+        }
+        let rank = zipf.sample(&mut rng);
+        let cell = cell_of(rank);
+        let index = index_of(rank);
+        if rng.random_range(0u32..100) < 70 {
+            let outcome = client.update(
+                cell,
+                vec![AlsPair {
+                    index,
+                    payload: vec![0xC5; 48],
+                }],
+            );
+            result.writes += 1;
+            if outcome.fully_acked() {
+                result.fully_acked += 1;
+            }
+        } else {
+            result.queries += 1;
+            if client.query(cell, &index).payload.is_some() {
+                result.hits += 1;
+            }
+        }
+        result.ops += 1;
+    }
+    result.wall_s = t0.elapsed().as_secs_f64();
+    // Terminal convergence: every node is up again; the live owners must
+    // agree on every cell.
+    let c0 = Instant::now();
+    let rounds = cluster
+        .quiesce(&universe, 64)
+        .expect("sync transport")
+        .expect("terminal anti-entropy must quiesce");
+    result.final_convergence_ms = c0.elapsed().as_secs_f64() * 1e3;
+    result.final_convergence_rounds = rounds;
+    assert!(
+        cluster.digests_agree(&universe),
+        "owners must agree after terminal quiesce"
+    );
+    cluster.shutdown();
+    eprintln!(
+        "{nodes:>2}-node ring (R={}): {:>7} ops in {:>6.2}s  {:>8.0} ops/s  \
+         fully-acked {:.3}  hit rate {:.3}  final quiesce {} round(s) {:.1} ms",
+        result.replication,
+        result.ops,
+        result.wall_s,
+        result.ops_per_sec(),
+        result.fully_acked as f64 / result.writes.max(1) as f64,
+        result.hits as f64 / result.queries.max(1) as f64,
+        result.final_convergence_rounds,
+        result.final_convergence_ms,
+    );
+    result
+}
+
+fn json_f64_list(values: &[f64]) -> String {
+    let items: Vec<String> = values.iter().map(|v| format!("{v:.2}")).collect();
+    format!("[{}]", items.join(", "))
+}
+
+fn json_usize_list(values: &[usize]) -> String {
+    let items: Vec<String> = values.iter().map(usize::to_string).collect();
+    format!("[{}]", items.join(", "))
+}
+
+fn render(results: &[RingResult]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"bin\": \"cluster_harness\",");
+    let _ = writeln!(out, "  \"git_sha\": \"{}\",", git_sha());
+    let _ = writeln!(out, "  \"generated_at\": \"{}\",", iso_timestamp());
+    let _ = writeln!(out, "  \"key_space\": {KEY_SPACE},");
+    let _ = writeln!(out, "  \"zipf_s\": {ZIPF_S},");
+    let _ = writeln!(out, "  \"chaos_seed\": {CHAOS_SEED},");
+    let _ = writeln!(out, "  \"rings\": [");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"nodes\": {},", r.nodes);
+        let _ = writeln!(out, "      \"replication\": {},", r.replication);
+        let _ = writeln!(out, "      \"ops\": {},", r.ops);
+        let _ = writeln!(out, "      \"wall_s\": {:.6},", r.wall_s);
+        let _ = writeln!(out, "      \"ops_per_sec\": {:.1},", r.ops_per_sec());
+        let _ = writeln!(out, "      \"writes\": {},", r.writes);
+        let _ = writeln!(out, "      \"fully_acked\": {},", r.fully_acked);
+        let _ = writeln!(out, "      \"queries\": {},", r.queries);
+        let _ = writeln!(out, "      \"hits\": {},", r.hits);
+        let _ = writeln!(out, "      \"chaos_cycles\": {},", r.chaos_cycles);
+        let _ = writeln!(
+            out,
+            "      \"convergence_ms\": {},",
+            json_f64_list(&r.convergence_ms)
+        );
+        let _ = writeln!(
+            out,
+            "      \"convergence_rounds\": {},",
+            json_usize_list(&r.convergence_rounds)
+        );
+        let _ = writeln!(
+            out,
+            "      \"final_convergence_ms\": {:.2},",
+            r.final_convergence_ms
+        );
+        let _ = writeln!(
+            out,
+            "      \"final_convergence_rounds\": {}",
+            r.final_convergence_rounds
+        );
+        let _ = writeln!(out, "    }}{comma}");
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Output path: `--out`/`--bench-json` flag, `AGR_BENCH_JSON`, else
+/// `results/BENCH_cluster.json`.
+fn out_path() -> PathBuf {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--out" || arg == "--bench-json" {
+            if let Some(p) = args.next() {
+                return PathBuf::from(p);
+            }
+        }
+    }
+    std::env::var("AGR_BENCH_JSON")
+        .ok()
+        .filter(|s| !s.trim().is_empty())
+        .map_or_else(
+            || PathBuf::from("results/BENCH_cluster.json"),
+            PathBuf::from,
+        )
+}
+
+fn write_out(results: &[RingResult]) {
+    let path = out_path();
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(&path, render(results)).expect("write BENCH_cluster.json");
+    eprintln!("bench json: {}", path.display());
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    if smoke {
+        // The check.sh gate: one 3-node ring, one seeded kill/restart
+        // cycle, hard assertions on convergence and write durability.
+        let ops = env_u64("AGR_CLUSTER_OPS").unwrap_or(2_000);
+        eprintln!("cluster_harness --smoke: 3-node ring, {ops} ops, 1 chaos cycle");
+        let result = run_ring(3, ops, 1);
+        assert_eq!(
+            result.convergence_rounds.len(),
+            1,
+            "one restart, one quiesce"
+        );
+        assert!(result.fully_acked > 0, "smoke must see fully-acked writes");
+        assert!(
+            result.fully_acked < result.writes,
+            "smoke chaos must degrade at least one write"
+        );
+        write_out(&[result]);
+        eprintln!("cluster smoke OK");
+        return;
+    }
+    let per_ring = env_u64("AGR_CLUSTER_OPS").unwrap_or(if quick { 4_000 } else { 20_000 });
+    eprintln!(
+        "cluster_harness: {per_ring} ops/ring, {KEY_SPACE} keys (zipf s={ZIPF_S}), \
+         rings of 1/3/5 nodes"
+    );
+    let results = vec![
+        run_ring(1, per_ring, 0),
+        run_ring(3, per_ring, 2),
+        run_ring(5, per_ring, 2),
+    ];
+    write_out(&results);
+}

@@ -37,6 +37,7 @@ pub mod bench_json;
 pub mod plot;
 pub mod report;
 pub mod runner;
+pub mod zipf;
 
 pub use report::Table;
 pub use runner::{

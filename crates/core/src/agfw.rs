@@ -1514,7 +1514,11 @@ impl Agfw {
             // Service-transport frames (`agr-als-service`): never
             // originated inside the simulated network, so swallow any
             // that leak in rather than geo-route them forever.
-            AlsNetKind::Forward { .. } | AlsNetKind::Ack { .. } | AlsNetKind::Miss => {
+            AlsNetKind::Forward { .. }
+            | AlsNetKind::Ack { .. }
+            | AlsNetKind::Miss
+            | AlsNetKind::SyncDigest { .. }
+            | AlsNetKind::SyncDelta { .. } => {
                 ctx.count("als.service_frame_ignored");
                 true
             }
@@ -1573,7 +1577,9 @@ impl Agfw {
                 AlsNetKind::Reply { .. }
                 | AlsNetKind::Forward { .. }
                 | AlsNetKind::Ack { .. }
-                | AlsNetKind::Miss => {
+                | AlsNetKind::Miss
+                | AlsNetKind::SyncDigest { .. }
+                | AlsNetKind::SyncDelta { .. } => {
                     self.pending_acks.remove(&msg.uid);
                     ctx.count("als.drop.local_max");
                 }

@@ -552,11 +552,43 @@ impl AlsServer {
             .collect()
     }
 
+    /// Enumerates (without removing) all records whose index starts with
+    /// `prefix`, in index order, each with the time it was stored — the
+    /// read side of anti-entropy: a replica digests or ships exactly one
+    /// cell's records, `stored_at` included so the receiving replica
+    /// anchors TTL freshness on the original store.
+    #[must_use]
+    pub fn scan_prefix(&self, prefix: &[u8]) -> Vec<(Vec<u8>, Vec<u8>, SimTime)> {
+        self.records
+            .range(prefix.to_vec()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, s)| (k.clone(), s.payload.clone(), s.stored_at))
+            .collect()
+    }
+
+    /// Merges one replicated record last-writer-wins: the incoming copy
+    /// lands only when no record exists under `index` or when its
+    /// `(stored_at, payload)` orders strictly above the resident one
+    /// (payload bytes break stored-at ties deterministically, so two
+    /// replicas merging each other's state converge on identical maps).
+    /// Returns whether the store changed.
+    pub fn merge_record(&mut self, index: Vec<u8>, payload: Vec<u8>, stored_at: SimTime) -> bool {
+        if let Some(existing) = self.records.get(&index) {
+            if (existing.stored_at, &existing.payload) >= (stored_at, &payload) {
+                return false;
+            }
+        }
+        self.store_at(index, payload, stored_at);
+        true
+    }
+
     /// Removes and returns all records whose index starts with `prefix`,
-    /// in index order — the hierarchical DLM-forward primitive: the
-    /// service prefixes indices with their owning cell, so a prefix
-    /// drain re-homes exactly one cell's records.
-    pub fn take_prefix(&mut self, prefix: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
+    /// in index order, each with the time it was stored — the
+    /// hierarchical DLM-forward primitive: the service prefixes indices
+    /// with their owning cell, so a prefix drain re-homes exactly one
+    /// cell's records. `stored_at` rides along so the re-homed copy keeps
+    /// its original freshness anchor (a move is not a rewrite).
+    pub fn take_prefix(&mut self, prefix: &[u8]) -> Vec<(Vec<u8>, Vec<u8>, SimTime)> {
         let keys: Vec<Vec<u8>> = self
             .records
             .range(prefix.to_vec()..)
@@ -566,7 +598,7 @@ impl AlsServer {
         keys.into_iter()
             .map(|k| {
                 let stored = self.remove(&k).expect("key just enumerated");
-                (k, stored.payload)
+                (k, stored.payload, stored.stored_at)
             })
             .collect()
     }
@@ -820,7 +852,10 @@ mod tests {
         let drained = server.take_prefix(&[1, 1]);
         assert_eq!(
             drained,
-            vec![(key(1, 7), blob(0xA, 4)), (key(1, 9), blob(0xB, 4))]
+            vec![
+                (key(1, 7), blob(0xA, 4), now),
+                (key(1, 9), blob(0xB, 4), now)
+            ]
         );
         assert_eq!(server.len(), 1);
         assert!(server.query_at(&key(2, 7), now).is_some());

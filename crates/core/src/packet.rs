@@ -194,6 +194,20 @@ pub struct AlsPair {
     pub payload: Vec<u8>,
 }
 
+/// One replicated record in an anti-entropy exchange: an [`AlsPair`]
+/// plus the arrival time of the authoritative copy, so the receiving
+/// replica anchors TTL freshness (and last-writer-wins conflicts) on the
+/// original store, not on the sync that carried it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlsSyncPair {
+    /// The deterministic lookup index.
+    pub index: Vec<u8>,
+    /// The sealed location record.
+    pub payload: Vec<u8>,
+    /// When the authoritative copy was stored (server arrival clock).
+    pub stored_at: SimTime,
+}
+
 /// Body of a geo-routed anonymous-location-service message (§3.3 run over
 /// the live network — the integration the paper's evaluation skipped).
 #[derive(Debug, Clone, PartialEq)]
@@ -244,6 +258,30 @@ pub enum AlsNetKind {
     /// Service negative reply to a `Request` that matched no fresh
     /// record, so clients can tell a miss from a lost frame.
     Miss,
+    /// Anti-entropy probe between cluster replicas: "here is my
+    /// merkle-ish digest of `cell`'s records — answer with yours if we
+    /// agree, or a [`AlsNetKind::SyncDelta`] if we diverged". Only the
+    /// `agr-als-service` cluster emits these; the simulator never
+    /// originates them.
+    SyncDigest {
+        /// The cell whose records are compared.
+        cell: CellId,
+        /// Order-independent FNV-1a fold over the cell's
+        /// `(index, payload, stored_at)` records.
+        digest: u64,
+        /// How many records the digest covers.
+        count: u32,
+    },
+    /// Anti-entropy payload: the sender's full record set for one cell
+    /// (or a handoff batch re-homed onto it), merged last-writer-wins by
+    /// `(stored_at, payload)` on the receiving replica. Answered with
+    /// [`AlsNetKind::Ack`] carrying how many records changed.
+    SyncDelta {
+        /// The cell the records belong to.
+        cell: CellId,
+        /// The records, each with its authoritative arrival time.
+        pairs: Vec<AlsSyncPair>,
+    },
 }
 
 /// A geo-routed location-service message.
@@ -287,6 +325,16 @@ impl AlsNetMessage {
             }
             AlsNetKind::Ack { .. } => 4,
             AlsNetKind::Miss => 0,
+            // Cell (2, as elsewhere) + digest + count.
+            AlsNetKind::SyncDigest { .. } => 2 + 8 + 4,
+            // Cell + per-record pair bytes plus a 4-byte coarse timestamp
+            // (whole seconds, like the paper's `ts`).
+            AlsNetKind::SyncDelta { pairs, .. } => {
+                2 + pairs
+                    .iter()
+                    .map(|p| (p.index.len() + p.payload.len()) as u32 + 4)
+                    .sum::<u32>()
+            }
         };
         NET_HEADER_BYTES + 8 + Pseudonym::wire_bytes() + 4 + 1 + body
     }

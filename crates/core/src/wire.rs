@@ -27,7 +27,9 @@
 //! signature whose internals are private to `agr-crypto`; encoding an
 //! authenticated hello currently returns [`WireError::Unsupported`].
 
-use crate::packet::{AckRef, AgfwData, AgfwMode, AgfwPacket, AlsNetKind, AlsNetMessage, AlsPair};
+use crate::packet::{
+    AckRef, AgfwData, AgfwMode, AgfwPacket, AlsNetKind, AlsNetMessage, AlsPair, AlsSyncPair,
+};
 use crate::pseudonym::Pseudonym;
 use crate::TrapdoorWire;
 use agr_crypto::trapdoor::Trapdoor;
@@ -182,6 +184,19 @@ fn read_pairs(r: &mut Reader<'_>) -> Result<Vec<AlsPair>, WireError> {
         .collect()
 }
 
+fn read_sync_pairs(r: &mut Reader<'_>) -> Result<Vec<AlsSyncPair>, WireError> {
+    let count = r.u16()? as usize;
+    (0..count)
+        .map(|_| {
+            Ok(AlsSyncPair {
+                index: r.bytes_u16()?,
+                payload: r.bytes_u16()?,
+                stored_at: SimTime::from_nanos(r.u64()?),
+            })
+        })
+        .collect()
+}
+
 fn read_acks(r: &mut Reader<'_>) -> Result<Vec<AckRef>, WireError> {
     let count = r.u16()? as usize;
     (0..count)
@@ -316,6 +331,21 @@ fn encode_als(out: &mut Vec<u8>, m: &AlsNetMessage) -> Result<(), WireError> {
             out.extend_from_slice(&stored.to_be_bytes());
         }
         AlsNetKind::Miss => out.push(5),
+        AlsNetKind::SyncDigest {
+            cell,
+            digest,
+            count,
+        } => {
+            out.push(6);
+            put_cell(out, *cell);
+            out.extend_from_slice(&digest.to_be_bytes());
+            out.extend_from_slice(&count.to_be_bytes());
+        }
+        AlsNetKind::SyncDelta { cell, pairs } => {
+            out.push(7);
+            put_cell(out, *cell);
+            put_sync_pairs(out, pairs)?;
+        }
     }
     Ok(())
 }
@@ -331,6 +361,17 @@ fn put_pairs(out: &mut Vec<u8>, pairs: &[AlsPair]) -> Result<(), WireError> {
     for pair in pairs {
         put_bytes_u16(out, "pair index", &pair.index)?;
         put_bytes_u16(out, "pair payload", &pair.payload)?;
+    }
+    Ok(())
+}
+
+fn put_sync_pairs(out: &mut Vec<u8>, pairs: &[AlsSyncPair]) -> Result<(), WireError> {
+    let count = u16::try_from(pairs.len()).map_err(|_| WireError::TooLong("sync pair list"))?;
+    out.extend_from_slice(&count.to_be_bytes());
+    for pair in pairs {
+        put_bytes_u16(out, "sync pair index", &pair.index)?;
+        put_bytes_u16(out, "sync pair payload", &pair.payload)?;
+        out.extend_from_slice(&pair.stored_at.as_nanos().to_be_bytes());
     }
     Ok(())
 }
@@ -466,6 +507,15 @@ fn decode_als(r: &mut Reader<'_>) -> Result<AlsNetMessage, WireError> {
         },
         4 => AlsNetKind::Ack { stored: r.u32()? },
         5 => AlsNetKind::Miss,
+        6 => AlsNetKind::SyncDigest {
+            cell: read_cell(r)?,
+            digest: r.u64()?,
+            count: r.u32()?,
+        },
+        7 => AlsNetKind::SyncDelta {
+            cell: read_cell(r)?,
+            pairs: read_sync_pairs(r)?,
+        },
         value => {
             return Err(WireError::BadTag {
                 field: "ALS kind",

@@ -7,7 +7,7 @@
 //! pure noise, strict prefixes of valid encodings, and single-bit
 //! corruptions of valid encodings.
 
-use agr_core::packet::{AckRef, AgfwMode, AlsNetKind, AlsNetMessage, AlsPair};
+use agr_core::packet::{AckRef, AgfwMode, AlsNetKind, AlsNetMessage, AlsPair, AlsSyncPair};
 use agr_core::pseudonym::Pseudonym;
 use agr_core::wire::{decode_packet, encode_packet};
 use agr_core::{AgfwData, AgfwPacket, TrapdoorWire};
@@ -17,8 +17,9 @@ use proptest::prelude::*;
 
 /// A corpus of valid packets covering every wire shape (hello with and
 /// without velocity, data in both modes with and without piggybacked
-/// ACKs, empty and full NL-ACKs, all six ALS kinds — the three
-/// geo-routed ones plus the service-transport Forward/Ack/Miss).
+/// ACKs, empty and full NL-ACKs, all eight ALS kinds — the three
+/// geo-routed ones, the service-transport Forward/Ack/Miss, and the
+/// anti-entropy SyncDigest/SyncDelta).
 fn corpus() -> Vec<AgfwPacket> {
     let zero_tag = FlowTag {
         flow: 0,
@@ -138,6 +139,38 @@ fn corpus() -> Vec<AgfwPacket> {
             ttl: 8,
             kind: AlsNetKind::Miss,
         }),
+        AgfwPacket::Als(AlsNetMessage {
+            target_loc: Point::new(100.0, 220.0),
+            next: Pseudonym([0xC1; 6]),
+            uid: 0x7A,
+            ttl: 4,
+            kind: AlsNetKind::SyncDigest {
+                cell: CellId { col: 11, row: 2 },
+                digest: 0xFEED_FACE_CAFE_F00D,
+                count: 4_000,
+            },
+        }),
+        AgfwPacket::Als(AlsNetMessage {
+            target_loc: Point::new(100.0, 220.0),
+            next: Pseudonym([0xC2; 6]),
+            uid: 0x7B,
+            ttl: 4,
+            kind: AlsNetKind::SyncDelta {
+                cell: CellId { col: 11, row: 2 },
+                pairs: vec![
+                    AlsSyncPair {
+                        index: vec![0x44; 16],
+                        payload: vec![0x55; 40],
+                        stored_at: SimTime::from_millis(98_765),
+                    },
+                    AlsSyncPair {
+                        index: vec![],
+                        payload: vec![0x66],
+                        stored_at: SimTime::ZERO,
+                    },
+                ],
+            },
+        }),
     ]
 }
 
@@ -173,7 +206,7 @@ proptest! {
     /// has no optional tail: cutting anywhere leaves a field unfinished),
     /// and never a panic.
     #[test]
-    fn truncations_error_cleanly(which in 0usize..12, cut in 0.0f64..1.0) {
+    fn truncations_error_cleanly(which in 0usize..14, cut in 0.0f64..1.0) {
         let enc = &encodings()[which];
         let len = (cut * enc.len() as f64) as usize; // < enc.len(): strict
         prop_assert!(
@@ -187,7 +220,7 @@ proptest! {
     /// survives decoding, the result must also re-encode without
     /// panicking (a corrupt-but-parseable packet can be forwarded).
     #[test]
-    fn bit_flips_never_panic(which in 0usize..12, bit in any::<u16>()) {
+    fn bit_flips_never_panic(which in 0usize..14, bit in any::<u16>()) {
         let mut enc = encodings()[which].clone();
         let bit = usize::from(bit) % (enc.len() * 8);
         enc[bit / 8] ^= 1 << (bit % 8);

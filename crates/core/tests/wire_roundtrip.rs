@@ -6,7 +6,9 @@
 //! every packet shape — otherwise uid-keyed ACK matching, duplicate
 //! suppression, and trapdoor flow markers diverge downstream.
 
-use agr_core::packet::{AckRef, AgfwMode, AlsNetKind, AlsNetMessage, AlsPair, HelloAuth};
+use agr_core::packet::{
+    AckRef, AgfwMode, AlsNetKind, AlsNetMessage, AlsPair, AlsSyncPair, HelloAuth,
+};
 use agr_core::pseudonym::Pseudonym;
 use agr_core::wire::{decode_packet, encode_packet, WireError};
 use agr_core::{AgfwData, AgfwPacket, TrapdoorWire};
@@ -241,7 +243,55 @@ fn als_service_frames_roundtrip() {
     assert_roundtrip(&service_frame(0x79, AlsNetKind::Miss));
 }
 
-/// Pinned encodings of the three service-transport frames. The
+#[test]
+fn als_sync_frames_roundtrip() {
+    let cell = CellId { col: 11, row: 2 };
+    assert_roundtrip(&service_frame(
+        0x7A,
+        AlsNetKind::SyncDigest {
+            cell,
+            digest: 0xFEED_FACE_CAFE_F00D,
+            count: 4_000,
+        },
+    ));
+    // A digest of an empty cell is a legal probe.
+    assert_roundtrip(&service_frame(
+        0x7B,
+        AlsNetKind::SyncDigest {
+            cell: CellId { col: 0, row: 0 },
+            digest: 0,
+            count: 0,
+        },
+    ));
+    assert_roundtrip(&service_frame(
+        0x7C,
+        AlsNetKind::SyncDelta {
+            cell,
+            pairs: vec![
+                AlsSyncPair {
+                    index: vec![0x44; 16],
+                    payload: vec![0x55; 40],
+                    stored_at: SimTime::from_millis(98_765),
+                },
+                AlsSyncPair {
+                    index: vec![],
+                    payload: vec![],
+                    stored_at: SimTime::ZERO,
+                },
+            ],
+        },
+    ));
+    // An empty delta (a cell that emptied between digest and push).
+    assert_roundtrip(&service_frame(
+        0x7D,
+        AlsNetKind::SyncDelta {
+            cell,
+            pairs: vec![],
+        },
+    ));
+}
+
+/// Pinned encodings of the service-transport and anti-entropy frames. The
 /// standalone ALS service speaks these between independently deployed
 /// clients and servers, so the same compatibility warning applies as
 /// for the data golden below: changing these bytes is a protocol break.
@@ -311,6 +361,62 @@ fn golden_als_service_encodings_are_stable() {
             "0000000000000079", // uid
             "08",               // ttl
             "05",               // ALS kind: Miss
+        )
+    );
+    // The anti-entropy frames the cluster replicas speak to each other.
+    let digest = service_frame(
+        0x7A,
+        AlsNetKind::SyncDigest {
+            cell: CellId { col: 11, row: 2 },
+            digest: 0xFEED_FACE_CAFE_F00D,
+            count: 4_000,
+        },
+    );
+    assert_eq!(
+        hex(&digest),
+        concat!(
+            "03",
+            "4074000000000000",
+            "4084000000000000",
+            "b1b2b3b4b5b6",
+            "000000000000007a", // uid
+            "08",               // ttl
+            "06",               // ALS kind: SyncDigest
+            "0000000b",
+            "00000002",         // cell (11, 2)
+            "feedfacecafef00d", // digest
+            "00000fa0",         // record count 4000
+        )
+    );
+    let delta = service_frame(
+        0x7C,
+        AlsNetKind::SyncDelta {
+            cell: CellId { col: 11, row: 2 },
+            pairs: vec![AlsSyncPair {
+                index: vec![0x44; 4],
+                payload: vec![0x55; 3],
+                stored_at: SimTime::from_nanos(0x0102_0304_0506_0708),
+            }],
+        },
+    );
+    assert_eq!(
+        hex(&delta),
+        concat!(
+            "03",
+            "4074000000000000",
+            "4084000000000000",
+            "b1b2b3b4b5b6",
+            "000000000000007c", // uid
+            "08",               // ttl
+            "07",               // ALS kind: SyncDelta
+            "0000000b",
+            "00000002", // cell (11, 2)
+            "0001",     // sync pair count
+            "0004",
+            "44444444", // index
+            "0003",
+            "555555",           // payload
+            "0102030405060708", // stored_at (nanos)
         )
     );
 }
