@@ -15,21 +15,27 @@
 //!   makes both directions happen, which is what drives the pairwise
 //!   union; [`Cluster::sync_round`] does exactly that.
 //! * [`ClusterClient`] — ring-aware replicated operations: an update is
-//!   fanned out to every owner of its cell and acknowledged per replica;
-//!   a query walks the owners in rendezvous order and takes the first
-//!   answer. Peers that stop answering are *suspected* (fire-and-forget
-//!   writes continue, ack waits stop) until an explicit
-//!   [`ClusterClient::mark_up`] or an optional op-count probation —
-//!   both deterministic given a deterministic fault schedule, which is
-//!   what lets the conformance suite replay a seed to an identical
-//!   trace.
+//!   fanned out to every owner of its cell and acknowledged per replica,
+//!   with jittered-exponential retry rounds under a per-op deadline; a
+//!   query walks the read-eligible owners in rendezvous order and takes
+//!   the first answer (optionally hedging a second owner after a
+//!   latency-derived delay). Health is tracked in-band by a
+//!   heartbeat-driven [`FailureDetector`]: answered frames are liveness
+//!   acks, awaited-but-absent answers are misses, a recovered node is
+//!   `Rejoining` — written to but not read from — until its cells verify
+//!   against a healthy replica over digest probes. Every decision is a
+//!   function of the op stream, which is what lets the conformance suite
+//!   replay a seed to an identical trace.
 //! * [`Cluster`] — the in-process fleet manager: boots N engines each
-//!   behind its own UDP serve loop, kills and restarts them on demand
-//!   (a restarted node re-binds the same port with an **empty** store —
-//!   anti-entropy refills it), and drives sync rounds to quiescence.
-//!   Node identity is the ring index, so ownership never moves on a
-//!   crash: the surviving replicas cover the cell until the node
-//!   returns.
+//!   behind its own UDP serve loop, kills and restarts them on demand,
+//!   and drives sync rounds to quiescence. Node identity is the ring
+//!   index, so ownership never moves on a crash: the surviving replicas
+//!   cover the cell until the node returns. With a
+//!   [`ClusterConfig::journal_dir`], each node journals applied
+//!   mutations and a restart **replays its own journal first** — the
+//!   store comes back from local disk and anti-entropy only tops off
+//!   what was written while the node was down; without one, a restarted
+//!   node comes back empty and anti-entropy refills everything.
 //! * [`ChaosPlan`] — a seeded kill/restart schedule keyed by operation
 //!   index (not wall time), generated from a [`SplitMix64`] stream that
 //!   is deliberately distinct from every simulator RNG family. Windows
@@ -45,17 +51,21 @@
 //! query only ever returns a payload some client actually wrote — the
 //! single-map reference model can always explain the answer.
 
+use crate::chaos_net::{ChaosNetConfig, ChaosStats, ChaosTransport};
+use crate::journal::{Journal, JournalConfig, JournalOp};
 use crate::pipeline::{Engine, EngineConfig};
-use crate::ring::Ring;
+use crate::ring::{FailureDetector, HealthConfig, NodeHealth, Ring};
 use crate::service::{frame, serve, AlsClient, ServeStats};
 use crate::store::cell_key;
-use crate::transport::{Transport, UdpClient, UdpServer};
+use crate::transport::{Transport, UdpClient, UdpServer, RECV_POLL};
+use agr_core::backoff::backoff_delay;
 use agr_core::packet::{AgfwPacket, AlsNetKind, AlsPair, AlsSyncPair};
 use agr_core::wire::{decode_packet, encode_packet};
 use agr_geom::{CellId, Point};
 use agr_sim::SimTime;
 use std::io;
 use std::net::SocketAddr;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -187,6 +197,16 @@ impl ChaosPlan {
 /// headroom for framing.
 const SYNC_CHUNK_BYTES: usize = 32 * 1024;
 
+/// Overall deadline of one sync-agent request during a sync round —
+/// generous enough that a live-but-lossy peer converges, bounded enough
+/// that a round against a just-crashed peer ends.
+const SYNC_TOTAL_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Per-attempt re-send window of a sync-agent request under chaos: a
+/// dropped digest probe or delta chunk is retried well within the total
+/// deadline instead of burning all of it on one lost datagram.
+const SYNC_ATTEMPT_TIMEOUT: Duration = Duration::from_millis(250);
+
 /// Outcome of one [`sync_cell_push`] step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CellSync {
@@ -272,7 +292,7 @@ pub struct SyncRoundStats {
 // ---------------------------------------------------------------------
 
 /// Sizing and policy of a [`Cluster`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ClusterConfig {
     /// Ring size — how many server nodes to boot.
     pub nodes: usize,
@@ -286,6 +306,20 @@ pub struct ClusterConfig {
     /// a pure function of the operation stream, which the conformance
     /// suite needs to replay a seed into an identical trace.
     pub logical_clock: bool,
+    /// Root of the per-node crash-recovery journals (`<dir>/node-<i>`).
+    /// `None` disables journaling: a restarted node comes back empty
+    /// and anti-entropy refills everything.
+    pub journal_dir: Option<PathBuf>,
+    /// Journal sizing, when `journal_dir` is set.
+    pub journal: JournalConfig,
+    /// Packet chaos on the anti-entropy paths: each sync round wraps its
+    /// peer transports in a [`ChaosTransport`] seeded per `(round, dst)`
+    /// so repair itself runs over the same lossy network the clients do.
+    pub sync_chaos: Option<ChaosNetConfig>,
+    /// Receive-poll granularity of every node's server socket (and of
+    /// the sync agents' sockets) — how often a serve loop re-checks its
+    /// stop flag while idle.
+    pub recv_poll: Duration,
 }
 
 impl Default for ClusterConfig {
@@ -295,8 +329,36 @@ impl Default for ClusterConfig {
             replication: 2,
             engine: EngineConfig::default(),
             logical_clock: false,
+            journal_dir: None,
+            journal: JournalConfig::default(),
+            sync_chaos: None,
+            recv_poll: RECV_POLL,
         }
     }
+}
+
+/// Applies replayed journal mutations straight into `engine`'s store —
+/// deliberately *not* through the journaling paths: the records are
+/// already on disk, so re-journaling them would double history on every
+/// restart. Puts land unconditionally in journal order with their
+/// original `stored_at` (replay reproduces history, it does not merge
+/// against it); deletes remove. Returns how many ops were applied.
+fn apply_replay(engine: &Engine, ops: Vec<JournalOp>) -> u64 {
+    let count = ops.len() as u64;
+    let store = engine.store();
+    for op in ops {
+        match op {
+            JournalOp::Put {
+                key,
+                payload,
+                stored_at,
+            } => store.store(key, payload, stored_at),
+            JournalOp::Delete { key } => {
+                store.remove(&key);
+            }
+        }
+    }
+    count
 }
 
 /// One live node: its engine, its serve loop, and the knobs to stop it.
@@ -320,6 +382,8 @@ pub struct Cluster {
     nodes: Vec<Option<NodeHandle>>,
     now: SimTime,
     retired: Vec<ServeStats>,
+    replayed: Vec<u64>,
+    sync_rounds: u64,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -340,34 +404,67 @@ impl Cluster {
     ///
     /// Socket bind failures.
     pub fn launch(config: ClusterConfig) -> io::Result<Cluster> {
+        let nodes = config.nodes;
         let mut cluster = Cluster {
-            ring: Ring::new(config.nodes),
-            addrs: Vec::with_capacity(config.nodes),
-            nodes: Vec::with_capacity(config.nodes),
+            ring: Ring::new(nodes),
+            addrs: Vec::with_capacity(nodes),
+            nodes: Vec::with_capacity(nodes),
             now: SimTime::ZERO,
-            retired: vec![ServeStats::default(); config.nodes],
+            retired: vec![ServeStats::default(); nodes],
+            replayed: vec![0; nodes],
+            sync_rounds: 0,
             config,
         };
-        for _ in 0..cluster.config.nodes {
-            let (handle, addr) = cluster.boot(None)?;
+        for node in 0..nodes {
+            let (handle, addr, replayed) = cluster.boot(node, None)?;
             cluster.addrs.push(addr);
             cluster.nodes.push(Some(handle));
+            cluster.replayed[node] = replayed;
         }
         Ok(cluster)
     }
 
-    fn boot(&self, addr: Option<SocketAddr>) -> io::Result<(NodeHandle, SocketAddr)> {
+    /// Boots `node`: opens and replays its journal (if journaling is
+    /// on) into a fresh engine **before** the serve loop takes a single
+    /// frame, then spawns the loop. Returns the handle, the bound
+    /// address, and how many mutations the replay applied.
+    fn boot(
+        &self,
+        node: usize,
+        addr: Option<SocketAddr>,
+    ) -> io::Result<(NodeHandle, SocketAddr, u64)> {
         let mut server = match addr {
-            Some(addr) => UdpServer::bind(addr)?,
-            None => UdpServer::bind(("127.0.0.1", 0))?,
+            Some(addr) => UdpServer::bind_with(addr, self.config.recv_poll)?,
+            None => UdpServer::bind_with(("127.0.0.1", 0), self.config.recv_poll)?,
         };
         let bound = server.local_addr()?;
-        let (engine, clock) = if self.config.logical_clock {
-            let (engine, clock) = Engine::start_manual_clock(self.config.engine);
-            clock.store(self.now.as_nanos(), Ordering::Release);
-            (engine, Some(clock))
-        } else {
-            (Engine::start(self.config.engine), None)
+        let journal = match &self.config.journal_dir {
+            Some(dir) => {
+                let node_dir = dir.join(format!("node-{node}"));
+                let ops = Journal::replay(&node_dir)?;
+                Some((Journal::open(&node_dir, self.config.journal)?, ops))
+            }
+            None => None,
+        };
+        let (engine, clock, replayed) = match (self.config.logical_clock, journal) {
+            (true, Some((journal, ops))) => {
+                let (engine, clock) =
+                    Engine::start_manual_clock_journaled(self.config.engine, journal);
+                clock.store(self.now.as_nanos(), Ordering::Release);
+                let replayed = apply_replay(&engine, ops);
+                (engine, Some(clock), replayed)
+            }
+            (true, None) => {
+                let (engine, clock) = Engine::start_manual_clock(self.config.engine);
+                clock.store(self.now.as_nanos(), Ordering::Release);
+                (engine, Some(clock), 0)
+            }
+            (false, Some((journal, ops))) => {
+                let engine = Engine::start_journaled(self.config.engine, journal);
+                let replayed = apply_replay(&engine, ops);
+                (engine, None, replayed)
+            }
+            (false, None) => (Engine::start(self.config.engine), None, 0),
         };
         let engine = Arc::new(engine);
         let stop = Arc::new(AtomicBool::new(false));
@@ -384,6 +481,7 @@ impl Cluster {
                 serve,
             },
             bound,
+            replayed,
         ))
     }
 
@@ -430,7 +528,8 @@ impl Cluster {
         }
     }
 
-    /// A ring-aware replicated client for this cluster.
+    /// A ring-aware replicated client for this cluster, with default
+    /// [`ClientConfig`].
     ///
     /// # Errors
     ///
@@ -439,9 +538,29 @@ impl Cluster {
         ClusterClient::connect(&self.addrs, self.config.replication)
     }
 
+    /// A ring-aware replicated client with explicit deadlines, retry,
+    /// hedging, heartbeat, and chaos configuration.
+    ///
+    /// # Errors
+    ///
+    /// Socket bind/connect failures.
+    pub fn client_with(&self, config: ClientConfig) -> io::Result<ClusterClient> {
+        ClusterClient::connect_with(&self.addrs, self.config.replication, config)
+    }
+
+    /// How many journal mutations `node` replayed at its last boot (0
+    /// without journaling) — the recovery-speed observable the
+    /// conformance suite compares against anti-entropy refill.
+    #[must_use]
+    pub fn replayed(&self, node: usize) -> u64 {
+        self.replayed.get(node).copied().unwrap_or(0)
+    }
+
     /// Kills `node`: stops its serve loop and drops its engine **and
-    /// store** — the data is gone, exactly like a process crash losing
-    /// in-memory state. Returns false if it was already down.
+    /// store** — the in-memory data is gone, exactly like a process
+    /// crash (the on-disk journal, when configured, survives the way a
+    /// crashed process's files do). Returns false if it was already
+    /// down.
     pub fn kill(&mut self, node: usize) -> bool {
         let Some(handle) = self.nodes.get_mut(node).and_then(Option::take) else {
             return false;
@@ -457,9 +576,11 @@ impl Cluster {
         true
     }
 
-    /// Restarts `node` on its original port with a fresh, empty engine;
-    /// anti-entropy refills it. Returns `Ok(false)` if it was already
-    /// up.
+    /// Restarts `node` on its original port. With journaling on, the
+    /// fresh engine replays the node's own journal before serving and
+    /// anti-entropy only tops off the outage window; without, it comes
+    /// back empty for anti-entropy to refill. Returns `Ok(false)` if it
+    /// was already up.
     ///
     /// # Errors
     ///
@@ -468,8 +589,9 @@ impl Cluster {
         if self.is_up(node) {
             return Ok(false);
         }
-        let (handle, _) = self.boot(Some(self.addrs[node]))?;
+        let (handle, _, replayed) = self.boot(node, Some(self.addrs[node]))?;
         self.nodes[node] = Some(handle);
+        self.replayed[node] = replayed;
         Ok(true)
     }
 
@@ -478,14 +600,41 @@ impl Cluster {
     /// directions of each pair run, so afterwards every live owner pair
     /// holds the last-writer-wins union of what the pair held before.
     ///
+    /// With [`ClusterConfig::sync_chaos`], every peer transport is
+    /// wrapped in a [`ChaosTransport`] seeded per `(round, destination)`
+    /// — repair traffic rides the same lossy network as client traffic,
+    /// and the sync clients retry within a bounded window to get the
+    /// round through anyway.
+    ///
     /// # Errors
     ///
     /// Transport failures against nodes the cluster believes are live.
-    pub fn sync_round(&self, cells: &[CellId]) -> io::Result<SyncRoundStats> {
-        let mut peers: Vec<Option<AlsClient<UdpClient>>> = Vec::with_capacity(self.addrs.len());
+    pub fn sync_round(&mut self, cells: &[CellId]) -> io::Result<SyncRoundStats> {
+        self.sync_rounds += 1;
+        let round = self.sync_rounds;
+        let mut peers: Vec<Option<AlsClient<ChaosTransport<UdpClient>>>> =
+            Vec::with_capacity(self.addrs.len());
         for (node, addr) in self.addrs.iter().enumerate() {
             peers.push(if self.is_up(node) {
-                Some(AlsClient::new(UdpClient::connect(addr)?))
+                let chaos = match self.config.sync_chaos {
+                    Some(base) => {
+                        // Decorrelate per round and per destination, off
+                        // the round counter — deterministic across
+                        // reruns, different across rounds.
+                        let mut mix = SplitMix64::new(base.seed ^ (round << 8) ^ node as u64);
+                        base.reseeded(mix.next_u64())
+                    }
+                    None => ChaosNetConfig::OFF,
+                };
+                let transport = ChaosTransport::new(
+                    UdpClient::connect_with(addr, self.config.recv_poll)?,
+                    chaos,
+                );
+                Some(AlsClient::with_timeouts(
+                    transport,
+                    SYNC_TOTAL_TIMEOUT,
+                    SYNC_ATTEMPT_TIMEOUT,
+                ))
             } else {
                 None
             });
@@ -537,7 +686,7 @@ impl Cluster {
     /// # Errors
     ///
     /// Transport failures during a round.
-    pub fn quiesce(&self, cells: &[CellId], max_rounds: usize) -> io::Result<Option<usize>> {
+    pub fn quiesce(&mut self, cells: &[CellId], max_rounds: usize) -> io::Result<Option<usize>> {
         for round in 1..=max_rounds.max(1) {
             let stats = self.sync_round(cells)?;
             if stats.changed == 0 && self.digests_agree(cells) {
@@ -569,11 +718,97 @@ impl Drop for Cluster {
 // Replicated client
 // ---------------------------------------------------------------------
 
-/// How long a [`ClusterClient`] waits for each replica's answer before
-/// suspecting the node. Live localhost nodes answer in microseconds;
-/// the margin absorbs scheduler hiccups so a healthy node is never
-/// falsely suspected (which would perturb the deterministic trace).
+/// Default per-attempt, per-replica answer wait of a [`ClusterClient`]
+/// (see [`ClientConfig::ack_timeout`]). Live localhost nodes answer in
+/// microseconds; the margin absorbs scheduler hiccups so a healthy node
+/// never feeds the failure detector false misses (which would perturb
+/// the deterministic trace).
 pub const ACK_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Deadlines, retry, hedging, heartbeat, and chaos knobs of a
+/// [`ClusterClient`]. Every timing knob is explicit configuration —
+/// nothing is monkey-patched after construction — so a client's whole
+/// behavior is pinned by `(config, op stream, fault schedule)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientConfig {
+    /// Per-attempt wait for one replica's answer.
+    pub ack_timeout: Duration,
+    /// Total budget of one replicated operation, spanning all retry
+    /// rounds and backoff sleeps. An op never blocks past this.
+    pub op_deadline: Duration,
+    /// First retry backoff (doubling per round, jittered by uid).
+    pub retry_base: Duration,
+    /// Backoff ceiling.
+    pub retry_cap: Duration,
+    /// Failure-detector tuning.
+    pub health: HealthConfig,
+    /// Heartbeat period in client operations: every `ping_every` ops the
+    /// client pings **all** nodes and feeds the detector. 0 disables
+    /// heartbeats (the detector then learns only from awaited ops).
+    pub ping_every: u64,
+    /// Answer wait for heartbeat pings and readmission digest probes.
+    pub ping_timeout: Duration,
+    /// Hedge reads: when the first read-eligible owner has not answered
+    /// within a p99-derived delay, fan the query to the second owner and
+    /// take whichever answers first.
+    pub hedge: bool,
+    /// Floor of the hedging delay (and its value before any latency
+    /// samples exist).
+    pub hedge_min: Duration,
+    /// Seeded packet chaos on every peer transport (`None` = clean
+    /// network). Per-peer streams are decorrelated from this seed.
+    pub chaos: Option<ChaosNetConfig>,
+    /// Receive-poll granularity of the peer sockets — the latency floor
+    /// of noticing an answer, and the holdback flush cadence under
+    /// chaos reordering.
+    pub recv_poll: Duration,
+    /// Cells a `Rejoining` node must digest-match (against a healthy
+    /// co-owner, probed in-band) before reads trust it again. Empty
+    /// readmits on the first answered heartbeat.
+    pub readmit_cells: Vec<CellId>,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            ack_timeout: ACK_TIMEOUT,
+            op_deadline: Duration::from_secs(4),
+            retry_base: Duration::from_millis(10),
+            retry_cap: Duration::from_millis(160),
+            health: HealthConfig::default(),
+            ping_every: 64,
+            ping_timeout: Duration::from_millis(250),
+            hedge: false,
+            hedge_min: Duration::from_millis(1),
+            chaos: None,
+            recv_poll: Duration::from_millis(5),
+            readmit_cells: Vec::new(),
+        }
+    }
+}
+
+/// Lifetime counters of one [`ClusterClient`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Retry rounds across all operations.
+    pub retries: u64,
+    /// Queries that fanned out a hedge request.
+    pub hedged: u64,
+    /// Hedged queries the *second* owner answered first.
+    pub hedge_wins: u64,
+    /// `Busy` (admission-shed) answers received.
+    pub busy: u64,
+    /// Operations that exhausted their deadline unresolved.
+    pub deadline_misses: u64,
+    /// Heartbeat pings sent.
+    pub pings: u64,
+    /// Heartbeat pongs received.
+    pub pongs: u64,
+    /// Nodes readmitted to read eligibility after rejoining.
+    pub readmitted: u64,
+    /// Frames that failed to encode or send (counted, never a panic).
+    pub send_errors: u64,
+}
 
 /// Outcome of one replicated update.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -602,92 +837,117 @@ pub struct QueryOutcome {
     pub answered: u32,
 }
 
-struct Peer {
-    client: UdpClient,
-    suspected_at: Option<u64>,
-}
+/// Recent-latency window backing the hedge delay estimate.
+const LATENCY_WINDOW: usize = 256;
 
 /// A ring-aware client running replicated operations against a
 /// [`Cluster`] (or any fleet of ALS servers on known addresses).
 ///
-/// Failure handling is *suspicion*, not removal: a peer that times out
-/// or refuses keeps receiving fire-and-forget writes (so a wrongly
-/// suspected node still converges) but is no longer waited on, until
-/// [`ClusterClient::mark_up`] — the harness's restart signal — or the
-/// optional probation window re-admits it. Both re-admission paths are
-/// keyed to the client's op counter, so a seeded run reproduces the
-/// same suspicion history every time.
+/// Failure handling is a heartbeat-fed [`FailureDetector`]: a peer that
+/// stops answering walks `Alive → Suspect → Down` and keeps receiving
+/// fire-and-forget writes (so a wrongly declared node still converges)
+/// but is no longer awaited; when it answers again it is `Rejoining`
+/// and must pass the [`ClientConfig::readmit_cells`] digest check
+/// before reads trust it. Every operation runs under
+/// [`ClientConfig::op_deadline`] with jittered-exponential retry
+/// rounds, and reads can hedge to a second owner. All timing decisions
+/// are pure functions of `(config, op counter, answer stream)`, so a
+/// seeded chaos run reproduces the same detector history every time.
 pub struct ClusterClient {
     ring: Ring,
     replication: usize,
-    peers: Vec<Peer>,
+    peers: Vec<ChaosTransport<UdpClient>>,
+    detector: FailureDetector,
+    config: ClientConfig,
     next_uid: u64,
     ops: u64,
-    ack_timeout: Duration,
-    probation: Option<u64>,
+    stats: ClientStats,
+    latencies: Vec<u64>,
+    latency_next: usize,
+}
+
+/// `deadline - now`, or `None` once the deadline has passed.
+fn remaining(deadline: Instant) -> Option<Duration> {
+    let now = Instant::now();
+    if now < deadline {
+        Some(deadline - now)
+    } else {
+        None
+    }
 }
 
 impl ClusterClient {
-    /// Connects one UDP socket per node address.
+    /// Connects one UDP socket per node address with default
+    /// [`ClientConfig`] (no chaos, no hedging).
     ///
     /// # Errors
     ///
     /// Socket bind/connect failures.
     pub fn connect(addrs: &[SocketAddr], replication: usize) -> io::Result<ClusterClient> {
+        ClusterClient::connect_with(addrs, replication, ClientConfig::default())
+    }
+
+    /// Connects with explicit deadline/retry/hedging/chaos config.
+    ///
+    /// Each peer socket gets its own chaos stream, reseeded from
+    /// `config.chaos` and the node index, so per-peer fault schedules
+    /// are decorrelated but jointly determined by the one seed.
+    ///
+    /// # Errors
+    ///
+    /// Socket bind/connect failures.
+    pub fn connect_with(
+        addrs: &[SocketAddr],
+        replication: usize,
+        config: ClientConfig,
+    ) -> io::Result<ClusterClient> {
         let mut peers = Vec::with_capacity(addrs.len());
-        for addr in addrs {
-            peers.push(Peer {
-                client: UdpClient::connect(addr)?,
-                suspected_at: None,
-            });
+        for (node, addr) in addrs.iter().enumerate() {
+            let chaos = match config.chaos {
+                Some(base) => {
+                    let mut mix = SplitMix64::new(
+                        base.seed ^ (node as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    base.reseeded(mix.next_u64())
+                }
+                None => ChaosNetConfig::OFF,
+            };
+            peers.push(ChaosTransport::new(
+                UdpClient::connect_with(*addr, config.recv_poll)?,
+                chaos,
+            ));
         }
+        let detector = FailureDetector::new(addrs.len(), config.health);
         Ok(ClusterClient {
             ring: Ring::new(addrs.len()),
             replication,
             peers,
+            detector,
+            config,
             next_uid: 1,
             ops: 0,
-            ack_timeout: ACK_TIMEOUT,
-            probation: None,
+            stats: ClientStats::default(),
+            latencies: Vec::new(),
+            latency_next: 0,
         })
     }
 
-    /// Overrides the per-replica ack wait.
-    pub fn set_ack_timeout(&mut self, timeout: Duration) {
-        self.ack_timeout = timeout;
-    }
-
-    /// Re-probes suspected peers after this many further operations
-    /// (`None`, the default, suspects until [`ClusterClient::mark_up`]).
-    pub fn set_probation(&mut self, ops: Option<u64>) {
-        self.probation = ops;
-    }
-
-    /// Clears suspicion of `node` — the harness's "I restarted it"
-    /// signal, mirroring an operator re-admitting a recovered server.
-    pub fn mark_up(&mut self, node: usize) {
-        if let Some(peer) = self.peers.get_mut(node) {
-            peer.suspected_at = None;
-        }
-    }
-
-    /// Whether the client currently suspects `node`.
+    /// Lifetime operation counters.
     #[must_use]
-    pub fn is_suspected(&self, node: usize) -> bool {
-        self.peers
-            .get(node)
-            .is_some_and(|p| p.suspected_at.is_some())
+    pub fn stats(&self) -> ClientStats {
+        self.stats
     }
 
-    /// Whether `node` should be waited on this op: healthy, or suspected
-    /// long enough ago that its probation lapsed.
-    fn waitable(&self, node: usize) -> bool {
-        match self.peers[node].suspected_at {
-            None => true,
-            Some(since) => self
-                .probation
-                .is_some_and(|window| self.ops.saturating_sub(since) >= window),
-        }
+    /// The detector's current verdict on `node`.
+    #[must_use]
+    pub fn health(&self, node: usize) -> NodeHealth {
+        self.detector.state(node)
+    }
+
+    /// Per-peer chaos transport counters (all zero when chaos is off).
+    #[must_use]
+    pub fn chaos_stats(&self) -> Vec<ChaosStats> {
+        self.peers.iter().map(ChaosTransport::stats).collect()
     }
 
     fn fresh_uid(&mut self) -> u64 {
@@ -696,133 +956,543 @@ impl ClusterClient {
         uid
     }
 
-    /// Sends `kind` to `node`; a send failure (a refused socket) counts
-    /// as unreachable, not as an error.
+    /// Sends `kind` to `node`. Failures (encode or socket) are counted
+    /// in [`ClientStats::send_errors`] and reported as `false` — never
+    /// a panic; the callers treat them as the node being unreachable.
     fn send_kind(&mut self, node: usize, uid: u64, kind: AlsNetKind) -> bool {
-        let encoded = encode_packet(&AgfwPacket::Als(frame(uid, kind)))
-            .expect("service frames always encode");
-        self.peers[node].client.send(&encoded).is_ok()
+        let encoded = match encode_packet(&AgfwPacket::Als(frame(uid, kind))) {
+            Ok(encoded) => encoded,
+            Err(_) => {
+                self.stats.send_errors += 1;
+                return false;
+            }
+        };
+        if self.peers[node].send(&encoded).is_err() {
+            self.stats.send_errors += 1;
+            return false;
+        }
+        true
     }
 
-    /// Waits for the `uid`-matched answer from `node`, up to the ack
-    /// timeout. `None` means the node did not answer (and is now
-    /// suspected).
-    fn wait_kind(&mut self, node: usize, uid: u64) -> Option<AlsNetKind> {
-        let deadline = Instant::now() + self.ack_timeout;
+    /// One non-blocking-ish receive attempt (bounded by the socket's
+    /// poll interval) for the `uid`-matched answer from `node`.
+    fn poll_kind(&mut self, node: usize, uid: u64) -> Option<AlsNetKind> {
+        match self.peers[node].recv() {
+            Ok(bytes) => match decode_packet(&bytes) {
+                Ok(AgfwPacket::Als(m)) if m.uid == uid => Some(m.kind),
+                // Stale answer to an abandoned request, or noise: drop.
+                _ => None,
+            },
+            Err(_) => None,
+        }
+    }
+
+    /// Waits for the `uid`-matched answer from `node`, up to `timeout`.
+    /// `None` means no answer; detector bookkeeping is the caller's job
+    /// (probes deliberately produce no miss evidence on timeout).
+    fn wait_kind(&mut self, node: usize, uid: u64, timeout: Duration) -> Option<AlsNetKind> {
+        let deadline = Instant::now() + timeout;
         loop {
-            match self.peers[node].client.recv() {
+            match self.peers[node].recv() {
                 Ok(bytes) => {
                     if let Ok(AgfwPacket::Als(m)) = decode_packet(&bytes) {
                         if m.uid == uid {
-                            self.peers[node].suspected_at = None;
                             return Some(m.kind);
                         }
-                        // A stale answer to an abandoned request: drop.
+                        // Stale answer to an abandoned request: drop.
                     }
                 }
                 Err(e)
                     if e.kind() == io::ErrorKind::TimedOut
                         || e.kind() == io::ErrorKind::WouldBlock => {}
                 // Refused/reset — the port is dead right now.
-                Err(_) => break,
+                Err(_) => return None,
             }
             if Instant::now() >= deadline {
-                break;
+                return None;
             }
         }
-        self.peers[node].suspected_at = Some(self.ops);
-        None
     }
 
-    /// Replicated update: fan the sealed pairs out to every owner of
-    /// `cell`, wait for acks from the owners not under suspicion.
+    /// Sleeps the jittered-exponential backoff for retry round
+    /// `attempt`, clipped so the op's deadline is never overslept.
+    fn sleep_backoff(&mut self, attempt: u32, salt: u64, deadline: Instant) {
+        self.stats.retries += 1;
+        let delay = backoff_delay(
+            SimTime::from_nanos(self.config.retry_base.as_nanos().min(u64::MAX.into()) as u64),
+            attempt,
+            SimTime::from_nanos(self.config.retry_cap.as_nanos().min(u64::MAX.into()) as u64),
+            salt,
+        );
+        let delay = Duration::from_nanos(delay.as_nanos());
+        let Some(budget) = remaining(deadline) else {
+            return;
+        };
+        std::thread::sleep(delay.min(budget));
+    }
+
+    fn push_latency(&mut self, elapsed: Duration) {
+        let micros = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        if self.latencies.len() < LATENCY_WINDOW {
+            self.latencies.push(micros);
+        } else {
+            self.latencies[self.latency_next] = micros;
+            self.latency_next = (self.latency_next + 1) % LATENCY_WINDOW;
+        }
+    }
+
+    /// Hedging delay: the p99 of recent time-to-answer samples, clamped
+    /// to `[hedge_min, ack_timeout]`.
+    fn hedge_delay(&self) -> Duration {
+        if self.latencies.is_empty() {
+            return self.config.hedge_min;
+        }
+        let mut sorted = self.latencies.clone();
+        sorted.sort_unstable();
+        let idx = (sorted.len() * 99 / 100).min(sorted.len() - 1);
+        Duration::from_micros(sorted[idx]).clamp(self.config.hedge_min, self.config.ack_timeout)
+    }
+
+    /// Runs the heartbeat when the op counter says one is due.
+    fn heartbeat_if_due(&mut self) {
+        if self.config.ping_every > 0 && (self.ops - 1).is_multiple_of(self.config.ping_every) {
+            self.heartbeat();
+        }
+    }
+
+    /// Pings every node once and feeds the detector, then attempts to
+    /// readmit any `Rejoining` node. Public so harnesses can force a
+    /// detector round between fault-schedule phases.
+    pub fn heartbeat(&mut self) {
+        for node in 0..self.peers.len() {
+            let uid = self.fresh_uid();
+            self.stats.pings += 1;
+            if !self.send_kind(node, uid, AlsNetKind::Ping) {
+                self.detector.record_miss(node);
+                continue;
+            }
+            match self.wait_kind(node, uid, self.config.ping_timeout) {
+                Some(AlsNetKind::Pong { .. }) => {
+                    self.stats.pongs += 1;
+                    self.detector.record_ack(node);
+                }
+                Some(_) => self.detector.record_ack(node),
+                None => self.detector.record_miss(node),
+            }
+        }
+        self.try_readmit();
+    }
+
+    /// Probes `node`'s digest of `cell` (a zero-digest [`AlsNetKind::SyncDigest`]
+    /// never pushes data — the server always answers with its local
+    /// digest). Timeouts yield `None` and, deliberately, no detector
+    /// evidence: a failed probe aborts readmission, nothing more.
+    fn probe_digest(&mut self, node: usize, cell: CellId) -> Option<(u64, u32)> {
+        let uid = self.fresh_uid();
+        let kind = AlsNetKind::SyncDigest {
+            cell,
+            digest: 0,
+            count: 0,
+        };
+        if !self.send_kind(node, uid, kind) {
+            return None;
+        }
+        match self.wait_kind(node, uid, self.config.ping_timeout) {
+            Some(AlsNetKind::SyncDigest { digest, count, .. }) => Some((digest, count)),
+            _ => None,
+        }
+    }
+
+    /// Readmits `Rejoining` nodes whose owned [`ClientConfig::readmit_cells`]
+    /// digest-match a read-eligible co-owner (empty list: readmit
+    /// immediately — the answered heartbeat is the whole bar).
+    fn try_readmit(&mut self) {
+        for node in 0..self.peers.len() {
+            if self.detector.state(node) != NodeHealth::Rejoining {
+                continue;
+            }
+            let cells: Vec<CellId> = self
+                .config
+                .readmit_cells
+                .clone()
+                .into_iter()
+                .filter(|&cell| self.ring.owners(cell, self.replication).contains(&node))
+                .collect();
+            let mut verified = true;
+            for cell in cells {
+                let Some(rejoiner) = self.probe_digest(node, cell) else {
+                    verified = false;
+                    break;
+                };
+                let partner = self
+                    .ring
+                    .owners(cell, self.replication)
+                    .into_iter()
+                    .find(|&o| o != node && self.detector.read_eligible(o));
+                // No healthy co-owner to compare against: the rejoiner
+                // is the best copy we have for this cell.
+                let Some(partner) = partner else { continue };
+                let Some(healthy) = self.probe_digest(partner, cell) else {
+                    verified = false;
+                    break;
+                };
+                if rejoiner != healthy {
+                    verified = false;
+                    break;
+                }
+            }
+            if verified {
+                self.detector.record_readmit(node);
+                self.stats.readmitted += 1;
+            }
+        }
+    }
+
+    /// Replicated update: fan the sealed pairs to every owner of `cell`
+    /// and retry (fresh uids, jittered backoff) until every owner acked
+    /// or the op deadline lapses.
+    ///
+    /// Owners the detector holds `Down` still receive every round's
+    /// fire-and-forget frame — a wrongly declared node keeps
+    /// converging — but are not awaited, so a dead node costs misses
+    /// only until the detector downs it.
     ///
     /// [`UpdateOutcome::fully_acked`] is the durability signal — with
     /// R-way ownership, a fully-acked write survives any single crash.
     pub fn update(&mut self, cell: CellId, pairs: Vec<AlsPair>) -> UpdateOutcome {
         self.ops += 1;
+        self.heartbeat_if_due();
         let owners = self.ring.owners(cell, self.replication);
-        let mut sends: Vec<(usize, u64, bool)> = Vec::with_capacity(owners.len());
-        for &node in &owners {
-            let uid = self.fresh_uid();
-            let kind = AlsNetKind::Update {
-                cell,
-                pairs: pairs.clone(),
+        let deadline = Instant::now() + self.config.op_deadline;
+        let salt = self.next_uid;
+        let mut acked = vec![false; owners.len()];
+        let mut attempt = 0u32;
+        loop {
+            let mut sends: Vec<(usize, usize, u64, bool)> = Vec::with_capacity(owners.len());
+            for (slot, &node) in owners.iter().enumerate() {
+                if acked[slot] {
+                    continue;
+                }
+                let uid = self.fresh_uid();
+                let kind = AlsNetKind::Update {
+                    cell,
+                    pairs: pairs.clone(),
+                };
+                let sent = self.send_kind(node, uid, kind);
+                sends.push((slot, node, uid, sent));
+            }
+            for (slot, node, uid, sent) in sends {
+                if !sent {
+                    self.detector.record_miss(node);
+                    continue;
+                }
+                if !self.detector.is_alive(node) {
+                    continue;
+                }
+                let Some(budget) = remaining(deadline) else {
+                    break;
+                };
+                match self.wait_kind(node, uid, budget.min(self.config.ack_timeout)) {
+                    Some(AlsNetKind::Ack { .. }) => {
+                        self.detector.record_ack(node);
+                        acked[slot] = true;
+                    }
+                    Some(AlsNetKind::Busy) => {
+                        self.stats.busy += 1;
+                        self.detector.record_ack(node);
+                    }
+                    Some(_) => self.detector.record_ack(node),
+                    None => self.detector.record_miss(node),
+                }
+            }
+            let acks = acked.iter().filter(|&&a| a).count() as u32;
+            let outcome = UpdateOutcome {
+                owners: owners.len() as u32,
+                acks,
             };
-            let sent = self.send_kind(node, uid, kind);
-            sends.push((node, uid, sent));
-        }
-        let mut acks = 0;
-        for (node, uid, sent) in sends {
-            if !sent || !self.waitable(node) {
-                continue;
+            if outcome.fully_acked() {
+                return outcome;
             }
-            if matches!(self.wait_kind(node, uid), Some(AlsNetKind::Ack { .. })) {
-                acks += 1;
+            if Instant::now() >= deadline {
+                self.stats.deadline_misses += 1;
+                return outcome;
             }
-        }
-        UpdateOutcome {
-            owners: owners.len() as u32,
-            acks,
+            // Every unacked owner is Down: further rounds only burn the
+            // deadline waiting on nobody.
+            if owners
+                .iter()
+                .enumerate()
+                .all(|(slot, &node)| acked[slot] || !self.detector.is_alive(node))
+            {
+                return outcome;
+            }
+            attempt += 1;
+            self.sleep_backoff(attempt, salt, deadline);
         }
     }
 
-    /// Replicated query: walk the owners of `cell` in rendezvous order,
-    /// return the first answer carrying a record. A miss from one
-    /// replica falls through to the next (it may not have converged
-    /// yet); only when every reachable owner misses is the result a
-    /// miss.
+    /// Replicated query: walk the read-eligible owners of `cell` in
+    /// rendezvous order and return the first answer carrying a record.
+    /// A miss from one replica falls through to the next (it may not
+    /// have converged yet); a round where *every* walked owner
+    /// authoritatively misses is a genuine miss. Rounds that end with
+    /// unanswered owners retry with fresh uids and jittered backoff
+    /// until the op deadline.
+    ///
+    /// With [`ClientConfig::hedge`] and at least two eligible owners,
+    /// the round instead races the first two owners: the second is
+    /// asked only after the p99-derived [`ClusterClient::hedge_delay`]
+    /// passes unanswered.
     pub fn query(&mut self, cell: CellId, index: &[u8]) -> QueryOutcome {
         self.ops += 1;
+        self.heartbeat_if_due();
         let owners = self.ring.owners(cell, self.replication);
-        let mut answered = 0;
-        for &node in &owners {
-            if !self.waitable(node) {
-                continue;
+        let deadline = Instant::now() + self.config.op_deadline;
+        let salt = self.next_uid;
+        let mut answered = 0u32;
+        let mut attempt = 0u32;
+        loop {
+            let mut walk: Vec<usize> = owners
+                .iter()
+                .copied()
+                .filter(|&node| self.detector.read_eligible(node))
+                .collect();
+            if walk.is_empty() {
+                // Availability over pessimism: with no owner the
+                // detector trusts, ask everyone anyway.
+                walk.clone_from(&owners);
             }
-            let uid = self.fresh_uid();
-            let kind = AlsNetKind::Request {
-                cell,
-                index: index.to_vec(),
-                reply_loc: Point::ORIGIN,
-            };
-            if !self.send_kind(node, uid, kind) {
-                self.peers[node].suspected_at = Some(self.ops);
-                continue;
-            }
-            match self.wait_kind(node, uid) {
-                Some(AlsNetKind::Reply { payload }) => {
-                    return QueryOutcome {
-                        payload: Some(payload),
-                        answered: answered + 1,
-                    };
+            if self.config.hedge && walk.len() >= 2 {
+                if let Some(outcome) =
+                    self.hedged_round(cell, index, &walk, deadline, &mut answered)
+                {
+                    return outcome;
                 }
-                Some(_) => answered += 1,
-                None => {}
+            } else if let Some(outcome) =
+                self.walk_round(cell, index, &walk, deadline, &mut answered)
+            {
+                return outcome;
             }
-        }
-        QueryOutcome {
-            payload: None,
-            answered,
+            if Instant::now() >= deadline {
+                self.stats.deadline_misses += 1;
+                return QueryOutcome {
+                    payload: None,
+                    answered,
+                };
+            }
+            attempt += 1;
+            self.sleep_backoff(attempt, salt, deadline);
         }
     }
 
-    /// Queries one specific node directly (bypassing the ring) — the
-    /// conformance suite's per-replica convergence check.
-    pub fn query_node(&mut self, node: usize, cell: CellId, index: &[u8]) -> Option<Vec<u8>> {
-        self.ops += 1;
-        let uid = self.fresh_uid();
-        let kind = AlsNetKind::Request {
+    fn request_kind(cell: CellId, index: &[u8]) -> AlsNetKind {
+        AlsNetKind::Request {
             cell,
             index: index.to_vec(),
             reply_loc: Point::ORIGIN,
-        };
-        if !self.send_kind(node, uid, kind) {
+        }
+    }
+
+    /// One sequential walk over `walk`. `Some` resolves the query (hit,
+    /// or every walked owner missed); `None` sends the caller around
+    /// for a retry round.
+    fn walk_round(
+        &mut self,
+        cell: CellId,
+        index: &[u8],
+        walk: &[usize],
+        deadline: Instant,
+        answered: &mut u32,
+    ) -> Option<QueryOutcome> {
+        let started = Instant::now();
+        let mut round_misses = 0usize;
+        for &node in walk {
+            let Some(budget) = remaining(deadline) else {
+                break;
+            };
+            let uid = self.fresh_uid();
+            if !self.send_kind(node, uid, Self::request_kind(cell, index)) {
+                self.detector.record_miss(node);
+                continue;
+            }
+            match self.wait_kind(node, uid, budget.min(self.config.ack_timeout)) {
+                Some(AlsNetKind::Reply { payload }) => {
+                    self.detector.record_ack(node);
+                    self.push_latency(started.elapsed());
+                    return Some(QueryOutcome {
+                        payload: Some(payload),
+                        answered: *answered + 1,
+                    });
+                }
+                Some(AlsNetKind::Miss) => {
+                    self.detector.record_ack(node);
+                    *answered += 1;
+                    round_misses += 1;
+                }
+                Some(AlsNetKind::Busy) => {
+                    self.stats.busy += 1;
+                    self.detector.record_ack(node);
+                }
+                Some(_) => self.detector.record_ack(node),
+                None => self.detector.record_miss(node),
+            }
+        }
+        if round_misses == walk.len() {
+            return Some(QueryOutcome {
+                payload: None,
+                answered: *answered,
+            });
+        }
+        None
+    }
+
+    /// One hedged round racing `walk[0]` and (after the hedge delay)
+    /// `walk[1]`. Same contract as [`ClusterClient::walk_round`].
+    fn hedged_round(
+        &mut self,
+        cell: CellId,
+        index: &[u8],
+        walk: &[usize],
+        deadline: Instant,
+        answered: &mut u32,
+    ) -> Option<QueryOutcome> {
+        let (first, second) = (walk[0], walk[1]);
+        let started = Instant::now();
+        let uid_first = self.fresh_uid();
+        if !self.send_kind(first, uid_first, Self::request_kind(cell, index)) {
+            self.detector.record_miss(first);
             return None;
         }
-        match self.wait_kind(node, uid) {
-            Some(AlsNetKind::Reply { payload }) => Some(payload),
-            _ => None,
+        let hedge_at = started + self.hedge_delay();
+        let mut first_missed = false;
+        // Phase 1: the primary alone, until the hedge delay lapses (or
+        // it answers Miss/Busy, which also hands over to the hedge).
+        loop {
+            if let Some(kind) = self.poll_kind(first, uid_first) {
+                self.detector.record_ack(first);
+                match kind {
+                    AlsNetKind::Reply { payload } => {
+                        self.push_latency(started.elapsed());
+                        return Some(QueryOutcome {
+                            payload: Some(payload),
+                            answered: *answered + 1,
+                        });
+                    }
+                    AlsNetKind::Miss => {
+                        *answered += 1;
+                        first_missed = true;
+                        break;
+                    }
+                    AlsNetKind::Busy => {
+                        self.stats.busy += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            if Instant::now() >= hedge_at.min(deadline) {
+                break;
+            }
+        }
+        // Phase 2: fan to the second owner, race whatever is pending.
+        self.stats.hedged += 1;
+        let uid_second = self.fresh_uid();
+        if !self.send_kind(second, uid_second, Self::request_kind(cell, index)) {
+            self.detector.record_miss(second);
+            if !first_missed {
+                self.detector.record_miss(first);
+            }
+            return None;
+        }
+        let stop_at = (started + self.config.ack_timeout).min(deadline);
+        let mut second_missed = false;
+        loop {
+            if !first_missed {
+                if let Some(kind) = self.poll_kind(first, uid_first) {
+                    self.detector.record_ack(first);
+                    match kind {
+                        AlsNetKind::Reply { payload } => {
+                            self.push_latency(started.elapsed());
+                            return Some(QueryOutcome {
+                                payload: Some(payload),
+                                answered: *answered + 1,
+                            });
+                        }
+                        AlsNetKind::Miss => {
+                            *answered += 1;
+                            first_missed = true;
+                        }
+                        AlsNetKind::Busy => self.stats.busy += 1,
+                        _ => {}
+                    }
+                }
+            }
+            if !second_missed {
+                if let Some(kind) = self.poll_kind(second, uid_second) {
+                    self.detector.record_ack(second);
+                    match kind {
+                        AlsNetKind::Reply { payload } => {
+                            self.stats.hedge_wins += 1;
+                            self.push_latency(started.elapsed());
+                            return Some(QueryOutcome {
+                                payload: Some(payload),
+                                answered: *answered + 1,
+                            });
+                        }
+                        AlsNetKind::Miss => {
+                            *answered += 1;
+                            second_missed = true;
+                        }
+                        AlsNetKind::Busy => self.stats.busy += 1,
+                        _ => {}
+                    }
+                }
+            }
+            if first_missed && second_missed {
+                return Some(QueryOutcome {
+                    payload: None,
+                    answered: *answered,
+                });
+            }
+            if Instant::now() >= stop_at {
+                if !first_missed {
+                    self.detector.record_miss(first);
+                }
+                if !second_missed {
+                    self.detector.record_miss(second);
+                }
+                return None;
+            }
+        }
+    }
+
+    /// Queries one specific node directly (bypassing the ring and the
+    /// detector) — the conformance suite's per-replica convergence
+    /// check. Retries with fresh uids until the node answers
+    /// authoritatively or the op deadline lapses, so a dropped frame
+    /// under chaos cannot masquerade as a miss.
+    pub fn query_node(&mut self, node: usize, cell: CellId, index: &[u8]) -> Option<Vec<u8>> {
+        self.ops += 1;
+        let deadline = Instant::now() + self.config.op_deadline;
+        let salt = self.next_uid;
+        let mut attempt = 0u32;
+        loop {
+            let uid = self.fresh_uid();
+            if self.send_kind(node, uid, Self::request_kind(cell, index)) {
+                let budget = remaining(deadline).unwrap_or(Duration::ZERO);
+                match self.wait_kind(node, uid, budget.min(self.config.ack_timeout)) {
+                    Some(AlsNetKind::Reply { payload }) => return Some(payload),
+                    Some(AlsNetKind::Miss) => return None,
+                    Some(AlsNetKind::Busy) => self.stats.busy += 1,
+                    Some(_) | None => {}
+                }
+            }
+            if Instant::now() >= deadline {
+                self.stats.deadline_misses += 1;
+                return None;
+            }
+            attempt += 1;
+            self.sleep_backoff(attempt, salt, deadline);
         }
     }
 }
@@ -843,6 +1513,7 @@ mod tests {
             queue_depth: 64,
             batch_max: 16,
             compact_every: None,
+            shed_watermark: None,
         }
     }
 
@@ -852,6 +1523,7 @@ mod tests {
             replication,
             engine: small_engine(),
             logical_clock: true,
+            ..ClusterConfig::default()
         }
     }
 
@@ -898,19 +1570,24 @@ mod tests {
     fn kill_restart_and_anti_entropy_refill() {
         let mut cluster = Cluster::launch(config(3, 2)).unwrap();
         cluster.set_time(SimTime::from_secs(1));
-        let mut client = cluster.client().unwrap();
+        let mut client = cluster
+            .client_with(ClientConfig {
+                ack_timeout: Duration::from_millis(200),
+                op_deadline: Duration::from_millis(900),
+                ping_every: 0,
+                ..ClientConfig::default()
+            })
+            .unwrap();
         let cell = CellId { col: 1, row: 1 };
         assert!(client.update(cell, vec![pair(3)]).fully_acked());
         let victim = cluster.ring().owners(cell, 2)[0];
         assert!(cluster.kill(victim));
         assert!(!cluster.is_up(victim));
-        // The surviving replica still answers through the ring (the
-        // client suspects the dead node after one timeout).
-        client.set_ack_timeout(Duration::from_millis(200));
+        // The surviving replica still answers through the ring: the dead
+        // owner eats one ack timeout, then the walk falls through.
         assert_eq!(client.query(cell, &[3; 16]).payload, Some(vec![3, 0xC1]));
         // Restart: empty until anti-entropy pulls the record back.
         assert!(cluster.restart(victim).unwrap());
-        client.mark_up(victim);
         assert_eq!(
             cluster
                 .engine(victim)

@@ -32,7 +32,15 @@
 //! * [`cluster`] — the replicated fleet: N UDP nodes behind the ring,
 //!   R-way replicated writes, digest-probe/chunked-push anti-entropy,
 //!   deterministic kill/restart chaos schedules, and a ring-aware
-//!   client with failure suspicion.
+//!   client with a heartbeat-driven failure detector, per-op deadlines,
+//!   jittered retries, and hedged reads.
+//! * [`chaos_net`] — a deterministic fault-injecting [`transport::Transport`]
+//!   decorator: seeded drop/duplicate/reorder on any transport, keyed to
+//!   frame counters so chaos runs are bit-identical at a fixed seed.
+//! * [`journal`] — per-node crash-recovery journaling: applied mutations
+//!   append to segmented logs of wire-encoded frames (fsync batched,
+//!   snapshot-compacted), replayed into the store before a restarted
+//!   node serves, so recovery is local I/O plus an anti-entropy top-off.
 //!
 //! The `als_loadgen` binary in `agr-bench` drives millions of
 //! zipfian-keyed operations through this engine and records throughput
@@ -41,16 +49,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos_net;
 pub mod cluster;
+pub mod journal;
 pub mod pipeline;
 pub mod ring;
 pub mod service;
 pub mod store;
 pub mod transport;
 
-pub use cluster::{ChaosPlan, Cluster, ClusterClient, ClusterConfig};
+pub use chaos_net::{ChaosNetConfig, ChaosStats, ChaosTransport};
+pub use cluster::{ChaosPlan, ClientConfig, Cluster, ClusterClient, ClusterConfig};
+pub use journal::{Journal, JournalConfig, JournalOp};
 pub use pipeline::{Engine, EngineConfig, Request, Response};
-pub use ring::Ring;
+pub use ring::{FailureDetector, HealthConfig, NodeHealth, Ring};
 pub use service::{serve, AlsClient, ServeStats};
 pub use store::{cell_key, ShardedStore, StoreConfig};
 pub use transport::{loopback_pair, Transport, UdpClient, UdpServer};

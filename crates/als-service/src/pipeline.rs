@@ -12,13 +12,14 @@
 //! key's operations on one queue: per-key FIFO semantics survive the
 //! fan-out to multiple workers.
 
+use crate::journal::Journal;
 use crate::store::{cell_key, ShardedStore, StoreConfig, StoreOp};
 use agr_core::packet::AlsPair;
 use agr_geom::{CellId, Point};
 use agr_sim::SimTime;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// A typed service request — the in-process form of the wire frames in
@@ -104,6 +105,11 @@ pub struct EngineConfig {
     /// Compaction sweep period (wall clock); `None` relies on expiry at
     /// read plus capacity eviction alone.
     pub compact_every: Option<SimTime>,
+    /// Admission-control high-water mark: [`Engine::call_admitted`]
+    /// rejects (sheds) a request when its target queue already holds at
+    /// least this many jobs. `None` admits everything, which preserves
+    /// the blocking-backpressure behavior.
+    pub shed_watermark: Option<usize>,
 }
 
 impl Default for EngineConfig {
@@ -114,6 +120,7 @@ impl Default for EngineConfig {
             queue_depth: 1024,
             batch_max: 64,
             compact_every: Some(SimTime::from_secs(1)),
+            shed_watermark: None,
         }
     }
 }
@@ -172,10 +179,14 @@ pub struct Engine {
     store: Arc<ShardedStore>,
     clock: Clock,
     queues: Vec<SyncSender<Job>>,
+    depths: Vec<Arc<AtomicUsize>>,
+    shed_watermark: Option<usize>,
     stop: Arc<AtomicBool>,
     workers: Vec<std::thread::JoinHandle<()>>,
     compactor: Option<std::thread::JoinHandle<()>>,
     shed: AtomicU64,
+    journal: Option<Arc<Mutex<Journal>>>,
+    journal_errors: Arc<AtomicU64>,
 }
 
 impl std::fmt::Debug for Engine {
@@ -192,7 +203,14 @@ impl Engine {
     /// clock.
     #[must_use]
     pub fn start(config: EngineConfig) -> Engine {
-        Engine::start_with_clock(config, Clock::wall())
+        Engine::start_with_clock(config, Clock::wall(), None)
+    }
+
+    /// Starts a wall-clock engine that journals every applied mutation
+    /// to `journal` — the crash-recovery mode cluster nodes run in.
+    #[must_use]
+    pub fn start_journaled(config: EngineConfig, journal: Journal) -> Engine {
+        Engine::start_with_clock(config, Clock::wall(), Some(journal))
     }
 
     /// Starts an engine whose clock the caller advances by storing
@@ -200,23 +218,46 @@ impl Engine {
     #[must_use]
     pub fn start_manual_clock(config: EngineConfig) -> (Engine, Arc<AtomicU64>) {
         let (clock, cell) = Clock::manual();
-        (Engine::start_with_clock(config, clock), cell)
+        (Engine::start_with_clock(config, clock, None), cell)
     }
 
-    fn start_with_clock(config: EngineConfig, clock: Clock) -> Engine {
+    /// Manual clock plus journaling — the configuration the
+    /// deterministic cluster conformance suite runs recovery under.
+    #[must_use]
+    pub fn start_manual_clock_journaled(
+        config: EngineConfig,
+        journal: Journal,
+    ) -> (Engine, Arc<AtomicU64>) {
+        let (clock, cell) = Clock::manual();
+        (Engine::start_with_clock(config, clock, Some(journal)), cell)
+    }
+
+    fn start_with_clock(config: EngineConfig, clock: Clock, journal: Option<Journal>) -> Engine {
         let store = Arc::new(ShardedStore::new(&config.store));
         let stop = Arc::new(AtomicBool::new(false));
+        let journal = journal.map(|j| Arc::new(Mutex::new(j)));
+        let journal_errors = Arc::new(AtomicU64::new(0));
         let workers_n = config.workers.max(1);
         let mut queues = Vec::with_capacity(workers_n);
+        let mut depths = Vec::with_capacity(workers_n);
         let mut workers = Vec::with_capacity(workers_n);
         for _ in 0..workers_n {
             let (tx, rx) = sync_channel::<Job>(config.queue_depth.max(1));
             queues.push(tx);
+            let depth = Arc::new(AtomicUsize::new(0));
+            depths.push(depth.clone());
             let store = store.clone();
             let clock = clock.clone();
             let batch_max = config.batch_max.max(1);
+            let journal = journal.clone();
+            let journal_errors = journal_errors.clone();
             workers.push(std::thread::spawn(move || {
-                worker_loop(&store, &clock, &rx, batch_max);
+                let ctx = WorkerCtx {
+                    depth,
+                    journal,
+                    journal_errors,
+                };
+                worker_loop(&store, &clock, &rx, batch_max, &ctx);
             }));
         }
         let compactor = config.compact_every.map(|period| {
@@ -235,10 +276,14 @@ impl Engine {
             store,
             clock,
             queues,
+            depths,
+            shed_watermark: config.shed_watermark,
             stop,
             workers,
             compactor,
             shed: AtomicU64::new(0),
+            journal,
+            journal_errors,
         }
     }
 
@@ -254,9 +299,16 @@ impl Engine {
         self.clock.now()
     }
 
-    fn queue_for(&self, request: &Request) -> &SyncSender<Job> {
+    fn queue_index(&self, request: &Request) -> usize {
         let shard = self.store.shard_of(&request.routing_key());
-        &self.queues[shard % self.queues.len()]
+        shard % self.queues.len()
+    }
+
+    /// Jobs currently queued across all workers — the load figure a
+    /// `Pong` advertises and `call_admitted` sheds on.
+    #[must_use]
+    pub fn queued(&self) -> usize {
+        self.depths.iter().map(|d| d.load(Ordering::Relaxed)).sum()
     }
 
     /// Enqueues a fire-and-forget request, blocking while the target
@@ -266,7 +318,9 @@ impl Engine {
             request,
             reply: None,
         };
-        self.queue_for(&job.request)
+        let q = self.queue_index(&job.request);
+        self.depths[q].fetch_add(1, Ordering::Relaxed);
+        self.queues[q]
             .send(job)
             .expect("worker queue closed before shutdown");
     }
@@ -288,9 +342,12 @@ impl Engine {
             request,
             reply: None,
         };
-        match self.queue_for(&job.request).try_send(job) {
+        let q = self.queue_index(&job.request);
+        self.depths[q].fetch_add(1, Ordering::Relaxed);
+        match self.queues[q].try_send(job) {
             Ok(()) => Ok(()),
             Err(TrySendError::Full(job) | TrySendError::Disconnected(job)) => {
+                self.depths[q].fetch_sub(1, Ordering::Relaxed);
                 self.shed.fetch_add(1, Ordering::Relaxed);
                 Err(job.request)
             }
@@ -311,10 +368,69 @@ impl Engine {
             request,
             reply: Some(tx),
         };
-        self.queue_for(&job.request)
+        let q = self.queue_index(&job.request);
+        self.depths[q].fetch_add(1, Ordering::Relaxed);
+        self.queues[q]
             .send(job)
             .expect("worker queue closed before shutdown");
         rx.recv().expect("worker dropped reply slot")
+    }
+
+    /// [`Engine::call`] behind admission control: when the target queue
+    /// already holds `shed_watermark` or more jobs, the request is shed
+    /// (counted, side-effect free) and `None` comes back — the serve
+    /// loop's cue to answer `Busy` instead of queueing unbounded work
+    /// behind an overload. With no watermark configured this is `call`.
+    pub fn call_admitted(&self, request: Request) -> Option<Response> {
+        if let Some(watermark) = self.shed_watermark {
+            let q = self.queue_index(&request);
+            if self.depths[q].load(Ordering::Relaxed) >= watermark.max(1) {
+                self.shed.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        }
+        Some(self.call(request))
+    }
+
+    /// Merges replicated records for `cell` last-writer-wins directly
+    /// into the store, journaling exactly the records the merge changed
+    /// (a no-op merge must not be re-journaled: replay order must match
+    /// merge order, or a replayed older record could shadow a newer
+    /// one). The write side of anti-entropy delta application.
+    pub fn merge_synced(&self, records: Vec<(Vec<u8>, Vec<u8>, SimTime)>) -> usize {
+        let mut landed: Vec<(Vec<u8>, Vec<u8>, SimTime)> = Vec::new();
+        for (key, payload, stored_at) in records {
+            if self
+                .store
+                .merge_record(key.clone(), payload.clone(), stored_at)
+            {
+                landed.push((key, payload, stored_at));
+            }
+        }
+        let changed = landed.len();
+        if changed > 0 {
+            if let Some(journal) = &self.journal {
+                let mut journal = journal.lock().expect("journal poisoned");
+                if journal.append_puts(&landed).is_err() {
+                    self.journal_errors.fetch_add(1, Ordering::Relaxed);
+                }
+                maybe_compact(&mut journal, &self.store, &self.journal_errors);
+            }
+        }
+        changed
+    }
+
+    /// Journal write failures over the engine's lifetime (the journal
+    /// degrades to best-effort rather than panicking a worker).
+    #[must_use]
+    pub fn journal_error_count(&self) -> u64 {
+        self.journal_errors.load(Ordering::Relaxed)
+    }
+
+    /// Whether this engine journals applied mutations.
+    #[must_use]
+    pub fn is_journaled(&self) -> bool {
+        self.journal.is_some()
     }
 
     /// Drains queues, stops workers and compactor, and returns the store
@@ -333,25 +449,93 @@ impl Engine {
     }
 }
 
+/// Per-worker shared state beyond the store: its queue-depth gauge and
+/// the engine's (optional) journal.
+struct WorkerCtx {
+    depth: Arc<AtomicUsize>,
+    journal: Option<Arc<Mutex<Journal>>>,
+    journal_errors: Arc<AtomicU64>,
+}
+
+impl WorkerCtx {
+    /// Journals applied mutations, counting rather than propagating
+    /// failures, and compacts the journal when history piled up.
+    fn journal_applied(&self, store: &ShardedStore, ops: &[JournalWrite]) {
+        let Some(journal) = &self.journal else {
+            return;
+        };
+        let mut journal = journal.lock().expect("journal poisoned");
+        for op in ops {
+            let failed = match op {
+                JournalWrite::Puts(records) => journal.append_puts(records).is_err(),
+                JournalWrite::Delete(key) => journal.append_delete(key).is_err(),
+            };
+            if failed {
+                self.journal_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        maybe_compact(&mut journal, store, &self.journal_errors);
+    }
+}
+
+/// One journal entry a worker owes after applying store mutations.
+enum JournalWrite {
+    Puts(Vec<(Vec<u8>, Vec<u8>, SimTime)>),
+    Delete(Vec<u8>),
+}
+
+/// Snapshots the store into the journal when enough sealed history
+/// accumulated; a failed compaction is counted and retried at the next
+/// trigger rather than crashing the worker.
+fn maybe_compact(journal: &mut Journal, store: &ShardedStore, errors: &AtomicU64) {
+    if journal.wants_compaction() && journal.compact(&store.scan_all()).is_err() {
+        errors.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
 /// Applies one worker's queue: drain up to `batch_max` jobs, coalesce
 /// the updates into a shard-grouped batch, answer queries in order.
-fn worker_loop(store: &ShardedStore, clock: &Clock, rx: &Receiver<Job>, batch_max: usize) {
+fn worker_loop(
+    store: &ShardedStore,
+    clock: &Clock,
+    rx: &Receiver<Job>,
+    batch_max: usize,
+    ctx: &WorkerCtx,
+) {
     while let Ok(first) = rx.recv() {
+        ctx.depth.fetch_sub(1, Ordering::Relaxed);
         let mut jobs = vec![first];
         while jobs.len() < batch_max {
             match rx.try_recv() {
-                Ok(job) => jobs.push(job),
+                Ok(job) => {
+                    ctx.depth.fetch_sub(1, Ordering::Relaxed);
+                    jobs.push(job);
+                }
                 Err(_) => break,
             }
         }
         let now = clock.now();
         // Coalesce consecutive updates so a burst becomes one batched,
         // shard-grouped application; a query cuts the run so it still
-        // observes every update queued before it.
+        // observes every update queued before it. Journal entries are
+        // queued during the pass and written only *after* the batch is
+        // applied: the journal records history, so a compaction snapshot
+        // (which scans the live store) can never miss a journaled write.
         let mut pending: Vec<StoreOp> = Vec::new();
         let mut pending_acks: Vec<(SyncSender<Response>, u32)> = Vec::new();
-        let flush = |ops: &mut Vec<StoreOp>, acks: &mut Vec<(SyncSender<Response>, u32)>| {
+        let mut journal_writes: Vec<JournalWrite> = Vec::new();
+        let journaled = ctx.journal.is_some();
+        let flush = |ops: &mut Vec<StoreOp>,
+                     acks: &mut Vec<(SyncSender<Response>, u32)>,
+                     writes: &mut Vec<JournalWrite>| {
             if !ops.is_empty() {
+                if journaled {
+                    writes.push(JournalWrite::Puts(
+                        ops.iter()
+                            .map(|(key, payload)| (key.clone(), payload.clone(), now))
+                            .collect(),
+                    ));
+                }
                 store.apply_batch(std::mem::take(ops), now, 1);
             }
             for (tx, count) in acks.drain(..) {
@@ -380,7 +564,10 @@ fn worker_loop(store: &ShardedStore, clock: &Clock, rx: &Receiver<Job>, batch_ma
                     pending.extend(pairs.into_iter().map(|p| {
                         // Forward re-homes: drop the old-cell copy, store
                         // under the new owner.
-                        store.remove(&cell_key(from_cell, &p.index));
+                        let old_key = cell_key(from_cell, &p.index);
+                        if store.remove(&old_key).is_some() && journaled {
+                            journal_writes.push(JournalWrite::Delete(old_key));
+                        }
                         (cell_key(to_cell, &p.index), p.payload)
                     }));
                     if let Some(tx) = job.reply {
@@ -388,7 +575,7 @@ fn worker_loop(store: &ShardedStore, clock: &Clock, rx: &Receiver<Job>, batch_ma
                     }
                 }
                 Request::Query { cell, index, .. } => {
-                    flush(&mut pending, &mut pending_acks);
+                    flush(&mut pending, &mut pending_acks, &mut journal_writes);
                     let answer = match store.query(&cell_key(cell, &index), now) {
                         Some(payload) => Response::Hit { payload },
                         None => Response::Miss,
@@ -399,7 +586,8 @@ fn worker_loop(store: &ShardedStore, clock: &Clock, rx: &Receiver<Job>, batch_ma
                 }
             }
         }
-        flush(&mut pending, &mut pending_acks);
+        flush(&mut pending, &mut pending_acks, &mut journal_writes);
+        ctx.journal_applied(store, &journal_writes);
     }
 }
 

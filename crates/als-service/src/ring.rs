@@ -94,6 +94,130 @@ impl Ring {
     }
 }
 
+/// A node's health as the failure detector sees it.
+///
+/// ```text
+/// Alive --miss--> Suspect --(down_after misses)--> Down
+///   ^                |                               |
+///   |<----ack--------+            ack                v
+///   |                                           Rejoining --miss--> Down
+///   +------------------readmit (cells verified)------+
+/// ```
+///
+/// The extra `Rejoining` state is the read-safety half of recovery: a
+/// node that answers again after being `Down` is *reachable* but its
+/// store may still be stale, so it is written to (it must catch up) but
+/// not counted on for reads until its cells verify against a healthy
+/// replica and the caller issues `record_readmit`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeHealth {
+    /// Answering normally.
+    Alive,
+    /// Missed recent evidence; still read-eligible (suspicion is cheap,
+    /// and a lossy transport must not flap reads).
+    Suspect,
+    /// Considered crashed: skipped for reads and never awaited on.
+    Down,
+    /// Answering again after `Down`, catching up; written to but not
+    /// read-quorum-eligible until verified.
+    Rejoining,
+}
+
+/// Tuning of a [`FailureDetector`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthConfig {
+    /// Consecutive misses that turn `Suspect` into `Down`.
+    pub down_after: u32,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig { down_after: 3 }
+    }
+}
+
+/// A pure, heartbeat-driven per-node health state machine (see
+/// [`NodeHealth`]). It holds no clocks and does no I/O: callers feed it
+/// ack/miss *evidence* (an answered frame of any kind is an ack; an
+/// awaited-but-absent answer is a miss) and read back eligibility. That
+/// purity is what makes detector behavior a deterministic function of
+/// the evidence stream — the property the chaos proptests pin.
+#[derive(Debug, Clone)]
+pub struct FailureDetector {
+    config: HealthConfig,
+    states: Vec<NodeHealth>,
+    misses: Vec<u32>,
+}
+
+impl FailureDetector {
+    /// A detector over `nodes` members, all initially [`NodeHealth::Alive`].
+    #[must_use]
+    pub fn new(nodes: usize, config: HealthConfig) -> FailureDetector {
+        FailureDetector {
+            config,
+            states: vec![NodeHealth::Alive; nodes.max(1)],
+            misses: vec![0; nodes.max(1)],
+        }
+    }
+
+    /// The current state of `node`.
+    #[must_use]
+    pub fn state(&self, node: usize) -> NodeHealth {
+        self.states[node]
+    }
+
+    /// Whether `node` is worth sending to and awaiting (anything but
+    /// `Down`).
+    #[must_use]
+    pub fn is_alive(&self, node: usize) -> bool {
+        self.states[node] != NodeHealth::Down
+    }
+
+    /// Whether `node` may serve reads: `Alive` or `Suspect`, but not a
+    /// `Rejoining` node whose store has not been verified yet.
+    #[must_use]
+    pub fn read_eligible(&self, node: usize) -> bool {
+        matches!(self.states[node], NodeHealth::Alive | NodeHealth::Suspect)
+    }
+
+    /// Records liveness evidence: any answered frame. Clears suspicion;
+    /// a `Down` node becomes `Rejoining` (reachable, not yet trusted).
+    pub fn record_ack(&mut self, node: usize) {
+        self.misses[node] = 0;
+        self.states[node] = match self.states[node] {
+            NodeHealth::Alive | NodeHealth::Suspect => NodeHealth::Alive,
+            NodeHealth::Down | NodeHealth::Rejoining => NodeHealth::Rejoining,
+        };
+    }
+
+    /// Records an awaited answer that never came. `down_after`
+    /// consecutive misses take a node to `Down`; a `Rejoining` node
+    /// falls straight back (it had no standing to lose).
+    pub fn record_miss(&mut self, node: usize) {
+        self.misses[node] = self.misses[node].saturating_add(1);
+        self.states[node] = match self.states[node] {
+            NodeHealth::Rejoining | NodeHealth::Down => NodeHealth::Down,
+            NodeHealth::Alive | NodeHealth::Suspect => {
+                if self.misses[node] >= self.config.down_after.max(1) {
+                    NodeHealth::Down
+                } else {
+                    NodeHealth::Suspect
+                }
+            }
+        };
+    }
+
+    /// Promotes a `Rejoining` node to `Alive` — called only after the
+    /// caller verified the node's cells agree with a healthy replica
+    /// (in-band, via digest probes). A no-op in any other state.
+    pub fn record_readmit(&mut self, node: usize) {
+        if self.states[node] == NodeHealth::Rejoining {
+            self.misses[node] = 0;
+            self.states[node] = NodeHealth::Alive;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -158,6 +282,61 @@ mod tests {
         for (node, &count) in owned.iter().enumerate() {
             assert!(count > 0, "node {node} owns nothing on a 4x4 grid");
         }
+    }
+
+    #[test]
+    fn detector_walks_alive_suspect_down_rejoining_alive() {
+        let mut fd = FailureDetector::new(3, HealthConfig { down_after: 3 });
+        assert_eq!(fd.state(1), NodeHealth::Alive);
+        fd.record_miss(1);
+        assert_eq!(fd.state(1), NodeHealth::Suspect);
+        assert!(fd.read_eligible(1), "suspicion must not flap reads");
+        fd.record_miss(1);
+        fd.record_miss(1);
+        assert_eq!(fd.state(1), NodeHealth::Down);
+        assert!(!fd.is_alive(1) && !fd.read_eligible(1));
+        // First answer after Down: reachable but not trusted for reads.
+        fd.record_ack(1);
+        assert_eq!(fd.state(1), NodeHealth::Rejoining);
+        assert!(fd.is_alive(1) && !fd.read_eligible(1));
+        // Readmission is explicit, after cell verification.
+        fd.record_readmit(1);
+        assert_eq!(fd.state(1), NodeHealth::Alive);
+        // Other nodes were never touched.
+        assert_eq!(fd.state(0), NodeHealth::Alive);
+        assert_eq!(fd.state(2), NodeHealth::Alive);
+    }
+
+    #[test]
+    fn one_ack_clears_any_pile_of_suspicion() {
+        let mut fd = FailureDetector::new(1, HealthConfig { down_after: 4 });
+        for _ in 0..3 {
+            fd.record_miss(0);
+        }
+        assert_eq!(fd.state(0), NodeHealth::Suspect);
+        fd.record_ack(0);
+        assert_eq!(fd.state(0), NodeHealth::Alive);
+        // The miss counter reset too: it takes down_after fresh misses
+        // to go Down again.
+        for _ in 0..3 {
+            fd.record_miss(0);
+        }
+        assert_eq!(fd.state(0), NodeHealth::Suspect);
+    }
+
+    #[test]
+    fn rejoining_node_falls_straight_back_on_a_miss() {
+        let mut fd = FailureDetector::new(2, HealthConfig::default());
+        for _ in 0..3 {
+            fd.record_miss(0);
+        }
+        fd.record_ack(0);
+        assert_eq!(fd.state(0), NodeHealth::Rejoining);
+        fd.record_miss(0);
+        assert_eq!(fd.state(0), NodeHealth::Down);
+        // Readmit on a non-Rejoining node is a no-op.
+        fd.record_readmit(0);
+        assert_eq!(fd.state(0), NodeHealth::Down);
     }
 
     #[test]

@@ -43,6 +43,13 @@ pub struct ServeStats {
     pub sync_digests: u64,
     /// Anti-entropy deltas merged.
     pub sync_deltas: u64,
+    /// Liveness pings answered with a `Pong`.
+    pub pings: u64,
+    /// Requests rejected with `Busy` by admission control.
+    pub shed: u64,
+    /// Answers (or encodes) that failed to leave the transport — counted
+    /// and skipped, never a panic or a loop exit.
+    pub send_errors: u64,
 }
 
 impl ServeStats {
@@ -57,6 +64,9 @@ impl ServeStats {
         self.ignored += other.ignored;
         self.sync_digests += other.sync_digests;
         self.sync_deltas += other.sync_deltas;
+        self.pings += other.pings;
+        self.shed += other.shed;
+        self.send_errors += other.send_errors;
     }
 }
 
@@ -115,10 +125,19 @@ pub fn serve<T: ServerTransport>(
         let uid = message.uid;
         let answer = match message.kind {
             AlsNetKind::Update { cell, pairs } => {
-                stats.updates += 1;
-                match engine.call(Request::Update { cell, pairs }) {
-                    Response::Stored { count } => AlsNetKind::Ack { stored: count },
-                    Response::Hit { .. } | Response::Miss => AlsNetKind::Ack { stored: 0 },
+                match engine.call_admitted(Request::Update { cell, pairs }) {
+                    None => {
+                        stats.shed += 1;
+                        AlsNetKind::Busy
+                    }
+                    Some(Response::Stored { count }) => {
+                        stats.updates += 1;
+                        AlsNetKind::Ack { stored: count }
+                    }
+                    Some(Response::Hit { .. } | Response::Miss) => {
+                        stats.updates += 1;
+                        AlsNetKind::Ack { stored: 0 }
+                    }
                 }
             }
             AlsNetKind::Request {
@@ -126,17 +145,24 @@ pub fn serve<T: ServerTransport>(
                 index,
                 reply_loc,
             } => {
-                stats.queries += 1;
-                match engine.call(Request::Query {
+                match engine.call_admitted(Request::Query {
                     cell,
                     index,
                     reply_loc,
                 }) {
-                    Response::Hit { payload } => {
+                    None => {
+                        stats.shed += 1;
+                        AlsNetKind::Busy
+                    }
+                    Some(Response::Hit { payload }) => {
+                        stats.queries += 1;
                         stats.hits += 1;
                         AlsNetKind::Reply { payload }
                     }
-                    Response::Miss | Response::Stored { .. } => AlsNetKind::Miss,
+                    Some(Response::Miss | Response::Stored { .. }) => {
+                        stats.queries += 1;
+                        AlsNetKind::Miss
+                    }
                 }
             }
             AlsNetKind::Forward {
@@ -144,14 +170,23 @@ pub fn serve<T: ServerTransport>(
                 to_cell,
                 pairs,
             } => {
-                stats.forwards += 1;
-                match engine.call(Request::Forward {
+                match engine.call_admitted(Request::Forward {
                     from_cell,
                     to_cell,
                     pairs,
                 }) {
-                    Response::Stored { count } => AlsNetKind::Ack { stored: count },
-                    Response::Hit { .. } | Response::Miss => AlsNetKind::Ack { stored: 0 },
+                    None => {
+                        stats.shed += 1;
+                        AlsNetKind::Busy
+                    }
+                    Some(Response::Stored { count }) => {
+                        stats.forwards += 1;
+                        AlsNetKind::Ack { stored: count }
+                    }
+                    Some(Response::Hit { .. } | Response::Miss) => {
+                        stats.forwards += 1;
+                        AlsNetKind::Ack { stored: 0 }
+                    }
                 }
             }
             // Anti-entropy probe: always answer with the local digest.
@@ -179,20 +214,42 @@ pub fn serve<T: ServerTransport>(
                     .into_iter()
                     .map(|p| (cell_key(cell, &p.index), p.payload, p.stored_at))
                     .collect();
-                let changed = engine.store().merge_records(records);
+                // Through the engine, not the raw store: merged records
+                // must reach the journal, or a restart would forget what
+                // anti-entropy delivered.
+                let changed = engine.merge_synced(records);
                 AlsNetKind::Ack {
                     stored: u32::try_from(changed).unwrap_or(u32::MAX),
                 }
             }
-            AlsNetKind::Reply { .. } | AlsNetKind::Ack { .. } | AlsNetKind::Miss => {
+            // Liveness probe: always answered, even under overload —
+            // admission control sheds *work*, while the pong advertises
+            // the backlog so clients can tell "slow" from "dead".
+            AlsNetKind::Ping => {
+                stats.pings += 1;
+                AlsNetKind::Pong {
+                    queue_depth: u32::try_from(engine.queued()).unwrap_or(u32::MAX),
+                }
+            }
+            AlsNetKind::Reply { .. }
+            | AlsNetKind::Ack { .. }
+            | AlsNetKind::Miss
+            | AlsNetKind::Pong { .. }
+            | AlsNetKind::Busy => {
                 stats.ignored += 1;
                 continue;
             }
         };
-        let encoded = encode_packet(&AgfwPacket::Als(frame(uid, answer)))
-            .expect("service frames always encode");
-        if transport.send_to(&peer, &encoded).is_err() {
-            break;
+        // A failed answer is the peer's loss, not the node's: count it
+        // and keep serving (the kill path still exits via the stop flag
+        // or the receive side reporting the transport gone).
+        match encode_packet(&AgfwPacket::Als(frame(uid, answer))) {
+            Ok(encoded) => {
+                if transport.send_to(&peer, &encoded).is_err() {
+                    stats.send_errors += 1;
+                }
+            }
+            Err(_) => stats.send_errors += 1,
         }
     }
     stats
@@ -202,15 +259,30 @@ pub fn serve<T: ServerTransport>(
 pub struct AlsClient<T: Transport> {
     transport: T,
     next_uid: u64,
+    total_timeout: Duration,
+    attempt_timeout: Duration,
 }
 
 impl<T: Transport> AlsClient<T> {
-    /// Wraps `transport`.
+    /// Wraps `transport` with the default single-attempt timeout.
     #[must_use]
     pub fn new(transport: T) -> AlsClient<T> {
+        AlsClient::with_timeouts(transport, CLIENT_TIMEOUT, CLIENT_TIMEOUT)
+    }
+
+    /// Wraps `transport` with an overall deadline and a per-attempt
+    /// timeout: when no answer arrives within `attempt`, the *same*
+    /// frame (same uid) is re-sent and the wait continues, until `total`
+    /// lapses. Every service operation is idempotent or uid-matched, so
+    /// re-sending over a lossy transport is safe; `attempt == total`
+    /// (the default) never re-sends.
+    #[must_use]
+    pub fn with_timeouts(transport: T, total: Duration, attempt: Duration) -> AlsClient<T> {
         AlsClient {
             transport,
             next_uid: 1,
+            total_timeout: total,
+            attempt_timeout: attempt.max(Duration::from_millis(1)),
         }
     }
 
@@ -220,13 +292,20 @@ impl<T: Transport> AlsClient<T> {
         let encoded = encode_packet(&AgfwPacket::Als(frame(uid, kind)))
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
         self.transport.send(&encoded)?;
-        let deadline = Instant::now() + CLIENT_TIMEOUT;
+        let deadline = Instant::now() + self.total_timeout;
+        let mut attempt_deadline = Instant::now() + self.attempt_timeout;
         loop {
             match self.transport.recv() {
                 Ok(bytes) => match decode_packet(&bytes) {
+                    // A Busy answer means alive-but-overloaded: fall
+                    // through to the re-send path rather than failing.
+                    Ok(AgfwPacket::Als(m))
+                        if m.uid == uid && !matches!(m.kind, AlsNetKind::Busy) =>
+                    {
+                        return Ok(m.kind);
+                    }
                     // Stale answers (a lost request's late reply) carry an
                     // older uid — drop them and keep waiting for ours.
-                    Ok(AgfwPacket::Als(m)) if m.uid == uid => return Ok(m.kind),
                     Ok(_) | Err(_) => {}
                 },
                 Err(e)
@@ -234,8 +313,13 @@ impl<T: Transport> AlsClient<T> {
                         || e.kind() == io::ErrorKind::WouldBlock => {}
                 Err(e) => return Err(e),
             }
-            if Instant::now() >= deadline {
+            let now = Instant::now();
+            if now >= deadline {
                 return Err(io::ErrorKind::TimedOut.into());
+            }
+            if now >= attempt_deadline {
+                self.transport.send(&encoded)?;
+                attempt_deadline = now + self.attempt_timeout;
             }
         }
     }

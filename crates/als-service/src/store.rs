@@ -205,6 +205,27 @@ impl ShardedStore {
         records
     }
 
+    /// Enumerates (without removing) every record in the store, in key
+    /// order: `(full cell-prefixed key, payload, stored_at)`. The read
+    /// side of journal compaction: the snapshot segment is exactly this
+    /// scan at compaction time.
+    #[must_use]
+    pub fn scan_all(&self) -> Vec<(Vec<u8>, Vec<u8>, SimTime)> {
+        let mut records: Vec<(Vec<u8>, Vec<u8>, SimTime)> = self
+            .shards
+            .iter()
+            .flat_map(|shard| {
+                shard
+                    .lock()
+                    .expect("shard poisoned")
+                    .scan_prefix(&[])
+                    .into_iter()
+            })
+            .collect();
+        records.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        records
+    }
+
     /// A merkle-ish summary of one cell's records: an order-independent
     /// FNV-1a fold (per-record hashes summed mod 2^64) plus the record
     /// count. Two replicas hold byte-identical cell state if and only if
@@ -239,14 +260,20 @@ impl ShardedStore {
     pub fn merge_records(&self, records: Vec<(Vec<u8>, Vec<u8>, SimTime)>) -> usize {
         let mut changed = 0;
         for (key, payload, stored_at) in records {
-            if self
-                .shard(&key)
-                .merge_record(key.clone(), payload, stored_at)
-            {
+            if self.merge_record(key, payload, stored_at) {
                 changed += 1;
             }
         }
         changed
+    }
+
+    /// Merges a single replicated record last-writer-wins; returns
+    /// whether the resident state changed. The per-record form of
+    /// [`ShardedStore::merge_records`], for callers that must know
+    /// *which* records landed (the journal records only those).
+    pub fn merge_record(&self, key: Vec<u8>, payload: Vec<u8>, stored_at: SimTime) -> bool {
+        self.shard(&key)
+            .merge_record(key.clone(), payload, stored_at)
     }
 
     /// Re-homes every record stored under `from` to `to` — the

@@ -227,15 +227,29 @@ pub struct UdpClient {
 }
 
 impl UdpClient {
-    /// Binds an ephemeral local socket and connects it to `server`.
+    /// Binds an ephemeral local socket and connects it to `server` with
+    /// the default [`RECV_POLL`] receive granularity.
     ///
     /// # Errors
     ///
     /// Bind/connect failures.
     pub fn connect<A: ToSocketAddrs>(server: A) -> io::Result<UdpClient> {
+        UdpClient::connect_with(server, RECV_POLL)
+    }
+
+    /// Binds an ephemeral local socket connected to `server`, with an
+    /// explicit receive-poll granularity — how long each [`Transport::recv`]
+    /// waits before reporting `TimedOut`. Clients that interleave waits
+    /// across several sockets (hedged reads) want this much shorter than
+    /// the serve-loop default.
+    ///
+    /// # Errors
+    ///
+    /// Bind/connect failures.
+    pub fn connect_with<A: ToSocketAddrs>(server: A, poll: Duration) -> io::Result<UdpClient> {
         let socket = UdpSocket::bind(("127.0.0.1", 0))?;
         socket.connect(server)?;
-        socket.set_read_timeout(Some(RECV_POLL))?;
+        socket.set_read_timeout(Some(poll.max(Duration::from_micros(100))))?;
         Ok(UdpClient {
             socket,
             buf: vec![0; MAX_FRAME],
@@ -313,14 +327,25 @@ pub struct UdpServer {
 
 impl UdpServer {
     /// Binds `addr` (use port 0 for an OS-assigned port, then
-    /// [`UdpServer::local_addr`]).
+    /// [`UdpServer::local_addr`]) with the default [`RECV_POLL`]
+    /// stop-polling granularity.
     ///
     /// # Errors
     ///
     /// Bind failures.
     pub fn bind<A: ToSocketAddrs>(addr: A) -> io::Result<UdpServer> {
+        UdpServer::bind_with(addr, RECV_POLL)
+    }
+
+    /// Binds `addr` with an explicit receive-poll granularity — the
+    /// cadence at which an idle serve loop re-checks its stop flag.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures.
+    pub fn bind_with<A: ToSocketAddrs>(addr: A, poll: Duration) -> io::Result<UdpServer> {
         let socket = UdpSocket::bind(addr)?;
-        socket.set_read_timeout(Some(RECV_POLL))?;
+        socket.set_read_timeout(Some(poll.max(Duration::from_micros(100))))?;
         Ok(UdpServer {
             socket,
             buf: vec![0; MAX_FRAME],

@@ -1,11 +1,13 @@
 //! Model-checked conformance of the replicated ALS cluster under a
-//! deterministic kill/restart chaos schedule.
+//! deterministic kill/restart schedule *and* transport-level packet
+//! chaos (seeded drop/duplicate/reorder on every client and sync path).
 //!
 //! Each seeded run boots a 5-node ring with 2-way replication on
 //! lockstep logical clocks, drives a seeded stream of replicated writes
-//! and ring queries while a [`ChaosPlan`] kills and restarts nodes at
-//! fixed operation indices, then quiesces anti-entropy and checks the
-//! terminal state against a single-map reference ledger:
+//! and ring queries while a [`ChaosPlan`] kills and restarts one node at
+//! fixed operation indices and a [`ChaosNetConfig`] mangles packets,
+//! then quiesces anti-entropy and checks the terminal state against a
+//! single-map reference ledger:
 //!
 //! * **Durability** — for every key, let F be the latest *fully
 //!   acknowledged* write (every owner acked). If F is still TTL-fresh
@@ -13,6 +15,11 @@
 //!   full acknowledgement under single-failure chaos means at least one
 //!   replica held the write through every crash, and anti-entropy must
 //!   have spread it back.
+//! * **Availability** — while the run is in flight (fault window
+//!   included), a ring query whose key has a TTL-fresh fully-acked
+//!   write answers with a record at least 99% of the time: the
+//!   deadline/retry machinery and the failure detector's walk pruning
+//!   must hide a dead owner and a lossy network, not amplify them.
 //! * **Explainability** — every payload a query returns (mid-run or
 //!   terminal) must be one some client actually wrote to that key, and
 //!   a terminal result must be at least as new as F — the cluster may
@@ -22,21 +29,36 @@
 //! * **Determinism** — re-running the same seed reproduces the same
 //!   event/outcome trace byte-for-byte: logical clocks make `stored_at`
 //!   stamps, TTL expiry, LWW order, and ack counts pure functions of
-//!   the operation stream.
+//!   the operation stream, and every chaos decision is a pure function
+//!   of seeded frame counters.
+//!
+//! A separate test pins the crash-recovery contract: a journaled node
+//! replays its own log on restart and anti-entropy only tops off the
+//! writes it missed while down, strictly cheaper than the full refill
+//! an unjournaled node needs.
+//!
+//! Set `CHAOS_SEED=<n>` to run a single seed (the CI chaos matrix).
 
-use agr_als_service::cluster::{ChaosAction, ChaosPlan, Cluster, ClusterConfig, SplitMix64};
+use agr_als_service::chaos_net::ChaosNetConfig;
+use agr_als_service::cluster::{
+    ChaosAction, ChaosPlan, ClientConfig, Cluster, ClusterConfig, SplitMix64,
+};
 use agr_als_service::pipeline::EngineConfig;
+use agr_als_service::ring::NodeHealth;
 use agr_als_service::store::StoreConfig;
 use agr_core::packet::AlsPair;
 use agr_geom::CellId;
 use agr_sim::SimTime;
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::time::Duration;
 
 const NODES: usize = 5;
 const REPLICATION: usize = 2;
 const OPS: u64 = 320;
-const CHAOS_CYCLES: usize = 2;
+/// One kill/restart cycle per run — the single-failure regime in which
+/// every fully-acked write is durable.
+const CHAOS_CYCLES: usize = 1;
 /// Logical time between operations.
 const TICK: SimTime = SimTime::from_millis(100);
 /// Record TTL — long enough that recent writes survive to the terminal
@@ -47,6 +69,9 @@ const TTL: SimTime = SimTime::from_secs(20);
 /// (cell, one index byte).
 const GRID: u32 = 4;
 const INDEXES: u8 = 3;
+/// The availability bar for queries whose key holds a fresh fully-acked
+/// write, measured across the whole run including the fault window.
+const AVAILABILITY_FLOOR: f64 = 0.99;
 
 fn config() -> ClusterConfig {
     ClusterConfig {
@@ -65,8 +90,31 @@ fn config() -> ClusterConfig {
             // at nondeterministic moments; lazy expiry alone keeps the
             // store a pure function of the op stream.
             compact_every: None,
+            shed_watermark: None,
         },
         logical_clock: true,
+        ..ClusterConfig::default()
+    }
+}
+
+/// Client tuning for chaos runs: the ack timeout is far above a healthy
+/// localhost round-trip (so live nodes never feed the detector false
+/// misses) but short enough that a dead owner is discovered, downed,
+/// and pruned from waits within a few operations; the op deadline
+/// leaves room for a retry round or two when chaos eats a frame.
+fn chaos_client(seed: u64) -> ClientConfig {
+    ClientConfig {
+        ack_timeout: Duration::from_millis(400),
+        op_deadline: Duration::from_millis(1600),
+        retry_base: Duration::from_millis(5),
+        retry_cap: Duration::from_millis(40),
+        // Heartbeats are driven explicitly at restart points so the
+        // detector's evidence stream stays a function of the op stream.
+        ping_every: 0,
+        ping_timeout: Duration::from_millis(250),
+        chaos: Some(ChaosNetConfig::standard(seed ^ 0x00C1_1E57)),
+        readmit_cells: cells(),
+        ..ClientConfig::default()
     }
 }
 
@@ -93,6 +141,10 @@ struct RunOutcome {
     quiesce_time: SimTime,
     fully_acked_writes: u64,
     partial_writes: u64,
+    /// Queries whose key held a TTL-fresh fully-acked write when asked.
+    eligible_queries: u64,
+    /// Of those, the ones that answered with a record.
+    served_queries: u64,
 }
 
 fn fresh(stored_at: SimTime, now: SimTime) -> bool {
@@ -103,12 +155,14 @@ fn fresh(stored_at: SimTime, now: SimTime) -> bool {
 /// that can be checked inside the run; returns the trace and ledger for
 /// the cross-run and terminal checks.
 fn run(seed: u64) -> RunOutcome {
-    let mut cluster = Cluster::launch(config()).expect("cluster boot");
-    let mut client = cluster.client().expect("client connect");
-    // Dead-node discovery costs one timeout; keep it short but far
-    // above a healthy localhost round-trip so live nodes are never
-    // falsely suspected (which would perturb the trace).
-    client.set_ack_timeout(Duration::from_millis(400));
+    let mut cluster_config = config();
+    // Anti-entropy itself runs over a lossy network: sync pushes are
+    // retried under the same seeded chaos family.
+    cluster_config.sync_chaos = Some(ChaosNetConfig::standard(seed ^ 0x0000_5EED));
+    let mut cluster = Cluster::launch(cluster_config).expect("cluster boot");
+    let mut client = cluster
+        .client_with(chaos_client(seed))
+        .expect("client connect");
     let plan = ChaosPlan::seeded(seed, NODES, OPS, CHAOS_CYCLES);
     let universe = cells();
     let mut rng = SplitMix64::new(seed);
@@ -117,6 +171,8 @@ fn run(seed: u64) -> RunOutcome {
     let mut fired = 0usize;
     let mut fully_acked_writes = 0u64;
     let mut partial_writes = 0u64;
+    let mut eligible_queries = 0u64;
+    let mut served_queries = 0u64;
     let mut now = SimTime::from_secs(1);
     cluster.set_time(now);
 
@@ -132,7 +188,6 @@ fn run(seed: u64) -> RunOutcome {
                         cluster.restart(event.node).expect("rebind"),
                         "victim was down"
                     );
-                    client.mark_up(event.node);
                     // Refill the empty replica before traffic continues;
                     // the next kill must find every fully-acked write on
                     // both owners again.
@@ -140,9 +195,20 @@ fn run(seed: u64) -> RunOutcome {
                         .quiesce(&universe, 32)
                         .expect("sync transport")
                         .expect("anti-entropy must quiesce after a restart");
+                    // Heartbeats walk the detector back: the first
+                    // answered ping makes the node Rejoining, and the
+                    // digest probes over its cells (now converged)
+                    // readmit it. Chaos can eat a pong or a probe, so
+                    // drive rounds until the detector agrees.
+                    let mut beats = 0u32;
+                    while client.health(event.node) != NodeHealth::Alive {
+                        client.heartbeat();
+                        beats += 1;
+                        assert!(beats <= 32, "readmission must converge under chaos");
+                    }
                     trace.push(format!(
-                        "restart n{} @ {} rounds={}",
-                        event.node, op, rounds
+                        "restart n{} @ {} rounds={rounds} hb={beats}",
+                        event.node, op
                     ));
                 }
             }
@@ -179,7 +245,17 @@ fn run(seed: u64) -> RunOutcome {
                 cell.col, cell.row, index, op, outcome.acks, outcome.owners
             ));
         } else {
+            let has_fresh_full = ledger
+                .get(&(cell, index))
+                .and_then(|ws| ws.iter().rev().find(|w| w.fully_acked))
+                .is_some_and(|f| fresh(f.time, now));
             let got = client.query(cell, &key_bytes).payload;
+            if has_fresh_full {
+                eligible_queries += 1;
+                if got.is_some() {
+                    served_queries += 1;
+                }
+            }
             // Mid-run explainability: any returned payload must be one
             // actually written to this key.
             if let Some(payload) = &got {
@@ -259,16 +335,28 @@ fn run(seed: u64) -> RunOutcome {
         quiesce_time: now,
         fully_acked_writes,
         partial_writes,
+        eligible_queries,
+        served_queries,
+    }
+}
+
+/// The seeds the default invocation sweeps; `CHAOS_SEED` narrows the
+/// run to one seed so a CI matrix can spread them across jobs.
+fn seeds() -> Vec<u64> {
+    match std::env::var("CHAOS_SEED") {
+        Ok(raw) => vec![raw.parse().expect("CHAOS_SEED must be a u64")],
+        Err(_) => vec![11, 23],
     }
 }
 
 #[test]
-fn seeded_chaos_runs_uphold_durability_and_replay_identically() {
-    for seed in [11u64, 23, 47] {
+fn seeded_chaos_runs_uphold_durability_availability_and_replay_identically() {
+    for seed in seeds() {
         let first = run(seed);
         // The run must have actually exercised the interesting regimes:
-        // writes that were fully acked, writes degraded by a dead owner,
-        // and at least one record expired by the terminal check.
+        // writes that were fully acked, writes degraded by a dead owner
+        // or the lossy network, and at least one record expired by the
+        // terminal check.
         assert!(
             first.fully_acked_writes > 0,
             "seed {seed}: no fully-acked writes"
@@ -288,7 +376,25 @@ fn seeded_chaos_runs_uphold_durability_and_replay_identically() {
             "seed {seed}: no fully-acked write expired — TTL branch unexercised"
         );
 
-        // Same seed, fresh cluster: byte-identical event/outcome trace.
+        // Availability: queries backed by a fresh fully-acked write must
+        // be answered ≥ 99% of the time, fault window included.
+        assert!(
+            first.eligible_queries >= 20,
+            "seed {seed}: too few eligible queries ({}) to call availability",
+            first.eligible_queries
+        );
+        let availability = first.served_queries as f64 / first.eligible_queries as f64;
+        assert!(
+            availability >= AVAILABILITY_FLOOR,
+            "seed {seed}: availability {availability:.4} below {AVAILABILITY_FLOOR} \
+             ({}/{} eligible queries served)",
+            first.served_queries,
+            first.eligible_queries
+        );
+
+        // Same seed, fresh cluster: byte-identical event/outcome trace —
+        // packet chaos included, since every chaos decision is keyed to
+        // deterministic frame counters.
         let second = run(seed);
         assert_eq!(
             first.trace, second.trace,
@@ -302,4 +408,124 @@ fn different_seeds_schedule_different_chaos() {
     let a = ChaosPlan::seeded(11, NODES, OPS, CHAOS_CYCLES);
     let b = ChaosPlan::seeded(23, NODES, OPS, CHAOS_CYCLES);
     assert_ne!(a, b);
+}
+
+/// Crash-recovery contract: with a journal, a restarted node replays
+/// its own log (store repopulated before serving) and anti-entropy only
+/// tops off the writes it missed while down — strictly fewer records
+/// over the wire than the full refill an unjournaled node needs.
+#[test]
+fn journal_replay_recovers_strictly_cheaper_than_refill() {
+    let seed = 7u64;
+    let universe = cells();
+    let mut outcomes: Vec<(u64, u64, usize)> = Vec::new(); // (pushed, replayed, store len)
+    for journaled in [false, true] {
+        let journal_dir: Option<PathBuf> = journaled.then(|| {
+            std::env::temp_dir().join(format!(
+                "agr-conformance-journal-{}-{:?}",
+                std::process::id(),
+                std::thread::current().id()
+            ))
+        });
+        if let Some(dir) = &journal_dir {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+        let mut cluster_config = config();
+        cluster_config.journal_dir = journal_dir.clone();
+        let mut cluster = Cluster::launch(cluster_config).expect("cluster boot");
+        let mut now = SimTime::from_secs(1);
+        cluster.set_time(now);
+        let mut client = cluster
+            .client_with(ClientConfig {
+                ack_timeout: Duration::from_millis(200),
+                op_deadline: Duration::from_millis(900),
+                ping_every: 0,
+                ..ClientConfig::default()
+            })
+            .expect("client connect");
+        // Preload: seeded writes across the grid, all fully acked.
+        let mut rng = SplitMix64::new(seed);
+        for op in 0..200u64 {
+            now += TICK;
+            cluster.set_time(now);
+            let cell = universe[rng.below(universe.len() as u64) as usize];
+            let index = rng.below(u64::from(INDEXES)) as u8;
+            let outcome = client.update(
+                cell,
+                vec![AlsPair {
+                    index: vec![index, 0xB3, index ^ 0x77],
+                    payload: vec![op as u8, (op >> 8) as u8, index],
+                }],
+            );
+            assert!(outcome.fully_acked(), "healthy cluster must fully ack");
+        }
+        cluster
+            .quiesce(&universe, 32)
+            .expect("sync transport")
+            .expect("preload must quiesce");
+
+        // Kill the first owner of universe[0], write into that cell
+        // while it is down (the top-off delta), then restart it.
+        let victim = cluster.ring().owners(universe[0], REPLICATION)[0];
+        assert!(cluster.kill(victim));
+        for extra in 0..8u8 {
+            now += TICK;
+            cluster.set_time(now);
+            let outcome = client.update(
+                universe[0],
+                vec![AlsPair {
+                    index: vec![0xD0 + extra, 0xB4, extra],
+                    payload: vec![0xDE, extra],
+                }],
+            );
+            assert!(
+                !outcome.fully_acked(),
+                "a write during the outage cannot be fully acked"
+            );
+        }
+        assert!(cluster.restart(victim).expect("rebind"));
+        let replayed = cluster.replayed(victim);
+        let recovered_len = cluster.engine(victim).expect("victim is up").store().len();
+        // Recovery cost: records anti-entropy ships to reconverge.
+        let mut pushed = 0u64;
+        let mut rounds = 0usize;
+        loop {
+            let stats = cluster.sync_round(&universe).expect("sync transport");
+            pushed += stats.pushed as u64;
+            rounds += 1;
+            if stats.changed == 0 {
+                break;
+            }
+            assert!(rounds <= 32, "recovery must quiesce");
+        }
+        assert!(cluster.digests_agree(&universe));
+        cluster.shutdown();
+        if let Some(dir) = journal_dir {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+        outcomes.push((pushed, replayed, recovered_len));
+    }
+
+    let (refill_pushed, refill_replayed, refill_len) = outcomes[0];
+    let (journal_pushed, journal_replayed, journal_len) = outcomes[1];
+    assert_eq!(refill_replayed, 0, "no journal, nothing to replay");
+    assert_eq!(refill_len, 0, "unjournaled restart comes back empty");
+    assert!(journal_replayed > 0, "journal must replay history");
+    assert!(
+        journal_len > 0,
+        "journaled restart must repopulate the store before serving"
+    );
+    assert!(
+        refill_pushed > 0,
+        "an empty replica must need an anti-entropy refill"
+    );
+    assert!(
+        journal_pushed > 0,
+        "the down-window delta must still flow over the wire"
+    );
+    assert!(
+        journal_pushed < refill_pushed,
+        "journal replay must make recovery strictly cheaper over the wire: \
+         {journal_pushed} pushed with a journal vs {refill_pushed} without"
+    );
 }

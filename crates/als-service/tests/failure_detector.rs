@@ -1,0 +1,176 @@
+//! Property coverage of the failure-detector state machine and the
+//! end-to-end readmission path.
+//!
+//! The detector's contract has two halves. **No false convictions**: a
+//! node whose every probe is eventually answered — however unevenly the
+//! network delays the answers, as long as each one lands before
+//! `down_after` consecutive misses pile up — is never declared `Down`,
+//! so bounded message delay alone cannot evict a live replica from the
+//! read walk. **Guaranteed re-admission**: once a genuinely crashed
+//! node restarts, an answered heartbeat followed by a passed digest
+//! check always walks it `Down → Rejoining → Alive`, whatever miss/ack
+//! evidence chaos interleaved before that — `kill → restart → quiesce`
+//! can never strand a healthy node outside the quorum.
+//!
+//! The first two properties drive the pure state machine directly; the
+//! last boots a real UDP cluster and exercises the same walk through
+//! the client's heartbeat/readmit path.
+
+use agr_als_service::cluster::{ClientConfig, Cluster, ClusterConfig};
+use agr_als_service::pipeline::EngineConfig;
+use agr_als_service::ring::{FailureDetector, HealthConfig, NodeHealth};
+use agr_als_service::store::StoreConfig;
+use agr_core::packet::AlsPair;
+use agr_geom::CellId;
+use agr_sim::SimTime;
+use proptest::prelude::*;
+use std::time::Duration;
+
+proptest! {
+    /// Bounded message delay never produces a false `Down` verdict: as
+    /// long as every probe's answer arrives within `down_after - 1`
+    /// misses, the node oscillates between `Alive` and `Suspect` but is
+    /// never convicted, and every answer restores full health.
+    #[test]
+    fn bounded_delay_never_convicts_a_live_node(
+        down_after in 1u32..6,
+        delays in proptest::collection::vec(0u32..8, 1..64),
+    ) {
+        let mut detector = FailureDetector::new(3, HealthConfig { down_after });
+        for delay in delays {
+            // Each answer lands before the conviction threshold.
+            for _ in 0..delay.min(down_after - 1) {
+                detector.record_miss(1);
+                prop_assert_ne!(detector.state(1), NodeHealth::Down);
+                prop_assert!(detector.read_eligible(1), "delay must not drop reads");
+            }
+            detector.record_ack(1);
+            prop_assert_eq!(detector.state(1), NodeHealth::Alive);
+        }
+        // The bystanders never saw evidence and never moved.
+        prop_assert_eq!(detector.state(0), NodeHealth::Alive);
+        prop_assert_eq!(detector.state(2), NodeHealth::Alive);
+    }
+
+    /// Whatever evidence chaos feeds a convicted node — late pongs that
+    /// flap it `Rejoining → Down`, more misses while it boots — an
+    /// answered heartbeat followed by a passed digest check (ack, then
+    /// readmit) always ends `Alive`. Until that readmit lands, a
+    /// rejoining node is never read-eligible.
+    #[test]
+    fn kill_then_restart_always_readmits(
+        down_after in 1u32..6,
+        kill_misses in 0u32..8,
+        churn in proptest::collection::vec(any::<bool>(), 0..32),
+    ) {
+        let mut detector = FailureDetector::new(2, HealthConfig { down_after });
+        // Kill: enough misses to convict, plus whatever chaos adds.
+        for _ in 0..down_after + kill_misses {
+            detector.record_miss(0);
+        }
+        prop_assert_eq!(detector.state(0), NodeHealth::Down);
+        prop_assert!(!detector.is_alive(0));
+        // Restart window: arbitrary miss/ack churn. Acks lift the node
+        // to Rejoining, misses knock it straight back Down; neither
+        // state may serve reads.
+        for ack in churn {
+            if ack { detector.record_ack(0) } else { detector.record_miss(0) }
+            prop_assert!(!detector.read_eligible(0), "no reads before readmission");
+            // A readmit attempt without a fresh ack is a no-op from Down.
+            if detector.state(0) == NodeHealth::Down {
+                detector.record_readmit(0);
+                prop_assert_eq!(detector.state(0), NodeHealth::Down);
+            }
+        }
+        // Quiesce: the heartbeat answers and the digests agree.
+        detector.record_ack(0);
+        detector.record_readmit(0);
+        prop_assert_eq!(detector.state(0), NodeHealth::Alive);
+        prop_assert!(detector.read_eligible(0));
+    }
+}
+
+fn grid() -> Vec<CellId> {
+    (0..4)
+        .flat_map(|col| (0..4).map(move |row| CellId { col, row }))
+        .collect()
+}
+
+/// The same walk through the real stack: a 3-node cluster loses a node,
+/// the client's awaited writes convict it, and after restart + quiesce
+/// the heartbeat/digest path re-admits it. Swept over every choice of
+/// victim so ring position cannot matter.
+#[test]
+fn cluster_kill_restart_quiesce_readmits_every_victim() {
+    let universe = grid();
+    for victim in 0..3usize {
+        let mut cluster = Cluster::launch(ClusterConfig {
+            nodes: 3,
+            replication: 2,
+            engine: EngineConfig {
+                store: StoreConfig {
+                    shards: 2,
+                    ttl: None,
+                    capacity_per_shard: None,
+                },
+                workers: 1,
+                queue_depth: 64,
+                batch_max: 16,
+                compact_every: None,
+                shed_watermark: None,
+            },
+            logical_clock: true,
+            ..ClusterConfig::default()
+        })
+        .expect("cluster boot");
+        cluster.set_time(SimTime::from_secs(1));
+        let mut client = cluster
+            .client_with(ClientConfig {
+                ack_timeout: Duration::from_millis(100),
+                op_deadline: Duration::from_millis(700),
+                retry_base: Duration::from_millis(2),
+                retry_cap: Duration::from_millis(10),
+                ping_every: 0,
+                readmit_cells: universe.clone(),
+                ..ClientConfig::default()
+            })
+            .expect("client connect");
+        // A cell the victim owns, so awaited writes probe it directly.
+        let cell = *universe
+            .iter()
+            .find(|&&cell| cluster.ring().owners(cell, 2).contains(&victim))
+            .expect("every node owns cells on a 4x4 grid");
+
+        assert!(cluster.kill(victim));
+        let mut writes = 0u32;
+        while client.health(victim) != NodeHealth::Down {
+            client.update(
+                cell,
+                vec![AlsPair {
+                    index: vec![writes as u8, 0x5A],
+                    payload: vec![0xEE, writes as u8],
+                }],
+            );
+            writes += 1;
+            assert!(writes <= 16, "awaited misses must convict a dead owner");
+        }
+        assert!(
+            !cluster.ring().owners(cell, 2).is_empty(),
+            "ring membership is independent of health"
+        );
+
+        assert!(cluster.restart(victim).expect("rebind"));
+        cluster
+            .quiesce(&universe, 32)
+            .expect("sync transport")
+            .expect("anti-entropy must quiesce after restart");
+        let mut beats = 0u32;
+        while client.health(victim) != NodeHealth::Alive {
+            client.heartbeat();
+            beats += 1;
+            assert!(beats <= 8, "readmission must converge on a clean network");
+        }
+        assert!(client.stats().readmitted >= 1);
+        cluster.shutdown();
+    }
+}

@@ -37,6 +37,7 @@ fn tiny_engine(workers: usize, queue_depth: usize) -> Engine {
         queue_depth,
         batch_max: 8,
         compact_every: None,
+        shed_watermark: None,
     })
 }
 

@@ -84,6 +84,7 @@ fn many_loopback_clients_share_one_engine() {
         queue_depth: 8,
         batch_max: 16,
         compact_every: None,
+        shed_watermark: None,
     }));
     let stop = Arc::new(AtomicBool::new(false));
     let mut servers = Vec::new();
@@ -155,4 +156,148 @@ fn direct_engine_calls_honor_reply_locations() {
         }
     );
     engine.shutdown();
+}
+
+#[test]
+fn saturated_engine_answers_busy_but_still_pongs() {
+    use agr_als_service::transport::Transport;
+    use agr_core::packet::{AgfwPacket, AlsNetKind, AlsNetMessage};
+    use agr_core::pseudonym::Pseudonym;
+    use agr_core::wire::{decode_packet, encode_packet};
+
+    // One worker, watermark 1: while the worker chews two deliberately
+    // huge fire-and-forget updates, the (single) queue depth stays >= 1,
+    // so admission control must answer every data request with `Busy`
+    // (echoing the uid, so retries can correlate it), count the shed,
+    // and keep answering `Ping` — health probes must not starve under
+    // overload, or a busy node would look dead to the failure detector.
+    let engine = Arc::new(Engine::start(EngineConfig {
+        workers: 1,
+        queue_depth: 4,
+        shed_watermark: Some(1),
+        ..EngineConfig::default()
+    }));
+    let (mut client_side, mut server_side) = loopback_pair(8);
+    let stop = Arc::new(AtomicBool::new(false));
+    let server = {
+        let engine = engine.clone();
+        let stop = stop.clone();
+        std::thread::spawn(move || serve(&engine, &mut server_side, &stop))
+    };
+
+    let mut ask = |uid: u64, kind: AlsNetKind| -> AlsNetKind {
+        let frame = encode_packet(&AgfwPacket::Als(AlsNetMessage {
+            target_loc: Point::ORIGIN,
+            next: Pseudonym::LAST_ATTEMPT,
+            uid,
+            ttl: 1,
+            kind,
+        }))
+        .expect("encode request");
+        client_side.send(&frame).expect("send");
+        loop {
+            match client_side.recv() {
+                Ok(bytes) => {
+                    let AgfwPacket::Als(message) = decode_packet(&bytes).expect("decode response")
+                    else {
+                        panic!("serve answers with ALS frames only");
+                    };
+                    assert_eq!(message.uid, uid, "response must echo the request uid");
+                    return message.kind;
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+                    ) =>
+                {
+                    continue
+                }
+                Err(e) => panic!("loopback recv failed: {e}"),
+            }
+        }
+    };
+
+    // Idle engine: the watermark must not over-shed.
+    let small_update = |uid_byte: u8| AlsNetKind::Update {
+        cell: CELL,
+        pairs: vec![pair(uid_byte)],
+    };
+    assert_eq!(
+        ask(100, small_update(1)),
+        AlsNetKind::Ack { stored: 1 },
+        "an idle engine admits"
+    );
+
+    // Saturate: the worker owns the first giant job while the second
+    // waits in the queue, so depth >= 1 until both finish — far longer
+    // than three loopback roundtrips.
+    let giant_pairs = || {
+        (0..60_000u32)
+            .map(|i| AlsPair {
+                index: vec![(i >> 8) as u8, i as u8, 0xA5, 9],
+                payload: vec![i as u8],
+            })
+            .collect::<Vec<_>>()
+    };
+    for _ in 0..2 {
+        engine.submit(Request::Update {
+            cell: CELL,
+            pairs: giant_pairs(),
+        });
+    }
+
+    assert_eq!(
+        ask(101, small_update(2)),
+        AlsNetKind::Busy,
+        "update must be shed under load"
+    );
+    let query = AlsNetKind::Request {
+        cell: CELL,
+        index: vec![1; 24],
+        reply_loc: Point::ORIGIN,
+    };
+    assert_eq!(ask(102, query), AlsNetKind::Busy, "query must be shed");
+    let forward = AlsNetKind::Forward {
+        from_cell: CELL,
+        to_cell: CellId { col: 11, row: 21 },
+        pairs: vec![pair(1)],
+    };
+    assert_eq!(ask(103, forward), AlsNetKind::Busy, "forward must be shed");
+    match ask(104, AlsNetKind::Ping) {
+        AlsNetKind::Pong { queue_depth } => assert!(
+            queue_depth >= 1,
+            "the pong must advertise the backlog it shed over"
+        ),
+        other => panic!("ping must be answered under overload, got {other:?}"),
+    }
+
+    // Drain, then the same engine must admit again: shedding is a
+    // transient refusal, not a latch.
+    while engine.queued() > 0 {
+        std::thread::yield_now();
+    }
+    assert_eq!(
+        ask(105, small_update(3)),
+        AlsNetKind::Ack { stored: 1 },
+        "a drained engine admits again"
+    );
+
+    stop.store(true, Ordering::Release);
+    let stats = server.join().unwrap();
+    assert_eq!(stats.shed, 3, "each shed request is counted exactly once");
+    assert_eq!(stats.pings, 1);
+    assert_eq!(stats.updates, 2, "only the two admitted updates count");
+    assert_eq!(engine.shed_count(), 3);
+
+    let Ok(engine) = Arc::try_unwrap(engine) else {
+        unreachable!("the serve thread has joined; this is the sole handle")
+    };
+    let store = engine.shutdown();
+    let stats = store.stats();
+    assert_eq!(
+        stats.stored + stats.replaced,
+        2 + 2 * 60_000,
+        "admitted work lands, shed work never reaches the store"
+    );
 }

@@ -31,6 +31,7 @@ fn small_engine() -> Engine {
         queue_depth: 64,
         batch_max: 16,
         compact_every: None,
+        shed_watermark: None,
     })
 }
 
@@ -50,7 +51,7 @@ fn encoded(kind: AlsNetKind) -> Vec<u8> {
 /// hostile peer speaking an unknown dialect.
 fn unknown_kind_frame() -> Vec<u8> {
     let mut bytes = encoded(AlsNetKind::Miss);
-    *bytes.last_mut().expect("non-empty frame") = 9;
+    *bytes.last_mut().expect("non-empty frame") = 0x2A;
     bytes
 }
 

@@ -169,6 +169,7 @@ fn run_config(shards: usize, threads: u64, total_ops: u64, latency_samples: u64)
         queue_depth: 4096,
         batch_max: 128,
         compact_every: None,
+        shed_watermark: None,
     }));
     let zipf = Arc::new(Zipf::new(KEY_SPACE, ZIPF_S));
     let per_thread = total_ops / threads;

@@ -1,25 +1,39 @@
 //! Chaos-driven load harness for the replicated ALS cluster.
 //!
-//! Boots rings of 1, 3, and 5 UDP nodes, drives zipfian-keyed
-//! replicated updates and ring queries through a [`ClusterClient`], and
-//! on multi-node rings fires a seeded kill/restart schedule mid-load —
-//! then measures what the paper's fleet story actually costs: ops/s
-//! through R-way replication, the fraction of writes fully acknowledged
-//! under chaos, and how long anti-entropy takes to re-converge a
-//! restarted (empty) replica. Results land in
-//! `results/BENCH_cluster.json`, git-SHA- and timestamp-stamped.
+//! Two regimes share one runner. The **baseline rings** (1, 3, and 5
+//! UDP nodes, clean network) drive zipfian-keyed replicated updates and
+//! ring queries through a [`ClusterClient`] while a seeded kill/restart
+//! schedule fires mid-load — the ops/s numbers comparable across
+//! revisions. The **chaos runs** then put the 5-node ring under seeded
+//! packet chaos (drop/duplicate/reorder on every client and sync path)
+//! plus one kill/restart cycle and measure what self-healing costs and
+//! buys, one knob at a time: query availability for fully-acked keys
+//! (overall and inside the fault window), hit-path latency with hedging
+//! off vs on (a hedge can only rescue a `Reply` — resolving a *miss*
+//! still needs every owner to answer, so miss-path tails are identical
+//! by construction and would drown the signal), and restart recovery
+//! with an anti-entropy refill vs a crash journal replay (hedging held
+//! fixed, because hedged queries advance the seeded chaos frame
+//! counters and would change which writes replicate).
+//! Results land in `results/BENCH_cluster.json`, git-SHA- and
+//! timestamp-stamped.
 //!
 //! Flags / environment:
-//! - `--quick`: 4k ops per ring instead of 20k (CI).
-//! - `--smoke`: 3-node ring only, one seeded kill/restart cycle, hard
-//!   convergence assertions — the check.sh gate (exits non-zero on any
-//!   violated invariant).
+//! - `--quick`: smaller op counts (CI).
+//! - `--smoke`: one 3-node packet-chaos ring with a kill/restart cycle
+//!   and hard assertions on convergence and fault-window availability —
+//!   the check.sh gate (exits non-zero on any violated invariant).
+//! - `--chaos-seed <n>`: override the chaos seed (the CI chaos matrix).
 //! - `--out <path>` / `--bench-json <path>` / `AGR_BENCH_JSON`: output
 //!   path (default `results/BENCH_cluster.json`).
 //! - `AGR_CLUSTER_OPS`: explicit per-ring op count override.
 
-use agr_als_service::cluster::{ChaosAction, ChaosPlan, Cluster, ClusterConfig};
+use agr_als_service::chaos_net::ChaosNetConfig;
+use agr_als_service::cluster::{
+    ChaosAction, ChaosPlan, ClientConfig, ClientStats, Cluster, ClusterConfig,
+};
 use agr_als_service::pipeline::EngineConfig;
+use agr_als_service::ring::NodeHealth;
 use agr_als_service::store::StoreConfig;
 use agr_bench::bench_json::{git_sha, iso_timestamp};
 use agr_bench::runner::env_u64;
@@ -28,6 +42,7 @@ use agr_core::packet::AlsPair;
 use agr_geom::CellId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
@@ -38,7 +53,9 @@ const KEY_SPACE: usize = 4_096;
 const ZIPF_S: f64 = 0.99;
 /// Cells the keys spread over.
 const CELLS: u32 = 8;
-const CHAOS_SEED: u64 = 0xC1A0_5EED;
+const DEFAULT_CHAOS_SEED: u64 = 0xC1A0_5EED;
+/// The availability bar the smoke gate holds fault-window queries to.
+const SMOKE_AVAILABILITY_FLOOR: f64 = 0.99;
 
 fn cell_of(rank: usize) -> CellId {
     CellId {
@@ -60,10 +77,40 @@ fn all_cells() -> Vec<CellId> {
         .collect()
 }
 
-fn config(nodes: usize) -> ClusterConfig {
+/// One harness run: a ring size, an op budget, a fault schedule, and
+/// the self-healing knobs under measurement.
+#[derive(Clone, Copy)]
+struct RunSpec {
+    label: &'static str,
+    nodes: usize,
+    ops: u64,
+    cycles: usize,
+    /// Seeded packet chaos on every client and sync transport.
+    packet_chaos: Option<u64>,
+    /// Hedge reads after the p99-derived delay.
+    hedge: bool,
+    /// Crash-recovery journals under every node.
+    journal: bool,
+}
+
+impl RunSpec {
+    fn baseline(nodes: usize, ops: u64, cycles: usize) -> RunSpec {
+        RunSpec {
+            label: "baseline",
+            nodes,
+            ops,
+            cycles,
+            packet_chaos: None,
+            hedge: false,
+            journal: false,
+        }
+    }
+}
+
+fn config(spec: &RunSpec, journal_dir: Option<PathBuf>) -> ClusterConfig {
     ClusterConfig {
-        nodes,
-        replication: 2.min(nodes),
+        nodes: spec.nodes,
+        replication: 2.min(spec.nodes),
         engine: EngineConfig {
             store: StoreConfig {
                 shards: 4,
@@ -74,13 +121,50 @@ fn config(nodes: usize) -> ClusterConfig {
             queue_depth: 1024,
             batch_max: 64,
             compact_every: None,
+            shed_watermark: None,
         },
         logical_clock: false,
+        journal_dir,
+        sync_chaos: spec
+            .packet_chaos
+            .map(|seed| ChaosNetConfig::standard(seed ^ 0x0000_5EED)),
+        ..ClusterConfig::default()
     }
 }
 
-struct RingResult {
-    nodes: usize,
+/// Client tuning per regime. The clean baseline keeps the historical
+/// 400 ms ack wait; chaos runs shorten the per-attempt wait (localhost
+/// answers in microseconds — a timeout means the frame is gone) so the
+/// retry rounds that hide packet loss fit inside a tight op deadline.
+fn client_config(spec: &RunSpec) -> ClientConfig {
+    match spec.packet_chaos {
+        None => ClientConfig {
+            ack_timeout: Duration::from_millis(400),
+            op_deadline: Duration::from_secs(2),
+            ping_every: 0,
+            ..ClientConfig::default()
+        },
+        Some(seed) => ClientConfig {
+            ack_timeout: Duration::from_millis(120),
+            op_deadline: Duration::from_millis(900),
+            retry_base: Duration::from_millis(5),
+            retry_cap: Duration::from_millis(40),
+            // Heartbeats are driven explicitly by the run loop, outside
+            // the timed query region: a dropped pong costs a full ping
+            // timeout, which would otherwise swamp the query p99 the
+            // hedging A/B is trying to expose.
+            ping_every: 0,
+            ping_timeout: Duration::from_millis(120),
+            hedge: spec.hedge,
+            hedge_min: Duration::from_millis(1),
+            chaos: Some(ChaosNetConfig::standard(seed ^ 0x00C1_1E57)),
+            ..ClientConfig::default()
+        },
+    }
+}
+
+struct RunResult {
+    spec: RunSpec,
     replication: usize,
     ops: u64,
     writes: u64,
@@ -88,17 +172,48 @@ struct RingResult {
     queries: u64,
     hits: u64,
     wall_s: f64,
-    chaos_cycles: usize,
     /// Wall-clock cost of each post-restart quiesce, milliseconds.
     convergence_ms: Vec<f64>,
     /// Rounds each post-restart quiesce needed.
     convergence_rounds: Vec<usize>,
+    /// Records anti-entropy shipped to re-converge each restart (a
+    /// digest mismatch pushes the source's whole cell, so this counts
+    /// redundant echoes too — e.g. a journaled node pushing replayed
+    /// records back at peers that already hold them).
+    recovery_pushed: Vec<u64>,
+    /// Records that actually *changed* a receiving replica per restart —
+    /// the useful repair work, and the cost journal replay cuts: an
+    /// unjournaled victim must re-land every pre-kill record over the
+    /// wire, a journaled one only the down-window delta. (Wall ms under
+    /// chaotic sync is mostly retry timeouts; counts are the signal.)
+    recovery_changed: Vec<u64>,
     /// Terminal quiesce cost (all nodes up), milliseconds.
     final_convergence_ms: f64,
     final_convergence_rounds: usize,
+    /// Queries whose key held a fully-acked write when asked / answered.
+    eligible: u64,
+    served: u64,
+    /// The same pair restricted to the fault window (kill → readmit).
+    fault_eligible: u64,
+    fault_served: u64,
+    /// Ring-query latency percentiles, microseconds.
+    p50_us: u64,
+    p95_us: u64,
+    p99_us: u64,
+    /// The same percentiles over *hit* queries only — the population
+    /// hedging can improve (see the module docs).
+    hit_p50_us: u64,
+    hit_p95_us: u64,
+    hit_p99_us: u64,
+    /// Journal records replayed across every restart.
+    replayed: u64,
+    client: ClientStats,
+    /// Requests the engines answered `Busy` (admission shed).
+    shed: u64,
+    server_send_errors: u64,
 }
 
-impl RingResult {
+impl RunResult {
     fn ops_per_sec(&self) -> f64 {
         if self.wall_s > 0.0 {
             self.ops as f64 / self.wall_s
@@ -106,69 +221,195 @@ impl RingResult {
             0.0
         }
     }
+
+    fn availability(&self) -> f64 {
+        self.served as f64 / self.eligible.max(1) as f64
+    }
+
+    /// Vacuously 1.0 when no eligible query fell inside a fault window
+    /// (the JSON carries the raw counts alongside).
+    fn fault_availability(&self) -> f64 {
+        if self.fault_eligible == 0 {
+            1.0
+        } else {
+            self.fault_served as f64 / self.fault_eligible as f64
+        }
+    }
+
+    /// Mean post-restart recovery cost, ms (0 when nothing restarted).
+    fn recovery_ms(&self) -> f64 {
+        if self.convergence_ms.is_empty() {
+            0.0
+        } else {
+            self.convergence_ms.iter().sum::<f64>() / self.convergence_ms.len() as f64
+        }
+    }
+}
+
+fn percentile(sorted: &[u64], pct: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[(sorted.len() * pct / 100).min(sorted.len() - 1)]
 }
 
 /// Runs one ring end to end. `cycles` > 0 schedules seeded kill/restart
 /// chaos (multi-node rings only — a 1-node ring has nowhere to fail
 /// over to).
-fn run_ring(nodes: usize, total_ops: u64, cycles: usize) -> RingResult {
-    let cfg = config(nodes);
-    let mut cluster = Cluster::launch(cfg).expect("cluster boot");
-    let mut client = cluster.client().expect("client connect");
-    client.set_ack_timeout(Duration::from_millis(400));
-    let plan = if cycles > 0 {
-        ChaosPlan::seeded(CHAOS_SEED ^ nodes as u64, nodes, total_ops, cycles)
+fn run_ring(spec: RunSpec, chaos_seed: u64) -> RunResult {
+    let journal_dir = spec.journal.then(|| {
+        std::env::temp_dir().join(format!(
+            "agr-cluster-harness-{}-{}n-{}",
+            std::process::id(),
+            spec.nodes,
+            spec.label
+        ))
+    });
+    if let Some(dir) = &journal_dir {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    let cluster_config = config(&spec, journal_dir.clone());
+    let mut cluster = Cluster::launch(cluster_config).expect("cluster boot");
+    let replication = cluster.replication();
+    let mut client = cluster
+        .client_with(client_config(&spec))
+        .expect("client connect");
+    let plan = if spec.cycles > 0 {
+        ChaosPlan::seeded(
+            chaos_seed ^ spec.nodes as u64,
+            spec.nodes,
+            spec.ops,
+            spec.cycles,
+        )
     } else {
         ChaosPlan::default()
     };
     let universe = all_cells();
     let zipf = Zipf::new(KEY_SPACE, ZIPF_S);
-    let mut rng = StdRng::seed_from_u64(0xBEEF ^ nodes as u64);
+    let mut rng = StdRng::seed_from_u64(0xBEEF ^ spec.nodes as u64);
     let mut fired = 0usize;
-    let mut result = RingResult {
-        nodes,
-        replication: cfg.replication,
+    let mut acked_ranks: HashSet<usize> = HashSet::new();
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut hit_latencies: Vec<u64> = Vec::new();
+    let mut in_fault_window = false;
+    let mut result = RunResult {
+        spec,
+        replication,
         ops: 0,
         writes: 0,
         fully_acked: 0,
         queries: 0,
         hits: 0,
         wall_s: 0.0,
-        chaos_cycles: cycles,
         convergence_ms: Vec::new(),
         convergence_rounds: Vec::new(),
+        recovery_pushed: Vec::new(),
+        recovery_changed: Vec::new(),
         final_convergence_ms: 0.0,
         final_convergence_rounds: 0,
+        eligible: 0,
+        served: 0,
+        fault_eligible: 0,
+        fault_served: 0,
+        p50_us: 0,
+        p95_us: 0,
+        p99_us: 0,
+        hit_p50_us: 0,
+        hit_p95_us: 0,
+        hit_p99_us: 0,
+        replayed: 0,
+        client: ClientStats::default(),
+        shed: 0,
+        server_send_errors: 0,
     };
+    let tag = spec.label;
     let t0 = Instant::now();
-    for op in 0..total_ops {
+    for op in 0..spec.ops {
         for &event in plan.due(op, &mut fired) {
             match event.action {
                 ChaosAction::Kill => {
+                    // Chaos arms quiesce before the kill so the
+                    // journal-vs-refill record counts are interpretable:
+                    // with replication caught up, a refill must re-land
+                    // the victim's whole pre-kill store while replay
+                    // needs only the down-window delta. Killing over
+                    // un-replicated debt instead mixes in records only
+                    // the victim held — the journal resurrects those
+                    // (the refill arm loses them for good), which is a
+                    // durability win but drowns the wire-cost signal.
+                    // Baselines skip this to keep ops/s comparable.
+                    if spec.packet_chaos.is_some() {
+                        cluster
+                            .quiesce(&universe, 64)
+                            .expect("sync transport")
+                            .expect("pre-kill quiesce must converge");
+                    }
                     assert!(cluster.kill(event.node), "chaos victim was already down");
-                    eprintln!("  [{nodes}-node] kill n{} @ op {op}", event.node);
+                    in_fault_window = true;
+                    eprintln!(
+                        "  [{tag} {}-node] kill n{} @ op {op}",
+                        spec.nodes, event.node
+                    );
                 }
                 ChaosAction::Restart => {
                     assert!(
                         cluster.restart(event.node).expect("rebind"),
                         "chaos victim was already up"
                     );
-                    client.mark_up(event.node);
+                    result.replayed += cluster.replayed(event.node);
+                    // Re-converge by explicit sync rounds so the repair
+                    // record counts — `changed` is the cost journal
+                    // replay cuts — are measured, not just the
+                    // (retry-dominated) wall clock.
                     let c0 = Instant::now();
-                    let rounds = cluster
-                        .quiesce(&universe, 64)
-                        .expect("sync transport")
-                        .expect("anti-entropy must re-converge after a restart");
+                    let mut pushed = 0u64;
+                    let mut changed = 0u64;
+                    let mut rounds = 0usize;
+                    loop {
+                        let stats = cluster.sync_round(&universe).expect("sync transport");
+                        pushed += stats.pushed as u64;
+                        changed += stats.changed as u64;
+                        rounds += 1;
+                        if stats.changed == 0 {
+                            break;
+                        }
+                        assert!(
+                            rounds <= 64,
+                            "anti-entropy must re-converge after a restart"
+                        );
+                    }
                     let ms = c0.elapsed().as_secs_f64() * 1e3;
+                    result.recovery_pushed.push(pushed);
+                    result.recovery_changed.push(changed);
+                    // Walk the detector back before traffic resumes: the
+                    // fault window closes when the node is read-eligible
+                    // again, not merely restarted.
+                    let mut beats = 0u32;
+                    while client.health(event.node) != NodeHealth::Alive {
+                        client.heartbeat();
+                        beats += 1;
+                        assert!(beats <= 32, "readmission must converge");
+                    }
+                    in_fault_window = false;
                     eprintln!(
-                        "  [{nodes}-node] restart n{} @ op {op}: converged in {rounds} \
-                         round(s), {ms:.1} ms",
-                        event.node
+                        "  [{tag} {}-node] restart n{} @ op {op}: converged in {rounds} \
+                         round(s), {ms:.1} ms, {pushed} pushed ({changed} changed), \
+                         {} replayed, {beats} \
+                         heartbeat(s)",
+                        spec.nodes,
+                        event.node,
+                        cluster.replayed(event.node),
                     );
                     result.convergence_ms.push(ms);
                     result.convergence_rounds.push(rounds);
                 }
             }
+        }
+        // Periodic detector maintenance, outside the timed region (see
+        // `client_config`): walks back any node the lossy network
+        // convicted by coincidence.
+        if spec.packet_chaos.is_some() && op > 0 && op % 32 == 0 {
+            client.heartbeat();
         }
         let rank = zipf.sample(&mut rng);
         let cell = cell_of(rank);
@@ -184,11 +425,26 @@ fn run_ring(nodes: usize, total_ops: u64, cycles: usize) -> RingResult {
             result.writes += 1;
             if outcome.fully_acked() {
                 result.fully_acked += 1;
+                acked_ranks.insert(rank);
             }
         } else {
+            let eligible = acked_ranks.contains(&rank);
+            let q0 = Instant::now();
+            let served = client.query(cell, &index).payload.is_some();
+            let elapsed_us = q0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+            latencies.push(elapsed_us);
             result.queries += 1;
-            if client.query(cell, &index).payload.is_some() {
+            if served {
                 result.hits += 1;
+                hit_latencies.push(elapsed_us);
+            }
+            if eligible {
+                result.eligible += 1;
+                result.served += u64::from(served);
+                if in_fault_window {
+                    result.fault_eligible += 1;
+                    result.fault_served += u64::from(served);
+                }
             }
         }
         result.ops += 1;
@@ -207,18 +463,47 @@ fn run_ring(nodes: usize, total_ops: u64, cycles: usize) -> RingResult {
         cluster.digests_agree(&universe),
         "owners must agree after terminal quiesce"
     );
-    cluster.shutdown();
+    latencies.sort_unstable();
+    result.p50_us = percentile(&latencies, 50);
+    result.p95_us = percentile(&latencies, 95);
+    result.p99_us = percentile(&latencies, 99);
+    hit_latencies.sort_unstable();
+    result.hit_p50_us = percentile(&hit_latencies, 50);
+    result.hit_p95_us = percentile(&hit_latencies, 95);
+    result.hit_p99_us = percentile(&hit_latencies, 99);
+    result.client = client.stats();
+    for stats in cluster.shutdown() {
+        result.shed += stats.shed;
+        result.server_send_errors += stats.send_errors;
+    }
+    if let Some(dir) = journal_dir {
+        let _ = std::fs::remove_dir_all(dir);
+    }
     eprintln!(
-        "{nodes:>2}-node ring (R={}): {:>7} ops in {:>6.2}s  {:>8.0} ops/s  \
-         fully-acked {:.3}  hit rate {:.3}  final quiesce {} round(s) {:.1} ms",
+        "{tag} {:>2}-node ring (R={}): {:>7} ops in {:>6.2}s  {:>8.0} ops/s  \
+         fully-acked {:.3}  hit rate {:.3}  avail {:.4} (fault {:.4})  \
+         q p50/p95/p99 {}/{}/{} µs (hit {}/{}/{})  recovery {:.1} ms \
+         ({} pushed, {} changed)  \
+         final quiesce {} round(s)",
+        spec.nodes,
         result.replication,
         result.ops,
         result.wall_s,
         result.ops_per_sec(),
         result.fully_acked as f64 / result.writes.max(1) as f64,
         result.hits as f64 / result.queries.max(1) as f64,
+        result.availability(),
+        result.fault_availability(),
+        result.p50_us,
+        result.p95_us,
+        result.p99_us,
+        result.hit_p50_us,
+        result.hit_p95_us,
+        result.hit_p99_us,
+        result.recovery_ms(),
+        result.recovery_pushed.iter().sum::<u64>(),
+        result.recovery_changed.iter().sum::<u64>(),
         result.final_convergence_rounds,
-        result.final_convergence_ms,
     );
     result
 }
@@ -233,7 +518,102 @@ fn json_usize_list(values: &[usize]) -> String {
     format!("[{}]", items.join(", "))
 }
 
-fn render(results: &[RingResult]) -> String {
+fn json_u64_list(values: &[u64]) -> String {
+    let items: Vec<String> = values.iter().map(u64::to_string).collect();
+    format!("[{}]", items.join(", "))
+}
+
+fn render_run(out: &mut String, r: &RunResult, comma: &str) {
+    let _ = writeln!(out, "    {{");
+    let _ = writeln!(out, "      \"label\": \"{}\",", r.spec.label);
+    let _ = writeln!(out, "      \"nodes\": {},", r.spec.nodes);
+    let _ = writeln!(out, "      \"replication\": {},", r.replication);
+    let _ = writeln!(
+        out,
+        "      \"packet_chaos\": {},",
+        r.spec.packet_chaos.is_some()
+    );
+    let _ = writeln!(out, "      \"hedge\": {},", r.spec.hedge);
+    let _ = writeln!(out, "      \"journal\": {},", r.spec.journal);
+    let _ = writeln!(out, "      \"ops\": {},", r.ops);
+    let _ = writeln!(out, "      \"wall_s\": {:.6},", r.wall_s);
+    let _ = writeln!(out, "      \"ops_per_sec\": {:.1},", r.ops_per_sec());
+    let _ = writeln!(out, "      \"writes\": {},", r.writes);
+    let _ = writeln!(out, "      \"fully_acked\": {},", r.fully_acked);
+    let _ = writeln!(out, "      \"queries\": {},", r.queries);
+    let _ = writeln!(out, "      \"hits\": {},", r.hits);
+    let _ = writeln!(out, "      \"eligible_queries\": {},", r.eligible);
+    let _ = writeln!(out, "      \"served_queries\": {},", r.served);
+    let _ = writeln!(out, "      \"availability\": {:.6},", r.availability());
+    let _ = writeln!(
+        out,
+        "      \"fault_window_eligible\": {},",
+        r.fault_eligible
+    );
+    let _ = writeln!(out, "      \"fault_window_served\": {},", r.fault_served);
+    let _ = writeln!(
+        out,
+        "      \"fault_window_availability\": {:.6},",
+        r.fault_availability()
+    );
+    let _ = writeln!(out, "      \"query_p50_us\": {},", r.p50_us);
+    let _ = writeln!(out, "      \"query_p95_us\": {},", r.p95_us);
+    let _ = writeln!(out, "      \"query_p99_us\": {},", r.p99_us);
+    let _ = writeln!(out, "      \"query_hit_p50_us\": {},", r.hit_p50_us);
+    let _ = writeln!(out, "      \"query_hit_p95_us\": {},", r.hit_p95_us);
+    let _ = writeln!(out, "      \"query_hit_p99_us\": {},", r.hit_p99_us);
+    let _ = writeln!(out, "      \"chaos_cycles\": {},", r.spec.cycles);
+    let _ = writeln!(
+        out,
+        "      \"convergence_ms\": {},",
+        json_f64_list(&r.convergence_ms)
+    );
+    let _ = writeln!(
+        out,
+        "      \"convergence_rounds\": {},",
+        json_usize_list(&r.convergence_rounds)
+    );
+    let _ = writeln!(out, "      \"recovery_ms\": {:.2},", r.recovery_ms());
+    let _ = writeln!(
+        out,
+        "      \"recovery_pushed\": {},",
+        json_u64_list(&r.recovery_pushed)
+    );
+    let _ = writeln!(
+        out,
+        "      \"recovery_changed\": {},",
+        json_u64_list(&r.recovery_changed)
+    );
+    let _ = writeln!(out, "      \"journal_replayed\": {},", r.replayed);
+    let _ = writeln!(
+        out,
+        "      \"final_convergence_ms\": {:.2},",
+        r.final_convergence_ms
+    );
+    let _ = writeln!(
+        out,
+        "      \"final_convergence_rounds\": {},",
+        r.final_convergence_rounds
+    );
+    let _ = writeln!(out, "      \"client_retries\": {},", r.client.retries);
+    let _ = writeln!(out, "      \"client_hedged\": {},", r.client.hedged);
+    let _ = writeln!(out, "      \"client_hedge_wins\": {},", r.client.hedge_wins);
+    let _ = writeln!(out, "      \"client_busy\": {},", r.client.busy);
+    let _ = writeln!(
+        out,
+        "      \"client_deadline_misses\": {},",
+        r.client.deadline_misses
+    );
+    let _ = writeln!(out, "      \"server_shed\": {},", r.shed);
+    let _ = writeln!(
+        out,
+        "      \"server_send_errors\": {}",
+        r.server_send_errors
+    );
+    let _ = writeln!(out, "    }}{comma}");
+}
+
+fn render(baselines: &[RunResult], chaos_runs: &[RunResult], chaos_seed: u64) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{{");
     let _ = writeln!(out, "  \"bin\": \"cluster_harness\",");
@@ -241,42 +621,17 @@ fn render(results: &[RingResult]) -> String {
     let _ = writeln!(out, "  \"generated_at\": \"{}\",", iso_timestamp());
     let _ = writeln!(out, "  \"key_space\": {KEY_SPACE},");
     let _ = writeln!(out, "  \"zipf_s\": {ZIPF_S},");
-    let _ = writeln!(out, "  \"chaos_seed\": {CHAOS_SEED},");
+    let _ = writeln!(out, "  \"chaos_seed\": {chaos_seed},");
     let _ = writeln!(out, "  \"rings\": [");
-    for (i, r) in results.iter().enumerate() {
-        let comma = if i + 1 < results.len() { "," } else { "" };
-        let _ = writeln!(out, "    {{");
-        let _ = writeln!(out, "      \"nodes\": {},", r.nodes);
-        let _ = writeln!(out, "      \"replication\": {},", r.replication);
-        let _ = writeln!(out, "      \"ops\": {},", r.ops);
-        let _ = writeln!(out, "      \"wall_s\": {:.6},", r.wall_s);
-        let _ = writeln!(out, "      \"ops_per_sec\": {:.1},", r.ops_per_sec());
-        let _ = writeln!(out, "      \"writes\": {},", r.writes);
-        let _ = writeln!(out, "      \"fully_acked\": {},", r.fully_acked);
-        let _ = writeln!(out, "      \"queries\": {},", r.queries);
-        let _ = writeln!(out, "      \"hits\": {},", r.hits);
-        let _ = writeln!(out, "      \"chaos_cycles\": {},", r.chaos_cycles);
-        let _ = writeln!(
-            out,
-            "      \"convergence_ms\": {},",
-            json_f64_list(&r.convergence_ms)
-        );
-        let _ = writeln!(
-            out,
-            "      \"convergence_rounds\": {},",
-            json_usize_list(&r.convergence_rounds)
-        );
-        let _ = writeln!(
-            out,
-            "      \"final_convergence_ms\": {:.2},",
-            r.final_convergence_ms
-        );
-        let _ = writeln!(
-            out,
-            "      \"final_convergence_rounds\": {}",
-            r.final_convergence_rounds
-        );
-        let _ = writeln!(out, "    }}{comma}");
+    for (i, r) in baselines.iter().enumerate() {
+        let comma = if i + 1 < baselines.len() { "," } else { "" };
+        render_run(&mut out, r, comma);
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"chaos_runs\": [");
+    for (i, r) in chaos_runs.iter().enumerate() {
+        let comma = if i + 1 < chaos_runs.len() { "," } else { "" };
+        render_run(&mut out, r, comma);
     }
     let _ = writeln!(out, "  ]");
     let _ = writeln!(out, "}}");
@@ -303,26 +658,55 @@ fn out_path() -> PathBuf {
         )
 }
 
-fn write_out(results: &[RingResult]) {
+/// `--chaos-seed <n>` override (the CI chaos matrix), else the default.
+fn chaos_seed_arg() -> u64 {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--chaos-seed" {
+            if let Some(raw) = args.next() {
+                return raw.parse().expect("--chaos-seed must be a u64");
+            }
+        }
+    }
+    DEFAULT_CHAOS_SEED
+}
+
+fn write_out(baselines: &[RunResult], chaos_runs: &[RunResult], chaos_seed: u64) {
     let path = out_path();
     if let Some(dir) = path.parent() {
         if !dir.as_os_str().is_empty() {
             std::fs::create_dir_all(dir).expect("create output directory");
         }
     }
-    std::fs::write(&path, render(results)).expect("write BENCH_cluster.json");
+    std::fs::write(&path, render(baselines, chaos_runs, chaos_seed)).expect("write bench json");
     eprintln!("bench json: {}", path.display());
 }
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let chaos_seed = chaos_seed_arg();
     if smoke {
-        // The check.sh gate: one 3-node ring, one seeded kill/restart
-        // cycle, hard assertions on convergence and write durability.
-        let ops = env_u64("AGR_CLUSTER_OPS").unwrap_or(2_000);
-        eprintln!("cluster_harness --smoke: 3-node ring, {ops} ops, 1 chaos cycle");
-        let result = run_ring(3, ops, 1);
+        // The check.sh gate: one 3-node ring under packet chaos, one
+        // seeded kill/restart cycle, hard assertions on convergence,
+        // durability degradation, and fault-window availability.
+        let ops = env_u64("AGR_CLUSTER_OPS").unwrap_or(500);
+        eprintln!(
+            "cluster_harness --smoke: 3-node ring, {ops} ops, packet chaos \
+             (seed {chaos_seed}), 1 kill/restart cycle"
+        );
+        let result = run_ring(
+            RunSpec {
+                label: "smoke",
+                nodes: 3,
+                ops,
+                cycles: 1,
+                packet_chaos: Some(chaos_seed),
+                hedge: false,
+                journal: false,
+            },
+            chaos_seed,
+        );
         assert_eq!(
             result.convergence_rounds.len(),
             1,
@@ -333,19 +717,87 @@ fn main() {
             result.fully_acked < result.writes,
             "smoke chaos must degrade at least one write"
         );
-        write_out(&[result]);
+        assert!(
+            result.eligible > 0,
+            "smoke must issue queries over fully-acked keys"
+        );
+        assert!(
+            result.fault_eligible > 0,
+            "smoke fault window must contain eligible queries"
+        );
+        assert!(
+            result.availability() >= SMOKE_AVAILABILITY_FLOOR,
+            "availability {:.4} below the {SMOKE_AVAILABILITY_FLOOR} gate \
+             ({}/{} eligible queries served)",
+            result.availability(),
+            result.served,
+            result.eligible
+        );
+        assert!(
+            result.fault_availability() >= SMOKE_AVAILABILITY_FLOOR,
+            "fault-window availability {:.4} below the {SMOKE_AVAILABILITY_FLOOR} gate \
+             ({}/{} eligible fault-window queries served)",
+            result.fault_availability(),
+            result.fault_served,
+            result.fault_eligible
+        );
+        write_out(&[], &[result], chaos_seed);
         eprintln!("cluster smoke OK");
         return;
     }
     let per_ring = env_u64("AGR_CLUSTER_OPS").unwrap_or(if quick { 4_000 } else { 20_000 });
+    let chaos_ops = env_u64("AGR_CLUSTER_OPS").unwrap_or(if quick { 600 } else { 1_200 });
     eprintln!(
         "cluster_harness: {per_ring} ops/ring, {KEY_SPACE} keys (zipf s={ZIPF_S}), \
-         rings of 1/3/5 nodes"
+         rings of 1/3/5 nodes + 5-node packet-chaos runs ({chaos_ops} ops, seed {chaos_seed})"
     );
-    let results = vec![
-        run_ring(1, per_ring, 0),
-        run_ring(3, per_ring, 2),
-        run_ring(5, per_ring, 2),
+    let baselines = vec![
+        run_ring(RunSpec::baseline(1, per_ring, 0), chaos_seed),
+        run_ring(RunSpec::baseline(3, per_ring, 2), chaos_seed),
+        run_ring(RunSpec::baseline(5, per_ring, 2), chaos_seed),
     ];
-    write_out(&results);
+    // The self-healing A/Bs, one knob per comparison: hedging is read
+    // off the first pair (journal fixed off), journal replay off the
+    // second pair (hedging fixed on — a hedged client sends extra
+    // frames, so flipping both at once would also reshuffle the seeded
+    // chaos and change which writes replicate before the kill).
+    let chaos_runs = vec![
+        run_ring(
+            RunSpec {
+                label: "chaos-refill-unhedged",
+                nodes: 5,
+                ops: chaos_ops,
+                cycles: 1,
+                packet_chaos: Some(chaos_seed),
+                hedge: false,
+                journal: false,
+            },
+            chaos_seed,
+        ),
+        run_ring(
+            RunSpec {
+                label: "chaos-refill-hedged",
+                nodes: 5,
+                ops: chaos_ops,
+                cycles: 1,
+                packet_chaos: Some(chaos_seed),
+                hedge: true,
+                journal: false,
+            },
+            chaos_seed,
+        ),
+        run_ring(
+            RunSpec {
+                label: "chaos-journal-hedged",
+                nodes: 5,
+                ops: chaos_ops,
+                cycles: 1,
+                packet_chaos: Some(chaos_seed),
+                hedge: true,
+                journal: true,
+            },
+            chaos_seed,
+        ),
+    ];
+    write_out(&baselines, &chaos_runs, chaos_seed);
 }

@@ -1518,7 +1518,10 @@ impl Agfw {
             | AlsNetKind::Ack { .. }
             | AlsNetKind::Miss
             | AlsNetKind::SyncDigest { .. }
-            | AlsNetKind::SyncDelta { .. } => {
+            | AlsNetKind::SyncDelta { .. }
+            | AlsNetKind::Ping
+            | AlsNetKind::Pong { .. }
+            | AlsNetKind::Busy => {
                 ctx.count("als.service_frame_ignored");
                 true
             }
@@ -1579,7 +1582,10 @@ impl Agfw {
                 | AlsNetKind::Ack { .. }
                 | AlsNetKind::Miss
                 | AlsNetKind::SyncDigest { .. }
-                | AlsNetKind::SyncDelta { .. } => {
+                | AlsNetKind::SyncDelta { .. }
+                | AlsNetKind::Ping
+                | AlsNetKind::Pong { .. }
+                | AlsNetKind::Busy => {
                     self.pending_acks.remove(&msg.uid);
                     ctx.count("als.drop.local_max");
                 }

@@ -282,6 +282,22 @@ pub enum AlsNetKind {
         /// The records, each with its authoritative arrival time.
         pairs: Vec<AlsSyncPair>,
     },
+    /// Liveness heartbeat probe from a cluster client to one node.
+    /// Carries no body — the `uid` echo in the [`AlsNetKind::Pong`] is
+    /// the proof of life. Only the `agr-als-service` cluster emits
+    /// these; the simulator never originates them.
+    Ping,
+    /// Heartbeat answer, advertising the replying engine's queued-work
+    /// depth so clients can anticipate shedding before they hit it.
+    Pong {
+        /// Jobs currently queued in the replying engine's pipeline.
+        queue_depth: u32,
+    },
+    /// Admission-control rejection: the engine's queue depth crossed its
+    /// shed watermark, so the request was dropped instead of blocking
+    /// the serve loop. Clients treat this as "alive but overloaded" —
+    /// retry after backoff, never failure-detector evidence.
+    Busy,
 }
 
 /// A geo-routed location-service message.
@@ -335,6 +351,8 @@ impl AlsNetMessage {
                     .map(|p| (p.index.len() + p.payload.len()) as u32 + 4)
                     .sum::<u32>()
             }
+            AlsNetKind::Ping | AlsNetKind::Busy => 0,
+            AlsNetKind::Pong { .. } => 4,
         };
         NET_HEADER_BYTES + 8 + Pseudonym::wire_bytes() + 4 + 1 + body
     }

@@ -346,6 +346,12 @@ fn encode_als(out: &mut Vec<u8>, m: &AlsNetMessage) -> Result<(), WireError> {
             put_cell(out, *cell);
             put_sync_pairs(out, pairs)?;
         }
+        AlsNetKind::Ping => out.push(8),
+        AlsNetKind::Pong { queue_depth } => {
+            out.push(9);
+            out.extend_from_slice(&queue_depth.to_be_bytes());
+        }
+        AlsNetKind::Busy => out.push(10),
     }
     Ok(())
 }
@@ -516,6 +522,11 @@ fn decode_als(r: &mut Reader<'_>) -> Result<AlsNetMessage, WireError> {
             cell: read_cell(r)?,
             pairs: read_sync_pairs(r)?,
         },
+        8 => AlsNetKind::Ping,
+        9 => AlsNetKind::Pong {
+            queue_depth: r.u32()?,
+        },
+        10 => AlsNetKind::Busy,
         value => {
             return Err(WireError::BadTag {
                 field: "ALS kind",

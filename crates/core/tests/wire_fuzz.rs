@@ -17,9 +17,10 @@ use proptest::prelude::*;
 
 /// A corpus of valid packets covering every wire shape (hello with and
 /// without velocity, data in both modes with and without piggybacked
-/// ACKs, empty and full NL-ACKs, all eight ALS kinds — the three
-/// geo-routed ones, the service-transport Forward/Ack/Miss, and the
-/// anti-entropy SyncDigest/SyncDelta).
+/// ACKs, empty and full NL-ACKs, all eleven ALS kinds — the three
+/// geo-routed ones, the service-transport Forward/Ack/Miss, the
+/// anti-entropy SyncDigest/SyncDelta, and the health/admission
+/// Ping/Pong/Busy).
 fn corpus() -> Vec<AgfwPacket> {
     let zero_tag = FlowTag {
         flow: 0,
@@ -171,6 +172,27 @@ fn corpus() -> Vec<AgfwPacket> {
                 ],
             },
         }),
+        AgfwPacket::Als(AlsNetMessage {
+            target_loc: Point::new(100.0, 220.0),
+            next: Pseudonym([0xC3; 6]),
+            uid: 0x7C,
+            ttl: 4,
+            kind: AlsNetKind::Ping,
+        }),
+        AgfwPacket::Als(AlsNetMessage {
+            target_loc: Point::new(100.0, 220.0),
+            next: Pseudonym([0xC4; 6]),
+            uid: 0x7D,
+            ttl: 4,
+            kind: AlsNetKind::Pong { queue_depth: 512 },
+        }),
+        AgfwPacket::Als(AlsNetMessage {
+            target_loc: Point::new(100.0, 220.0),
+            next: Pseudonym([0xC5; 6]),
+            uid: 0x7E,
+            ttl: 4,
+            kind: AlsNetKind::Busy,
+        }),
     ]
 }
 
@@ -206,7 +228,7 @@ proptest! {
     /// has no optional tail: cutting anywhere leaves a field unfinished),
     /// and never a panic.
     #[test]
-    fn truncations_error_cleanly(which in 0usize..14, cut in 0.0f64..1.0) {
+    fn truncations_error_cleanly(which in 0usize..17, cut in 0.0f64..1.0) {
         let enc = &encodings()[which];
         let len = (cut * enc.len() as f64) as usize; // < enc.len(): strict
         prop_assert!(
@@ -220,7 +242,7 @@ proptest! {
     /// survives decoding, the result must also re-encode without
     /// panicking (a corrupt-but-parseable packet can be forwarded).
     #[test]
-    fn bit_flips_never_panic(which in 0usize..14, bit in any::<u16>()) {
+    fn bit_flips_never_panic(which in 0usize..17, bit in any::<u16>()) {
         let mut enc = encodings()[which].clone();
         let bit = usize::from(bit) % (enc.len() * 8);
         enc[bit / 8] ^= 1 << (bit % 8);

@@ -291,6 +291,19 @@ fn als_sync_frames_roundtrip() {
     ));
 }
 
+#[test]
+fn als_health_frames_roundtrip() {
+    assert_roundtrip(&service_frame(0x7E, AlsNetKind::Ping));
+    assert_roundtrip(&service_frame(0x7F, AlsNetKind::Pong { queue_depth: 0 }));
+    assert_roundtrip(&service_frame(
+        u64::MAX,
+        AlsNetKind::Pong {
+            queue_depth: u32::MAX,
+        },
+    ));
+    assert_roundtrip(&service_frame(0x80, AlsNetKind::Busy));
+}
+
 /// Pinned encodings of the service-transport and anti-entropy frames. The
 /// standalone ALS service speaks these between independently deployed
 /// clients and servers, so the same compatibility warning applies as
@@ -417,6 +430,47 @@ fn golden_als_service_encodings_are_stable() {
             "0003",
             "555555",           // payload
             "0102030405060708", // stored_at (nanos)
+        )
+    );
+    // The failure-detector heartbeat and admission-control frames.
+    let ping = service_frame(0x7E, AlsNetKind::Ping);
+    assert_eq!(
+        hex(&ping),
+        concat!(
+            "03",
+            "4074000000000000",
+            "4084000000000000",
+            "b1b2b3b4b5b6",
+            "000000000000007e", // uid
+            "08",               // ttl
+            "08",               // ALS kind: Ping
+        )
+    );
+    let pong = service_frame(0x7F, AlsNetKind::Pong { queue_depth: 37 });
+    assert_eq!(
+        hex(&pong),
+        concat!(
+            "03",
+            "4074000000000000",
+            "4084000000000000",
+            "b1b2b3b4b5b6",
+            "000000000000007f", // uid
+            "08",               // ttl
+            "09",               // ALS kind: Pong
+            "00000025",         // queue depth 37
+        )
+    );
+    let busy = service_frame(0x80, AlsNetKind::Busy);
+    assert_eq!(
+        hex(&busy),
+        concat!(
+            "03",
+            "4074000000000000",
+            "4084000000000000",
+            "b1b2b3b4b5b6",
+            "0000000000000080", // uid
+            "08",               // ttl
+            "0a",               // ALS kind: Busy
         )
     );
 }
