@@ -17,6 +17,17 @@
 //! Duplication re-sends on the transmit side and re-delivers on the
 //! receive side; request/response protocols built on uid echo (every
 //! frame in this crate) absorb duplicates for free.
+//!
+//! **Batch passthrough.** [`ChaosTransport`] deliberately does *not*
+//! override the [`Transport`] batch hooks ([`Transport::send_batch`],
+//! [`Transport::recv_batch_with`]): their default implementations loop
+//! over the per-frame [`Transport::send`] / [`Transport::recv`] paths
+//! above, so a batch of N frames consumes exactly the same N
+//! frame-counter-keyed fault draws as N individual calls would. Batched
+//! and unbatched callers therefore see byte-identical fault schedules
+//! at a fixed seed — the property `batch_send_draws_the_same_fate_as
+//! _per_frame_send` pins — and the chaos suites stay valid no matter
+//! which data plane the peer runs.
 
 use crate::cluster::SplitMix64;
 use crate::transport::Transport;
@@ -328,6 +339,44 @@ mod tests {
             "50% dup on both directions must redeliver, got {}",
             got.len()
         );
+    }
+
+    /// Like [`deliveries`], but the client side transmits through one
+    /// [`Transport::send_batch`] call instead of per-frame sends.
+    fn batch_deliveries(config: ChaosNetConfig, n: u32) -> Vec<Vec<u8>> {
+        let (client, server) = loopback_pair(2048);
+        let mut chaotic = ChaosTransport::new(client, config);
+        let frames: Vec<Vec<u8>> = (0..n).map(|i| i.to_be_bytes().to_vec()).collect();
+        let refs: Vec<&[u8]> = frames.iter().map(Vec::as_slice).collect();
+        let sent = chaotic.send_batch(&refs).expect("loopback batch send");
+        assert_eq!(sent, n as usize, "loopback never rejects a frame");
+        let mut server = server;
+        let mut echoed = 0;
+        while let Ok((frame, ())) = server.recv_from() {
+            server.send_to(&(), &frame).expect("echo");
+            echoed += 1;
+            if echoed >= n {
+                break;
+            }
+        }
+        let mut got = Vec::new();
+        let mut drained = 0;
+        while drained < n as usize + 8 {
+            match chaotic.recv_batch_with(16, &mut |frame| got.push(frame.to_vec())) {
+                Ok(0) | Err(_) => break,
+                Ok(k) => drained += k,
+            }
+        }
+        got
+    }
+
+    #[test]
+    fn batch_send_draws_the_same_fate_as_per_frame_send() {
+        // The batch hooks fall through to the per-frame chaos paths, so
+        // a batched run and an unbatched run at the same seed must see
+        // the exact same surviving frames in the exact same order.
+        let config = ChaosNetConfig::standard(0x0BAD_CAFE);
+        assert_eq!(batch_deliveries(config, 256), deliveries(config, 256));
     }
 
     #[test]

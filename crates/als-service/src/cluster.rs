@@ -55,12 +55,12 @@ use crate::chaos_net::{ChaosNetConfig, ChaosStats, ChaosTransport};
 use crate::journal::{Journal, JournalConfig, JournalOp};
 use crate::pipeline::{Engine, EngineConfig};
 use crate::ring::{FailureDetector, HealthConfig, NodeHealth, Ring};
-use crate::service::{frame, serve, AlsClient, ServeStats};
+use crate::service::{frame, serve, serve_batched, AlsClient, BatchConfig, ServeStats};
 use crate::store::cell_key;
 use crate::transport::{Transport, UdpClient, UdpServer, RECV_POLL};
 use agr_core::backoff::backoff_delay;
 use agr_core::packet::{AgfwPacket, AlsNetKind, AlsPair, AlsSyncPair};
-use agr_core::wire::{decode_packet, encode_packet};
+use agr_core::wire::{decode_packet, encode_packet_into};
 use agr_geom::{CellId, Point};
 use agr_sim::SimTime;
 use std::io;
@@ -320,6 +320,12 @@ pub struct ClusterConfig {
     /// the sync agents' sockets) — how often a serve loop re-checks its
     /// stop flag while idle.
     pub recv_poll: Duration,
+    /// Data-plane batching of every node's serve loop. `Some` (the
+    /// default) runs [`serve_batched`] — readiness-driven batch
+    /// receive, pooled frames, batched replies — so the conformance and
+    /// chaos suites exercise the same data plane production runs use;
+    /// `None` falls back to the single-frame [`serve`] reference loop.
+    pub batch: Option<BatchConfig>,
 }
 
 impl Default for ClusterConfig {
@@ -333,6 +339,7 @@ impl Default for ClusterConfig {
             journal: JournalConfig::default(),
             sync_chaos: None,
             recv_poll: RECV_POLL,
+            batch: Some(BatchConfig::default()),
         }
     }
 }
@@ -471,7 +478,11 @@ impl Cluster {
         let serve = {
             let engine = engine.clone();
             let stop = stop.clone();
-            std::thread::spawn(move || serve(&engine, &mut server, &stop))
+            let batch = self.config.batch;
+            std::thread::spawn(move || match batch {
+                Some(batch) => serve_batched(&engine, &mut server, batch, &stop),
+                None => serve(&engine, &mut server, &stop),
+            })
         };
         Ok((
             NodeHandle {
@@ -864,6 +875,9 @@ pub struct ClusterClient {
     stats: ClientStats,
     latencies: Vec<u64>,
     latency_next: usize,
+    /// Reused wire-encode buffer: every outgoing frame is encoded into
+    /// this one allocation instead of a fresh `Vec` per send.
+    encode_buf: Vec<u8>,
 }
 
 /// `deadline - now`, or `None` once the deadline has passed.
@@ -929,6 +943,7 @@ impl ClusterClient {
             stats: ClientStats::default(),
             latencies: Vec::new(),
             latency_next: 0,
+            encode_buf: Vec::new(),
         })
     }
 
@@ -960,14 +975,11 @@ impl ClusterClient {
     /// in [`ClientStats::send_errors`] and reported as `false` — never
     /// a panic; the callers treat them as the node being unreachable.
     fn send_kind(&mut self, node: usize, uid: u64, kind: AlsNetKind) -> bool {
-        let encoded = match encode_packet(&AgfwPacket::Als(frame(uid, kind))) {
-            Ok(encoded) => encoded,
-            Err(_) => {
-                self.stats.send_errors += 1;
-                return false;
-            }
-        };
-        if self.peers[node].send(&encoded).is_err() {
+        if encode_packet_into(&AgfwPacket::Als(frame(uid, kind)), &mut self.encode_buf).is_err() {
+            self.stats.send_errors += 1;
+            return false;
+        }
+        if self.peers[node].send(&self.encode_buf).is_err() {
             self.stats.send_errors += 1;
             return false;
         }
@@ -1563,6 +1575,26 @@ mod tests {
             client.query(cell, &[7; 16]).payload,
             Some(vec![7, 0xC1]),
             "ring query must find the record"
+        );
+    }
+
+    #[test]
+    fn single_frame_fallback_matches_batched_answers() {
+        // `batch: None` downgrades every node to the single-frame
+        // reference loop; replicated operations must behave identically.
+        let mut config = config(3, 2);
+        config.batch = None;
+        let mut cluster = Cluster::launch(config).unwrap();
+        cluster.set_time(SimTime::from_secs(1));
+        let mut client = cluster.client().unwrap();
+        let cell = CellId { col: 3, row: 1 };
+        assert!(client.update(cell, vec![pair(9)]).fully_acked());
+        assert_eq!(client.query(cell, &[9; 16]).payload, Some(vec![9, 0xC1]));
+        assert_eq!(client.query(cell, &[8; 16]).payload, None);
+        let stats = cluster.shutdown();
+        assert!(
+            stats.iter().all(|s| s.batches == 0),
+            "the fallback loop must not report batches"
         );
     }
 

@@ -1,9 +1,12 @@
 //! Typed requests, bounded queues, and the batching worker pool.
 //!
-//! Requests enter through [`Engine::submit`] / [`Engine::call`], land on
-//! a bounded per-worker queue (`std::sync::mpsc::sync_channel`, so a
-//! full queue **blocks the producer** — backpressure, not unbounded
-//! memory), and are drained by workers in arrival order. Consecutive
+//! Requests enter through [`Engine::submit`] / [`Engine::call`] (or
+//! their batch forms [`Engine::submit_batch`] /
+//! [`Engine::call_batch_admitted`], which pay one queue handoff for a
+//! whole transport drain), land on a bounded per-worker queue
+//! (`std::sync::mpsc::sync_channel`, so a full queue **blocks the
+//! producer** — backpressure, not unbounded memory), and are drained by
+//! workers in arrival order. Consecutive
 //! updates are coalesced and applied as one shard-grouped batch; queries
 //! are answered in place, so a query submitted after an update on the
 //! same queue observes it.
@@ -172,13 +175,32 @@ struct Job {
     reply: Option<SyncSender<Response>>,
 }
 
+/// What travels down a worker queue: a single job, or a pre-grouped
+/// batch the serve loop collected in one transport drain. A batch is
+/// one channel send for N requests — the queue-side half of the
+/// data-plane batching — and its jobs stay contiguous, so per-key FIFO
+/// order within the batch is exactly submission order.
+enum Work {
+    One(Job),
+    Batch(Vec<Job>),
+}
+
+impl Work {
+    fn jobs(&self) -> usize {
+        match self {
+            Work::One(_) => 1,
+            Work::Batch(jobs) => jobs.len(),
+        }
+    }
+}
+
 /// The running service engine: sharded store + worker pool + compactor.
 ///
 /// Cheap to share: clone the [`Arc`] returned by [`Engine::start`].
 pub struct Engine {
     store: Arc<ShardedStore>,
     clock: Clock,
-    queues: Vec<SyncSender<Job>>,
+    queues: Vec<SyncSender<Work>>,
     depths: Vec<Arc<AtomicUsize>>,
     shed_watermark: Option<usize>,
     stop: Arc<AtomicBool>,
@@ -242,7 +264,7 @@ impl Engine {
         let mut depths = Vec::with_capacity(workers_n);
         let mut workers = Vec::with_capacity(workers_n);
         for _ in 0..workers_n {
-            let (tx, rx) = sync_channel::<Job>(config.queue_depth.max(1));
+            let (tx, rx) = sync_channel::<Work>(config.queue_depth.max(1));
             queues.push(tx);
             let depth = Arc::new(AtomicUsize::new(0));
             depths.push(depth.clone());
@@ -321,8 +343,34 @@ impl Engine {
         let q = self.queue_index(&job.request);
         self.depths[q].fetch_add(1, Ordering::Relaxed);
         self.queues[q]
-            .send(job)
+            .send(Work::One(job))
             .expect("worker queue closed before shutdown");
+    }
+
+    /// Enqueues many fire-and-forget requests with one channel send per
+    /// worker queue — the batch-submission path that amortizes the
+    /// per-request queue handoff. Requests targeting the same queue keep
+    /// their relative order (per-key FIFO survives), and a full queue
+    /// blocks exactly like [`Engine::submit`] (backpressure, request-
+    /// level depth accounting).
+    pub fn submit_batch(&self, requests: Vec<Request>) {
+        let mut groups: Vec<Vec<Job>> = (0..self.queues.len()).map(|_| Vec::new()).collect();
+        for request in requests {
+            let q = self.queue_index(&request);
+            groups[q].push(Job {
+                request,
+                reply: None,
+            });
+        }
+        for (q, jobs) in groups.into_iter().enumerate() {
+            if jobs.is_empty() {
+                continue;
+            }
+            self.depths[q].fetch_add(jobs.len(), Ordering::Relaxed);
+            self.queues[q]
+                .send(Work::Batch(jobs))
+                .expect("worker queue closed before shutdown");
+        }
     }
 
     /// Attempts a non-blocking submit; returns the request back when the
@@ -344,11 +392,14 @@ impl Engine {
         };
         let q = self.queue_index(&job.request);
         self.depths[q].fetch_add(1, Ordering::Relaxed);
-        match self.queues[q].try_send(job) {
+        match self.queues[q].try_send(Work::One(job)) {
             Ok(()) => Ok(()),
-            Err(TrySendError::Full(job) | TrySendError::Disconnected(job)) => {
+            Err(TrySendError::Full(work) | TrySendError::Disconnected(work)) => {
                 self.depths[q].fetch_sub(1, Ordering::Relaxed);
                 self.shed.fetch_add(1, Ordering::Relaxed);
+                let Work::One(job) = work else {
+                    unreachable!("try_submit only sends Work::One")
+                };
                 Err(job.request)
             }
         }
@@ -371,7 +422,7 @@ impl Engine {
         let q = self.queue_index(&job.request);
         self.depths[q].fetch_add(1, Ordering::Relaxed);
         self.queues[q]
-            .send(job)
+            .send(Work::One(job))
             .expect("worker queue closed before shutdown");
         rx.recv().expect("worker dropped reply slot")
     }
@@ -390,6 +441,76 @@ impl Engine {
             }
         }
         Some(self.call(request))
+    }
+
+    /// [`Engine::call_admitted`] for a whole batch: one channel send per
+    /// involved worker queue, one blocking collection pass, answers
+    /// scattered back to the input order. `None` slots are requests
+    /// admission control shed (the serve loop's cue for `Busy`) —
+    /// shedding is per *request*, and a request's own batch counts
+    /// toward its queue's occupancy, so a single oversized batch cannot
+    /// blow through the watermark the way `watermark × batch` would.
+    ///
+    /// Correctness leans on an invariant of the worker loop: a batch
+    /// arrives as one contiguous run of jobs, and workers answer jobs in
+    /// the order they drain them, so per-queue replies come back in
+    /// submission order and need no per-job tagging.
+    pub fn call_batch_admitted(&self, requests: Vec<Request>) -> Vec<Option<Response>> {
+        let n = requests.len();
+        let mut out: Vec<Option<Response>> = Vec::with_capacity(n);
+        out.resize_with(n, || None);
+        let mut groups: Vec<Vec<usize>> = (0..self.queues.len()).map(|_| Vec::new()).collect();
+        for (i, request) in requests.iter().enumerate() {
+            groups[self.queue_index(request)].push(i);
+        }
+        let mut slots: Vec<Option<Request>> = requests.into_iter().map(Some).collect();
+        let mut waits = Vec::new();
+        for (q, indices) in groups.into_iter().enumerate() {
+            if indices.is_empty() {
+                continue;
+            }
+            let admitted: Vec<usize> = match self.shed_watermark {
+                Some(watermark) => {
+                    let watermark = watermark.max(1);
+                    let mut occupancy = self.depths[q].load(Ordering::Relaxed);
+                    indices
+                        .into_iter()
+                        .filter(|_| {
+                            if occupancy >= watermark {
+                                self.shed.fetch_add(1, Ordering::Relaxed);
+                                false
+                            } else {
+                                occupancy += 1;
+                                true
+                            }
+                        })
+                        .collect()
+                }
+                None => indices,
+            };
+            if admitted.is_empty() {
+                continue;
+            }
+            let (tx, rx) = sync_channel(admitted.len());
+            let jobs: Vec<Job> = admitted
+                .iter()
+                .map(|&i| Job {
+                    request: slots[i].take().expect("each request moved once"),
+                    reply: Some(tx.clone()),
+                })
+                .collect();
+            self.depths[q].fetch_add(jobs.len(), Ordering::Relaxed);
+            self.queues[q]
+                .send(Work::Batch(jobs))
+                .expect("worker queue closed before shutdown");
+            waits.push((rx, admitted));
+        }
+        for (rx, indices) in waits {
+            for i in indices {
+                out[i] = Some(rx.recv().expect("worker dropped reply slot"));
+            }
+        }
+        out
     }
 
     /// Merges replicated records for `cell` last-writer-wins directly
@@ -493,24 +614,29 @@ fn maybe_compact(journal: &mut Journal, store: &ShardedStore, errors: &AtomicU64
     }
 }
 
-/// Applies one worker's queue: drain up to `batch_max` jobs, coalesce
+/// Applies one worker's queue: drain up to `batch_max` jobs (a
+/// pre-grouped batch counts job-by-job and is never split), coalesce
 /// the updates into a shard-grouped batch, answer queries in order.
 fn worker_loop(
     store: &ShardedStore,
     clock: &Clock,
-    rx: &Receiver<Job>,
+    rx: &Receiver<Work>,
     batch_max: usize,
     ctx: &WorkerCtx,
 ) {
+    let take = |work: Work, jobs: &mut Vec<Job>| {
+        ctx.depth.fetch_sub(work.jobs(), Ordering::Relaxed);
+        match work {
+            Work::One(job) => jobs.push(job),
+            Work::Batch(batch) => jobs.extend(batch),
+        }
+    };
     while let Ok(first) = rx.recv() {
-        ctx.depth.fetch_sub(1, Ordering::Relaxed);
-        let mut jobs = vec![first];
+        let mut jobs = Vec::with_capacity(batch_max);
+        take(first, &mut jobs);
         while jobs.len() < batch_max {
             match rx.try_recv() {
-                Ok(job) => {
-                    ctx.depth.fetch_sub(1, Ordering::Relaxed);
-                    jobs.push(job);
-                }
+                Ok(work) => take(work, &mut jobs),
                 Err(_) => break,
             }
         }
@@ -560,6 +686,13 @@ fn worker_loop(
                     to_cell,
                     pairs,
                 } => {
+                    // The old-cell removal *reads* the store, so a
+                    // forward cuts the coalescing run exactly like a
+                    // query: flushing first means the remove sees every
+                    // update queued before it, instead of missing a
+                    // same-key put still parked in `pending` (which
+                    // would leave a stale old-cell copy behind).
+                    flush(&mut pending, &mut pending_acks, &mut journal_writes);
                     let count = pairs.len() as u32;
                     pending.extend(pairs.into_iter().map(|p| {
                         // Forward re-homes: drop the old-cell copy, store
@@ -690,6 +823,69 @@ mod tests {
         assert_eq!(engine.call(query(1)), Response::Miss);
         let store = engine.shutdown();
         assert_eq!(store.stats().expired, 1);
+    }
+
+    #[test]
+    fn call_batch_matches_per_request_calls() {
+        let engine = Engine::start(EngineConfig::default());
+        let mut batch: Vec<Request> = (0..10).map(update).collect();
+        batch.extend((0..20).map(|i| query(i % 13)));
+        let answers = engine.call_batch_admitted(batch);
+        for (i, answer) in answers.iter().enumerate() {
+            let answer = answer.as_ref().expect("no watermark, nothing shed");
+            if i < 10 {
+                assert_eq!(*answer, Response::Stored { count: 1 });
+            } else {
+                let key = u8::try_from((i - 10) % 13).unwrap();
+                if key < 10 {
+                    // Same routing key as the update earlier in this
+                    // batch, so the query lands behind it on one queue
+                    // and must observe it.
+                    assert!(matches!(answer, Response::Hit { .. }), "query {key} missed");
+                } else {
+                    assert_eq!(*answer, Response::Miss);
+                }
+            }
+        }
+        assert_eq!(engine.shutdown().len(), 10);
+    }
+
+    #[test]
+    fn submit_batch_keeps_per_key_fifo() {
+        let engine = Engine::start(EngineConfig::default());
+        engine.submit_batch((0..50).map(update).collect());
+        for i in 0..50 {
+            assert!(
+                matches!(engine.call(query(i)), Response::Hit { .. }),
+                "batched update {i} lost"
+            );
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn call_batch_sheds_per_request_above_the_watermark() {
+        let config = EngineConfig {
+            workers: 1,
+            shed_watermark: Some(1),
+            ..EngineConfig::default()
+        };
+        let engine = Engine::start(config);
+        // Same key → one queue. The engine is idle (depth 0), so the
+        // batch itself must trip the watermark: exactly one admitted,
+        // the rest shed without side effects.
+        let answers = engine.call_batch_admitted((0..10).map(|_| update(1)).collect());
+        let admitted = answers.iter().flatten().count();
+        assert_eq!(
+            admitted, 1,
+            "in-batch occupancy must count toward the watermark"
+        );
+        assert_eq!(engine.shed_count(), 9);
+        assert!(matches!(
+            engine.call(query(1)),
+            Response::Hit { .. } | Response::Miss
+        ));
+        engine.shutdown();
     }
 
     #[test]

@@ -156,19 +156,41 @@ impl ShardedStore {
     /// Returns the number of operations applied.
     pub fn apply_batch(&self, ops: Vec<StoreOp>, now: SimTime, jobs: usize) -> usize {
         let total = ops.len();
+        if total == 0 {
+            return 0;
+        }
+        if jobs <= 1 || self.shards.len() <= 1 {
+            // Serial fast path: no shard grouping, no key/payload
+            // clones — per-op lock acquisition is cheaper than the
+            // grouping allocations for the short coalescing runs a
+            // mixed read/write workload produces, and batch order per
+            // shard is trivially preserved.
+            for (key, payload) in ops {
+                self.shards[self.shard_of(&key)]
+                    .lock()
+                    .expect("shard poisoned")
+                    .store_at(key, payload, now);
+            }
+            return total;
+        }
         let mut by_shard: Vec<Vec<StoreOp>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
         for op in ops {
             by_shard[self.shard_of(&op.0)].push(op);
         }
-        let tasks: Vec<(usize, Vec<StoreOp>)> = by_shard
+        // Tasks carry their ops behind a mutex so each worker can *move*
+        // them out (`par_map` hands the closure a shared borrow): the
+        // batch is applied without cloning a single key or payload.
+        let tasks: Vec<(usize, Mutex<Vec<StoreOp>>)> = by_shard
             .into_iter()
             .enumerate()
             .filter(|(_, ops)| !ops.is_empty())
+            .map(|(shard, ops)| (shard, Mutex::new(ops)))
             .collect();
         par_map(&tasks, jobs, |(shard, ops)| {
+            let ops = std::mem::take(&mut *ops.lock().expect("ops poisoned"));
             let mut server = self.shards[*shard].lock().expect("shard poisoned");
             for (key, payload) in ops {
-                server.store_at(key.clone(), payload.clone(), now);
+                server.store_at(key, payload, now);
             }
         });
         total

@@ -11,11 +11,23 @@
 //! * [`UdpClient`] / [`UdpServer`] — std-only UDP, so a server and a
 //!   client can be separate processes on a real network.
 //!
-//! Receive paths time out (default 50 ms) instead of blocking forever so
-//! serve loops can poll their stop flag; a timeout surfaces as
-//! [`std::io::ErrorKind::TimedOut`] / `WouldBlock`, which callers treat
-//! as "nothing yet", not as failure.
+//! Both traits carry **batch** variants alongside the per-frame calls.
+//! The batch methods default to per-frame loops, so a transport (or a
+//! decorator like [`crate::chaos_net::ChaosTransport`]) that never
+//! overrides them behaves exactly as before; the implementations here
+//! override them where a real win exists — the loopback drains its
+//! queue under one lock, and on Linux the UDP paths go through
+//! `recvmmsg`/`sendmmsg` so a whole batch costs one syscall. Receive
+//! batches land in [`PooledFrame`] buffers from a caller-supplied
+//! [`FramePool`], so a hot serve loop recycles buffers instead of
+//! allocating per datagram.
+//!
+//! Receive paths time out (default [`RECV_POLL`], configurable per
+//! endpoint) instead of blocking forever so serve loops can poll their
+//! stop flag; a timeout surfaces as [`std::io::ErrorKind::TimedOut`] /
+//! `WouldBlock`, which callers treat as "nothing yet", not as failure.
 
+use crate::pool::{FramePool, PooledFrame};
 use std::collections::VecDeque;
 use std::io;
 use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
@@ -23,7 +35,8 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 /// How long receive calls wait before reporting `TimedOut`, so serve
-/// loops can notice a stop request.
+/// loops can notice a stop request. The default; every endpoint
+/// constructor has a `_with` variant taking an explicit poll.
 pub const RECV_POLL: Duration = Duration::from_millis(50);
 
 /// Largest frame any transport must carry. ALS pairs are small (sealed
@@ -41,13 +54,50 @@ pub trait Transport {
     /// means the server side hung up.
     fn send(&mut self, frame: &[u8]) -> io::Result<()>;
 
-    /// Waits for the next frame, up to [`RECV_POLL`].
+    /// Waits for the next frame, up to the receive-poll granularity.
     ///
     /// # Errors
     ///
     /// [`io::ErrorKind::TimedOut`] / `WouldBlock` when nothing arrived in
     /// time; other kinds are real failures.
     fn recv(&mut self) -> io::Result<Vec<u8>>;
+
+    /// Sends many frames; returns how many were handed to the transport
+    /// before the first failure. Defaults to a per-frame loop — batched
+    /// implementations amortize the per-frame cost (one `sendmmsg` on
+    /// Linux UDP, one lock on the loopback).
+    ///
+    /// # Errors
+    ///
+    /// Only when *no* frame went out; a partial send is `Ok(n)` with
+    /// `n < frames.len()`.
+    fn send_batch(&mut self, frames: &[&[u8]]) -> io::Result<usize> {
+        for (i, frame) in frames.iter().enumerate() {
+            if let Err(e) = self.send(frame) {
+                return if i == 0 { Err(e) } else { Ok(i) };
+            }
+        }
+        Ok(frames.len())
+    }
+
+    /// Waits for at least one frame (up to the receive-poll
+    /// granularity), then hands up to `max` already-arrived frames to
+    /// `on_frame` without waiting again. Defaults to one [`Transport::recv`],
+    /// so un-overridden transports keep exact per-frame behavior.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Transport::recv`].
+    fn recv_batch_with(
+        &mut self,
+        max: usize,
+        on_frame: &mut dyn FnMut(&[u8]),
+    ) -> io::Result<usize> {
+        let _ = max;
+        let frame = self.recv()?;
+        on_frame(&frame);
+        Ok(1)
+    }
 }
 
 /// Server side: frames arrive with a peer handle to answer through.
@@ -55,7 +105,8 @@ pub trait ServerTransport {
     /// Return-address type (`()` on the loopback, [`SocketAddr`] on UDP).
     type Peer;
 
-    /// Waits for the next request frame, up to [`RECV_POLL`].
+    /// Waits for the next request frame, up to the receive-poll
+    /// granularity.
     ///
     /// # Errors
     ///
@@ -70,6 +121,52 @@ pub trait ServerTransport {
     ///
     /// Propagates the underlying I/O failure.
     fn send_to(&mut self, peer: &Self::Peer, frame: &[u8]) -> io::Result<()>;
+
+    /// Receives up to `max` frames into buffers from `pool`, appending
+    /// `(frame, peer)` pairs to `out` and returning how many arrived.
+    /// With `block` set, waits for the first frame up to the
+    /// receive-poll granularity and then takes whatever else already
+    /// arrived without waiting again; without it, an empty queue is an
+    /// immediate `WouldBlock` — the drain cue for a readiness-driven
+    /// serve loop.
+    ///
+    /// Defaults to one blocking [`ServerTransport::recv_from`] (and
+    /// `WouldBlock` for every non-blocking call), which preserves exact
+    /// per-frame behavior for transports that don't override it.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ServerTransport::recv_from`], plus `WouldBlock` on a
+    /// non-blocking call with nothing queued.
+    fn recv_batch_from(
+        &mut self,
+        pool: &Arc<FramePool>,
+        max: usize,
+        block: bool,
+        out: &mut Vec<(PooledFrame, Self::Peer)>,
+    ) -> io::Result<usize> {
+        let _ = max;
+        if !block {
+            return Err(io::ErrorKind::WouldBlock.into());
+        }
+        let (bytes, peer) = self.recv_from()?;
+        out.push((pool.adopt(bytes), peer));
+        Ok(1)
+    }
+
+    /// Sends one response frame per entry, returning how many were
+    /// handed to the transport (a failed frame is skipped, never fatal —
+    /// the caller counts `frames.len() - sent` as send errors).
+    /// Defaults to a per-frame loop.
+    fn send_batch_to(&mut self, frames: &[(Self::Peer, PooledFrame)]) -> usize {
+        let mut sent = 0;
+        for (peer, frame) in frames {
+            if self.send_to(peer, frame).is_ok() {
+                sent += 1;
+            }
+        }
+        sent
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -120,6 +217,33 @@ impl Channel {
         Ok(())
     }
 
+    /// Pushes every frame under (mostly) one lock, blocking for space as
+    /// needed; returns how many landed before the channel closed.
+    fn push_batch(&self, frames: impl Iterator<Item = Vec<u8>>) -> usize {
+        let mut pushed = 0;
+        let mut state = self.queue.lock().expect("loopback poisoned");
+        for frame in frames {
+            if state.frames.len() >= self.capacity {
+                // Wake the reader before sleeping: it may be parked on
+                // `ready` from before this batch filled the queue.
+                self.ready.notify_all();
+                while state.frames.len() >= self.capacity && !state.closed {
+                    state = self.space.wait(state).expect("loopback poisoned");
+                }
+            }
+            if state.closed {
+                break;
+            }
+            state.frames.push_back(frame);
+            pushed += 1;
+        }
+        drop(state);
+        if pushed > 0 {
+            self.ready.notify_all();
+        }
+        pushed
+    }
+
     fn pop(&self, wait: Duration) -> io::Result<Vec<u8>> {
         let mut state = self.queue.lock().expect("loopback poisoned");
         loop {
@@ -142,6 +266,41 @@ impl Channel {
         }
     }
 
+    /// Drains up to `max` queued frames under one lock. `wait` bounds
+    /// the wait for the *first* frame; `None` means don't wait at all
+    /// (`WouldBlock` when empty).
+    fn pop_batch(
+        &self,
+        wait: Option<Duration>,
+        max: usize,
+        out: &mut Vec<Vec<u8>>,
+    ) -> io::Result<usize> {
+        let mut state = self.queue.lock().expect("loopback poisoned");
+        loop {
+            if !state.frames.is_empty() {
+                let n = max.max(1).min(state.frames.len());
+                out.extend(state.frames.drain(..n));
+                drop(state);
+                self.space.notify_all();
+                return Ok(n);
+            }
+            if state.closed {
+                return Err(io::ErrorKind::UnexpectedEof.into());
+            }
+            let Some(wait) = wait else {
+                return Err(io::ErrorKind::WouldBlock.into());
+            };
+            let (next, timeout) = self
+                .ready
+                .wait_timeout(state, wait)
+                .expect("loopback poisoned");
+            state = next;
+            if timeout.timed_out() && state.frames.is_empty() {
+                return Err(io::ErrorKind::TimedOut.into());
+            }
+        }
+    }
+
     fn close(&self) {
         self.queue.lock().expect("loopback poisoned").closed = true;
         self.ready.notify_all();
@@ -153,29 +312,45 @@ impl Channel {
 pub struct LoopbackClient {
     to_server: Arc<Channel>,
     from_server: Arc<Channel>,
+    poll: Duration,
+    scratch: Vec<Vec<u8>>,
 }
 
 /// Server half of an in-process loopback (see [`loopback_pair`]).
 pub struct LoopbackServer {
     from_client: Arc<Channel>,
     to_client: Arc<Channel>,
+    poll: Duration,
+    scratch: Vec<Vec<u8>>,
 }
 
 /// An in-process transport pair over two bounded queues of `depth`
-/// frames each. Sending into a full queue blocks; dropping either half
-/// closes both directions, waking the other half with an error.
+/// frames each, polling at the default [`RECV_POLL`]. Sending into a
+/// full queue blocks; dropping either half closes both directions,
+/// waking the other half with an error.
 #[must_use]
 pub fn loopback_pair(depth: usize) -> (LoopbackClient, LoopbackServer) {
+    loopback_pair_with(depth, RECV_POLL)
+}
+
+/// [`loopback_pair`] with an explicit receive-poll granularity — how
+/// long each receive waits before reporting `TimedOut`.
+#[must_use]
+pub fn loopback_pair_with(depth: usize, poll: Duration) -> (LoopbackClient, LoopbackServer) {
     let c2s = Channel::new(depth);
     let s2c = Channel::new(depth);
     (
         LoopbackClient {
             to_server: c2s.clone(),
             from_server: s2c.clone(),
+            poll,
+            scratch: Vec::new(),
         },
         LoopbackServer {
             from_client: c2s,
             to_client: s2c,
+            poll,
+            scratch: Vec::new(),
         },
     )
 }
@@ -186,7 +361,34 @@ impl Transport for LoopbackClient {
     }
 
     fn recv(&mut self) -> io::Result<Vec<u8>> {
-        self.from_server.pop(RECV_POLL)
+        self.from_server.pop(self.poll)
+    }
+
+    fn send_batch(&mut self, frames: &[&[u8]]) -> io::Result<usize> {
+        if frames.is_empty() {
+            return Ok(0);
+        }
+        let pushed = self.to_server.push_batch(frames.iter().map(|f| f.to_vec()));
+        if pushed == 0 {
+            Err(io::ErrorKind::BrokenPipe.into())
+        } else {
+            Ok(pushed)
+        }
+    }
+
+    fn recv_batch_with(
+        &mut self,
+        max: usize,
+        on_frame: &mut dyn FnMut(&[u8]),
+    ) -> io::Result<usize> {
+        self.scratch.clear();
+        let got = self
+            .from_server
+            .pop_batch(Some(self.poll), max, &mut self.scratch)?;
+        for frame in &self.scratch {
+            on_frame(frame);
+        }
+        Ok(got)
     }
 }
 
@@ -201,11 +403,30 @@ impl ServerTransport for LoopbackServer {
     type Peer = ();
 
     fn recv_from(&mut self) -> io::Result<(Vec<u8>, ())> {
-        Ok((self.from_client.pop(RECV_POLL)?, ()))
+        Ok((self.from_client.pop(self.poll)?, ()))
     }
 
     fn send_to(&mut self, (): &(), frame: &[u8]) -> io::Result<()> {
         self.to_client.push(frame.to_vec())
+    }
+
+    fn recv_batch_from(
+        &mut self,
+        pool: &Arc<FramePool>,
+        max: usize,
+        block: bool,
+        out: &mut Vec<(PooledFrame, ())>,
+    ) -> io::Result<usize> {
+        let wait = block.then_some(self.poll);
+        self.scratch.clear();
+        let got = self.from_client.pop_batch(wait, max, &mut self.scratch)?;
+        out.extend(self.scratch.drain(..).map(|f| (pool.adopt(f), ())));
+        Ok(got)
+    }
+
+    fn send_batch_to(&mut self, frames: &[((), PooledFrame)]) -> usize {
+        self.to_client
+            .push_batch(frames.iter().map(|((), f)| f.to_vec()))
     }
 }
 
@@ -224,6 +445,10 @@ impl Drop for LoopbackServer {
 pub struct UdpClient {
     socket: UdpSocket,
     buf: Vec<u8>,
+    #[cfg(target_os = "linux")]
+    scratch: crate::mmsg::BatchScratch,
+    #[cfg(target_os = "linux")]
+    batch_bufs: Vec<Vec<u8>>,
 }
 
 impl UdpClient {
@@ -253,6 +478,10 @@ impl UdpClient {
         Ok(UdpClient {
             socket,
             buf: vec![0; MAX_FRAME],
+            #[cfg(target_os = "linux")]
+            scratch: crate::mmsg::BatchScratch::new(),
+            #[cfg(target_os = "linux")]
+            batch_bufs: Vec::new(),
         })
     }
 }
@@ -265,6 +494,37 @@ impl Transport for UdpClient {
     fn recv(&mut self) -> io::Result<Vec<u8>> {
         let n = self.socket.recv(&mut self.buf)?;
         Ok(self.buf[..n].to_vec())
+    }
+
+    #[cfg(target_os = "linux")]
+    fn send_batch(&mut self, frames: &[&[u8]]) -> io::Result<usize> {
+        self.scratch
+            .send_batch(&self.socket, frames.len(), |i| (frames[i], None))
+    }
+
+    #[cfg(target_os = "linux")]
+    fn recv_batch_with(
+        &mut self,
+        max: usize,
+        on_frame: &mut dyn FnMut(&[u8]),
+    ) -> io::Result<usize> {
+        let max = max.max(1);
+        while self.batch_bufs.len() < max {
+            self.batch_bufs.push(vec![0; MAX_FRAME]);
+        }
+        let mut bufs: Vec<&mut [u8]> = self.batch_bufs[..max]
+            .iter_mut()
+            .map(|b| b.as_mut_slice())
+            .collect();
+        let mut lens = Vec::with_capacity(max);
+        let got = self
+            .scratch
+            .recv_batch(&self.socket, &mut bufs, true, &mut lens)?;
+        drop(bufs);
+        for (i, len) in lens.into_iter().enumerate() {
+            on_frame(&self.batch_bufs[i][..len]);
+        }
+        Ok(got)
     }
 }
 
@@ -323,6 +583,8 @@ impl UdpEndpoint {
 pub struct UdpServer {
     socket: UdpSocket,
     buf: Vec<u8>,
+    #[cfg(target_os = "linux")]
+    scratch: crate::mmsg::BatchScratch,
 }
 
 impl UdpServer {
@@ -349,6 +611,8 @@ impl UdpServer {
         Ok(UdpServer {
             socket,
             buf: vec![0; MAX_FRAME],
+            #[cfg(target_os = "linux")]
+            scratch: crate::mmsg::BatchScratch::new(),
         })
     }
 
@@ -372,6 +636,39 @@ impl ServerTransport for UdpServer {
 
     fn send_to(&mut self, peer: &SocketAddr, frame: &[u8]) -> io::Result<()> {
         self.socket.send_to(frame, peer).map(|_| ())
+    }
+
+    #[cfg(target_os = "linux")]
+    fn recv_batch_from(
+        &mut self,
+        pool: &Arc<FramePool>,
+        max: usize,
+        block: bool,
+        out: &mut Vec<(PooledFrame, SocketAddr)>,
+    ) -> io::Result<usize> {
+        let max = max.max(1);
+        let mut frames: Vec<PooledFrame> = (0..max).map(|_| pool.get()).collect();
+        let mut bufs: Vec<&mut [u8]> = frames.iter_mut().map(|f| f.recv_space(MAX_FRAME)).collect();
+        let mut metas: Vec<(usize, SocketAddr)> = Vec::with_capacity(max);
+        let got = self
+            .scratch
+            .recv_from_batch(&self.socket, &mut bufs, block, &mut metas)?;
+        drop(bufs);
+        // Unused tail frames drop back into the pool here.
+        for (mut frame, (len, peer)) in frames.drain(..got).zip(metas) {
+            frame.set_len(len);
+            out.push((frame, peer));
+        }
+        Ok(got)
+    }
+
+    #[cfg(target_os = "linux")]
+    fn send_batch_to(&mut self, frames: &[(SocketAddr, PooledFrame)]) -> usize {
+        self.scratch
+            .send_batch(&self.socket, frames.len(), |i| {
+                (frames[i].1.as_slice(), Some(frames[i].0))
+            })
+            .unwrap_or(0)
     }
 }
 
@@ -425,6 +722,67 @@ mod tests {
     }
 
     #[test]
+    fn loopback_batch_drains_queued_frames_in_one_call() {
+        let (mut client, mut server) = loopback_pair(16);
+        let frames: Vec<&[u8]> = vec![b"a", b"bb", b"ccc"];
+        assert_eq!(client.send_batch(&frames).unwrap(), 3);
+        let pool = FramePool::new(8);
+        let mut got = Vec::new();
+        let n = server.recv_batch_from(&pool, 8, true, &mut got).unwrap();
+        assert_eq!(n, 3);
+        let bytes: Vec<&[u8]> = got.iter().map(|(f, ())| f.as_slice()).collect();
+        assert_eq!(bytes, frames);
+
+        // Nothing left: a non-blocking drain must report WouldBlock
+        // immediately instead of waiting out the poll.
+        let err = server
+            .recv_batch_from(&pool, 8, false, &mut Vec::new())
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+
+        // Batch replies come back in order through the client's batch
+        // receive.
+        let replies: Vec<((), PooledFrame)> = (0..3u8)
+            .map(|i| {
+                let mut f = pool.get();
+                f.fill_with(|b| b.extend_from_slice(&[i + 10]));
+                ((), f)
+            })
+            .collect();
+        assert_eq!(server.send_batch_to(&replies), 3);
+        let mut seen = Vec::new();
+        let n = client
+            .recv_batch_with(8, &mut |frame| seen.push(frame.to_vec()))
+            .unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(seen, vec![vec![10], vec![11], vec![12]]);
+    }
+
+    #[test]
+    fn loopback_batch_push_larger_than_capacity_does_not_deadlock() {
+        let (mut client, mut server) = loopback_pair(2);
+        let frames: Vec<Vec<u8>> = (0..10u8).map(|i| vec![i]).collect();
+        let t = std::thread::spawn(move || {
+            let refs: Vec<&[u8]> = frames.iter().map(Vec::as_slice).collect();
+            client.send_batch(&refs).unwrap();
+            client
+        });
+        let pool = FramePool::new(16);
+        let mut got = Vec::new();
+        while got.len() < 10 {
+            match server.recv_batch_from(&pool, 16, true, &mut got) {
+                Ok(_) => {}
+                Err(e) if e.kind() == io::ErrorKind::TimedOut => {}
+                Err(e) => panic!("recv: {e}"),
+            }
+        }
+        let _client = t.join().unwrap();
+        for (i, (frame, ())) in got.iter().enumerate() {
+            assert_eq!(frame.as_slice(), &[u8::try_from(i).unwrap()]);
+        }
+    }
+
+    #[test]
     fn udp_roundtrip_on_localhost() {
         let mut server = UdpServer::bind(("127.0.0.1", 0)).unwrap();
         let addr = server.local_addr().unwrap();
@@ -449,5 +807,72 @@ mod tests {
             }
         };
         assert_eq!(reply, b"pong");
+    }
+
+    #[test]
+    fn udp_batch_roundtrip_on_localhost() {
+        let mut server = UdpServer::bind(("127.0.0.1", 0)).unwrap();
+        let addr = server.local_addr().unwrap();
+        let mut client = UdpClient::connect(addr).unwrap();
+        let frames: Vec<Vec<u8>> = (0..6u8).map(|i| vec![i; (i as usize) + 1]).collect();
+        let refs: Vec<&[u8]> = frames.iter().map(Vec::as_slice).collect();
+        assert_eq!(client.send_batch(&refs).unwrap(), frames.len());
+
+        let pool = FramePool::with_frame_bytes(8, MAX_FRAME);
+        let mut got = Vec::new();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while got.len() < frames.len() {
+            assert!(std::time::Instant::now() < deadline, "frames lost");
+            match server.recv_batch_from(&pool, 8, true, &mut got) {
+                Ok(_) => {}
+                Err(e)
+                    if e.kind() == io::ErrorKind::TimedOut
+                        || e.kind() == io::ErrorKind::WouldBlock => {}
+                Err(e) => panic!("recv failed: {e}"),
+            }
+        }
+        // UDP may reorder even on loopback in theory; match as a set of
+        // payloads.
+        let mut bytes: Vec<Vec<u8>> = got.iter().map(|(f, _)| f.to_vec()).collect();
+        bytes.sort();
+        let mut want = frames.clone();
+        want.sort();
+        assert_eq!(bytes, want);
+
+        // Echo everything back in one batch send.
+        let replies: Vec<(SocketAddr, PooledFrame)> = got
+            .iter()
+            .map(|(f, peer)| {
+                let mut out = pool.get();
+                let data = f.to_vec();
+                out.fill_with(|b| b.extend_from_slice(&data));
+                (*peer, out)
+            })
+            .collect();
+        assert_eq!(server.send_batch_to(&replies), replies.len());
+        let mut seen = 0;
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while seen < frames.len() {
+            assert!(std::time::Instant::now() < deadline, "replies lost");
+            match client.recv_batch_with(8, &mut |_frame| seen += 1) {
+                Ok(_) => {}
+                Err(e)
+                    if e.kind() == io::ErrorKind::TimedOut
+                        || e.kind() == io::ErrorKind::WouldBlock => {}
+                Err(e) => panic!("recv failed: {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn configured_poll_is_respected_by_loopback_timeouts() {
+        let (_client, mut server) = loopback_pair_with(4, Duration::from_millis(5));
+        let start = std::time::Instant::now();
+        let err = server.recv_from().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        assert!(
+            start.elapsed() < Duration::from_millis(45),
+            "5ms poll should time out well before the 50ms default"
+        );
     }
 }

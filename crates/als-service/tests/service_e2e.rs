@@ -6,7 +6,7 @@
 //! through bounded queues.
 
 use agr_als_service::pipeline::{Engine, EngineConfig, Request, Response};
-use agr_als_service::service::{serve, AlsClient};
+use agr_als_service::service::{serve, serve_batched, AlsClient, BatchConfig};
 use agr_als_service::store::StoreConfig;
 use agr_als_service::transport::{loopback_pair, UdpClient, UdpServer};
 use agr_core::packet::AlsPair;
@@ -62,6 +62,64 @@ fn udp_update_query_forward_roundtrip() {
     assert_eq!(stats.forwards, 1);
     assert_eq!(stats.queries, 4);
     assert_eq!(stats.hits, 2);
+
+    let Ok(engine) = Arc::try_unwrap(engine) else {
+        unreachable!("all clients have joined; this is the sole handle")
+    };
+    let store = engine.shutdown();
+    assert_eq!(store.len(), 3);
+}
+
+#[test]
+fn udp_batched_update_query_forward_roundtrip() {
+    // The same end-to-end flow as `udp_update_query_forward_roundtrip`,
+    // but through the batched serve loop over a real UDP socket — on
+    // Linux every receive and reply rides recvmmsg/sendmmsg, and every
+    // frame buffer comes from (and returns to) the pools.
+    let engine = Arc::new(Engine::start(EngineConfig::default()));
+    let mut server_side = UdpServer::bind(("127.0.0.1", 0)).expect("bind");
+    let addr = server_side.local_addr().expect("addr");
+    let stop = Arc::new(AtomicBool::new(false));
+    let server = {
+        let engine = engine.clone();
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            serve_batched(&engine, &mut server_side, BatchConfig::default(), &stop)
+        })
+    };
+
+    let mut client = AlsClient::new(UdpClient::connect(addr).expect("connect"));
+    assert_eq!(
+        client
+            .update(CELL, vec![pair(1), pair(2), pair(3)])
+            .unwrap(),
+        3
+    );
+    assert_eq!(
+        client.query(CELL, vec![2; 24]).unwrap(),
+        Some(vec![0xCC, 2])
+    );
+    assert_eq!(client.query(CELL, vec![0xEE; 24]).unwrap(), None);
+
+    let new_home = CellId { col: 11, row: 21 };
+    assert_eq!(client.forward(CELL, new_home, vec![pair(2)]).unwrap(), 1);
+    assert_eq!(client.query(CELL, vec![2; 24]).unwrap(), None);
+    assert_eq!(
+        client.query(new_home, vec![2; 24]).unwrap(),
+        Some(vec![0xCC, 2])
+    );
+
+    stop.store(true, Ordering::Release);
+    let stats = server.join().unwrap();
+    assert_eq!(stats.updates, 1);
+    assert_eq!(stats.forwards, 1);
+    assert_eq!(stats.queries, 4);
+    assert_eq!(stats.hits, 2);
+    assert!(stats.batches >= 1, "the batched path must have run");
+    assert!(
+        stats.pool_hits + stats.pool_misses >= stats.batches,
+        "every batch draws at least one pooled frame"
+    );
 
     let Ok(engine) = Arc::try_unwrap(engine) else {
         unreachable!("all clients have joined; this is the sole handle")
@@ -156,6 +214,105 @@ fn direct_engine_calls_honor_reply_locations() {
         }
     );
     engine.shutdown();
+}
+
+#[test]
+fn batch_admission_sheds_overflow_but_answers_every_frame() {
+    use agr_als_service::transport::Transport;
+    use agr_core::packet::{AgfwPacket, AlsNetKind, AlsNetMessage};
+    use agr_core::pseudonym::Pseudonym;
+    use agr_core::wire::{decode_packet, encode_packet};
+    use std::collections::BTreeMap;
+
+    // Watermark 1, one batch of five updates plus a ping, delivered
+    // atomically over loopback: batch admission must account for the
+    // requests it already admitted *within* the batch (one oversized
+    // batch cannot blow through the watermark), every shed request must
+    // still get its uid-echoed `Busy`, and the ping must pong.
+    let engine = Arc::new(Engine::start(EngineConfig {
+        workers: 1,
+        queue_depth: 4,
+        shed_watermark: Some(1),
+        ..EngineConfig::default()
+    }));
+    let (mut client_side, mut server_side) = loopback_pair(16);
+    let stop = Arc::new(AtomicBool::new(false));
+    let server = {
+        let engine = engine.clone();
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            serve_batched(&engine, &mut server_side, BatchConfig::default(), &stop)
+        })
+    };
+
+    let encoded = |uid: u64, kind: AlsNetKind| {
+        encode_packet(&AgfwPacket::Als(AlsNetMessage {
+            target_loc: Point::ORIGIN,
+            next: Pseudonym::LAST_ATTEMPT,
+            uid,
+            ttl: 1,
+            kind,
+        }))
+        .expect("encode request")
+    };
+    let frames: Vec<Vec<u8>> = (1u64..=5)
+        .map(|uid| {
+            encoded(
+                uid,
+                AlsNetKind::Update {
+                    cell: CELL,
+                    pairs: vec![pair(uid as u8)],
+                },
+            )
+        })
+        .chain(std::iter::once(encoded(6, AlsNetKind::Ping)))
+        .collect();
+    let refs: Vec<&[u8]> = frames.iter().map(Vec::as_slice).collect();
+    // `push_batch` publishes all six frames under one lock hold, so the
+    // serve loop drains them as exactly one batch.
+    assert_eq!(client_side.send_batch(&refs).expect("batch send"), 6);
+
+    let mut answers: BTreeMap<u64, AlsNetKind> = BTreeMap::new();
+    while answers.len() < 6 {
+        match client_side.recv() {
+            Ok(bytes) => {
+                let AgfwPacket::Als(m) = decode_packet(&bytes).expect("decode response") else {
+                    panic!("serve answers with ALS frames only");
+                };
+                answers.insert(m.uid, m.kind);
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+                ) => {}
+            Err(e) => panic!("loopback recv failed: {e}"),
+        }
+    }
+    assert_eq!(
+        answers.remove(&1),
+        Some(AlsNetKind::Ack { stored: 1 }),
+        "the first update fits under the watermark"
+    );
+    for uid in 2u64..=5 {
+        assert_eq!(
+            answers.remove(&uid),
+            Some(AlsNetKind::Busy),
+            "in-batch admission must shed update {uid}"
+        );
+    }
+    assert!(
+        matches!(answers.remove(&6), Some(AlsNetKind::Pong { .. })),
+        "the ping must be answered even while the batch sheds"
+    );
+
+    stop.store(true, Ordering::Release);
+    let stats = server.join().unwrap();
+    assert_eq!(stats.shed, 4);
+    assert_eq!(stats.updates, 1);
+    assert_eq!(stats.pings, 1);
+    assert!(stats.batches >= 1);
+    assert_eq!(engine.shed_count(), 4);
 }
 
 #[test]

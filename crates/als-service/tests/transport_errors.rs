@@ -5,12 +5,12 @@
 //! Nothing in here may panic or wedge a node.
 
 use agr_als_service::pipeline::{Engine, EngineConfig};
-use agr_als_service::service::{serve, AlsClient, ServeStats};
+use agr_als_service::service::{serve, serve_batched, AlsClient, BatchConfig, ServeStats};
 use agr_als_service::store::StoreConfig;
 use agr_als_service::transport::{loopback_pair, Transport, UdpClient, UdpServer, MAX_FRAME};
 use agr_core::packet::{AgfwPacket, AlsNetKind, AlsNetMessage, AlsPair, AlsSyncPair};
 use agr_core::pseudonym::Pseudonym;
-use agr_core::wire::encode_packet;
+use agr_core::wire::{decode_packet, encode_packet};
 use agr_geom::{CellId, Point};
 use agr_sim::SimTime;
 use std::net::UdpSocket;
@@ -36,10 +36,14 @@ fn small_engine() -> Engine {
 }
 
 fn encoded(kind: AlsNetKind) -> Vec<u8> {
+    encoded_uid(77, kind)
+}
+
+fn encoded_uid(uid: u64, kind: AlsNetKind) -> Vec<u8> {
     encode_packet(&AgfwPacket::Als(AlsNetMessage {
         target_loc: Point::ORIGIN,
         next: Pseudonym::LAST_ATTEMPT,
-        uid: 77,
+        uid,
         ttl: 1,
         kind,
     }))
@@ -215,6 +219,103 @@ fn unknown_kind_and_unsolicited_answers_are_not_answered() {
     assert_eq!(stats.bad_frames, 1, "the unknown kind");
     assert_eq!(stats.ignored, 3, "the three unsolicited answers");
     assert_eq!(stats.updates + stats.queries + stats.forwards, 0);
+}
+
+#[test]
+fn bad_frames_inside_a_batch_are_skipped_without_poisoning_the_batch() {
+    // One batch mixing well-formed requests with garbage, a truncation,
+    // and an oversize frame: the batched serve loop must count and skip
+    // every bad frame while answering every good one — a poisoned
+    // neighbor never takes down the rest of its batch.
+    let engine = small_engine();
+    let (mut client_side, mut server_side) = loopback_pair(64);
+    let stop = Arc::new(AtomicBool::new(false));
+    let server = {
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            serve_batched(&engine, &mut server_side, BatchConfig::default(), &stop)
+        })
+    };
+
+    let update = encoded_uid(
+        1,
+        AlsNetKind::Update {
+            cell: CELL,
+            pairs: vec![AlsPair {
+                index: vec![6; 16],
+                payload: vec![6, 0xBB],
+            }],
+        },
+    );
+    let truncated = &update[..update.len() - 3];
+    let hit_query = encoded_uid(
+        3,
+        AlsNetKind::Request {
+            cell: CELL,
+            index: vec![6; 16],
+            reply_loc: Point::ORIGIN,
+        },
+    );
+    let miss_query = encoded_uid(
+        4,
+        AlsNetKind::Request {
+            cell: CELL,
+            index: vec![7; 16],
+            reply_loc: Point::ORIGIN,
+        },
+    );
+    let garbage = vec![0xFF; 24];
+    let oversize = vec![0xAB; MAX_FRAME + 1];
+    let batch: Vec<&[u8]> = vec![
+        &update,
+        &garbage,
+        truncated,
+        &hit_query,
+        &oversize,
+        &miss_query,
+    ];
+    assert_eq!(
+        client_side.send_batch(&batch).expect("loopback batch send"),
+        batch.len()
+    );
+
+    // Three answers, in submission order (the batch path preserves it):
+    // the update's ack, the in-batch-visible hit, then the miss.
+    let mut answers = Vec::new();
+    while answers.len() < 3 {
+        match client_side.recv() {
+            Ok(bytes) => {
+                let AgfwPacket::Als(m) = decode_packet(&bytes).expect("server sends valid frames")
+                else {
+                    panic!("server answers with ALS frames only");
+                };
+                answers.push((m.uid, m.kind));
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::TimedOut
+                    || e.kind() == std::io::ErrorKind::WouldBlock => {}
+            Err(e) => panic!("loopback recv failed: {e:?}"),
+        }
+    }
+    assert_eq!(answers[0], (1, AlsNetKind::Ack { stored: 1 }));
+    assert_eq!(
+        answers[1],
+        (
+            3,
+            AlsNetKind::Reply {
+                payload: vec![6, 0xBB],
+            }
+        ),
+        "a query later in the batch must see an earlier in-batch update"
+    );
+    assert_eq!(answers[2], (4, AlsNetKind::Miss));
+
+    stop.store(true, Ordering::Release);
+    let stats = server.join().expect("serve loop must not panic");
+    assert_eq!(stats.bad_frames, 3, "garbage + truncated + oversize");
+    assert_eq!(stats.updates, 1);
+    assert_eq!(stats.queries, 2);
+    assert!(stats.batches >= 1, "the batch path must have run");
 }
 
 #[test]

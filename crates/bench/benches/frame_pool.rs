@@ -1,0 +1,102 @@
+//! Criterion microbenchmarks for the batched data plane's allocation
+//! discipline: what frame-buffer pooling and in-place encoding buy per
+//! frame, isolated from sockets and threads.
+//!
+//! Three comparisons:
+//! * `recv_buffer`: a fresh 64 KiB zeroed `Vec` per received frame
+//!   (what a naive receive loop allocates) versus a [`FramePool`]
+//!   checkout, which reuses the zeroed buffer across frames.
+//! * `encode`: [`encode_packet`] (a fresh output `Vec` per frame)
+//!   versus [`encode_packet_into`] re-using one buffer — the reply
+//!   path of the batched serve loop.
+//! * `encode_pooled`: encoding through [`PooledFrame::fill_with`], the
+//!   exact shape `serve_batched` uses for replies, including the
+//!   pool's checkout/return bookkeeping.
+
+use agr_als_service::transport::MAX_FRAME;
+use agr_als_service::FramePool;
+use agr_core::packet::{AgfwPacket, AlsNetKind, AlsNetMessage, AlsPair};
+use agr_core::pseudonym::Pseudonym;
+use agr_core::wire::{encode_packet, encode_packet_into};
+use agr_geom::{CellId, Point};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn sample_frame(uid: u64) -> AlsNetMessage {
+    AlsNetMessage {
+        target_loc: Point::ORIGIN,
+        next: Pseudonym::LAST_ATTEMPT,
+        uid,
+        ttl: 1,
+        kind: AlsNetKind::Update {
+            cell: CellId { col: 3, row: 9 },
+            pairs: vec![AlsPair {
+                index: vec![0xA7; 16],
+                payload: vec![0xC5; 48],
+            }],
+        },
+    }
+}
+
+fn bench_recv_buffer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recv_buffer");
+    group.bench_function("fresh_alloc", |b| {
+        b.iter(|| {
+            let mut buf = black_box(vec![0u8; MAX_FRAME]);
+            buf[0] = 0xAB;
+            black_box(&buf);
+            buf[0]
+        })
+    });
+    group.bench_function("pooled", |b| {
+        let pool = FramePool::with_frame_bytes(16, MAX_FRAME);
+        b.iter(|| {
+            let mut frame = pool.get();
+            let space = frame.recv_space(MAX_FRAME);
+            space[0] = 0xAB;
+            frame.set_len(64);
+            black_box(frame.len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let packet = AgfwPacket::Als(sample_frame(42));
+    let mut group = c.benchmark_group("encode");
+    group.bench_function("encode_packet", |b| {
+        b.iter(|| black_box(encode_packet(black_box(&packet)).expect("encodes")))
+    });
+    group.bench_function("encode_packet_into", |b| {
+        let mut buf = Vec::new();
+        b.iter(|| {
+            encode_packet_into(black_box(&packet), &mut buf).expect("encodes");
+            black_box(buf.len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_encode_pooled(c: &mut Criterion) {
+    let packet = AgfwPacket::Als(sample_frame(42));
+    let mut group = c.benchmark_group("encode_pooled");
+    group.bench_function("fill_with", |b| {
+        let pool = FramePool::new(16);
+        b.iter(|| {
+            let mut frame = pool.get();
+            frame
+                .fill_with(|buf| encode_packet_into(black_box(&packet), buf))
+                .expect("encodes");
+            black_box(frame.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_recv_buffer,
+    bench_encode,
+    bench_encode_pooled
+);
+criterion_main!(benches);

@@ -394,14 +394,14 @@ impl AlsServer {
             .is_none_or(|ttl| now.as_nanos() <= stored_at.as_nanos().saturating_add(ttl.as_nanos()))
     }
 
-    fn touch(&mut self, index: &[u8]) {
-        let tick = self.clock;
-        self.clock += 1;
-        if let Some(stored) = self.records.get_mut(index) {
-            self.recency.remove(&stored.touched);
-            stored.touched = tick;
-            self.recency.insert(tick, index.to_vec());
-        }
+    /// Whether LRU bookkeeping is worth its cost: the `recency` map is
+    /// only ever *consulted* by capacity eviction, so an unbounded
+    /// store (the common configuration — the simulator's cells and the
+    /// service engine's default shards) skips maintaining it entirely.
+    /// Recency ticks still advance identically, so enabling a capacity
+    /// bound changes no other observable.
+    fn track_lru(&self) -> bool {
+        self.config.capacity.is_some()
     }
 
     fn remove(&mut self, index: &[u8]) -> Option<Stored> {
@@ -414,11 +414,18 @@ impl AlsServer {
     /// index; a new index beyond [`AlsStoreConfig::capacity`] evicts the
     /// least-recently-used record first.
     pub fn store_at(&mut self, index: Vec<u8>, payload: Vec<u8>, now: SimTime) {
+        let track_lru = self.track_lru();
+        let tick = self.clock;
         if let Some(existing) = self.records.get_mut(&index) {
             existing.payload = payload;
             existing.stored_at = now;
+            let old_tick = std::mem::replace(&mut existing.touched, tick);
+            self.clock += 1;
             self.stats.replaced += 1;
-            self.touch(&index);
+            if track_lru {
+                self.recency.remove(&old_tick);
+                self.recency.insert(tick, index);
+            }
             return;
         }
         if let Some(cap) = self.config.capacity {
@@ -430,9 +437,10 @@ impl AlsServer {
                 self.stats.evicted += 1;
             }
         }
-        let tick = self.clock;
         self.clock += 1;
-        self.recency.insert(tick, index.clone());
+        if track_lru {
+            self.recency.insert(tick, index.clone());
+        }
         self.records.insert(
             index,
             Stored {
@@ -447,10 +455,22 @@ impl AlsServer {
     /// Answers a lookup at time `now`: a fresh record is touched (LRU)
     /// and returned; a stale one is reclaimed and counts as a miss.
     pub fn query_at(&mut self, index: &[u8], now: SimTime) -> Option<Vec<u8>> {
-        match self.records.get(index) {
-            Some(stored) if self.is_fresh(stored.stored_at, now) => {
+        let ttl = self.config.ttl;
+        let track_lru = self.track_lru();
+        let tick = self.clock;
+        match self.records.get_mut(index) {
+            Some(stored)
+                if ttl.is_none_or(|ttl| {
+                    now.as_nanos() <= stored.stored_at.as_nanos().saturating_add(ttl.as_nanos())
+                }) =>
+            {
                 let payload = stored.payload.clone();
-                self.touch(index);
+                let old_tick = std::mem::replace(&mut stored.touched, tick);
+                self.clock += 1;
+                if track_lru {
+                    self.recency.remove(&old_tick);
+                    self.recency.insert(tick, index.to_vec());
+                }
                 self.stats.hits += 1;
                 Some(payload)
             }

@@ -222,6 +222,21 @@ fn read_acks(r: &mut Reader<'_>) -> Result<Vec<AckRef>, WireError> {
 /// 16-bit length prefix.
 pub fn encode_packet(packet: &AgfwPacket) -> Result<Vec<u8>, WireError> {
     let mut out = Vec::with_capacity(64);
+    encode_packet_into(packet, &mut out)?;
+    Ok(out)
+}
+
+/// [`encode_packet`] into a caller-owned buffer: `out` is cleared, then
+/// the canonical encoding is appended — so a pooled buffer keeps its
+/// capacity across frames instead of paying one allocation per encode.
+/// On error `out` is left cleared (possibly partially written); callers
+/// must not send its contents.
+///
+/// # Errors
+///
+/// Same as [`encode_packet`].
+pub fn encode_packet_into(packet: &AgfwPacket, out: &mut Vec<u8>) -> Result<(), WireError> {
+    out.clear();
     match packet {
         AgfwPacket::Hello {
             n,
@@ -235,7 +250,7 @@ pub fn encode_packet(packet: &AgfwPacket) -> Result<Vec<u8>, WireError> {
             }
             out.push(TAG_HELLO);
             out.extend_from_slice(&n.0);
-            put_point(&mut out, *loc);
+            put_point(out, *loc);
             match vel {
                 Some(v) => {
                     out.push(1);
@@ -248,18 +263,18 @@ pub fn encode_packet(packet: &AgfwPacket) -> Result<Vec<u8>, WireError> {
         }
         AgfwPacket::Data(d) => {
             out.push(TAG_DATA);
-            encode_data(&mut out, d)?;
+            encode_data(out, d)?;
         }
         AgfwPacket::NlAck { acks } => {
             out.push(TAG_NL_ACK);
-            put_acks(&mut out, acks)?;
+            put_acks(out, acks)?;
         }
         AgfwPacket::Als(m) => {
             out.push(TAG_ALS);
-            encode_als(&mut out, m)?;
+            encode_als(out, m)?;
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 fn encode_data(out: &mut Vec<u8>, d: &AgfwData) -> Result<(), WireError> {

@@ -33,22 +33,40 @@ AGR_RESULTS_DIR="$SMOKE_RESULTS" AGR_SEEDS=1 AGR_DURATION_S=60 AGR_NODES=50 AGR_
     cargo run --offline --release -q -p agr-bench --bin adversary_sweep -- \
     --bench-json "${TMPDIR:-/tmp}/BENCH_adversary_smoke.json"
 
-# ALS service smoke: a --quick loadgen run (100k mixed ops per shard
-# count) through the sharded engine. The floor is set far below what any
-# development machine reaches (~250k+ ops/s single-shard) so it only
-# trips on a genuine collapse — a lock held across a batch, a transport
-# accidentally in the hot path — not on machine-to-machine noise.
+# ALS service smoke: a --quick loadgen run (engine arms per-op and
+# batched, plus the two multi-process UDP arms) gated against the
+# checked-in --quick reference per arm. The runs are duration-matched
+# (same op counts, same knobs), so a 2x bar tolerates machine noise
+# while catching a hot path falling off a cliff — a lock held across a
+# batch, a clone sneaking back into the store path, a batched syscall
+# quietly degrading to per-frame. An absolute floor backstops the gate
+# when no baseline is checked in.
 ALS_FLOOR=25000
-echo "==> ALS service smoke (als_loadgen --quick, floor ${ALS_FLOOR} ops/s)"
+ALS_BASELINE="results/BENCH_als_quick.json"
+echo "==> ALS service smoke (als_loadgen --quick vs ${ALS_BASELINE})"
 ALS_SMOKE="$SMOKE_RESULTS/BENCH_als_smoke.json"
 cargo run --offline --release -q -p agr-bench --bin als_loadgen -- \
     --quick --out "$ALS_SMOKE" >/dev/null
-paste <(grep -o '"shards": [0-9]*' "$ALS_SMOKE" | awk '{print $2}') \
-      <(grep -o '"ops_per_sec": [0-9.]*' "$ALS_SMOKE" | awk '{print $2}') |
-while read -r shards rate; do
-    printf '    %s-shard %12.0f ops/s\n' "$shards" "$rate"
+if [[ -f "$ALS_BASELINE" ]] && grep -q '"arm"' "$ALS_BASELINE"; then
+    # Both files come from als_loadgen's fixed-order writer, so the Nth
+    # ops_per_sec in each belongs to the Nth arm name.
+    paste <(grep -o '"arm": "[a-z_0-9]*"' "$ALS_BASELINE" | cut -d'"' -f4) \
+          <(grep -o '"ops_per_sec": [0-9.]*' "$ALS_BASELINE" | awk '{print $2}') \
+          <(grep -o '"ops_per_sec": [0-9.]*' "$ALS_SMOKE" | awk '{print $2}') |
+    while read -r arm base now; do
+        printf '    %-14s baseline %12.0f ops/s   now %12.0f ops/s\n' "$arm" "$base" "$now"
+        if awk -v b="$base" -v n="$now" 'BEGIN { exit !(n * 2 < b) }'; then
+            echo "ALS regression: arm '$arm' runs at less than half the recorded ops/sec" >&2
+            exit 1
+        fi
+    done
+else
+    echo "    (no per-arm $ALS_BASELINE checked in; absolute floor only)"
+fi
+grep -o '"ops_per_sec": [0-9.]*' "$ALS_SMOKE" | awk '{print $2}' |
+while read -r rate; do
     if awk -v r="$rate" -v f="$ALS_FLOOR" 'BEGIN { exit !(r < f) }'; then
-        echo "ALS throughput collapse: ${shards}-shard engine below ${ALS_FLOOR} ops/s" >&2
+        echo "ALS throughput collapse: an arm fell below ${ALS_FLOOR} ops/s" >&2
         exit 1
     fi
 done
