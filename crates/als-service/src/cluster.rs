@@ -1507,6 +1507,42 @@ impl ClusterClient {
             self.sleep_backoff(attempt, salt, deadline);
         }
     }
+
+    /// Scrapes one node's telemetry registry over the wire: sends an
+    /// empty `StatsDump` request and returns the Prometheus text the
+    /// node answers with. Retries with fresh uids until the node
+    /// answers or the op deadline lapses.
+    pub fn scrape_stats(&mut self, node: usize) -> Option<String> {
+        self.ops += 1;
+        let deadline = Instant::now() + self.config.op_deadline;
+        let salt = self.next_uid;
+        let mut attempt = 0u32;
+        loop {
+            let uid = self.fresh_uid();
+            if self.send_kind(
+                node,
+                uid,
+                AlsNetKind::StatsDump {
+                    payload: Vec::new(),
+                },
+            ) {
+                let budget = remaining(deadline).unwrap_or(Duration::ZERO);
+                match self.wait_kind(node, uid, budget.min(self.config.ack_timeout)) {
+                    Some(AlsNetKind::StatsDump { payload }) => {
+                        return String::from_utf8(payload).ok();
+                    }
+                    Some(AlsNetKind::Busy) => self.stats.busy += 1,
+                    Some(_) | None => {}
+                }
+            }
+            if Instant::now() >= deadline {
+                self.stats.deadline_misses += 1;
+                return None;
+            }
+            attempt += 1;
+            self.sleep_backoff(attempt, salt, deadline);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1576,6 +1612,26 @@ mod tests {
             Some(vec![7, 0xC1]),
             "ring query must find the record"
         );
+    }
+
+    #[test]
+    fn live_node_answers_udp_stats_scrape() {
+        let mut cluster = Cluster::launch(config(2, 1)).unwrap();
+        cluster.set_time(SimTime::from_secs(1));
+        let mut client = cluster.client().unwrap();
+        let cell = CellId { col: 0, row: 0 };
+        assert!(client.update(cell, vec![pair(1)]).fully_acked());
+        let text = client.scrape_stats(0).expect("node 0 must answer a scrape");
+        assert!(
+            agr_telemetry::export::prometheus_family_count(&text) >= 20,
+            "scrape must expose at least 20 metric families:\n{text}"
+        );
+        assert!(text.contains("# TYPE agr_als_store_records gauge"));
+        // Scrapes are answered by the serve loop, so the tally shows up
+        // in the shutdown stats of exactly the scraped node.
+        let stats = cluster.shutdown();
+        assert_eq!(stats[0].stats_dumps, 1);
+        assert_eq!(stats[1].stats_dumps, 0);
     }
 
     #[test]

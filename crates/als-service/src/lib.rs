@@ -61,6 +61,7 @@
 pub mod chaos_net;
 pub mod cluster;
 pub mod journal;
+pub mod metrics;
 #[cfg(target_os = "linux")]
 #[allow(unsafe_code)]
 mod mmsg;
@@ -74,6 +75,7 @@ pub mod transport;
 pub use chaos_net::{ChaosNetConfig, ChaosStats, ChaosTransport};
 pub use cluster::{ChaosPlan, ClientConfig, Cluster, ClusterClient, ClusterConfig};
 pub use journal::{Journal, JournalConfig, JournalOp};
+pub use metrics::{mirror_engine, mirror_pools, mirror_serve_stats, scrape_registry};
 pub use pipeline::{Engine, EngineConfig, Request, Response};
 pub use pool::{FramePool, PoolStats, PooledFrame};
 pub use ring::{FailureDetector, HealthConfig, NodeHealth, Ring};

@@ -17,6 +17,7 @@ use agr_core::packet::{AgfwPacket, AlsNetKind, AlsNetMessage, AlsPair, AlsSyncPa
 use agr_core::pseudonym::Pseudonym;
 use agr_core::wire::{decode_packet, encode_packet, encode_packet_into};
 use agr_geom::{CellId, Point};
+use agr_telemetry::Histogram;
 use std::io;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -47,6 +48,8 @@ pub struct ServeStats {
     pub sync_deltas: u64,
     /// Liveness pings answered with a `Pong`.
     pub pings: u64,
+    /// Telemetry scrapes answered with a Prometheus-text `StatsDump`.
+    pub stats_dumps: u64,
     /// Requests rejected with `Busy` by admission control.
     pub shed: u64,
     /// Answers (or encodes) that failed to leave the transport — counted
@@ -57,8 +60,11 @@ pub struct ServeStats {
     pub batches: u64,
     /// Median frames gathered per drain round — how full the batches
     /// actually ran, the observable the batching work stands on.
+    /// Reported from the shared log2 telemetry histogram, so the value
+    /// is the upper bound of the bucket holding the median (within one
+    /// power of two of the exact median).
     pub frames_per_batch_p50: u64,
-    /// 99th-percentile frames per drain round.
+    /// 99th-percentile frames per drain round (same bucketing).
     pub frames_per_batch_p99: u64,
     /// Frame-pool takes served by buffer reuse (receive + reply pools).
     pub pool_hits: u64,
@@ -82,6 +88,7 @@ impl ServeStats {
         self.sync_digests += other.sync_digests;
         self.sync_deltas += other.sync_deltas;
         self.pings += other.pings;
+        self.stats_dumps += other.stats_dumps;
         self.shed += other.shed;
         self.send_errors += other.send_errors;
         self.batches += other.batches;
@@ -253,11 +260,21 @@ pub fn serve<T: ServerTransport>(
                     queue_depth: u32::try_from(engine.queued()).unwrap_or(u32::MAX),
                 }
             }
+            // Telemetry scrape: answer with the node's registry rendered
+            // as Prometheus text. Only the empty-payload request form is
+            // served; a filled dump is someone's reply, not a question.
+            AlsNetKind::StatsDump { payload } if payload.is_empty() => {
+                stats.stats_dumps += 1;
+                AlsNetKind::StatsDump {
+                    payload: crate::metrics::scrape_payload(engine, &stats, None, None),
+                }
+            }
             AlsNetKind::Reply { .. }
             | AlsNetKind::Ack { .. }
             | AlsNetKind::Miss
             | AlsNetKind::Pong { .. }
-            | AlsNetKind::Busy => {
+            | AlsNetKind::Busy
+            | AlsNetKind::StatsDump { .. } => {
                 stats.ignored += 1;
                 continue;
             }
@@ -382,24 +399,6 @@ fn flush_pending<P>(
     }
 }
 
-/// `pct`-th percentile of a histogram indexed by value (`hist[v]` =
-/// number of observations equal to `v`).
-fn histogram_percentile(hist: &[u64], pct: u64) -> u64 {
-    let total: u64 = hist.iter().sum();
-    if total == 0 {
-        return 0;
-    }
-    let rank = (total * pct).div_ceil(100).max(1);
-    let mut seen = 0u64;
-    for (value, count) in hist.iter().enumerate() {
-        seen += count;
-        if seen >= rank {
-            return value as u64;
-        }
-    }
-    hist.len() as u64
-}
-
 /// The readiness-driven serve loop: wait for the first frame (one poll-
 /// bounded blocking batch receive), drain whatever else already arrived
 /// without waiting again, push the whole round through the pipeline's
@@ -436,7 +435,7 @@ pub fn serve_batched<T: ServerTransport>(
     let mut replies: Vec<(T::Peer, PooledFrame)> = Vec::new();
     let mut pending: Vec<Request> = Vec::new();
     let mut meta: Vec<(u64, DataTag, T::Peer)> = Vec::new();
-    let mut occupancy = vec![0u64; max_backlog + 1];
+    let occupancy = Histogram::new();
     let mut fatal = false;
     while !fatal && !stop.load(Ordering::Acquire) {
         batch.clear();
@@ -471,7 +470,7 @@ pub fn serve_batched<T: ServerTransport>(
             }
         }
         stats.batches += 1;
-        occupancy[batch.len().min(max_backlog)] += 1;
+        occupancy.record(batch.len().min(max_backlog) as u64);
         replies.clear();
         for (frame_buf, peer) in batch.drain(..) {
             // A frame beyond the transport bound is dropped before the
@@ -592,11 +591,39 @@ pub fn serve_batched<T: ServerTransport>(
                         &mut stats,
                     );
                 }
+                AlsNetKind::StatsDump { payload } if payload.is_empty() => {
+                    // Same ordering rule as the anti-entropy frames: the
+                    // dump reflects every request batched ahead of it.
+                    flush_pending(
+                        engine,
+                        &mut pending,
+                        &mut meta,
+                        &reply_pool,
+                        &mut replies,
+                        &mut stats,
+                    );
+                    stats.stats_dumps += 1;
+                    let dump = crate::metrics::scrape_payload(
+                        engine,
+                        &stats,
+                        Some(&occupancy),
+                        Some((&recv_pool, &reply_pool)),
+                    );
+                    push_reply(
+                        &reply_pool,
+                        &mut replies,
+                        peer,
+                        uid,
+                        AlsNetKind::StatsDump { payload: dump },
+                        &mut stats,
+                    );
+                }
                 AlsNetKind::Reply { .. }
                 | AlsNetKind::Ack { .. }
                 | AlsNetKind::Miss
                 | AlsNetKind::Pong { .. }
-                | AlsNetKind::Busy => {
+                | AlsNetKind::Busy
+                | AlsNetKind::StatsDump { .. } => {
                     stats.ignored += 1;
                 }
             }
@@ -614,8 +641,8 @@ pub fn serve_batched<T: ServerTransport>(
         // Reply buffers return to their pool as the vec clears on the
         // next round.
     }
-    stats.frames_per_batch_p50 = histogram_percentile(&occupancy, 50);
-    stats.frames_per_batch_p99 = histogram_percentile(&occupancy, 99);
+    stats.frames_per_batch_p50 = occupancy.quantile(0.50);
+    stats.frames_per_batch_p99 = occupancy.quantile(0.99);
     let recv = recv_pool.stats();
     let reply = reply_pool.stats();
     stats.pool_hits = recv.hits + reply.hits;
@@ -780,6 +807,24 @@ impl<T: Transport> AlsClient<T> {
     pub fn sync_delta(&mut self, cell: CellId, pairs: Vec<AlsSyncPair>) -> io::Result<u32> {
         match self.roundtrip(AlsNetKind::SyncDelta { cell, pairs })? {
             AlsNetKind::Ack { stored } => Ok(stored),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Scrapes the peer's telemetry registry: sends an empty
+    /// `StatsDump` request and returns the Prometheus text the node
+    /// answers with.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, `TimedOut` when no answer arrived within
+    /// [`CLIENT_TIMEOUT`], or `InvalidData` when the dump is not UTF-8.
+    pub fn scrape_stats(&mut self) -> io::Result<String> {
+        match self.roundtrip(AlsNetKind::StatsDump {
+            payload: Vec::new(),
+        })? {
+            AlsNetKind::StatsDump { payload } => String::from_utf8(payload)
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "stats dump is not UTF-8")),
             other => Err(unexpected(&other)),
         }
     }

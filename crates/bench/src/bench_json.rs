@@ -82,6 +82,20 @@ pub fn iso_from_unix(secs: u64) -> String {
     format!("{y:04}-{m:02}-{d:02}T{hh:02}:{mm:02}:{ss:02}Z")
 }
 
+/// Provenance metadata pairs for telemetry snapshots written by bench
+/// binaries — the same stamping (`bin`, `git_sha`, `generated_at`) the
+/// sweep record carries, so a metrics snapshot and the `BENCH_*.json`
+/// next to it are attributable to the same run. Feed to
+/// `agr_telemetry::export::snapshot_to_json` after borrowing the pairs.
+#[must_use]
+pub fn snapshot_meta(bin: &str) -> Vec<(String, String)> {
+    vec![
+        ("bin".to_string(), bin.to_string()),
+        ("git_sha".to_string(), git_sha()),
+        ("generated_at".to_string(), iso_timestamp()),
+    ]
+}
+
 /// Renders the JSON document for one binary's sweep record.
 #[must_use]
 pub fn render(bin: &str, perf: &SweepPerf) -> String {

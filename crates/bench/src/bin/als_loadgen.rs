@@ -52,6 +52,7 @@ use agr_core::packet::{AgfwPacket, AlsNetKind, AlsNetMessage, AlsPair};
 use agr_core::pseudonym::Pseudonym;
 use agr_core::wire::{decode_packet, encode_packet_into};
 use agr_geom::{CellId, Point};
+use agr_telemetry::Histogram;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt::Write as _;
@@ -167,10 +168,12 @@ fn produce_batched(engine: &Engine, zipf: &Zipf, seed: u64, ops: u64) -> u64 {
 /// Times `samples` blocking query round-trips on an otherwise idle
 /// engine — the uncongested request-pipeline service latency (during
 /// the throughput phase a reply would mostly measure queue depth).
-/// Returns sorted latencies in nanoseconds.
-fn measure_latency(engine: &Engine, zipf: &Zipf, seed: u64, samples: u64) -> Vec<u64> {
+/// Returns the nanosecond latencies as a telemetry histogram (shared
+/// with every other percentile in the workspace; log2-bucketed, so
+/// reported quantiles are bucket upper bounds).
+fn measure_latency(engine: &Engine, zipf: &Zipf, seed: u64, samples: u64) -> Histogram {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut latencies = Vec::with_capacity(samples as usize);
+    let latencies = Histogram::new();
     for _ in 0..samples {
         let rank = zipf.sample(&mut rng);
         let request = Request::Query {
@@ -180,9 +183,8 @@ fn measure_latency(engine: &Engine, zipf: &Zipf, seed: u64, samples: u64) -> Vec
         };
         let t0 = Instant::now();
         let _ = engine.call(request);
-        latencies.push(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        latencies.record(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
     }
-    latencies.sort_unstable();
     latencies
 }
 
@@ -209,12 +211,8 @@ impl ConfigResult {
     }
 }
 
-fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
-    if sorted_ns.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted_ns.len() - 1) as f64 * p).round() as usize;
-    sorted_ns[idx] as f64 / 1_000.0
+fn percentile_us(latencies: &Histogram, p: f64) -> f64 {
+    latencies.quantile(p) as f64 / 1_000.0
 }
 
 /// Engine knobs per arm. The per-op arms keep the historical
@@ -558,14 +556,13 @@ fn run_udp_config(
     let mut rng = StdRng::seed_from_u64(0x1A7E_ACE5);
     let mut lat_client =
         AlsClient::new(UdpClient::connect_with(addr, UDP_POLL).expect("connect latency client"));
-    let mut latencies = Vec::with_capacity(latency_samples as usize);
+    let latencies = Histogram::new();
     for _ in 0..latency_samples {
         let rank = zipf.sample(&mut rng);
         let t = Instant::now();
         let _ = lat_client.query(cell_of(rank), index_of(rank));
-        latencies.push(u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        latencies.record(u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX));
     }
-    latencies.sort_unstable();
 
     stop.store(true, Ordering::Release);
     let serve_stats = serve_thread.join().expect("serve loop must not panic");

@@ -23,6 +23,9 @@
 //! - `--smoke`: one 3-node packet-chaos ring with a kill/restart cycle
 //!   and hard assertions on convergence and fault-window availability —
 //!   the check.sh gate (exits non-zero on any violated invariant).
+//! - `--scrape-smoke`: boot a clean 1-node ring, drive a few dozen ops,
+//!   and assert a UDP stats scrape renders ≥ 20 Prometheus metric
+//!   families — the check.sh telemetry gate (seconds, no chaos).
 //! - `--chaos-seed <n>`: override the chaos seed (the CI chaos matrix).
 //! - `--out <path>` / `--bench-json <path>` / `AGR_BENCH_JSON`: output
 //!   path (default `results/BENCH_cluster.json`).
@@ -40,6 +43,8 @@ use agr_bench::runner::env_u64;
 use agr_bench::zipf::Zipf;
 use agr_core::packet::AlsPair;
 use agr_geom::CellId;
+use agr_telemetry::export::prometheus_family_count;
+use agr_telemetry::Histogram;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
@@ -196,7 +201,8 @@ struct RunResult {
     /// The same pair restricted to the fault window (kill → readmit).
     fault_eligible: u64,
     fault_served: u64,
-    /// Ring-query latency percentiles, microseconds.
+    /// Ring-query latency percentiles, microseconds (log2-bucketed via
+    /// the shared telemetry histogram; values are bucket upper bounds).
     p50_us: u64,
     p95_us: u64,
     p99_us: u64,
@@ -205,6 +211,9 @@ struct RunResult {
     hit_p50_us: u64,
     hit_p95_us: u64,
     hit_p99_us: u64,
+    /// Prometheus metric families a live node answered over UDP at the
+    /// end of the run (0 if the scrape failed).
+    telemetry_families: usize,
     /// Journal records replayed across every restart.
     replayed: u64,
     client: ClientStats,
@@ -246,11 +255,8 @@ impl RunResult {
     }
 }
 
-fn percentile(sorted: &[u64], pct: usize) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    sorted[(sorted.len() * pct / 100).min(sorted.len() - 1)]
+fn percentile(latencies: &Histogram, q: f64) -> u64 {
+    latencies.quantile(q)
 }
 
 /// Runs one ring end to end. `cycles` > 0 schedules seeded kill/restart
@@ -289,8 +295,8 @@ fn run_ring(spec: RunSpec, chaos_seed: u64) -> RunResult {
     let mut rng = StdRng::seed_from_u64(0xBEEF ^ spec.nodes as u64);
     let mut fired = 0usize;
     let mut acked_ranks: HashSet<usize> = HashSet::new();
-    let mut latencies: Vec<u64> = Vec::new();
-    let mut hit_latencies: Vec<u64> = Vec::new();
+    let latencies = Histogram::new();
+    let hit_latencies = Histogram::new();
     let mut in_fault_window = false;
     let mut result = RunResult {
         spec,
@@ -317,6 +323,7 @@ fn run_ring(spec: RunSpec, chaos_seed: u64) -> RunResult {
         hit_p50_us: 0,
         hit_p95_us: 0,
         hit_p99_us: 0,
+        telemetry_families: 0,
         replayed: 0,
         client: ClientStats::default(),
         shed: 0,
@@ -432,11 +439,11 @@ fn run_ring(spec: RunSpec, chaos_seed: u64) -> RunResult {
             let q0 = Instant::now();
             let served = client.query(cell, &index).payload.is_some();
             let elapsed_us = q0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
-            latencies.push(elapsed_us);
+            latencies.record(elapsed_us);
             result.queries += 1;
             if served {
                 result.hits += 1;
-                hit_latencies.push(elapsed_us);
+                hit_latencies.record(elapsed_us);
             }
             if eligible {
                 result.eligible += 1;
@@ -463,14 +470,19 @@ fn run_ring(spec: RunSpec, chaos_seed: u64) -> RunResult {
         cluster.digests_agree(&universe),
         "owners must agree after terminal quiesce"
     );
-    latencies.sort_unstable();
-    result.p50_us = percentile(&latencies, 50);
-    result.p95_us = percentile(&latencies, 95);
-    result.p99_us = percentile(&latencies, 99);
-    hit_latencies.sort_unstable();
-    result.hit_p50_us = percentile(&hit_latencies, 50);
-    result.hit_p95_us = percentile(&hit_latencies, 95);
-    result.hit_p99_us = percentile(&hit_latencies, 99);
+    result.p50_us = percentile(&latencies, 0.50);
+    result.p95_us = percentile(&latencies, 0.95);
+    result.p99_us = percentile(&latencies, 0.99);
+    result.hit_p50_us = percentile(&hit_latencies, 0.50);
+    result.hit_p95_us = percentile(&hit_latencies, 0.95);
+    result.hit_p99_us = percentile(&hit_latencies, 0.99);
+    // Telemetry scrape over the same UDP path traffic rode: every node
+    // is up again, so node 0 must answer a StatsDump with a valid
+    // Prometheus exposition.
+    result.telemetry_families = client
+        .scrape_stats(0)
+        .as_deref()
+        .map_or(0, prometheus_family_count);
     result.client = client.stats();
     for stats in cluster.shutdown() {
         result.shed += stats.shed;
@@ -484,7 +496,7 @@ fn run_ring(spec: RunSpec, chaos_seed: u64) -> RunResult {
          fully-acked {:.3}  hit rate {:.3}  avail {:.4} (fault {:.4})  \
          q p50/p95/p99 {}/{}/{} µs (hit {}/{}/{})  recovery {:.1} ms \
          ({} pushed, {} changed)  \
-         final quiesce {} round(s)",
+         final quiesce {} round(s)  scrape {} families",
         spec.nodes,
         result.replication,
         result.ops,
@@ -504,6 +516,7 @@ fn run_ring(spec: RunSpec, chaos_seed: u64) -> RunResult {
         result.recovery_pushed.iter().sum::<u64>(),
         result.recovery_changed.iter().sum::<u64>(),
         result.final_convergence_rounds,
+        result.telemetry_families,
     );
     result
 }
@@ -562,6 +575,11 @@ fn render_run(out: &mut String, r: &RunResult, comma: &str) {
     let _ = writeln!(out, "      \"query_hit_p50_us\": {},", r.hit_p50_us);
     let _ = writeln!(out, "      \"query_hit_p95_us\": {},", r.hit_p95_us);
     let _ = writeln!(out, "      \"query_hit_p99_us\": {},", r.hit_p99_us);
+    let _ = writeln!(
+        out,
+        "      \"telemetry_families\": {},",
+        r.telemetry_families
+    );
     let _ = writeln!(out, "      \"chaos_cycles\": {},", r.spec.cycles);
     let _ = writeln!(
         out,
@@ -682,10 +700,49 @@ fn write_out(baselines: &[RunResult], chaos_runs: &[RunResult], chaos_seed: u64)
     eprintln!("bench json: {}", path.display());
 }
 
+/// The check.sh telemetry gate: a clean 1-node ring answers a UDP stats
+/// scrape with a valid Prometheus exposition of ≥ 20 metric families.
+fn run_scrape_smoke() {
+    let spec = RunSpec::baseline(1, 0, 0);
+    let cluster = Cluster::launch(config(&spec, None)).expect("cluster boot");
+    let mut client = cluster
+        .client_with(client_config(&spec))
+        .expect("client connect");
+    for rank in 0..32 {
+        let _ = client.update(
+            cell_of(rank),
+            vec![AlsPair {
+                index: index_of(rank),
+                payload: vec![0xC5; 48],
+            }],
+        );
+        let _ = client.query(cell_of(rank), &index_of(rank));
+    }
+    let text = client
+        .scrape_stats(0)
+        .expect("live node must answer the stats scrape");
+    assert!(
+        text.starts_with("# "),
+        "scrape must render Prometheus text exposition, got {:?}…",
+        &text[..text.len().min(40)]
+    );
+    let families = prometheus_family_count(&text);
+    assert!(
+        families >= 20,
+        "scrape rendered only {families} metric families (want ≥ 20)"
+    );
+    cluster.shutdown();
+    eprintln!("scrape smoke OK: {families} metric families over UDP");
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let smoke = std::env::args().any(|a| a == "--smoke");
     let chaos_seed = chaos_seed_arg();
+    if std::env::args().any(|a| a == "--scrape-smoke") {
+        run_scrape_smoke();
+        return;
+    }
     if smoke {
         // The check.sh gate: one 3-node ring under packet chaos, one
         // seeded kill/restart cycle, hard assertions on convergence,
@@ -740,6 +797,12 @@ fn main() {
             result.fault_availability(),
             result.fault_served,
             result.fault_eligible
+        );
+        assert!(
+            result.telemetry_families >= 20,
+            "live node answered the UDP stats scrape with only {} metric \
+             families (want ≥ 20)",
+            result.telemetry_families
         );
         write_out(&[], &[result], chaos_seed);
         eprintln!("cluster smoke OK");

@@ -11,6 +11,10 @@
 //! - `--quick`: 60 s simulated instead of 300 s (CI smoke).
 //! - `--out <path>` / `--bench-json <path>` / `AGR_BENCH_JSON`: output
 //!   path (default `BENCH_perf.json` in the working directory).
+//! - `--metrics-json <path>`: additionally emit the scenario results as
+//!   an `agr-telemetry` registry snapshot (scenario-labelled counters
+//!   and gauges) with the same provenance stamping — the CI metrics
+//!   artifact.
 //! - `AGR_PERF_DURATION_S`: explicit duration override.
 //!
 //! Peak RSS (`VmHWM`) is a process-wide high-water mark, so it is
@@ -18,12 +22,14 @@
 //! largest footprint *so far*, which is why the scenarios run in
 //! increasing order of expected memory use.
 
-use agr_bench::bench_json::{git_sha, iso_timestamp};
+use agr_bench::bench_json::{git_sha, iso_timestamp, snapshot_meta};
 use agr_bench::runner::{env_u64, paper_config, SweepParams};
 use agr_core::aant::AantConfig;
 use agr_core::agfw::{Agfw, AgfwConfig, CryptoMode};
 use agr_core::keys::KeyDirectory;
 use agr_sim::{SimTime, Stats, World};
+use agr_telemetry::export::snapshot_to_json;
+use agr_telemetry::Registry;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -232,6 +238,47 @@ fn out_path() -> PathBuf {
         .map_or_else(|| PathBuf::from("BENCH_perf.json"), PathBuf::from)
 }
 
+/// `--metrics-json <path>`, if given: where the registry snapshot goes.
+fn metrics_path() -> Option<PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--metrics-json" {
+            return args.next().map(PathBuf::from);
+        }
+    }
+    None
+}
+
+/// Folds the scenario results into a telemetry registry
+/// (scenario-labelled families) and writes the stamped JSON snapshot.
+fn write_metrics_snapshot(path: &PathBuf, results: &[ScenarioResult]) {
+    let registry = Registry::new();
+    for r in results {
+        let labels = [("scenario", r.name)];
+        registry.counter_with("perf.events", &labels).add(r.events);
+        registry
+            .counter_with("perf.alloc_calls", &labels)
+            .add(r.alloc_calls);
+        registry
+            .counter_with("perf.alloc_bytes", &labels)
+            .add(r.alloc_bytes);
+        registry
+            .gauge_with("perf.peak_rss_kb", &labels)
+            .set(i64::try_from(r.peak_rss_kb).unwrap_or(i64::MAX));
+        registry
+            .gauge_with("perf.wall_micros", &labels)
+            .set((r.wall_s * 1e6) as i64);
+        registry
+            .gauge_with("perf.events_per_sec", &labels)
+            .set(r.events_per_sec() as i64);
+    }
+    let meta = snapshot_meta("perf_profile");
+    let meta: Vec<(&str, &str)> = meta.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+    std::fs::write(path, snapshot_to_json(&registry.snapshot(), &meta))
+        .expect("write metrics json");
+    eprintln!("metrics json: {}", path.display());
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let duration_s = env_u64("AGR_PERF_DURATION_S").unwrap_or(if quick { 60 } else { 300 });
@@ -285,4 +332,7 @@ fn main() {
     let path = out_path();
     std::fs::write(&path, render(duration_s, &results)).expect("write BENCH_perf.json");
     eprintln!("perf json: {}", path.display());
+    if let Some(metrics) = metrics_path() {
+        write_metrics_snapshot(&metrics, &results);
+    }
 }

@@ -13,10 +13,20 @@
 //! The run is delegated to the shared runner (`run_point`), so a point
 //! simulated here is byte-for-byte the same point a sweep binary would
 //! run. `--bench-json <path>` dumps the wall-clock record.
+//!
+//! Telemetry exports (both observation-only — the printed stats are
+//! byte-identical with or without them):
+//!
+//! * `--viz-json <path>` — JSONL event stream (tx/rx/pseudonym-change
+//!   with positions) replayable in `viz/replay.html`.
+//! * `--metrics-json <path>` — telemetry registry snapshot with the same
+//!   provenance stamping as the bench-json record.
 
 use agr_bench::runner::{run_point, ProtocolKind, SweepParams};
+use agr_bench::viz::run_point_observed;
 use agr_bench::{bench_json, PointPerf, SweepPerf};
 use agr_sim::{AdversaryMix, FaultPlan, SimTime};
+use agr_telemetry::export::snapshot_to_json;
 use std::time::Instant;
 
 #[derive(Debug)]
@@ -35,6 +45,8 @@ struct Args {
     burst: Option<(f64, f64)>,
     blackhole: f64,
     counters: bool,
+    viz_json: Option<String>,
+    metrics_json: Option<String>,
 }
 
 impl Default for Args {
@@ -54,6 +66,8 @@ impl Default for Args {
             burst: None,
             blackhole: 0.0,
             counters: false,
+            viz_json: None,
+            metrics_json: None,
         }
     }
 }
@@ -64,7 +78,8 @@ fn usage() -> ! {
          \x20               [--nodes N] [--duration SECONDS] [--seed N]\n\
          \x20               [--flows N] [--senders N] [--interval MS] [--payload BYTES]\n\
          \x20               [--speed M_PER_S] [--pause SECONDS] [--counters]\n\
-         \x20               [--loss P] [--burst P_G2B,P_B2G] [--blackhole FRAC] [--bench-json PATH]"
+         \x20               [--loss P] [--burst P_G2B,P_B2G] [--blackhole FRAC] [--bench-json PATH]\n\
+         \x20               [--viz-json PATH] [--metrics-json PATH]"
     );
     std::process::exit(2);
 }
@@ -110,6 +125,8 @@ fn parse_args() -> Args {
                 ));
             }
             "--counters" => args.counters = true,
+            "--viz-json" => args.viz_json = Some(value("--viz-json")),
+            "--metrics-json" => args.metrics_json = Some(value("--metrics-json")),
             // Consumed again by bench_json::target_path; just validate.
             "--bench-json" => {
                 let _ = value("--bench-json");
@@ -153,7 +170,15 @@ fn main() {
         adversary: (args.blackhole > 0.0).then(|| AdversaryMix::blackholes(args.blackhole)),
     };
     let started = Instant::now();
-    let stats = run_point(&kind, args.nodes, args.seed, &params);
+    // Attach observers only when an export was asked for: the observed
+    // run is deterministic either way, but the bare path stays the
+    // byte-for-byte twin of the sweep binaries.
+    let observed = (args.viz_json.is_some() || args.metrics_json.is_some())
+        .then(|| run_point_observed(&kind, args.nodes, args.seed, &params));
+    let stats = match &observed {
+        Some(run) => run.stats.clone(),
+        None => run_point(&kind, args.nodes, args.seed, &params),
+    };
     let wall_s = started.elapsed().as_secs_f64();
     println!(
         "protocol={} nodes={} duration={}s seed={}",
@@ -176,6 +201,20 @@ fn main() {
     if args.counters {
         for (name, value) in stats.counters() {
             println!("counter {name} = {value}");
+        }
+    }
+    if let Some(run) = &observed {
+        if let Some(path) = &args.viz_json {
+            std::fs::write(path, run.events_jsonl()).expect("write viz json");
+            println!("viz_json={path} events={}", run.events.len());
+        }
+        if let Some(path) = &args.metrics_json {
+            let meta = bench_json::snapshot_meta("simulate");
+            let meta: Vec<(&str, &str)> =
+                meta.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+            let json = snapshot_to_json(&run.registry.snapshot(), &meta);
+            std::fs::write(path, json).expect("write metrics json");
+            println!("metrics_json={path}");
         }
     }
     let perf = SweepPerf {

@@ -37,6 +37,7 @@ pub mod bench_json;
 pub mod plot;
 pub mod report;
 pub mod runner;
+pub mod viz;
 pub mod zipf;
 
 pub use report::Table;
@@ -44,3 +45,4 @@ pub use runner::{
     jobs, par_map, run_matrix, run_point, run_sweep, sweep, PointPerf, PointResult, ProtocolKind,
     SweepParams, SweepPerf,
 };
+pub use viz::{run_point_observed, ObservedRun};

@@ -1521,7 +1521,8 @@ impl Agfw {
             | AlsNetKind::SyncDelta { .. }
             | AlsNetKind::Ping
             | AlsNetKind::Pong { .. }
-            | AlsNetKind::Busy => {
+            | AlsNetKind::Busy
+            | AlsNetKind::StatsDump { .. } => {
                 ctx.count("als.service_frame_ignored");
                 true
             }
@@ -1585,7 +1586,8 @@ impl Agfw {
                 | AlsNetKind::SyncDelta { .. }
                 | AlsNetKind::Ping
                 | AlsNetKind::Pong { .. }
-                | AlsNetKind::Busy => {
+                | AlsNetKind::Busy
+                | AlsNetKind::StatsDump { .. } => {
                     self.pending_acks.remove(&msg.uid);
                     ctx.count("als.drop.local_max");
                 }

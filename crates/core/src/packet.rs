@@ -298,6 +298,15 @@ pub enum AlsNetKind {
     /// the serve loop. Clients treat this as "alive but overloaded" —
     /// retry after backoff, never failure-detector evidence.
     Busy,
+    /// Telemetry scrape of a live node's metric registry. An empty
+    /// `payload` is the request; the node answers with the same kind
+    /// carrying its registry rendered as Prometheus text (truncated to
+    /// fit one frame). Only the `agr-als-service` cluster emits these;
+    /// the simulator never originates them.
+    StatsDump {
+        /// Empty on request; Prometheus text-exposition bytes on reply.
+        payload: Vec<u8>,
+    },
 }
 
 /// A geo-routed location-service message.
@@ -353,6 +362,7 @@ impl AlsNetMessage {
             }
             AlsNetKind::Ping | AlsNetKind::Busy => 0,
             AlsNetKind::Pong { .. } => 4,
+            AlsNetKind::StatsDump { payload } => 2 + payload.len() as u32,
         };
         NET_HEADER_BYTES + 8 + Pseudonym::wire_bytes() + 4 + 1 + body
     }

@@ -367,6 +367,10 @@ fn encode_als(out: &mut Vec<u8>, m: &AlsNetMessage) -> Result<(), WireError> {
             out.extend_from_slice(&queue_depth.to_be_bytes());
         }
         AlsNetKind::Busy => out.push(10),
+        AlsNetKind::StatsDump { payload } => {
+            out.push(11);
+            put_bytes_u16(out, "stats dump payload", payload)?;
+        }
     }
     Ok(())
 }
@@ -542,6 +546,9 @@ fn decode_als(r: &mut Reader<'_>) -> Result<AlsNetMessage, WireError> {
             queue_depth: r.u32()?,
         },
         10 => AlsNetKind::Busy,
+        11 => AlsNetKind::StatsDump {
+            payload: r.bytes_u16()?,
+        },
         value => {
             return Err(WireError::BadTag {
                 field: "ALS kind",

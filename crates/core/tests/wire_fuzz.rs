@@ -17,10 +17,11 @@ use proptest::prelude::*;
 
 /// A corpus of valid packets covering every wire shape (hello with and
 /// without velocity, data in both modes with and without piggybacked
-/// ACKs, empty and full NL-ACKs, all eleven ALS kinds — the three
+/// ACKs, empty and full NL-ACKs, all twelve ALS kinds — the three
 /// geo-routed ones, the service-transport Forward/Ack/Miss, the
-/// anti-entropy SyncDigest/SyncDelta, and the health/admission
-/// Ping/Pong/Busy).
+/// anti-entropy SyncDigest/SyncDelta, the health/admission
+/// Ping/Pong/Busy, and the telemetry StatsDump in both its
+/// empty-request and filled-reply forms).
 fn corpus() -> Vec<AgfwPacket> {
     let zero_tag = FlowTag {
         flow: 0,
@@ -193,6 +194,23 @@ fn corpus() -> Vec<AgfwPacket> {
             ttl: 4,
             kind: AlsNetKind::Busy,
         }),
+        AgfwPacket::Als(AlsNetMessage {
+            target_loc: Point::new(100.0, 220.0),
+            next: Pseudonym([0xC6; 6]),
+            uid: 0x7F,
+            ttl: 4,
+            kind: AlsNetKind::StatsDump { payload: vec![] },
+        }),
+        AgfwPacket::Als(AlsNetMessage {
+            target_loc: Point::new(100.0, 220.0),
+            next: Pseudonym([0xC7; 6]),
+            uid: 0x80,
+            ttl: 4,
+            kind: AlsNetKind::StatsDump {
+                payload: b"# TYPE agr_als_serve_queries counter\nagr_als_serve_queries 7\n"
+                    .to_vec(),
+            },
+        }),
     ]
 }
 
@@ -228,7 +246,7 @@ proptest! {
     /// has no optional tail: cutting anywhere leaves a field unfinished),
     /// and never a panic.
     #[test]
-    fn truncations_error_cleanly(which in 0usize..17, cut in 0.0f64..1.0) {
+    fn truncations_error_cleanly(which in 0usize..19, cut in 0.0f64..1.0) {
         let enc = &encodings()[which];
         let len = (cut * enc.len() as f64) as usize; // < enc.len(): strict
         prop_assert!(
@@ -242,7 +260,7 @@ proptest! {
     /// survives decoding, the result must also re-encode without
     /// panicking (a corrupt-but-parseable packet can be forwarded).
     #[test]
-    fn bit_flips_never_panic(which in 0usize..17, bit in any::<u16>()) {
+    fn bit_flips_never_panic(which in 0usize..19, bit in any::<u16>()) {
         let mut enc = encodings()[which].clone();
         let bit = usize::from(bit) % (enc.len() * 8);
         enc[bit / 8] ^= 1 << (bit % 8);

@@ -304,6 +304,49 @@ fn als_health_frames_roundtrip() {
     assert_roundtrip(&service_frame(0x80, AlsNetKind::Busy));
 }
 
+#[test]
+fn als_stats_dump_frames_roundtrip() {
+    // The empty payload is the scrape *request* form.
+    assert_roundtrip(&service_frame(
+        0x81,
+        AlsNetKind::StatsDump { payload: vec![] },
+    ));
+    // The reply carries Prometheus text — arbitrary bytes on the wire.
+    assert_roundtrip(&service_frame(
+        0x82,
+        AlsNetKind::StatsDump {
+            payload: b"# TYPE agr_als_serve_queries counter\nagr_als_serve_queries 7\n".to_vec(),
+        },
+    ));
+    // The u16 length prefix caps a dump at 65535 bytes; the boundary
+    // value must survive the trip.
+    assert_roundtrip(&service_frame(
+        0x83,
+        AlsNetKind::StatsDump {
+            payload: vec![0x5F; u16::MAX as usize],
+        },
+    ));
+}
+
+/// A sub-tag one past `StatsDump` (the highest assigned ALS kind) must
+/// still decode to an error, not a panic — adding the telemetry frame
+/// must not have changed how unknown tags are handled.
+#[test]
+fn unknown_als_kind_tag_still_errors() {
+    let valid = encode_packet(&service_frame(
+        0x81,
+        AlsNetKind::StatsDump { payload: vec![] },
+    ))
+    .unwrap();
+    // The kind tag sits right after the 31-byte ALS header
+    // (type + target_loc + pseudonym + uid + ttl).
+    let tag_at = 1 + 8 + 8 + 6 + 8 + 1;
+    assert_eq!(valid[tag_at], 0x0b, "StatsDump must encode as tag 11");
+    let mut unknown = valid;
+    unknown[tag_at] = 0x0c;
+    assert!(decode_packet(&unknown).is_err());
+}
+
 /// Pinned encodings of the service-transport and anti-entropy frames. The
 /// standalone ALS service speaks these between independently deployed
 /// clients and servers, so the same compatibility warning applies as
@@ -471,6 +514,41 @@ fn golden_als_service_encodings_are_stable() {
             "0000000000000080", // uid
             "08",               // ttl
             "0a",               // ALS kind: Busy
+        )
+    );
+    // The telemetry scrape frame: empty payload asks, bytes answer.
+    let scrape = service_frame(0x81, AlsNetKind::StatsDump { payload: vec![] });
+    assert_eq!(
+        hex(&scrape),
+        concat!(
+            "03",
+            "4074000000000000",
+            "4084000000000000",
+            "b1b2b3b4b5b6",
+            "0000000000000081", // uid
+            "08",               // ttl
+            "0b",               // ALS kind: StatsDump
+            "0000",             // payload length 0: a request
+        )
+    );
+    let dump = service_frame(
+        0x82,
+        AlsNetKind::StatsDump {
+            payload: vec![0x23, 0x20],
+        },
+    );
+    assert_eq!(
+        hex(&dump),
+        concat!(
+            "03",
+            "4074000000000000",
+            "4084000000000000",
+            "b1b2b3b4b5b6",
+            "0000000000000082", // uid
+            "08",               // ttl
+            "0b",               // ALS kind: StatsDump
+            "0002",             // payload length
+            "2320",             // "# " — the dump bytes verbatim
         )
     );
 }

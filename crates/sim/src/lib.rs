@@ -66,6 +66,7 @@ pub mod engine;
 pub mod fault;
 pub mod mac;
 pub mod mobility;
+pub mod obs;
 pub mod par;
 pub mod phy;
 pub mod protocol;
@@ -77,6 +78,7 @@ mod world;
 pub use adversary::{AdversaryMix, AdversaryPlan, AdversaryRole};
 pub use config::{FlowConfig, MacParams, MobilityParams, PhyIndexMode, RadioParams, SimConfig};
 pub use fault::{ChurnEvent, FaultPlan, GilbertElliott, LinkChannel, LossModel, StaleLocations};
+pub use obs::TelemetryObserver;
 pub use protocol::{Ctx, FlowTag, MacDst, MacOutcome, Protocol};
 pub use stats::{FlowStats, Stats};
 pub use time::SimTime;

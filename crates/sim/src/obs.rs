@@ -1,0 +1,184 @@
+//! Telemetry observers: streaming frame consumers that fold the on-air
+//! trace into an [`agr_telemetry::Registry`] and a sim-time
+//! [`agr_telemetry::TraceRing`].
+//!
+//! Both observers are **observation-only**: they read the
+//! [`FrameRecord`] handed to every [`FrameObserver`], draw no
+//! randomness, and touch no simulator state, so attaching them leaves a
+//! run byte-identical to a bare one (pinned by the bench crate's
+//! `telemetry_determinism` tests against the adversary-acceptance
+//! goldens).
+//!
+//! Attach with [`crate::World::attach_observer`], keeping a clone of the
+//! `Rc<RefCell<_>>` to read the accumulated registry and trace after the
+//! run:
+//!
+//! ```
+//! use agr_sim::{SimConfig, SimTime, TelemetryObserver, World};
+//! use std::cell::RefCell;
+//! use std::rc::Rc;
+//!
+//! # struct Idle;
+//! # impl agr_sim::Protocol for Idle {
+//! #     type Packet = ();
+//! #     fn on_app_send(
+//! #         &mut self,
+//! #         _: &mut agr_sim::Ctx<'_, ()>,
+//! #         _: agr_sim::NodeId,
+//! #         _: agr_sim::FlowTag,
+//! #     ) {}
+//! #     fn on_receive(
+//! #         &mut self,
+//! #         _: &mut agr_sim::Ctx<'_, ()>,
+//! #         _: &(),
+//! #         _: Option<agr_sim::MacAddr>,
+//! #     ) {}
+//! # }
+//! let mut config = SimConfig::default();
+//! config.num_nodes = 4;
+//! config.duration = SimTime::from_secs(5);
+//! let mut world = World::new(config, |_, _, _| Idle);
+//! let telemetry = Rc::new(RefCell::new(TelemetryObserver::new(1024)));
+//! world.attach_observer(Box::new(Rc::clone(&telemetry)));
+//! let _stats = world.run();
+//! let snapshot = telemetry.borrow().registry().snapshot();
+//! assert!(snapshot.counter("sim.frames.total").is_some() || snapshot.metrics.is_empty());
+//! ```
+
+use crate::world::{FrameObserver, FrameRecord, FrameType};
+use agr_telemetry::{Registry, TraceRing};
+use std::sync::Arc;
+
+/// Metric name for one frame type.
+fn frame_counter(frame_type: FrameType) -> &'static str {
+    match frame_type {
+        FrameType::Rts => "sim.frames.rts",
+        FrameType::Cts => "sim.frames.cts",
+        FrameType::Ack => "sim.frames.ack",
+        FrameType::Data => "sim.frames.data",
+    }
+}
+
+/// Short label for trace messages.
+fn frame_label(frame_type: FrameType) -> &'static str {
+    match frame_type {
+        FrameType::Rts => "rts",
+        FrameType::Cts => "cts",
+        FrameType::Ack => "ack",
+        FrameType::Data => "data",
+    }
+}
+
+/// Folds every transmitted frame into a metric registry and a bounded
+/// sim-time trace ring.
+///
+/// Counters: `sim.frames.total` plus one `sim.frames.{rts,cts,ack,data}`
+/// per frame type, and a `sim.frame_gap_nanos` histogram of inter-frame
+/// gaps in sim time (a cheap picture of channel utilisation). The trace
+/// ring records the most recent frames as point events keyed to
+/// `SimTime::as_nanos()`, so a postmortem dump shows what was on the air
+/// just before the interesting moment.
+#[derive(Debug)]
+pub struct TelemetryObserver {
+    registry: Arc<Registry>,
+    ring: TraceRing,
+    last_t_nanos: Option<u64>,
+}
+
+impl TelemetryObserver {
+    /// Creates an observer whose trace ring retains `trace_capacity`
+    /// records (min 1).
+    #[must_use]
+    pub fn new(trace_capacity: usize) -> TelemetryObserver {
+        TelemetryObserver {
+            registry: Registry::new(),
+            ring: TraceRing::new(trace_capacity),
+            last_t_nanos: None,
+        }
+    }
+
+    /// The registry frames are folded into.
+    #[must_use]
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// The sim-time trace ring (most recent frames, bounded).
+    #[must_use]
+    pub fn trace(&self) -> &TraceRing {
+        &self.ring
+    }
+
+    /// Folds one frame record (also the [`FrameObserver`] entry point).
+    pub fn observe<PKT>(&mut self, frame: &FrameRecord<PKT>) {
+        let t = frame.time.as_nanos();
+        self.registry.counter("sim.frames.total").inc();
+        self.registry.counter(frame_counter(frame.frame_type)).inc();
+        if let Some(last) = self.last_t_nanos {
+            self.registry
+                .histogram("sim.frame_gap_nanos")
+                .record(t.saturating_sub(last));
+        }
+        self.last_t_nanos = Some(t);
+        self.ring.event(
+            t,
+            "sim.frame",
+            format!("{} {}", frame_label(frame.frame_type), frame.tx_node),
+        );
+    }
+}
+
+impl<PKT> FrameObserver<PKT> for TelemetryObserver {
+    fn on_frame(&mut self, frame: &FrameRecord<PKT>) {
+        self.observe(frame);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+    use crate::NodeId;
+    use agr_geom::Point;
+
+    fn frame(t_ms: u64, node: u32, frame_type: FrameType) -> FrameRecord<()> {
+        FrameRecord {
+            time: SimTime::from_millis(t_ms),
+            tx_node: NodeId(node),
+            tx_pos: Point::new(1.0, 2.0),
+            src_mac: None,
+            dst_mac: None,
+            frame_type,
+            packet: None,
+        }
+    }
+
+    #[test]
+    fn frames_fold_into_counters_and_trace() {
+        let mut obs = TelemetryObserver::new(8);
+        obs.observe(&frame(1, 0, FrameType::Data));
+        obs.observe(&frame(2, 1, FrameType::Ack));
+        obs.observe(&frame(4, 0, FrameType::Data));
+        let snap = obs.registry().snapshot();
+        assert_eq!(snap.counter("sim.frames.total"), Some(3));
+        assert_eq!(snap.counter("sim.frames.data"), Some(2));
+        assert_eq!(snap.counter("sim.frames.ack"), Some(1));
+        // Two gaps were recorded: 1 ms and 2 ms.
+        assert_eq!(obs.registry().histogram("sim.frame_gap_nanos").count(), 2);
+        let messages: Vec<String> = obs.trace().events().map(|e| e.message.clone()).collect();
+        assert_eq!(messages, vec!["data n0", "ack n1", "data n0"]);
+        assert_eq!(obs.trace().events().next().unwrap().t_nanos, 1_000_000);
+    }
+
+    #[test]
+    fn trace_ring_stays_bounded() {
+        let mut obs = TelemetryObserver::new(2);
+        for i in 0..10 {
+            obs.observe(&frame(i, 0, FrameType::Rts));
+        }
+        assert_eq!(obs.trace().len(), 2);
+        assert_eq!(obs.trace().total_pushed(), 10);
+        let snap = obs.registry().snapshot();
+        assert_eq!(snap.counter("sim.frames.rts"), Some(10));
+    }
+}

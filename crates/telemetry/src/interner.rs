@@ -1,0 +1,187 @@
+//! Metric-name interning.
+//!
+//! The sim's `Stats` counters historically keyed on `&'static str`,
+//! which made dynamically built names (per-adversary, per-cell)
+//! impossible without `Box::leak`. [`Name`] keeps the zero-cost static
+//! path — `Name::from("mac.collision")` stores the pointer, no
+//! allocation, no hashing — while [`Interner`] dedups dynamic names
+//! into shared `Arc<str>`s so a counter bumped a million times under a
+//! formatted name allocates its key once and leaks nothing.
+//!
+//! `Name` orders and hashes by string content, so swapping it in for
+//! `&'static str` as a `BTreeMap` key leaves iteration order — and
+//! therefore every golden fingerprint computed from sorted counters —
+//! unchanged.
+
+use std::borrow::Borrow;
+use std::collections::HashSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// A metric name: either a borrowed `&'static str` (the fast path) or a
+/// reference-counted interned string (the dynamic path).
+#[derive(Clone)]
+pub enum Name {
+    /// A compile-time name; copying is a pointer copy.
+    Static(&'static str),
+    /// A dynamically built name, shared via `Arc` (never leaked).
+    Interned(Arc<str>),
+}
+
+impl Name {
+    /// The name as a string slice.
+    #[must_use]
+    pub fn as_str(&self) -> &str {
+        match self {
+            Name::Static(s) => s,
+            Name::Interned(s) => s,
+        }
+    }
+}
+
+impl From<&'static str> for Name {
+    fn from(s: &'static str) -> Name {
+        Name::Static(s)
+    }
+}
+
+impl From<Arc<str>> for Name {
+    fn from(s: Arc<str>) -> Name {
+        Name::Interned(s)
+    }
+}
+
+impl fmt::Debug for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_str(), f)
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl PartialEq for Name {
+    fn eq(&self, other: &Name) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl Eq for Name {}
+
+impl PartialOrd for Name {
+    fn partial_cmp(&self, other: &Name) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Name {
+    fn cmp(&self, other: &Name) -> std::cmp::Ordering {
+        self.as_str().cmp(other.as_str())
+    }
+}
+
+impl std::hash::Hash for Name {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_str().hash(state);
+    }
+}
+
+impl Borrow<str> for Name {
+    fn borrow(&self) -> &str {
+        self.as_str()
+    }
+}
+
+/// Dedups dynamically built names into shared `Arc<str>`s. Interning the
+/// same string twice returns clones of the same allocation; dropping the
+/// interner (and every `Name`) frees everything — nothing leaks.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    names: HashSet<Arc<str>>,
+}
+
+impl Interner {
+    /// An empty interner.
+    #[must_use]
+    pub fn new() -> Interner {
+        Interner::default()
+    }
+
+    /// Interns `name`, reusing the existing allocation if seen before.
+    pub fn intern(&mut self, name: &str) -> Name {
+        if let Some(existing) = self.names.get(name) {
+            return Name::Interned(existing.clone());
+        }
+        let shared: Arc<str> = Arc::from(name);
+        self.names.insert(shared.clone());
+        Name::Interned(shared)
+    }
+
+    /// Distinct names interned so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether nothing has been interned yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn static_and_interned_compare_by_content() {
+        let mut interner = Interner::new();
+        let a = Name::from("mac.retry");
+        let b = interner.intern("mac.retry");
+        assert_eq!(a, b);
+        assert_eq!(a.cmp(&b), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn interning_dedups_allocations() {
+        let mut interner = Interner::new();
+        let a = interner.intern("adv.cell.3.7");
+        let b = interner.intern("adv.cell.3.7");
+        assert_eq!(interner.len(), 1);
+        match (&a, &b) {
+            (Name::Interned(x), Name::Interned(y)) => assert!(Arc::ptr_eq(x, y)),
+            _ => panic!("interned names expected"),
+        }
+    }
+
+    #[test]
+    fn btreemap_order_matches_static_str_order() {
+        let mut interner = Interner::new();
+        let mut by_name: BTreeMap<Name, u64> = BTreeMap::new();
+        by_name.insert(Name::from("b.static"), 1);
+        by_name.insert(interner.intern("a.dynamic"), 2);
+        by_name.insert(Name::from("c.static"), 3);
+        let keys: Vec<&str> = by_name.keys().map(Name::as_str).collect();
+        assert_eq!(keys, vec!["a.dynamic", "b.static", "c.static"]);
+        // Borrow<str> lets lookups use plain &str, like the old map.
+        assert_eq!(by_name.get("a.dynamic"), Some(&2));
+    }
+
+    #[test]
+    fn nothing_leaks_when_dropped() {
+        let mut interner = Interner::new();
+        let name = interner.intern("ephemeral");
+        let weak = match &name {
+            Name::Interned(s) => Arc::downgrade(s),
+            Name::Static(_) => unreachable!(),
+        };
+        drop(name);
+        drop(interner);
+        assert!(weak.upgrade().is_none(), "interned name freed on drop");
+    }
+}

@@ -87,6 +87,32 @@ echo "==> ALS cluster smoke (cluster_harness --smoke, 3 nodes, packet chaos, 1 k
 timeout 240 cargo run --offline --release -q -p agr-bench --bin cluster_harness -- \
     --smoke --out "$SMOKE_RESULTS/BENCH_cluster_smoke.json"
 
+# Telemetry smoke, two halves. (1) A clean 1-node ring must answer a UDP
+# stats scrape with a valid Prometheus exposition of >= 20 metric
+# families (asserted inside the binary). (2) `simulate --viz-json` must
+# produce a non-empty JSONL event stream where every line matches the
+# agr-telemetry viz schema, and `--metrics-json` a stamped registry
+# snapshot. The schema regex mirrors `validate_jsonl_line`: t_ns then
+# kind, then optional node / x+y pair / info, nothing else.
+echo "==> telemetry smoke (UDP stats scrape + simulate --viz-json)"
+timeout 120 cargo run --offline --release -q -p agr-bench --bin cluster_harness -- \
+    --scrape-smoke
+VIZ_SMOKE="$SMOKE_RESULTS/viz_smoke.jsonl"
+METRICS_SMOKE="$SMOKE_RESULTS/metrics_smoke.json"
+cargo run --offline --release -q -p agr-bench --bin simulate -- \
+    --protocol agfw --nodes 50 --duration 60 --seed 1 --flows 10 --senders 5 \
+    --viz-json "$VIZ_SMOKE" --metrics-json "$METRICS_SMOKE" >/dev/null
+test -s "$VIZ_SMOKE" || { echo "viz smoke: empty event stream" >&2; exit 1; }
+VIZ_RE='^\{"t_ns":[0-9]+,"kind":"(tx|rx|drop|deliver|suspicion|pseudonym_change)"(,"node":[0-9]+)?(,"x":-?[0-9]+\.[0-9]+,"y":-?[0-9]+\.[0-9]+)?(,"info":"([^"\\]|\\.)*")?\}$'
+if grep -qEv "$VIZ_RE" "$VIZ_SMOKE"; then
+    echo "viz smoke: schema-invalid JSONL line(s):" >&2
+    grep -Ev "$VIZ_RE" "$VIZ_SMOKE" | head -3 >&2
+    exit 1
+fi
+echo "    viz stream ok: $(wc -l < "$VIZ_SMOKE") schema-valid events"
+grep -q '"format": "agr-telemetry-snapshot-v1"' "$METRICS_SMOKE" ||
+    { echo "metrics smoke: snapshot missing format tag" >&2; exit 1; }
+
 # Perf smoke: a --quick perf_profile run vs the checked-in --quick
 # reference (results/BENCH_perf.json is the full 300 s trajectory and is
 # NOT rate-comparable: aant's ~2 s of RSA/ring-signature startup
